@@ -1,0 +1,68 @@
+"""Ablation: data-converter design choices.
+
+DESIGN.md calls out converter energy as the modeling focus; these ablations
+quantify the two main converter knobs on the aggressively-scaled Albireo:
+
+* ADC/DAC resolution (symbol precision) — energy per MAC vs bits;
+* the analog integrator depth (OR beyond the paper's grid).
+"""
+
+import dataclasses
+
+from conftest import publish
+
+from repro.energy import AGGRESSIVE
+from repro.report import format_table
+from repro.systems import AlbireoConfig, AlbireoSystem, SYSTEM_BUCKETS, \
+    albireo_best_case_layer
+
+
+def _energy_per_mac(config):
+    system = AlbireoSystem(config)
+    layer = albireo_best_case_layer(config)
+    evaluation = system.evaluate_layer(layer)
+    return evaluation.energy.per_mac(evaluation.real_macs)
+
+
+def test_ablation_symbol_resolution(benchmark):
+    def sweep():
+        rows = []
+        for bits in (4, 6, 8, 10):
+            config = AlbireoConfig(scenario=AGGRESSIVE, bits=bits)
+            per_mac = _energy_per_mac(config)
+            grouped = per_mac.grouped(SYSTEM_BUCKETS)
+            converters = sum(v for k, v in grouped.items()
+                             if "DE/AE" in k or "AO/AE" in k)
+            rows.append((bits, round(per_mac.total_pj, 4),
+                         round(converters, 4)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    publish("ablation_resolution", format_table(
+        ("symbol bits", "total pJ/MAC", "converter pJ/MAC"), rows,
+        align_right=[True, True, True]))
+    # Converter energy must grow steeply (exponentially for the ADC term)
+    # with resolution — the motivation for low-precision photonics.
+    converter = [row[2] for row in rows]
+    assert converter == sorted(converter)
+    assert converter[-1] > 2 * converter[0]
+
+
+def test_ablation_integrator_depth(benchmark):
+    def sweep():
+        rows = []
+        for output_reuse in (1, 3, 9, 27, 45):
+            config = AlbireoConfig(scenario=AGGRESSIVE,
+                                   output_reuse=output_reuse)
+            per_mac = _energy_per_mac(config)
+            grouped = per_mac.grouped(SYSTEM_BUCKETS)
+            rows.append((output_reuse, round(per_mac.total_pj, 4),
+                         round(grouped["Output AO/AE, AE/DE"], 4)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    publish("ablation_integrator", format_table(
+        ("OR", "total pJ/MAC", "output-conversion pJ/MAC"), rows,
+        align_right=[True, True, True]))
+    output_energy = [row[2] for row in rows]
+    assert output_energy == sorted(output_energy, reverse=True)

@@ -1,0 +1,99 @@
+"""Ablation: memory-system design choices.
+
+Quantifies the global-buffer capacity sweep (reuse vs per-access energy)
+and the DRAM technology sweep (how much the paper's "DRAM dominates
+aggressive systems" conclusion depends on DDR4 assumptions).
+"""
+
+from conftest import publish
+
+from repro.energy import AGGRESSIVE
+from repro.report import format_table
+from repro.systems import AlbireoConfig, AlbireoSystem, SYSTEM_BUCKETS
+from repro.workloads import resnet18
+
+
+def _system_buckets(config, network):
+    system = AlbireoSystem(config)
+    evaluation = system.evaluate_network(network)
+    return evaluation.total_energy.per_mac(
+        evaluation.total_macs).grouped(SYSTEM_BUCKETS)
+
+
+def test_ablation_global_buffer_capacity(benchmark):
+    network = resnet18()
+
+    def sweep():
+        rows = []
+        for kib in (256, 512, 1024, 2048, 4096):
+            config = AlbireoConfig(scenario=AGGRESSIVE,
+                                   global_buffer_kib=kib)
+            grouped = _system_buckets(config, network)
+            total = sum(grouped.values())
+            rows.append((kib, round(total, 4),
+                         round(grouped["DRAM"], 4),
+                         round(grouped["On-Chip Buffer"], 4)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_buffer", format_table(
+        ("GB KiB", "total pJ/MAC", "DRAM pJ/MAC", "buffer pJ/MAC"), rows,
+        align_right=[True] * 4))
+    # Bigger buffers cost more per access...
+    buffer_energy = [row[3] for row in rows]
+    assert buffer_energy[-1] > buffer_energy[0]
+    # ...but must not increase DRAM traffic.
+    dram = [row[2] for row in rows]
+    assert dram[-1] <= dram[0] * 1.001
+
+
+def test_ablation_dram_technology(benchmark):
+    network = resnet18()
+
+    def sweep():
+        rows = []
+        for technology in ("ddr4", "lpddr4", "hbm2"):
+            config = AlbireoConfig(scenario=AGGRESSIVE,
+                                   dram_technology=technology)
+            grouped = _system_buckets(config, network)
+            total = sum(grouped.values())
+            rows.append((technology, round(total, 4),
+                         f"{grouped['DRAM'] / total:.0%}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_dram", format_table(
+        ("DRAM tech", "total pJ/MAC", "DRAM share"), rows,
+        align_right=[False, True, True]))
+    # The conclusion softens but persists with better DRAM.
+    shares = [float(row[2].rstrip("%")) for row in rows]
+    assert shares[0] > shares[1] > shares[2]
+    assert shares[2] > 10  # still a real share even with HBM2
+
+
+def test_ablation_wavelength_count(benchmark):
+    from repro.systems import albireo_best_case_layer
+
+    def sweep():
+        rows = []
+        for wavelengths in (1, 3, 5, 8):
+            config = AlbireoConfig(scenario=AGGRESSIVE,
+                                   wavelengths=wavelengths)
+            system = AlbireoSystem(config)
+            layer = albireo_best_case_layer(config)
+            evaluation = system.evaluate_layer(layer)
+            grouped = evaluation.energy.per_mac(
+                evaluation.real_macs).grouped(SYSTEM_BUCKETS)
+            rows.append((wavelengths,
+                         round(sum(grouped.values()), 4),
+                         round(grouped["Output AO/AE, AE/DE"], 4),
+                         config.peak_macs_per_cycle))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_wavelengths", format_table(
+        ("wavelengths", "accel pJ/MAC", "output-conv pJ/MAC",
+         "peak MACs/cycle"), rows, align_right=[True] * 4))
+    # WDM parallelism amortizes photodiodes and ADCs.
+    output_conversion = [row[2] for row in rows]
+    assert output_conversion == sorted(output_conversion, reverse=True)

@@ -1,0 +1,90 @@
+"""Ablation: system-level extensions beyond the paper's figures.
+
+* Optical (DO-domain) DRAM attachment vs the electrical DDR interface —
+  the TPU-v4-style option the paper's introduction mentions.
+* DRAM bandwidth: where the paper's compute-only throughput convention
+  stops holding (batch-1 FC layers are memory-bound on DDR-class links).
+* Workload sensitivity: MobileNetV1's depthwise/pointwise layers vs
+  ResNet18 on a broadcast-photonic fabric.
+"""
+
+from conftest import publish
+
+from repro.energy import AGGRESSIVE
+from repro.report import format_table
+from repro.systems import AlbireoConfig, AlbireoSystem, SYSTEM_BUCKETS
+from repro.workloads import dense_layer, mobilenet_v1, resnet18
+
+
+def test_ablation_optical_dram_io(benchmark):
+    network = resnet18()
+
+    def sweep():
+        rows = []
+        for optical in (False, True):
+            config = AlbireoConfig(scenario=AGGRESSIVE,
+                                   optical_dram_io=optical)
+            system = AlbireoSystem(config)
+            evaluation = system.evaluate_network(network)
+            grouped = evaluation.total_energy.per_mac(
+                evaluation.total_macs).grouped(SYSTEM_BUCKETS)
+            total = sum(grouped.values())
+            rows.append(("optical" if optical else "electrical (DDR4)",
+                         round(total, 4), round(grouped["DRAM"], 4),
+                         f"{grouped['DRAM'] / total:.0%}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_optical_io", format_table(
+        ("DRAM attachment", "total pJ/MAC", "memory pJ/MAC", "share"),
+        rows, align_right=[False, True, True, True]))
+    electrical, optical = rows[0], rows[1]
+    assert optical[2] < electrical[2]
+    # Optical I/O halves the memory interface cost in this model.
+    assert optical[2] / electrical[2] < 0.6
+
+
+def test_ablation_dram_bandwidth(benchmark):
+    fc = dense_layer("fc6", 4096, 4096)
+
+    def sweep():
+        rows = []
+        for label, gbps in (("unbounded", None), ("DDR4 25.6", 25.6),
+                            ("HBM2 256", 256.0), ("HBM3 819", 819.0)):
+            config = AlbireoConfig(dram_bandwidth_gbps=gbps)
+            evaluation = AlbireoSystem(config).evaluate_layer(fc)
+            rows.append((label,
+                         round(evaluation.macs_per_cycle, 1),
+                         evaluation.bandwidth_bound_level or "compute"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_bandwidth", format_table(
+        ("DRAM bandwidth (GB/s)", "FC MACs/cycle", "bound by"), rows,
+        align_right=[False, True, False]))
+    # Batch-1 FC is memory-bound on DDR-class links.
+    assert rows[1][2] == "DRAM"
+    # Throughput is monotone in bandwidth.
+    throughput = [row[1] for row in rows[1:]]
+    assert throughput == sorted(throughput)
+
+
+def test_ablation_workload_sensitivity(benchmark):
+    def sweep():
+        system = AlbireoSystem(AlbireoConfig())
+        rows = []
+        for network in (resnet18(), mobilenet_v1()):
+            evaluation = system.evaluate_network(network)
+            rows.append((network.name,
+                         round(evaluation.macs_per_cycle),
+                         f"{evaluation.utilization:.0%}",
+                         round(evaluation.energy_per_mac_pj, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_workloads", format_table(
+        ("network", "MACs/cycle", "utilization", "pJ/MAC"), rows,
+        align_right=[False, True, True, True]))
+    resnet_row, mobile_row = rows
+    # Depthwise/pointwise layers starve the broadcast fabric.
+    assert mobile_row[1] < 0.5 * resnet_row[1]

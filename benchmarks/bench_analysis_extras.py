@@ -1,0 +1,49 @@
+"""Benchmarks: the analysis extensions (sensitivity, area, roofline).
+
+Each publishes its table to ``benchmarks/results/`` alongside timings.
+"""
+
+from conftest import publish
+
+from repro.experiments import sensitivity
+from repro.model.area import system_area_report
+from repro.model.roofline import network_roofline
+from repro.systems import AlbireoConfig, AlbireoSystem, CrossbarConfig, \
+    CrossbarSystem
+from repro.workloads import alexnet
+
+
+def test_sensitivity_tornado(benchmark):
+    result = benchmark.pedantic(sensitivity.run, rounds=2, iterations=1)
+    publish("sensitivity", result.table())
+    assert result.most_sensitive == "fixed_loss_db"
+    benchmark.extra_info["most_sensitive"] = result.most_sensitive
+
+
+def test_area_reports(benchmark):
+    def run():
+        albireo = system_area_report(AlbireoSystem(AlbireoConfig()))
+        crossbar = system_area_report(
+            CrossbarSystem(CrossbarConfig()),
+            reference_layer=alexnet().entries[2].layer)
+        return albireo, crossbar
+
+    albireo, crossbar = benchmark.pedantic(run, rounds=2, iterations=1)
+    publish("area", albireo.table() + "\n\n" + crossbar.table())
+    assert albireo.total_mm2 > 0 and crossbar.total_mm2 > 0
+    benchmark.extra_info["albireo_mm2"] = round(albireo.total_mm2, 2)
+    benchmark.extra_info["crossbar_mm2"] = round(crossbar.total_mm2, 2)
+
+
+def test_roofline_alexnet(benchmark):
+    system = AlbireoSystem(AlbireoConfig(dram_bandwidth_gbps=25.6))
+
+    def run():
+        return network_roofline(system, alexnet())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    publish("roofline", result.table())
+    # AlexNet's FC layers are memory-bound on DDR4-class bandwidth.
+    assert any("fc" in name for name in result.memory_bound_layers)
+    benchmark.extra_info["memory_bound_layers"] = \
+        ",".join(result.memory_bound_layers)

@@ -1,0 +1,27 @@
+"""Benchmark: the batching energy-latency curve (paper SIII.3 remark)."""
+
+from conftest import publish
+
+from repro.experiments import batching
+
+
+def test_batching_curve(benchmark):
+    result = benchmark.pedantic(batching.run, rounds=1, iterations=1)
+    publish("batching", result.table())
+    points = result.points
+    # Energy per inference falls monotonically with batch...
+    energies = [p.energy_uj_per_inference for p in points]
+    assert energies == sorted(energies, reverse=True)
+    # ...latency per request grows monotonically...
+    latencies = [p.latency_ms_per_request for p in points]
+    assert latencies == sorted(latencies)
+    # ...weight-DRAM amortizes by an order of magnitude before buffer
+    # capacity starts trading refetch against partial-sum spills.
+    first, last = points[0], points[-1]
+    amortization = first.weight_dram_pj_per_mac \
+        / last.weight_dram_pj_per_mac
+    assert amortization > 8.0
+    # Returns diminish by batch 32 (the knee exists).
+    assert result.amortization_saturated
+    benchmark.extra_info["energy_floor_uj"] = round(
+        result.energy_floor_uj, 1)

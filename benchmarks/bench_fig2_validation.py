@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the paper's Fig. 2 (energy-breakdown validation).
+
+Times the full model pipeline (architecture build, energy estimation,
+reference-mapping selection, nest analysis, pricing) across the three
+scaling scenarios, and publishes the modeled-vs-reported table.
+"""
+
+from conftest import publish
+
+from repro.experiments import fig2_validation
+
+
+def test_fig2_energy_breakdown_validation(benchmark):
+    result = benchmark(fig2_validation.run)
+    publish("fig2_validation", result.table())
+    assert result.meets_paper_claim
+    benchmark.extra_info["average_error"] = result.average_error
+    benchmark.extra_info["conservative_pj_per_mac"] = \
+        result.validations[0].modeled_total
+    benchmark.extra_info["aggressive_pj_per_mac"] = \
+        result.validations[2].modeled_total

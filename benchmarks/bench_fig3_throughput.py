@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the paper's Fig. 3 (VGG16 / AlexNet throughput).
+
+Times whole-network throughput evaluation and publishes the
+ideal/reported/modeled comparison with the per-layer utilization breakdown
+that explains AlexNet's collapse.
+"""
+
+from conftest import publish
+
+from repro.experiments import fig3_throughput
+
+
+def test_fig3_throughput(benchmark):
+    result = benchmark(fig3_throughput.run)
+    publish("fig3_throughput", result.table())
+    assert result.meets_paper_claims
+    vgg = result.for_network("VGG16")
+    alex = result.for_network("AlexNet")
+    benchmark.extra_info["vgg16_macs_per_cycle"] = round(vgg.modeled)
+    benchmark.extra_info["alexnet_macs_per_cycle"] = round(alex.modeled)
+    benchmark.extra_info["vgg16_over_ideal"] = round(
+        vgg.modeled_over_ideal, 3)
+    benchmark.extra_info["alexnet_over_reported"] = round(
+        alex.modeled_over_reported, 3)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the paper's Fig. 4 (full-system memory study).
+
+ResNet18 under {conservative, aggressive} x {batched, non-batched} x
+{fused, not fused}; publishes the normalized stacked-bar table and the two
+headline claims (DRAM share, combined 3x reduction).
+"""
+
+from conftest import publish
+
+from repro.experiments import fig4_memory
+
+
+def test_fig4_memory_exploration(benchmark):
+    result = benchmark.pedantic(fig4_memory.run, rounds=2, iterations=1)
+    publish("fig4_memory", result.table())
+    assert result.meets_paper_claims
+    benchmark.extra_info["aggressive_dram_share"] = round(
+        result.dram_share("aggressive"), 3)
+    benchmark.extra_info["conservative_dram_share"] = round(
+        result.dram_share("conservative"), 3)
+    benchmark.extra_info["combined_reduction"] = round(
+        result.combined_reduction("aggressive"), 3)

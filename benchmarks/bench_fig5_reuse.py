@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the paper's Fig. 5 (reuse exploration).
+
+Sweeps the 18-point OR x IR x variant grid on aggressively-scaled Albireo
+with ResNet18 and publishes the per-point breakdown plus the converter /
+accelerator energy-reduction claims.
+"""
+
+from conftest import publish
+
+from repro.experiments import fig5_reuse
+
+
+def test_fig5_reuse_exploration(benchmark):
+    result = benchmark.pedantic(fig5_reuse.run, rounds=2, iterations=1)
+    publish("fig5_reuse", result.table())
+    assert result.meets_paper_claims
+    benchmark.extra_info["converter_reduction"] = round(
+        result.converter_reduction, 3)
+    benchmark.extra_info["accelerator_reduction"] = round(
+        result.accelerator_reduction, 3)
+    best = result.best
+    benchmark.extra_info["best_point"] = (
+        f"{best.variant} OR={best.output_reuse} IR={best.input_reuse}")

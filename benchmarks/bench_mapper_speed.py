@@ -1,0 +1,70 @@
+"""Benchmark: mapper and analysis throughput (the paper's "fast DSE" claim).
+
+The paper argues the modeling approach enables *rapid* design-space
+exploration; these benchmarks quantify it: single-mapping analysis latency
+and full mapper-search latency on a representative ResNet18 layer.
+"""
+
+from conftest import publish
+
+from repro.mapping.analysis import analyze
+from repro.report import format_table
+from repro.systems import AlbireoConfig, AlbireoSystem
+from repro.workloads import ConvLayer
+
+LAYER = ConvLayer(name="resnet-conv", m=128, c=128, p=28, q=28, r=3, s=3)
+
+
+def test_single_mapping_analysis(benchmark):
+    system = AlbireoSystem(AlbireoConfig())
+    mapping = system.reference_mapping(LAYER)
+
+    def run():
+        return analyze(system.architecture, LAYER, mapping)
+
+    counts = benchmark(run)
+    assert counts.padded_macs >= LAYER.macs
+    benchmark.extra_info["evaluations_per_second_hint"] = \
+        "see ops/sec column"
+
+
+def test_layer_evaluation_with_pricing(benchmark):
+    system = AlbireoSystem(AlbireoConfig())
+    mapping = system.reference_mapping(LAYER)
+
+    def run():
+        return system.evaluate_layer(LAYER, mapping=mapping)
+
+    evaluation = benchmark(run)
+    assert evaluation.energy_pj > 0
+
+
+def test_mapper_search_200_candidates(benchmark):
+    system = AlbireoSystem(AlbireoConfig())
+
+    def run():
+        return system.search_mapping(LAYER, max_evaluations=200, seed=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    publish("mapper_speed", format_table(
+        ("metric", "value"),
+        [
+            ("candidates evaluated", result.evaluated),
+            ("valid mappings", result.valid),
+            ("best energy (pJ)", f"{result.cost:.1f}"),
+        ],
+    ))
+    assert result.valid > 0
+
+
+def test_whole_network_evaluation(benchmark):
+    from repro.workloads import resnet18
+
+    system = AlbireoSystem(AlbireoConfig())
+    network = resnet18()
+
+    def run():
+        return system.evaluate_network(network)
+
+    evaluation = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert evaluation.total_macs == network.total_macs

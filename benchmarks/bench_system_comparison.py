@@ -1,0 +1,23 @@
+"""Benchmark: cross-system comparison (the paper's third use case).
+
+Evaluates Albireo and the weight-stationary WDM crossbar over the
+workload suite with one shared component library and publishes the
+comparison table.
+"""
+
+from conftest import publish
+
+from repro.experiments import system_comparison
+
+
+def test_system_comparison(benchmark):
+    result = benchmark.pedantic(system_comparison.run, rounds=2,
+                                iterations=1)
+    publish("system_comparison", result.table())
+    assert result.expected_contrasts_hold
+    resnet_albireo = result.row("albireo", "ResNet18")
+    resnet_crossbar = result.row("crossbar", "ResNet18")
+    benchmark.extra_info["albireo_resnet_pj_per_mac"] = round(
+        resnet_albireo.energy_per_mac_pj, 4)
+    benchmark.extra_info["crossbar_resnet_pj_per_mac"] = round(
+        resnet_crossbar.energy_per_mac_pj, 4)

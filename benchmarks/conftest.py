@@ -1,0 +1,19 @@
+"""Shared benchmark plumbing.
+
+Each figure benchmark renders its paper-comparable table and both prints it
+(visible with ``pytest -s``) and writes it to ``benchmarks/results/`` so a
+benchmark run leaves reviewable artifacts next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Build your own photonic accelerator from a declarative spec.
+
+The library is not Albireo-specific: this example assembles a different
+photonic design — a weight-stationary WDM crossbar in the spirit of
+MRR-weight-bank accelerators, where weights are converted *once per tile*
+into an analog sample-and-hold bank instead of streaming every cycle —
+prices it with the same component library, maps ResNet18's workhorse layer
+onto it with the generic mapper, and compares against Albireo.
+
+It demonstrates the three extension points a user needs:
+
+1. an :class:`Architecture` from a plain dict spec (JSON-compatible);
+2. an :class:`EnergyTable` from the estimator plug-ins;
+3. the generic :class:`Mapper` with custom constraints.
+
+Run:  python examples/custom_photonic_accelerator.py
+"""
+
+from repro import (
+    AGGRESSIVE,
+    AcceleratorModel,
+    AlbireoConfig,
+    AlbireoSystem,
+    ComponentSpec,
+    ConvLayer,
+    Mapper,
+    architecture_from_dict,
+    build_table,
+)
+from repro.report import format_table
+
+#: 16 tiles x (16x16 ring crossbar) = 4096 MACs/cycle at 5 GHz.
+CROSSBAR_SPEC = {
+    "name": "wdm-crossbar",
+    "clock_ghz": 5.0,
+    "nodes": [
+        {"type": "storage", "name": "DRAM", "component": "dram",
+         "domain": "DE", "dataspaces": ["Weights", "Inputs", "Outputs"]},
+        {"type": "storage", "name": "GlobalBuffer", "component": "gbuf",
+         "domain": "DE", "dataspaces": ["Weights", "Inputs", "Outputs"],
+         "capacity_bits": 8.0 * 1024 * 1024},
+        {"type": "fanout", "name": "tiles", "size": 16,
+         "allowed_dims": ["M", "C", "P", "Q", "N"],
+         "multicast": ["Inputs", "Weights"]},
+        # Weights are DAC'd into an analog hold bank and reused for a
+        # whole tile sweep: the weight-stationary trick.
+        {"type": "converter", "name": "WeightDAC", "component": "wdac",
+         "from": "DE", "to": "AE", "dataspaces": ["Weights"]},
+        {"type": "storage", "name": "WeightBank", "component": "whold",
+         "domain": "AE", "dataspaces": ["Weights"],
+         "capacity_bits": 16 * 16 * 8.0},
+        {"type": "converter", "name": "InputDAC", "component": "idac",
+         "from": "DE", "to": "AE", "dataspaces": ["Inputs"]},
+        {"type": "converter", "name": "InputMod", "component": "imod",
+         "from": "AE", "to": "AO", "dataspaces": ["Inputs"]},
+        # Input rows broadcast across the M columns of the crossbar.
+        {"type": "fanout", "name": "columns", "size": 16,
+         "allowed_dims": ["M"], "multicast": ["Inputs"]},
+        {"type": "converter", "name": "OutputADC", "component": "oadc",
+         "from": "AE", "to": "DE", "dataspaces": ["Outputs"]},
+        # Each column's photodiode sums 16 wavelength channels (C).
+        {"type": "converter", "name": "OutputPD", "component": "opd",
+         "from": "AO", "to": "AE", "dataspaces": ["Outputs"]},
+        {"type": "fanout", "name": "rows", "size": 16,
+         "allowed_dims": ["C"], "reduction": ["Outputs"]},
+        {"type": "compute", "name": "RingMAC", "component": "ring_mac",
+         "domain": "AO",
+         "actions": [{"component": "comb_laser", "action": "mac",
+                      "events_per_mac": 1.0}]},
+    ],
+}
+
+
+def build_crossbar():
+    scenario = AGGRESSIVE
+    architecture = architecture_from_dict(CROSSBAR_SPEC)
+    table = build_table([
+        ComponentSpec("dram", "dram", {}),
+        ComponentSpec("gbuf", "sram", {"capacity_bits": 8.0 * 2 ** 23,
+                                       "banks": 32}),
+        ComponentSpec("wdac", "dac",
+                      {"energy_pj_at_8bit": scenario.dac_pj_at_8bit}),
+        ComponentSpec("whold", "analog_integrator", {}),
+        ComponentSpec("idac", "dac",
+                      {"energy_pj_at_8bit": scenario.dac_pj_at_8bit}),
+        ComponentSpec("imod", "mzm", {"energy_pj": scenario.mzm_pj}),
+        ComponentSpec("opd", "photodiode",
+                      {"energy_pj": scenario.photodiode_pj}),
+        ComponentSpec("oadc", "adc",
+                      {"fom_fj_per_step": scenario.adc_fom_fj_per_step,
+                       "sample_rate_gsps": 5.0}),
+        ComponentSpec("ring_mac", "constant", {"actions": ("mac",)}),
+        ComponentSpec("comb_laser", "laser", {
+            "detector_fj": scenario.detector_fj,
+            "wall_plug_efficiency": scenario.laser_wall_plug_efficiency,
+            "fixed_loss_db": scenario.fixed_loss_db,
+            "broadcast_ports": 16,
+        }),
+    ])
+    return AcceleratorModel(architecture, table)
+
+
+def main() -> None:
+    layer = ConvLayer(name="resnet.layer2", m=128, c=128, p=28, q=28,
+                      r=3, s=3)
+    crossbar = build_crossbar()
+    mapper = Mapper(crossbar.architecture,
+                    cost_fn=crossbar.energy_cost_fn(layer))
+    search = mapper.search(layer, max_evaluations=600, seed=0)
+    crossbar_eval = crossbar.evaluate_layer(layer, search.mapping)
+
+    albireo = AlbireoSystem(AlbireoConfig(scenario=AGGRESSIVE))
+    albireo_eval = albireo.evaluate_layer(layer)
+
+    rows = []
+    for name, ev in (("wdm-crossbar", crossbar_eval),
+                     ("albireo", albireo_eval)):
+        rows.append((name, f"{ev.energy_per_mac_pj:.4f}",
+                     f"{ev.macs_per_cycle:.0f}",
+                     f"{ev.utilization:.0%}"))
+    print(f"Layer: {layer.describe()}\n")
+    print(format_table(("system", "pJ/MAC", "MACs/cycle", "util"), rows,
+                       align_right=[False, True, True, True]))
+
+    weight_events = [
+        value for (component, _), value
+        in crossbar_eval.energy.entries().items() if component == "WeightDAC"
+    ]
+    print(f"\nThe crossbar's weight-stationary bank cuts weight DAC energy "
+          f"to {sum(weight_events):.1f} pJ for the whole layer — the "
+          f"mapper found the weight-reuse schedule on its own "
+          f"({search.valid}/{search.evaluated} candidates valid).")
+    print("Same component library, same mapper, different architecture: "
+          "the comparison workflow the paper advocates.")
+
+
+if __name__ == "__main__":
+    main()

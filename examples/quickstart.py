@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: model a photonic accelerator in ten lines.
+
+Builds the Albireo photonic CNN accelerator under the conservative device
+scaling, evaluates one ResNet18 convolution layer and then the whole
+network, and prints energy breakdowns in the paper's two views.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AlbireoConfig,
+    AlbireoSystem,
+    CONSERVATIVE,
+    ConvLayer,
+    FIG2_BUCKETS,
+    SYSTEM_BUCKETS,
+    resnet18,
+)
+
+
+def main() -> None:
+    # 1. Build the system: architecture + priced component library + model.
+    system = AlbireoSystem(AlbireoConfig(scenario=CONSERVATIVE))
+    print(system.describe())
+    print()
+
+    # 2. Evaluate one layer (ResNet18's workhorse 3x3 convolution).
+    layer = ConvLayer(name="layer2.conv", m=128, c=128, p=28, q=28, r=3, s=3)
+    result = system.evaluate_layer(layer)
+    print(f"{layer.describe()}")
+    print(f"  energy     : {result.energy_per_mac_pj:.3f} pJ/MAC")
+    print(f"  throughput : {result.macs_per_cycle:.0f} MACs/cycle "
+          f"(utilization {result.utilization:.0%})")
+    print(f"  latency    : {result.latency_ns / 1e3:.1f} us")
+    print()
+
+    # 3. Where does the energy go?  Component view (paper Fig. 2 buckets):
+    print("Per-MAC energy by component:")
+    print(result.energy.per_mac(result.real_macs).describe(FIG2_BUCKETS))
+    print()
+
+    # 4. Whole-network evaluation, conversion-path view (Fig. 4/5 buckets):
+    network = resnet18()
+    evaluation = system.evaluate_network(network)
+    print(f"{network.name}: {evaluation.energy_per_mac_pj:.3f} pJ/MAC, "
+          f"{evaluation.macs_per_cycle:.0f} MACs/cycle, "
+          f"{evaluation.latency_ns / 1e6:.2f} ms/inference")
+    print()
+    print("Per-MAC energy by conversion path:")
+    per_mac = evaluation.total_energy.per_mac(evaluation.total_macs)
+    print(per_mac.describe(SYSTEM_BUCKETS))
+
+
+if __name__ == "__main__":
+    main()

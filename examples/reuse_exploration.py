@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Architecture exploration: spend wiring, save converters.
+
+Reproduces the paper's Fig. 5 narrative: cross-domain data converters
+(DACs, modulators, photodiodes, ADCs) dominate photonic accelerator energy,
+and the cure is *spatial reuse* — convert a value once and fan it out:
+
+* IR (input reuse): star-coupler broadcast width — one modulated input
+  feeds more multiply sites;
+* OR (output reuse): analog summation fan-in — more partials merge before
+  each ADC conversion;
+* WR (weight reuse): one DAC'd weight drives rings in several parallel
+  pixel lanes (the "More Weight Reuse" multiply-block variant).
+
+Run:  python examples/reuse_exploration.py
+"""
+
+from repro import AGGRESSIVE, AlbireoConfig, SYSTEM_BUCKETS, resnet18, \
+    sweep_reuse_factors
+from repro.report import format_table
+
+CONVERTER_BUCKETS = ("Weight DE/AE, AE/AO", "Input DE/AE, AE/AO",
+                     "Output AO/AE, AE/DE")
+
+
+def main() -> None:
+    network = resnet18()
+    points = sweep_reuse_factors(
+        network,
+        AlbireoConfig(scenario=AGGRESSIVE),
+        output_reuse_values=(3, 9, 15),
+        input_reuse_values=(9, 27, 45),
+        weight_lane_variants=(("Original", 1), ("More Weight Reuse", 3)),
+    )
+
+    rows = []
+    for point in points:
+        evaluation = point.evaluation
+        grouped = evaluation.total_energy.per_mac(
+            evaluation.total_macs).grouped(SYSTEM_BUCKETS)
+        converters = sum(grouped.get(bucket, 0.0)
+                         for bucket in CONVERTER_BUCKETS)
+        rows.append((
+            point.variant, point.output_reuse, point.input_reuse,
+            f"{point.energy_per_mac_pj:.4f}",
+            f"{converters:.4f}",
+            f"{converters / point.energy_per_mac_pj:.0%}",
+        ))
+    print(format_table(
+        ("variant", "OR", "IR", "accel pJ/MAC", "converter pJ/MAC",
+         "converter share"),
+        rows, align_right=[False, True, True, True, True, True]))
+
+    baseline = points[0]
+    best = min(points, key=lambda p: p.energy_per_mac_pj)
+    print(f"\nbaseline : {baseline.variant} OR={baseline.output_reuse} "
+          f"IR={baseline.input_reuse} -> "
+          f"{baseline.energy_per_mac_pj:.4f} pJ/MAC")
+    print(f"best     : {best.variant} OR={best.output_reuse} "
+          f"IR={best.input_reuse} -> {best.energy_per_mac_pj:.4f} pJ/MAC")
+    print(f"accelerator energy reduction: "
+          f"{1 - best.energy_per_mac_pj / baseline.energy_per_mac_pj:.0%} "
+          f"(paper: 31%)")
+    print("\nNote the diminishing return from IR=27 to IR=45: the wider "
+          "star coupler's excess optical loss raises laser power against "
+          "the shrinking converter savings — reuse is not free.")
+
+
+if __name__ == "__main__":
+    main()

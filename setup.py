@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in environments whose
+setuptools predates bundled wheel support (legacy ``pip install -e .`` /
+``python setup.py develop`` path).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Architecture descriptions: domains, components, levels, and fanouts.
+
+An :class:`~repro.arch.hierarchy.Architecture` is an ordered list of *nodes*
+from the outermost level (typically DRAM) down to the compute units:
+
+* :class:`~repro.arch.hierarchy.StorageLevel` — a buffer that holds tiles of
+  one or more dataspaces and can exploit *temporal* reuse.
+* :class:`~repro.arch.hierarchy.ConverterStage` — a cross-domain data
+  converter (DAC, ADC, modulator, photodiode) that every element of its
+  dataspaces pays to cross.
+* :class:`~repro.arch.hierarchy.SpatialFanout` — a boundary where the
+  datapath replicates into parallel instances; per-dataspace multicast and
+  reduction capabilities determine whether crossing traffic is amortized.
+* :class:`~repro.arch.hierarchy.ComputeLevel` — the innermost MAC units.
+
+This mirrors how the paper's toolchain (CiMLoop on Timeloop/Accelergy)
+describes accelerators, with the photonic extension that every node lives in
+one of the four physical domains (DE / AE / AO / DO) and domain crossings
+are explicit converter stages.
+"""
+
+from repro.arch.domains import (
+    CONVERSION_NAMES,
+    Conversion,
+    Domain,
+    conversion_name,
+)
+from repro.arch.hierarchy import (
+    Architecture,
+    ComputeAction,
+    ComputeLevel,
+    ConverterStage,
+    Node,
+    SpatialFanout,
+    StorageLevel,
+)
+from repro.arch.spec import architecture_from_dict, architecture_to_dict
+
+__all__ = [
+    "CONVERSION_NAMES",
+    "Architecture",
+    "ComputeAction",
+    "ComputeLevel",
+    "Conversion",
+    "ConverterStage",
+    "Domain",
+    "Node",
+    "SpatialFanout",
+    "StorageLevel",
+    "architecture_from_dict",
+    "architecture_to_dict",
+    "conversion_name",
+]

@@ -1,0 +1,92 @@
+"""Physical domains and cross-domain conversions.
+
+The paper's framing: a photonic system moves data through four domains —
+digital-electrical (**DE**), analog-electrical (**AE**), analog-optical
+(**AO**), and digital-optical (**DO**) — and every domain crossing pays a
+converter.  The familiar converters get their familiar names:
+
+=========  ==========================================================
+Crossing   Device
+=========  ==========================================================
+DE -> AE   digital-to-analog converter (DAC)
+AE -> DE   analog-to-digital converter (ADC)
+AE -> AO   electro-optic modulator (Mach-Zehnder or microring drive)
+AO -> AE   photodiode (+ transimpedance amplifier)
+DE -> DO   optical transmitter (serializer + modulator)
+DO -> DE   optical receiver
+AO -> DO   (not used by the systems modeled here)
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.exceptions import SpecError
+
+
+class Domain(str, Enum):
+    """One of the four physical domains data can occupy."""
+
+    DE = "DE"  # digital-electrical
+    AE = "AE"  # analog-electrical
+    AO = "AO"  # analog-optical
+    DO = "DO"  # digital-optical
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Domain.{self.value}"
+
+    @property
+    def is_analog(self) -> bool:
+        return self in (Domain.AE, Domain.AO)
+
+    @property
+    def is_optical(self) -> bool:
+        return self in (Domain.AO, Domain.DO)
+
+
+@dataclass(frozen=True)
+class Conversion:
+    """A directed crossing from one domain to another."""
+
+    source: Domain
+    destination: Domain
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise SpecError(
+                f"conversion must change domains, got {self.source} -> "
+                f"{self.destination}"
+            )
+
+    @property
+    def label(self) -> str:
+        """The paper's X/Y notation, e.g. ``'DE/AE'``."""
+        return f"{self.source.value}/{self.destination.value}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Device names for the conversions that have standard hardware realizations.
+CONVERSION_NAMES: Dict[Tuple[Domain, Domain], str] = {
+    (Domain.DE, Domain.AE): "DAC",
+    (Domain.AE, Domain.DE): "ADC",
+    (Domain.AE, Domain.AO): "electro-optic modulator",
+    (Domain.AO, Domain.AE): "photodiode",
+    (Domain.DE, Domain.DO): "optical transmitter",
+    (Domain.DO, Domain.DE): "optical receiver",
+    (Domain.DO, Domain.AO): "optical DAC",
+    (Domain.AO, Domain.DO): "optical quantizer",
+}
+
+
+def conversion_name(conversion: Conversion) -> str:
+    """Human-readable device name for a conversion (falls back to X/Y)."""
+    key = (conversion.source, conversion.destination)
+    return CONVERSION_NAMES.get(key, conversion.label)

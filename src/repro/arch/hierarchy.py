@@ -1,0 +1,373 @@
+"""Architecture hierarchy: the ordered node list the mapping engine consumes.
+
+An :class:`Architecture` is a list of nodes ordered from the outermost level
+(DRAM) to the innermost (the MAC units).  Node order is *spatial containment*
+order, not dataflow direction: output dataspaces flow from inner to outer,
+but their converter stages still appear at the list position matching their
+physical location in the datapath.
+
+The node kinds:
+
+* :class:`StorageLevel` — holds tiles; the mapper may attach temporal loops
+  here.  ``dataspaces`` says which tensors are stored (others bypass the
+  level entirely).  ``capacity_bits=None`` means unbounded (DRAM).
+* :class:`SpatialFanout` — the datapath splits into ``size`` parallel
+  instances.  The mapper may map problem dimensions from ``allowed_dims``
+  spatially here.  ``multicast`` lists dataspaces the boundary can broadcast
+  (one copy crosses, the network replicates it to every instance that needs
+  it); ``reduction`` lists dataspaces it can spatially reduce (partial sums
+  from many instances merge into one value crossing upward).
+  ``reduction_limit`` bounds the reduction fan-in (e.g. an analog summation
+  block that can only merge OR partials before an ADC).
+* :class:`ConverterStage` — a cross-domain converter for specific
+  dataspaces.  Every element-copy crossing the stage's position costs one
+  conversion; multicast boundaries *below* a stage therefore amortize it.
+* :class:`ComputeLevel` — the MACs.  ``actions`` attaches per-MAC energy
+  events (e.g. the laser photons that every photonic MAC consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.domains import Conversion, Domain
+from repro.exceptions import SpecError
+from repro.workloads.dataspace import ALL_DATASPACES, DataSpace
+from repro.workloads.dims import Dim
+
+
+def _dataspace_set(dataspaces: Iterable[DataSpace]) -> FrozenSet[DataSpace]:
+    return frozenset(DataSpace(ds) for ds in dataspaces)
+
+
+@dataclass(frozen=True)
+class StorageLevel:
+    """A buffer level in the hierarchy.
+
+    ``component`` names the entry in the energy table that prices this
+    level's read/write actions.  ``max_temporal_dims`` optionally restricts
+    which problem dimensions the mapper may iterate temporally at this level
+    (an analog integrator, for example, can only accumulate — i.e. iterate
+    reduction dimensions).
+    """
+
+    name: str
+    component: str
+    domain: Domain
+    dataspaces: FrozenSet[DataSpace]
+    capacity_bits: Optional[float] = None
+    bandwidth_bits_per_cycle: Optional[float] = None
+    allowed_temporal_dims: Optional[FrozenSet[Dim]] = None
+    #: For output-accumulating levels: the maximum number of partial-sum
+    #: updates one resident element may absorb before it must be written
+    #: back (an analog integrator's accumulation depth, limited by noise
+    #: and droop).  None = unlimited (a digital buffer doing RMW).
+    max_accumulation_depth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataspaces", _dataspace_set(self.dataspaces))
+        if self.allowed_temporal_dims is not None:
+            object.__setattr__(
+                self, "allowed_temporal_dims",
+                frozenset(Dim(d) for d in self.allowed_temporal_dims),
+            )
+        if not self.dataspaces:
+            raise SpecError(f"storage level {self.name!r} stores no dataspaces")
+        if self.capacity_bits is not None and self.capacity_bits <= 0:
+            raise SpecError(
+                f"storage level {self.name!r}: capacity must be positive or "
+                f"None (unbounded), got {self.capacity_bits!r}"
+            )
+        if (self.max_accumulation_depth is not None
+                and self.max_accumulation_depth < 1):
+            raise SpecError(
+                f"storage level {self.name!r}: max_accumulation_depth must "
+                f"be >= 1 or None"
+            )
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.capacity_bits is None
+
+
+@dataclass(frozen=True)
+class SpatialFanout:
+    """A boundary where the datapath replicates into parallel instances."""
+
+    name: str
+    size: int
+    allowed_dims: FrozenSet[Dim]
+    multicast: FrozenSet[DataSpace] = frozenset()
+    reduction: FrozenSet[DataSpace] = frozenset()
+    #: Maximum fan-in of the reduction network (None = the full fanout).
+    reduction_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "allowed_dims", frozenset(Dim(d) for d in self.allowed_dims)
+        )
+        object.__setattr__(self, "multicast", _dataspace_set(self.multicast))
+        object.__setattr__(self, "reduction", _dataspace_set(self.reduction))
+        if self.size < 1:
+            raise SpecError(f"fanout {self.name!r}: size must be >= 1")
+        if not self.allowed_dims and self.size > 1:
+            raise SpecError(
+                f"fanout {self.name!r}: size {self.size} > 1 but no problem "
+                f"dimensions may map to it"
+            )
+        if self.reduction_limit is not None and self.reduction_limit < 1:
+            raise SpecError(
+                f"fanout {self.name!r}: reduction_limit must be >= 1 or None"
+            )
+
+
+@dataclass(frozen=True)
+class ConverterStage:
+    """A cross-domain converter for specific dataspaces.
+
+    ``per_element`` scaling: one conversion event per element-copy crossing
+    this list position.  Placing a stage above a multicast boundary therefore
+    models one shared converter whose output is distributed; placing it
+    below models per-instance converters.
+    """
+
+    name: str
+    component: str
+    conversion: Conversion
+    dataspaces: FrozenSet[DataSpace]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataspaces", _dataspace_set(self.dataspaces))
+        if not self.dataspaces:
+            raise SpecError(f"converter {self.name!r} converts no dataspaces")
+
+
+@dataclass(frozen=True)
+class ComputeAction:
+    """An energy-bearing event that accompanies every MAC.
+
+    ``events_per_mac`` scales the count (e.g. 1.0 laser event per MAC);
+    ``component`` names the energy-table entry that prices one event.
+    """
+
+    component: str
+    action: str = "compute"
+    events_per_mac: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.events_per_mac < 0:
+            raise SpecError(
+                f"compute action {self.component!r}: events_per_mac must be "
+                f">= 0, got {self.events_per_mac}"
+            )
+
+
+@dataclass(frozen=True)
+class ComputeLevel:
+    """The innermost MAC units."""
+
+    name: str
+    component: str
+    domain: Domain
+    actions: Tuple[ComputeAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+
+Node = Union[StorageLevel, SpatialFanout, ConverterStage, ComputeLevel]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """An ordered accelerator description, outermost node first.
+
+    Structural invariants (checked at construction):
+
+    * exactly one :class:`ComputeLevel`, and it is last;
+    * at least one :class:`StorageLevel` above the compute level;
+    * the outermost storage level stores every dataspace (data ultimately
+      comes from and returns to backing store);
+    * every converter stage's dataspaces appear in some storage level above
+      it (the data must exist upstream to be converted).
+    """
+
+    name: str
+    nodes: Tuple[Node, ...]
+    clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.clock_ghz <= 0:
+            raise SpecError(f"{self.name!r}: clock must be positive")
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.nodes:
+            raise SpecError(f"architecture {self.name!r} has no nodes")
+        compute_nodes = [n for n in self.nodes if isinstance(n, ComputeLevel)]
+        if len(compute_nodes) != 1 or not isinstance(self.nodes[-1], ComputeLevel):
+            raise SpecError(
+                f"architecture {self.name!r} must end with exactly one "
+                f"ComputeLevel"
+            )
+        storage = self.storage_levels
+        if not storage:
+            raise SpecError(f"architecture {self.name!r} has no storage levels")
+        outer = storage[0]
+        missing = set(ALL_DATASPACES) - set(outer.dataspaces)
+        if missing:
+            raise SpecError(
+                f"architecture {self.name!r}: outermost storage "
+                f"{outer.name!r} must store all dataspaces; missing "
+                f"{sorted(ds.value for ds in missing)}"
+            )
+        names = [self._node_name(n) for n in self.nodes]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SpecError(
+                f"architecture {self.name!r}: duplicate node names "
+                f"{sorted(duplicates)}"
+            )
+        seen_upstream: set = set()
+        for node in self.nodes:
+            if isinstance(node, StorageLevel):
+                seen_upstream |= set(node.dataspaces)
+            elif isinstance(node, ConverterStage):
+                orphans = set(node.dataspaces) - seen_upstream
+                if orphans:
+                    raise SpecError(
+                        f"architecture {self.name!r}: converter {node.name!r} "
+                        f"handles {sorted(ds.value for ds in orphans)} with no "
+                        f"storage level above it"
+                    )
+
+    @staticmethod
+    def _node_name(node: Node) -> str:
+        return node.name
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def storage_levels(self) -> List[StorageLevel]:
+        """Storage levels in outer-to-inner order."""
+        return [n for n in self.nodes if isinstance(n, StorageLevel)]
+
+    @property
+    def fanouts(self) -> List[SpatialFanout]:
+        return [n for n in self.nodes if isinstance(n, SpatialFanout)]
+
+    @property
+    def converters(self) -> List[ConverterStage]:
+        return [n for n in self.nodes if isinstance(n, ConverterStage)]
+
+    @property
+    def compute(self) -> ComputeLevel:
+        node = self.nodes[-1]
+        assert isinstance(node, ComputeLevel)
+        return node
+
+    @property
+    def peak_parallelism(self) -> int:
+        """Hardware MACs per cycle: the product of all fanout sizes."""
+        product = 1
+        for fanout in self.fanouts:
+            product *= fanout.size
+        return product
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    def node_named(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise SpecError(f"architecture {self.name!r} has no node named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for index, node in enumerate(self.nodes):
+            if node.name == name:
+                return index
+        raise SpecError(f"architecture {self.name!r} has no node named {name!r}")
+
+    def replace_node(self, name: str, replacement: Node) -> "Architecture":
+        """Return a copy with the node called ``name`` swapped out."""
+        index = self.index_of(name)
+        nodes = list(self.nodes)
+        nodes[index] = replacement
+        return Architecture(name=self.name, nodes=tuple(nodes),
+                            clock_ghz=self.clock_ghz)
+
+    # ------------------------------------------------------------------
+    # Queries used by the analysis engine
+    # ------------------------------------------------------------------
+    def fanouts_below(self, node_name: str) -> List[SpatialFanout]:
+        """Fanout boundaries strictly below (after) the named node."""
+        index = self.index_of(node_name)
+        return [
+            node for node in self.nodes[index + 1:]
+            if isinstance(node, SpatialFanout)
+        ]
+
+    def storage_for(self, dataspace: DataSpace) -> List[StorageLevel]:
+        """Storage levels that hold ``dataspace``, outer to inner."""
+        return [
+            level for level in self.storage_levels
+            if dataspace in level.dataspaces
+        ]
+
+    def converters_for(self, dataspace: DataSpace) -> List[ConverterStage]:
+        return [
+            stage for stage in self.converters
+            if dataspace in stage.dataspaces
+        ]
+
+    def component_names(self) -> List[str]:
+        """Every energy-table component this architecture references."""
+        names: List[str] = []
+        for node in self.nodes:
+            if isinstance(node, (StorageLevel, ConverterStage)):
+                names.append(node.component)
+            elif isinstance(node, ComputeLevel):
+                names.append(node.component)
+                names.extend(action.component for action in node.actions)
+        # Preserve first-appearance order while deduplicating.
+        seen: set = set()
+        unique = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def describe(self) -> str:
+        """Multi-line, indentation-by-depth rendering of the hierarchy."""
+        lines = [f"{self.name} @ {self.clock_ghz:g} GHz "
+                 f"(peak {self.peak_parallelism} MACs/cycle)"]
+        depth = 0
+        for node in self.nodes:
+            pad = "  " * (depth + 1)
+            if isinstance(node, StorageLevel):
+                size = ("unbounded" if node.is_unbounded
+                        else f"{node.capacity_bits / 8192:.0f} KiB")
+                held = ",".join(ds.value[0] for ds in sorted(node.dataspaces))
+                lines.append(f"{pad}[{node.domain}] storage {node.name} "
+                             f"({size}; holds {held})")
+            elif isinstance(node, SpatialFanout):
+                dims = "".join(sorted(d.value for d in node.allowed_dims))
+                lines.append(f"{pad}fanout {node.name} x{node.size} "
+                             f"(dims {dims})")
+                depth += 1
+            elif isinstance(node, ConverterStage):
+                held = ",".join(ds.value[0] for ds in sorted(node.dataspaces))
+                lines.append(f"{pad}[{node.conversion.label}] converter "
+                             f"{node.name} ({held})")
+            else:
+                lines.append(f"{pad}[{node.domain}] compute {node.name}")
+        return "\n".join(lines)

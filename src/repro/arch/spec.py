@@ -1,0 +1,217 @@
+"""Serialization of architectures to and from plain dictionaries.
+
+The paper's toolchain takes YAML specifications of components and
+architecture; this module provides the equivalent declarative front end
+using plain Python dicts (JSON-compatible), so architectures can be defined
+in data files, generated programmatically, or round-tripped for tooling.
+
+Spec format::
+
+    {
+      "name": "my-accelerator",
+      "clock_ghz": 5.0,
+      "nodes": [
+        {"type": "storage", "name": "DRAM", "component": "dram",
+         "domain": "DE", "dataspaces": ["Weights", "Inputs", "Outputs"]},
+        {"type": "fanout", "name": "pe_array", "size": 64,
+         "allowed_dims": ["M", "C"], "multicast": ["Inputs"]},
+        {"type": "converter", "name": "adc", "component": "adc",
+         "from": "AE", "to": "DE", "dataspaces": ["Outputs"]},
+        {"type": "compute", "name": "mac", "component": "mac",
+         "domain": "AO",
+         "actions": [{"component": "laser", "events_per_mac": 1.0}]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.arch.domains import Conversion, Domain
+from repro.arch.hierarchy import (
+    Architecture,
+    ComputeAction,
+    ComputeLevel,
+    ConverterStage,
+    Node,
+    SpatialFanout,
+    StorageLevel,
+)
+from repro.exceptions import SpecError
+from repro.workloads.dataspace import DataSpace
+from repro.workloads.dims import Dim
+
+_REQUIRED_TOP_KEYS = ("name", "nodes")
+
+
+def architecture_from_dict(spec: Mapping[str, Any]) -> Architecture:
+    """Build an :class:`Architecture` from a declarative dict spec."""
+    for key in _REQUIRED_TOP_KEYS:
+        if key not in spec:
+            raise SpecError(f"architecture spec missing required key {key!r}")
+    nodes = [_node_from_dict(node_spec, index)
+             for index, node_spec in enumerate(spec["nodes"])]
+    return Architecture(
+        name=str(spec["name"]),
+        nodes=tuple(nodes),
+        clock_ghz=float(spec.get("clock_ghz", 1.0)),
+    )
+
+
+def architecture_to_dict(architecture: Architecture) -> Dict[str, Any]:
+    """Serialize an :class:`Architecture` back to its dict spec."""
+    return {
+        "name": architecture.name,
+        "clock_ghz": architecture.clock_ghz,
+        "nodes": [_node_to_dict(node) for node in architecture.nodes],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Node-level conversion helpers
+# ---------------------------------------------------------------------------
+
+def _node_from_dict(spec: Mapping[str, Any], index: int) -> Node:
+    node_type = spec.get("type")
+    if node_type is None:
+        raise SpecError(f"node #{index}: missing 'type'")
+    builders = {
+        "storage": _storage_from_dict,
+        "fanout": _fanout_from_dict,
+        "converter": _converter_from_dict,
+        "compute": _compute_from_dict,
+    }
+    builder = builders.get(node_type)
+    if builder is None:
+        raise SpecError(
+            f"node #{index}: unknown type {node_type!r} "
+            f"(expected one of {sorted(builders)})"
+        )
+    try:
+        return builder(spec)
+    except (KeyError, ValueError) as error:
+        raise SpecError(f"node #{index} ({node_type}): {error}") from error
+
+
+def _dataspaces(spec: Mapping[str, Any], key: str = "dataspaces"):
+    return frozenset(DataSpace(ds) for ds in spec.get(key, ()))
+
+
+def _dims(spec: Mapping[str, Any], key: str):
+    return frozenset(Dim(d) for d in spec.get(key, ()))
+
+
+def _storage_from_dict(spec: Mapping[str, Any]) -> StorageLevel:
+    allowed = spec.get("allowed_temporal_dims")
+    return StorageLevel(
+        name=str(spec["name"]),
+        component=str(spec["component"]),
+        domain=Domain(spec.get("domain", "DE")),
+        dataspaces=_dataspaces(spec),
+        capacity_bits=(None if spec.get("capacity_bits") is None
+                       else float(spec["capacity_bits"])),
+        bandwidth_bits_per_cycle=(
+            None if spec.get("bandwidth_bits_per_cycle") is None
+            else float(spec["bandwidth_bits_per_cycle"])),
+        allowed_temporal_dims=(
+            None if allowed is None else frozenset(Dim(d) for d in allowed)),
+        max_accumulation_depth=(
+            None if spec.get("max_accumulation_depth") is None
+            else float(spec["max_accumulation_depth"])),
+    )
+
+
+def _fanout_from_dict(spec: Mapping[str, Any]) -> SpatialFanout:
+    return SpatialFanout(
+        name=str(spec["name"]),
+        size=int(spec["size"]),
+        allowed_dims=_dims(spec, "allowed_dims"),
+        multicast=_dataspaces(spec, "multicast"),
+        reduction=_dataspaces(spec, "reduction"),
+        reduction_limit=(None if spec.get("reduction_limit") is None
+                         else int(spec["reduction_limit"])),
+    )
+
+
+def _converter_from_dict(spec: Mapping[str, Any]) -> ConverterStage:
+    return ConverterStage(
+        name=str(spec["name"]),
+        component=str(spec["component"]),
+        conversion=Conversion(Domain(spec["from"]), Domain(spec["to"])),
+        dataspaces=_dataspaces(spec),
+    )
+
+
+def _compute_from_dict(spec: Mapping[str, Any]) -> ComputeLevel:
+    actions = tuple(
+        ComputeAction(
+            component=str(action["component"]),
+            action=str(action.get("action", "compute")),
+            events_per_mac=float(action.get("events_per_mac", 1.0)),
+        )
+        for action in spec.get("actions", ())
+    )
+    return ComputeLevel(
+        name=str(spec["name"]),
+        component=str(spec["component"]),
+        domain=Domain(spec.get("domain", "DE")),
+        actions=actions,
+    )
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    if isinstance(node, StorageLevel):
+        result: Dict[str, Any] = {
+            "type": "storage",
+            "name": node.name,
+            "component": node.component,
+            "domain": node.domain.value,
+            "dataspaces": sorted(ds.value for ds in node.dataspaces),
+            "capacity_bits": node.capacity_bits,
+        }
+        if node.bandwidth_bits_per_cycle is not None:
+            result["bandwidth_bits_per_cycle"] = node.bandwidth_bits_per_cycle
+        if node.allowed_temporal_dims is not None:
+            result["allowed_temporal_dims"] = sorted(
+                d.value for d in node.allowed_temporal_dims)
+        if node.max_accumulation_depth is not None:
+            result["max_accumulation_depth"] = node.max_accumulation_depth
+        return result
+    if isinstance(node, SpatialFanout):
+        result = {
+            "type": "fanout",
+            "name": node.name,
+            "size": node.size,
+            "allowed_dims": sorted(d.value for d in node.allowed_dims),
+            "multicast": sorted(ds.value for ds in node.multicast),
+            "reduction": sorted(ds.value for ds in node.reduction),
+        }
+        if node.reduction_limit is not None:
+            result["reduction_limit"] = node.reduction_limit
+        return result
+    if isinstance(node, ConverterStage):
+        return {
+            "type": "converter",
+            "name": node.name,
+            "component": node.component,
+            "from": node.conversion.source.value,
+            "to": node.conversion.destination.value,
+            "dataspaces": sorted(ds.value for ds in node.dataspaces),
+        }
+    if isinstance(node, ComputeLevel):
+        return {
+            "type": "compute",
+            "name": node.name,
+            "component": node.component,
+            "domain": node.domain.value,
+            "actions": [
+                {
+                    "component": action.component,
+                    "action": action.action,
+                    "events_per_mac": action.events_per_mac,
+                }
+                for action in node.actions
+            ],
+        }
+    raise SpecError(f"cannot serialize unknown node type {type(node)!r}")

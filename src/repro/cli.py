@@ -1,0 +1,106 @@
+"""Command-line interface: ``repro <command>`` or ``python -m repro``.
+
+Commands mirror the paper's evaluation section::
+
+    repro fig2     # energy-breakdown validation
+    repro fig3     # VGG16 / AlexNet throughput
+    repro fig4     # full-system memory exploration
+    repro fig5     # reuse-factor exploration
+    repro all      # everything + claim summary
+    repro arch     # print the modeled Albireo hierarchy
+    repro area     # per-component area summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.energy.scaling import scenario_by_name
+from repro.experiments import (
+    fig2_validation,
+    fig3_throughput,
+    fig4_memory,
+    fig5_reuse,
+    run_all,
+)
+from repro.report.ascii import format_table
+from repro.systems.albireo import AlbireoConfig, AlbireoSystem
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Architecture-level modeling of photonic DNN accelerators "
+            "(ISPASS 2024 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=("fig2", "fig3", "fig4", "fig5", "all", "compare",
+                 "sensitivity", "roofline", "arch", "area"),
+        help="experiment or report to run",
+    )
+    parser.add_argument(
+        "--scenario", default="conservative",
+        help="scaling scenario for arch/area commands "
+             "(conservative|moderate|aggressive)",
+    )
+    parser.add_argument(
+        "--mapper", action="store_true",
+        help="use mapper search instead of reference mappings (slower)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "fig2":
+        print(fig2_validation.run().table())
+    elif args.command == "fig3":
+        print(fig3_throughput.run(use_mapper=args.mapper).table())
+    elif args.command == "fig4":
+        print(fig4_memory.run(use_mapper=args.mapper).table())
+    elif args.command == "fig5":
+        print(fig5_reuse.run(use_mapper=args.mapper).table())
+    elif args.command == "all":
+        print(run_all(use_mapper=args.mapper).report())
+    elif args.command == "compare":
+        from repro.experiments import system_comparison
+
+        print(system_comparison.run(use_mapper=args.mapper).table())
+    elif args.command == "sensitivity":
+        from repro.experiments import sensitivity
+
+        print(sensitivity.run(
+            scenario_by_name(args.scenario)).table())
+    elif args.command == "roofline":
+        from repro.model.roofline import network_roofline
+        from repro.workloads import alexnet
+
+        system = AlbireoSystem(AlbireoConfig(
+            scenario=scenario_by_name(args.scenario),
+            dram_bandwidth_gbps=25.6))
+        print(network_roofline(system, alexnet()).table())
+    elif args.command == "arch":
+        system = AlbireoSystem(AlbireoConfig(
+            scenario=scenario_by_name(args.scenario)))
+        print(system.describe())
+    elif args.command == "area":
+        system = AlbireoSystem(AlbireoConfig(
+            scenario=scenario_by_name(args.scenario)))
+        areas = system.area_summary_um2()
+        total = sum(areas.values())
+        rows = [(name, f"{area / 1e6:.3f}", f"{area / total:.1%}")
+                for name, area in sorted(areas.items(),
+                                         key=lambda item: -item[1])]
+        rows.append(("TOTAL", f"{total / 1e6:.3f}", "100%"))
+        print(format_table(("component", "area mm^2", "share"), rows,
+                           align_right=[False, True, True]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Component energy/area estimation (the Accelergy-equivalent layer).
+
+The model prices every hardware *action* (a buffer read, a DAC conversion,
+an optical modulation, a laser pulse) through a table of per-action energies
+produced by plug-in *estimators*.  Each estimator knows one component family
+and turns a dict of attributes (capacity, resolution, port count, scenario
+parameters) into an :class:`~repro.energy.table.EnergyEntry`.
+
+This mirrors Accelergy's architecture: component classes + attribute dicts
+in, per-action energy and area out, with a registry so new device models
+(e.g. a novel modulator) can be added without touching the core.
+
+Estimator families provided:
+
+* :mod:`~repro.energy.electrical` — SRAM, DRAM, registers, digital adders
+  and multipliers, analog integrators, on-chip wires.
+* :mod:`~repro.energy.converters` — ADCs and DACs with figure-of-merit
+  models in the style the paper cites for converter energy/area modeling.
+* :mod:`~repro.energy.photonic` — microring resonators, Mach-Zehnder
+  modulators, photodiodes, star couplers, waveguides, and comb lasers with
+  an explicit optical link budget.
+"""
+
+from repro.energy.estimator import (
+    ComponentSpec,
+    available_estimators,
+    build_table,
+    estimate,
+    register_estimator,
+)
+from repro.energy.scaling import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    MODERATE,
+    SCENARIOS,
+    ScalingScenario,
+    scenario_by_name,
+)
+from repro.energy.table import EnergyEntry, EnergyTable
+
+# Importing the estimator modules registers their plug-ins.
+from repro.energy import converters as _converters  # noqa: F401
+from repro.energy import electrical as _electrical  # noqa: F401
+from repro.energy import photonic as _photonic  # noqa: F401
+
+__all__ = [
+    "AGGRESSIVE",
+    "CONSERVATIVE",
+    "MODERATE",
+    "SCENARIOS",
+    "ComponentSpec",
+    "EnergyEntry",
+    "EnergyTable",
+    "ScalingScenario",
+    "available_estimators",
+    "build_table",
+    "estimate",
+    "register_estimator",
+    "scenario_by_name",
+]

@@ -1,0 +1,129 @@
+"""Data-converter (ADC / DAC) energy and area models.
+
+Cross-domain converters are the central energy cost the paper analyzes, so
+they get first-class figure-of-merit models in the style of the converter
+survey modeling the paper cites (Andrulis et al., "Modeling analog-digital-
+converter energy and area for compute-in-memory accelerator design"):
+
+* **ADC**: energy per conversion follows the Walden figure of merit,
+  ``E = FoM * 2^bits``, with a speed penalty above a corner frequency
+  (high-speed converters interleave and burn extra energy in clocking and
+  calibration).  Area likewise scales exponentially with resolution.
+* **DAC**: charge-redistribution DACs are cheaper; energy is dominated by
+  the capacitor array, which doubles per added bit but starts from a small
+  unit, plus a linear driver term.  We expose a direct per-conversion energy
+  parameter scaled from an 8-bit reference, because photonic systems
+  universally quote DAC energy that way.
+
+Each scaling scenario of :mod:`repro.energy.scaling` supplies the FoM values
+for its technology assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.energy.estimator import register_estimator
+from repro.energy.table import EnergyEntry
+from repro.exceptions import CalibrationError
+
+# Frequency corner above which ADC FoM degrades (GS/s); below it, FoM is
+# roughly flat with sample rate (survey data).
+_ADC_FOM_CORNER_GSPS = 1.0
+# FoM degradation exponent above the corner: E ~ (fs/corner)^0.5.
+_ADC_SPEED_EXPONENT = 0.5
+# ADC area: ~500 um^2 per effective quantization level at 8 bits scales as
+# 2^bits with a technology multiplier absorbed into area_scale.
+_ADC_AREA_UM2_PER_LEVEL = 2.0
+
+# DAC reference: an 8-bit current-steering/charge DAC at multi-GS/s.
+_DAC_REFERENCE_BITS = 8
+_DAC_AREA_UM2_AT_8BIT = 500.0
+
+
+@register_estimator(
+    "adc",
+    required=("fom_fj_per_step",),
+    optional=("bits", "sample_rate_gsps", "area_scale"),
+    description="ADC priced by Walden FoM with high-speed penalty.",
+)
+def estimate_adc(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """ADC energy per conversion: ``FoM * 2^bits * speed_penalty``.
+
+    ``fom_fj_per_step`` is in femtojoules per conversion step; published
+    designs span ~1 fJ/step (slow, aggressive nodes) to tens of fJ/step
+    (multi-GS/s).  The speed penalty applies above 1 GS/s.
+    """
+    fom = float(attributes["fom_fj_per_step"])
+    bits = int(attributes.get("bits", 8))
+    rate = float(attributes.get("sample_rate_gsps", 1.0))
+    area_scale = float(attributes.get("area_scale", 1.0))
+    if fom <= 0:
+        raise CalibrationError(f"adc {name!r}: FoM must be positive")
+    if not 1 <= bits <= 16:
+        raise CalibrationError(
+            f"adc {name!r}: resolution {bits} outside calibrated range 1..16"
+        )
+    if rate <= 0:
+        raise CalibrationError(f"adc {name!r}: sample rate must be positive")
+    penalty = max(1.0, (rate / _ADC_FOM_CORNER_GSPS) ** _ADC_SPEED_EXPONENT)
+    energy_pj = fom * (2 ** bits) * penalty / 1000.0  # fJ -> pJ
+    area = _ADC_AREA_UM2_PER_LEVEL * (2 ** bits) * area_scale
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"convert": energy_pj},
+        area_um2=area,
+    )
+
+
+@register_estimator(
+    "dac",
+    required=("energy_pj_at_8bit",),
+    optional=("bits", "area_scale"),
+    description="DAC priced from an 8-bit reference energy.",
+)
+def estimate_dac(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """DAC energy per conversion.
+
+    Scaled from the 8-bit reference as ``E(b) = E8 * 2^(b-8) * (b/8)`` —
+    capacitor array doubling per bit times a linear settling/driver term.
+    This matches the survey trend that DACs are several times cheaper than
+    ADCs at matched resolution and rate.
+    """
+    reference = float(attributes["energy_pj_at_8bit"])
+    bits = int(attributes.get("bits", 8))
+    area_scale = float(attributes.get("area_scale", 1.0))
+    if reference <= 0:
+        raise CalibrationError(f"dac {name!r}: reference energy must be > 0")
+    if not 1 <= bits <= 16:
+        raise CalibrationError(
+            f"dac {name!r}: resolution {bits} outside calibrated range 1..16"
+        )
+    energy = reference * (2.0 ** (bits - _DAC_REFERENCE_BITS)) * (bits / 8.0)
+    area = _DAC_AREA_UM2_AT_8BIT * (2.0 ** (bits - _DAC_REFERENCE_BITS)) \
+        * area_scale
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"convert": energy},
+        area_um2=area,
+    )
+
+
+def adc_energy_pj(fom_fj_per_step: float, bits: int,
+                  sample_rate_gsps: float = 1.0) -> float:
+    """Convenience: ADC conversion energy without building an entry."""
+    entry = estimate_adc(
+        "adc",
+        {"fom_fj_per_step": fom_fj_per_step, "bits": bits,
+         "sample_rate_gsps": sample_rate_gsps},
+    )
+    return entry.energy("convert")
+
+
+def dac_energy_pj(energy_pj_at_8bit: float, bits: int) -> float:
+    """Convenience: DAC conversion energy without building an entry."""
+    entry = estimate_dac(
+        "dac", {"energy_pj_at_8bit": energy_pj_at_8bit, "bits": bits}
+    )
+    return entry.energy("convert")

@@ -1,0 +1,272 @@
+"""Electrical (DE and AE domain) component estimators.
+
+Models are deliberately analytical — closed-form fits of the kind Accelergy's
+table and CACTI plug-ins provide — with every constant documented inline.
+Absolute numbers are standard architecture-community values; the model's
+purpose is faithful *relative* behaviour (how energy scales with capacity,
+width, and technology), which is what the paper's conclusions rest on.
+
+All energies are per action in pJ; areas in um^2; static power in mW.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.energy.estimator import register_estimator
+from repro.energy.table import EnergyEntry
+from repro.exceptions import CalibrationError
+
+# ---------------------------------------------------------------------------
+# SRAM
+# ---------------------------------------------------------------------------
+# Reference point: a 64 KiB, 64-bit-wide SRAM macro in a ~22-28 nm process
+# reads at roughly 6 fJ/bit.  Energy per bit grows with the square root of
+# capacity (bitline/wordline lengths grow with sqrt of the array), the
+# canonical CACTI scaling.  Writes cost slightly more than reads (full bitline
+# swing).  Area: ~0.35 um^2/bit including periphery at this node.
+_SRAM_REFERENCE_CAPACITY_BITS = 64 * 1024 * 8
+_SRAM_REFERENCE_READ_PJ_PER_BIT = 0.006
+_SRAM_WRITE_OVER_READ = 1.15
+_SRAM_AREA_UM2_PER_BIT = 0.35
+_SRAM_LEAKAGE_MW_PER_MBIT = 1.0
+# Banked SRAMs still pay a global H-tree/wiring term that grows with total
+# macro size even when per-bank energy is constant: +8% per capacity
+# doubling beyond 1 MiB.
+_SRAM_HTREE_REFERENCE_BITS = 1024 * 1024 * 8
+_SRAM_HTREE_PER_DOUBLING = 0.08
+
+
+@register_estimator(
+    "sram",
+    required=("capacity_bits",),
+    optional=("width_bits", "energy_scale", "banks"),
+    description="On-chip SRAM buffer with sqrt-capacity energy scaling.",
+)
+def estimate_sram(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """SRAM read/write energy per *element* access of ``width_bits`` bits.
+
+    ``energy_scale`` is an overall multiplier for calibration studies.
+    ``banks`` splits the capacity into independent banks, each priced at its
+    own (smaller) capacity — how real global buffers keep per-access energy
+    down.
+    """
+    capacity_bits = float(attributes["capacity_bits"])
+    width_bits = int(attributes.get("width_bits", 8))
+    energy_scale = float(attributes.get("energy_scale", 1.0))
+    banks = int(attributes.get("banks", 1))
+    if capacity_bits <= 0:
+        raise CalibrationError(f"sram {name!r}: capacity must be positive")
+    if banks < 1:
+        raise CalibrationError(f"sram {name!r}: banks must be >= 1")
+    bank_bits = capacity_bits / banks
+    scale = math.sqrt(bank_bits / _SRAM_REFERENCE_CAPACITY_BITS)
+    htree = 1.0 + _SRAM_HTREE_PER_DOUBLING * max(
+        0.0, math.log2(capacity_bits / _SRAM_HTREE_REFERENCE_BITS))
+    read_per_bit = (_SRAM_REFERENCE_READ_PJ_PER_BIT * scale * htree
+                    * energy_scale)
+    read = read_per_bit * width_bits
+    write = read * _SRAM_WRITE_OVER_READ
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"read": read, "write": write, "update": write},
+        area_um2=capacity_bits * _SRAM_AREA_UM2_PER_BIT,
+        static_power_mw=capacity_bits / (1024 * 1024)
+        * _SRAM_LEAKAGE_MW_PER_MBIT,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DRAM
+# ---------------------------------------------------------------------------
+# System-level (controller + PHY + device) energy per bit for common DRAM
+# technologies.  These are the round numbers used across the accelerator-
+# evaluation literature; DDR4 ~16 pJ/b, LPDDR4 ~6 pJ/b, HBM2 ~4 pJ/b.
+_DRAM_TECHNOLOGIES = {
+    "ddr4": {"pj_per_bit": 16.0, "bandwidth_gbps": 25.6 * 8},
+    "lpddr4": {"pj_per_bit": 6.0, "bandwidth_gbps": 17.0 * 8},
+    "hbm2": {"pj_per_bit": 4.0, "bandwidth_gbps": 256.0 * 8},
+}
+
+
+@register_estimator(
+    "dram",
+    optional=("technology", "width_bits", "pj_per_bit"),
+    description="Off-chip DRAM priced per bit at system level.",
+)
+def estimate_dram(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """DRAM access energy per element of ``width_bits`` bits.
+
+    ``technology`` selects a preset; ``pj_per_bit`` overrides it directly.
+    """
+    technology = str(attributes.get("technology", "ddr4")).lower()
+    width_bits = int(attributes.get("width_bits", 8))
+    if technology not in _DRAM_TECHNOLOGIES:
+        raise CalibrationError(
+            f"dram {name!r}: unknown technology {technology!r}; options: "
+            f"{sorted(_DRAM_TECHNOLOGIES)}"
+        )
+    pj_per_bit = float(
+        attributes.get("pj_per_bit",
+                       _DRAM_TECHNOLOGIES[technology]["pj_per_bit"])
+    )
+    energy = pj_per_bit * width_bits
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"read": energy, "write": energy,
+                              "update": energy},
+        area_um2=0.0,  # off-chip
+        static_power_mw=0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registers and small digital logic
+# ---------------------------------------------------------------------------
+# Flip-flop based register: ~1.5 fJ/bit per access at ~22-28 nm.
+_REGISTER_PJ_PER_BIT = 0.0015
+_REGISTER_AREA_UM2_PER_BIT = 1.5
+
+
+@register_estimator(
+    "register",
+    optional=("width_bits",),
+    description="Flip-flop register file entry.",
+)
+def estimate_register(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    width_bits = int(attributes.get("width_bits", 8))
+    energy = _REGISTER_PJ_PER_BIT * width_bits
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"read": energy, "write": energy,
+                              "update": energy},
+        area_um2=_REGISTER_AREA_UM2_PER_BIT * width_bits,
+    )
+
+
+# Static-CMOS ripple adder: ~3 fJ for 8-bit at ~22-28 nm, linear in width.
+_ADDER_PJ_PER_BIT = 0.0004
+_ADDER_AREA_UM2_PER_BIT = 3.0
+
+
+@register_estimator(
+    "adder",
+    optional=("width_bits",),
+    description="Digital adder.",
+)
+def estimate_adder(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    width_bits = int(attributes.get("width_bits", 8))
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"compute": _ADDER_PJ_PER_BIT * width_bits,
+                              "update": _ADDER_PJ_PER_BIT * width_bits},
+        area_um2=_ADDER_AREA_UM2_PER_BIT * width_bits,
+    )
+
+
+# Array multiplier energy grows quadratically with width; ~0.2 pJ for 8x8
+# at ~22-28 nm.
+_MULTIPLIER_PJ_AT_8BIT = 0.2
+_MULTIPLIER_AREA_UM2_AT_8BIT = 300.0
+
+
+@register_estimator(
+    "multiplier",
+    optional=("width_bits",),
+    description="Digital multiplier (quadratic width scaling).",
+)
+def estimate_multiplier(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    width_bits = int(attributes.get("width_bits", 8))
+    quad = (width_bits / 8.0) ** 2
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"compute": _MULTIPLIER_PJ_AT_8BIT * quad},
+        area_um2=_MULTIPLIER_AREA_UM2_AT_8BIT * quad,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analog-electrical accumulation (AE-domain integrator)
+# ---------------------------------------------------------------------------
+# Charge-domain accumulation onto a capacitor: each update deposits charge;
+# cost is dominated by the switch drivers, a few fJ per update.  This is the
+# AE temporal-accumulation element that lets photonic front-ends amortize
+# their ADCs (more partial sums per conversion).
+_INTEGRATOR_PJ_PER_UPDATE = 0.008
+_INTEGRATOR_AREA_UM2 = 40.0
+
+
+@register_estimator(
+    "analog_integrator",
+    optional=("energy_scale",),
+    description="AE charge-domain accumulator (capacitive integrator).",
+)
+def estimate_analog_integrator(
+    name: str, attributes: Mapping[str, Any]
+) -> EnergyEntry:
+    scale = float(attributes.get("energy_scale", 1.0))
+    energy = _INTEGRATOR_PJ_PER_UPDATE * scale
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"read": energy, "write": energy,
+                              "update": energy},
+        area_um2=_INTEGRATOR_AREA_UM2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Constant / passive components
+# ---------------------------------------------------------------------------
+
+
+@register_estimator(
+    "constant",
+    optional=("energy_pj", "actions", "area_um2", "static_power_mw"),
+    description="Fixed per-action energy (calibration overrides, passives).",
+)
+def estimate_constant(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """A component with the same fixed energy for every listed action.
+
+    Useful for passive elements (a photonic multiply whose cost is already
+    carried by its modulators and laser) and for overriding a component with
+    measured data.
+    """
+    energy = float(attributes.get("energy_pj", 0.0))
+    actions = tuple(attributes.get(
+        "actions", ("compute", "read", "write", "update", "convert")))
+    if energy < 0:
+        raise CalibrationError(f"constant {name!r}: energy must be >= 0")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={action: energy for action in actions},
+        area_um2=float(attributes.get("area_um2", 0.0)),
+        static_power_mw=float(attributes.get("static_power_mw", 0.0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-chip interconnect
+# ---------------------------------------------------------------------------
+# Repeated global wire at ~22-28 nm: ~60 fJ/bit/mm.
+_WIRE_PJ_PER_BIT_MM = 0.06
+
+
+@register_estimator(
+    "wire",
+    required=("length_mm",),
+    optional=("width_bits",),
+    description="Repeated on-chip wire priced per traversal.",
+)
+def estimate_wire(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    length_mm = float(attributes["length_mm"])
+    width_bits = int(attributes.get("width_bits", 8))
+    if length_mm < 0:
+        raise CalibrationError(f"wire {name!r}: length must be >= 0")
+    energy = _WIRE_PJ_PER_BIT_MM * length_mm * width_bits
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"transfer": energy, "read": energy,
+                              "write": energy},
+        area_um2=0.0,
+    )

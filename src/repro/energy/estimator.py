@@ -1,0 +1,129 @@
+"""Estimator plug-in registry (the Accelergy plug-in mechanism).
+
+An *estimator* is a function that maps a component attribute dict to an
+:class:`~repro.energy.table.EnergyEntry`.  Estimators register under a
+*component class* name (``"sram"``, ``"adc"``, ``"mzm"``, ...); architecture
+builders then declare :class:`ComponentSpec` instances — (instance name,
+component class, attributes) — and :func:`build_table` resolves them into a
+priced :class:`~repro.energy.table.EnergyTable`.
+
+Attribute handling follows Accelergy's contract: estimators declare the
+attributes they understand with defaults; unknown attributes are rejected
+loudly (silent typos in attribute names are the classic way to get a wrong
+model), and missing required attributes raise with the list of what is
+required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.energy.table import EnergyEntry, EnergyTable
+from repro.exceptions import EstimationError
+
+#: An estimator takes (instance name, attributes) and returns a priced entry.
+EstimatorFn = Callable[[str, Mapping[str, Any]], EnergyEntry]
+
+_REGISTRY: Dict[str, "_RegisteredEstimator"] = {}
+
+
+@dataclass(frozen=True)
+class _RegisteredEstimator:
+    component_class: str
+    function: EstimatorFn
+    required: Tuple[str, ...]
+    optional: Tuple[str, ...]
+    description: str
+
+
+def register_estimator(
+    component_class: str,
+    required: Iterable[str] = (),
+    optional: Iterable[str] = (),
+    description: str = "",
+) -> Callable[[EstimatorFn], EstimatorFn]:
+    """Class decorator/registrar for estimator functions.
+
+    ``required`` and ``optional`` list the attribute names the estimator
+    accepts; anything else in a spec's attribute dict is an error.
+    """
+
+    def decorator(function: EstimatorFn) -> EstimatorFn:
+        if component_class in _REGISTRY:
+            raise EstimationError(
+                f"estimator for component class {component_class!r} is "
+                f"already registered"
+            )
+        _REGISTRY[component_class] = _RegisteredEstimator(
+            component_class=component_class,
+            function=function,
+            required=tuple(required),
+            optional=tuple(optional),
+            description=description or (function.__doc__ or "").strip(),
+        )
+        return function
+
+    return decorator
+
+
+def available_estimators() -> Dict[str, str]:
+    """Mapping of registered component classes to their descriptions."""
+    return {
+        name: registered.description
+        for name, registered in sorted(_REGISTRY.items())
+    }
+
+
+def estimate(
+    component_class: str,
+    name: str,
+    attributes: Optional[Mapping[str, Any]] = None,
+) -> EnergyEntry:
+    """Run the estimator for ``component_class`` on ``attributes``."""
+    attributes = dict(attributes or {})
+    try:
+        registered = _REGISTRY[component_class]
+    except KeyError:
+        raise EstimationError(
+            f"no estimator registered for component class "
+            f"{component_class!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    allowed = set(registered.required) | set(registered.optional)
+    unknown = set(attributes) - allowed
+    if unknown:
+        raise EstimationError(
+            f"component {name!r} (class {component_class!r}): unknown "
+            f"attributes {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    missing = set(registered.required) - set(attributes)
+    if missing:
+        raise EstimationError(
+            f"component {name!r} (class {component_class!r}): missing "
+            f"required attributes {sorted(missing)}"
+        )
+    return registered.function(name, attributes)
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Declaration of one component instance to be priced.
+
+    ``name`` is the instance name the architecture references; ``component
+    class`` selects the estimator; ``attributes`` parameterize it.
+    """
+
+    name: str
+    component_class: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+
+def build_table(specs: Iterable[ComponentSpec]) -> EnergyTable:
+    """Price a set of component specs into an :class:`EnergyTable`."""
+    table = EnergyTable()
+    for spec in specs:
+        table.add(estimate(spec.component_class, spec.name, spec.attributes))
+    return table

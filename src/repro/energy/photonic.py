@@ -1,0 +1,350 @@
+"""Photonic (AO domain) component estimators.
+
+Models the optical component set the paper adds to the CiM component
+library: microring resonators (MRRs), Mach-Zehnder modulators (MZMs),
+photodiodes (+TIA), star couplers, waveguides, and the (off-chip comb)
+laser.  Two modeling conventions matter:
+
+1. **Active electro-optic events are priced per symbol.**  Driving a ring or
+   an MZM costs ``C*V^2``-class electrical energy each symbol plus amortized
+   thermal tuning; receiving costs photodiode + TIA energy per integration
+   window.  Scenario parameters (see :mod:`repro.energy.scaling`) set the
+   per-symbol numbers for conservative / moderate / aggressive device
+   projections, mirroring the scaling studies in the Albireo paper.
+
+2. **The laser is priced through an explicit link budget.**  A detector
+   needs a minimum optical energy per symbol to resolve 8-bit levels; the
+   laser must supply that energy times every loss between source and
+   detector, divided by its wall-plug efficiency.  Splitting loss of an
+   N-port broadcast star coupler is *not* charged — each of the N branches
+   performs useful work, so per-MAC laser energy is split-neutral — but the
+   coupler's *excess* loss (scattering, imbalance) grows with port count and
+   is charged.  This makes "increase the broadcast factor" a real
+   engineering trade-off instead of a free lunch, which is the physical
+   counter-pressure in the paper's Fig. 5 exploration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.energy.estimator import register_estimator
+from repro.energy.table import EnergyEntry
+from repro.exceptions import CalibrationError
+from repro.units import db_to_linear
+
+# Geometry: a thermally tuned microring with driver occupies ~200 um^2; an
+# MZM is centimeters-per-meter scale folded into ~20000 um^2; a photodiode
+# with TIA ~400 um^2.
+_MRR_AREA_UM2 = 200.0
+_MZM_AREA_UM2 = 20000.0
+_PHOTODIODE_AREA_UM2 = 400.0
+# Star coupler area grows with port count (free propagation region).
+_STAR_COUPLER_AREA_UM2_PER_PORT = 250.0
+
+#: Extra electrical drive energy per additional ring sharing one drive line
+#: (longer line, more ring loading) as a fraction of the base energy.
+SHARED_DRIVE_OVERHEAD_PER_LANE = 0.15
+
+#: Excess (non-splitting) loss contributed by each 2x2 stage equivalent of a
+#: star coupler; 0.5 dB/stage is typical of silicon-photonic couplers.
+COUPLER_EXCESS_DB_PER_STAGE = 0.5
+
+
+@register_estimator(
+    "mrr",
+    required=("energy_pj",),
+    optional=("shared_lanes", "tuning_mw"),
+    description="Microring resonator modulation (weight imprint) per symbol.",
+)
+def estimate_mrr(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """Microring drive energy per modulation event.
+
+    ``energy_pj`` is the per-symbol drive + amortized tuning energy for one
+    ring.  ``shared_lanes`` > 1 models one drive line biasing several rings
+    in parallel waveguide lanes: the *event* then covers all lanes, with a
+    capacitance overhead of ``SHARED_DRIVE_OVERHEAD_PER_LANE`` per extra
+    ring (the per-MAC energy still drops because one event now feeds
+    ``shared_lanes`` MACs).
+    """
+    base = float(attributes["energy_pj"])
+    shared = int(attributes.get("shared_lanes", 1))
+    tuning_mw = float(attributes.get("tuning_mw", 0.0))
+    if base < 0:
+        raise CalibrationError(f"mrr {name!r}: energy must be >= 0")
+    if shared < 1:
+        raise CalibrationError(f"mrr {name!r}: shared_lanes must be >= 1")
+    overhead = 1.0 + SHARED_DRIVE_OVERHEAD_PER_LANE * (shared - 1)
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"convert": base * overhead},
+        area_um2=_MRR_AREA_UM2 * shared,
+        static_power_mw=tuning_mw * shared,
+    )
+
+
+@register_estimator(
+    "mzm",
+    required=("energy_pj",),
+    optional=(),
+    description="Mach-Zehnder modulator (input launch) per symbol.",
+)
+def estimate_mzm(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    energy = float(attributes["energy_pj"])
+    if energy < 0:
+        raise CalibrationError(f"mzm {name!r}: energy must be >= 0")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"convert": energy},
+        area_um2=_MZM_AREA_UM2,
+    )
+
+
+@register_estimator(
+    "photodiode",
+    required=("energy_pj",),
+    optional=(),
+    description="Photodiode + TIA receive per integration window.",
+)
+def estimate_photodiode(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    energy = float(attributes["energy_pj"])
+    if energy < 0:
+        raise CalibrationError(f"photodiode {name!r}: energy must be >= 0")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"convert": energy},
+        area_um2=_PHOTODIODE_AREA_UM2,
+    )
+
+
+@register_estimator(
+    "star_coupler",
+    required=("ports",),
+    optional=(),
+    description="Passive NxN broadcast star coupler (area + loss only).",
+)
+def estimate_star_coupler(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    ports = int(attributes["ports"])
+    if ports < 1:
+        raise CalibrationError(f"star coupler {name!r}: ports must be >= 1")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"transfer": 0.0},
+        area_um2=_STAR_COUPLER_AREA_UM2_PER_PORT * ports,
+    )
+
+
+@register_estimator(
+    "waveguide",
+    required=("length_mm",),
+    optional=("loss_db_per_mm",),
+    description="Passive waveguide (area + loss only).",
+)
+def estimate_waveguide(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    length_mm = float(attributes["length_mm"])
+    if length_mm < 0:
+        raise CalibrationError(f"waveguide {name!r}: length must be >= 0")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"transfer": 0.0},
+        # ~10 um pitch routing channel.
+        area_um2=length_mm * 1000.0 * 10.0,
+    )
+
+
+@register_estimator(
+    "soa",
+    required=("gain_db", "bias_mw"),
+    optional=("symbol_rate_gsps",),
+    description="Semiconductor optical amplifier (gain stage).",
+)
+def estimate_soa(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """Semiconductor optical amplifier: loss compensation inside a link.
+
+    SOAs are biased continuously; the per-symbol energy is the bias power
+    amortized over the symbol rate.  Used by deeper photonic topologies
+    (cascaded couplers) where the link budget exceeds what laser power
+    alone can close.
+    """
+    gain_db = float(attributes["gain_db"])
+    bias_mw = float(attributes["bias_mw"])
+    rate = float(attributes.get("symbol_rate_gsps", 5.0))
+    if gain_db < 0:
+        raise CalibrationError(f"soa {name!r}: gain must be >= 0 dB")
+    if bias_mw <= 0 or rate <= 0:
+        raise CalibrationError(f"soa {name!r}: bias and rate must be > 0")
+    # mW / (Gsymbols/s) = pJ/symbol in this unit system.
+    energy_per_symbol = bias_mw / rate
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"transfer": energy_per_symbol,
+                              "convert": energy_per_symbol},
+        area_um2=500.0,
+        static_power_mw=bias_mw,
+    )
+
+
+@register_estimator(
+    "thermal_tuner",
+    required=("power_mw",),
+    optional=("symbol_rate_gsps",),
+    description="Microring thermal tuning (resonance lock) heater.",
+)
+def estimate_thermal_tuner(name: str,
+                           attributes: Mapping[str, Any]) -> EnergyEntry:
+    """Per-ring thermal tuning, separated from the drive estimator.
+
+    Rings drift with temperature and fabrication; each carries a heater
+    whose power holds it on resonance.  Exposed standalone so studies can
+    sweep tuning budgets (athermal designs vs active lock) independently
+    of modulation energy.
+    """
+    power_mw = float(attributes["power_mw"])
+    rate = float(attributes.get("symbol_rate_gsps", 5.0))
+    if power_mw < 0 or rate <= 0:
+        raise CalibrationError(
+            f"thermal tuner {name!r}: power >= 0 and rate > 0 required")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"hold": power_mw / rate,
+                              "convert": power_mw / rate},
+        area_um2=25.0,
+        static_power_mw=power_mw,
+    )
+
+
+@register_estimator(
+    "microcomb",
+    required=("lines", "line_power_mw", "conversion_efficiency"),
+    optional=("symbol_rate_gsps",),
+    description="Kerr microcomb multi-wavelength source.",
+)
+def estimate_microcomb(name: str,
+                       attributes: Mapping[str, Any]) -> EnergyEntry:
+    """A Kerr soliton microcomb: one pump, many WDM carrier lines.
+
+    The alternative to banks of discrete lasers in WDM accelerators
+    (Albireo's source of choice).  Pump power = lines x per-line power /
+    comb conversion efficiency; the per-symbol energy is the pump
+    amortized over the symbol rate, to be divided by the MACs each symbol
+    feeds (the caller's multicast structure).
+    """
+    lines = int(attributes["lines"])
+    line_power_mw = float(attributes["line_power_mw"])
+    efficiency = float(attributes["conversion_efficiency"])
+    rate = float(attributes.get("symbol_rate_gsps", 5.0))
+    if lines < 1:
+        raise CalibrationError(f"microcomb {name!r}: lines must be >= 1")
+    if line_power_mw <= 0 or rate <= 0:
+        raise CalibrationError(
+            f"microcomb {name!r}: powers and rate must be > 0")
+    if not 0 < efficiency <= 1:
+        raise CalibrationError(
+            f"microcomb {name!r}: conversion efficiency in (0, 1]")
+    pump_mw = lines * line_power_mw / efficiency
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"mac": pump_mw / rate,
+                              "compute": pump_mw / rate},
+        area_um2=1000.0,
+        static_power_mw=pump_mw,
+    )
+
+
+@register_estimator(
+    "optical_link",
+    required=("energy_pj_per_bit",),
+    optional=("width_bits",),
+    description="Digital-optical (DO) link endpoint priced per bit.",
+)
+def estimate_optical_link(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """One endpoint of a digital-optical link (transmitter or receiver).
+
+    DO links carry digital data on light — the domain the paper notes TPU
+    v4-class systems use for interconnect.  An endpoint (serializer +
+    modulator, or photodetector + clock recovery) costs
+    ``energy_pj_per_bit`` for every bit crossing it; a conversion event
+    covers one ``width_bits`` element.  Co-packaged optics today land
+    around 1-3 pJ/bit for a full link.
+    """
+    per_bit = float(attributes["energy_pj_per_bit"])
+    width_bits = int(attributes.get("width_bits", 8))
+    if per_bit < 0:
+        raise CalibrationError(f"optical link {name!r}: energy must be >= 0")
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"convert": per_bit * width_bits,
+                              "transfer": per_bit * width_bits},
+        area_um2=_MZM_AREA_UM2 / 4.0,  # ring-based transceiver macro
+    )
+
+
+def coupler_excess_loss_db(
+    ports: int,
+    excess_db_per_stage: float = COUPLER_EXCESS_DB_PER_STAGE,
+) -> float:
+    """Excess (non-splitting) loss of an N-port broadcast coupler in dB.
+
+    Modeled as ``excess/stage * log2(ports)`` — the cascade-equivalent depth
+    of the coupler.  A 1-port "coupler" is a wire: zero excess loss.
+    """
+    if ports < 1:
+        raise CalibrationError(f"coupler ports must be >= 1, got {ports}")
+    if ports == 1:
+        return 0.0
+    return excess_db_per_stage * math.log2(ports)
+
+
+def link_loss_db(
+    fixed_loss_db: float,
+    broadcast_ports: int,
+    excess_db_per_stage: float = COUPLER_EXCESS_DB_PER_STAGE,
+) -> float:
+    """Total charged optical loss: fixed insertion losses + coupler excess.
+
+    ``fixed_loss_db`` collects modulator insertion loss, ring through-loss,
+    fiber/chip coupling, and waveguide propagation for the scenario.  The
+    1:N splitting term is deliberately absent (see module docstring).
+    """
+    return fixed_loss_db + coupler_excess_loss_db(
+        broadcast_ports, excess_db_per_stage
+    )
+
+
+@register_estimator(
+    "laser",
+    required=("detector_fj", "wall_plug_efficiency", "fixed_loss_db"),
+    optional=("broadcast_ports", "excess_db_per_stage"),
+    description="Comb laser priced per MAC through an optical link budget.",
+)
+def estimate_laser(name: str, attributes: Mapping[str, Any]) -> EnergyEntry:
+    """Laser wall-plug energy per MAC.
+
+    ``detector_fj`` is the optical energy one detector needs per symbol to
+    resolve the symbol at the modeled precision; every MAC ultimately
+    requires one detected symbol's worth of photons, so
+
+    ``E_mac = detector_fj * 10^(loss_db/10) / wall_plug_efficiency``.
+    """
+    detector_fj = float(attributes["detector_fj"])
+    efficiency = float(attributes["wall_plug_efficiency"])
+    fixed_loss_db = float(attributes["fixed_loss_db"])
+    ports = int(attributes.get("broadcast_ports", 1))
+    per_stage = float(
+        attributes.get("excess_db_per_stage", COUPLER_EXCESS_DB_PER_STAGE)
+    )
+    if detector_fj <= 0:
+        raise CalibrationError(f"laser {name!r}: detector energy must be > 0")
+    if not 0 < efficiency <= 1:
+        raise CalibrationError(
+            f"laser {name!r}: wall-plug efficiency must be in (0, 1], got "
+            f"{efficiency}"
+        )
+    loss_db = link_loss_db(fixed_loss_db, ports, per_stage)
+    energy_pj = detector_fj * db_to_linear(loss_db) / efficiency / 1000.0
+    return EnergyEntry(
+        component=name,
+        energy_per_action_pj={"compute": energy_pj, "mac": energy_pj},
+        area_um2=0.0,  # off-chip source
+    )

@@ -1,0 +1,135 @@
+"""Optical device scaling scenarios.
+
+The Albireo paper (and following it, the ISPASS'24 modeling paper's Fig. 2)
+evaluates photonic accelerators under three projections for optical device
+energy — conservative (today's demonstrated devices), moderate, and
+aggressive (projected future devices).  Electrical memory energy does not
+participate in the optical scaling story, so SRAM/DRAM parameters are shared
+across scenarios.
+
+Each :class:`ScalingScenario` bundles the per-device parameters the
+estimators in :mod:`repro.energy.photonic` and
+:mod:`repro.energy.converters` consume.  The values below reproduce the
+per-MAC component breakdown of the paper's Fig. 2 through the full model
+pipeline; see ``repro/experiments/reported.py`` for the corresponding
+transcribed paper values and the calibration notes in ``EXPERIMENTS.md``.
+
+Representative physical anchors:
+
+* 8-bit DACs at multi-GS/s: ~0.1–1 pJ/conversion across projections.
+* 8-bit ADCs at 5 GS/s: Walden FoM ~16 fJ/step (conservative, ~4 pJ/conv)
+  down to ~2 fJ/step (aggressive, ~0.5 pJ/conv).
+* MZM drive: several pJ/symbol today; hundreds of fJ projected.
+* MRR drive incl. tuning: ~0.6 pJ/symbol today; ~0.1 pJ projected.
+* Detector optical energy per symbol: ~15 fJ (conservative sensitivity)
+  down to ~5 fJ; laser wall-plug efficiency 10–20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import CalibrationError
+
+
+@dataclass(frozen=True)
+class ScalingScenario:
+    """One optical-device technology projection."""
+
+    name: str
+    #: Mach-Zehnder modulator drive energy per symbol (pJ).
+    mzm_pj: float
+    #: Microring drive + amortized tuning energy per symbol (pJ).
+    mrr_drive_pj: float
+    #: Photodiode + TIA energy per integration window (pJ).
+    photodiode_pj: float
+    #: DAC energy per 8-bit conversion (pJ).
+    dac_pj_at_8bit: float
+    #: ADC Walden figure of merit (fJ per conversion step).
+    adc_fom_fj_per_step: float
+    #: Optical energy a detector needs per symbol (fJ).
+    detector_fj: float
+    #: Laser wall-plug efficiency (fraction).
+    laser_wall_plug_efficiency: float
+    #: Fixed optical insertion losses along the link (dB): modulator,
+    #: ring through-loss, coupling, waveguide propagation.
+    fixed_loss_db: float
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "mzm_pj", "mrr_drive_pj", "photodiode_pj", "dac_pj_at_8bit",
+            "adc_fom_fj_per_step", "detector_fj",
+        )
+        for field_name in positive_fields:
+            if getattr(self, field_name) <= 0:
+                raise CalibrationError(
+                    f"scenario {self.name!r}: {field_name} must be positive"
+                )
+        if not 0 < self.laser_wall_plug_efficiency <= 1:
+            raise CalibrationError(
+                f"scenario {self.name!r}: wall-plug efficiency must be in "
+                f"(0, 1]"
+            )
+        if self.fixed_loss_db < 0:
+            raise CalibrationError(
+                f"scenario {self.name!r}: fixed loss must be >= 0 dB"
+            )
+
+
+#: Today's demonstrated devices.
+CONSERVATIVE = ScalingScenario(
+    name="conservative",
+    mzm_pj=4.0,
+    mrr_drive_pj=0.60,
+    photodiode_pj=0.90,
+    dac_pj_at_8bit=0.80,
+    # Calibrated so an 8-bit conversion at the 5 GS/s symbol rate (including
+    # the estimator's high-speed penalty) costs 4.0 pJ.
+    adc_fom_fj_per_step=6.9877,
+    detector_fj=15.0,
+    laser_wall_plug_efficiency=0.10,
+    fixed_loss_db=6.0,
+)
+
+#: Mid-term projection.
+MODERATE = ScalingScenario(
+    name="moderate",
+    mzm_pj=1.2,
+    mrr_drive_pj=0.25,
+    photodiode_pj=0.35,
+    dac_pj_at_8bit=0.32,
+    # 8-bit @ 5 GS/s -> 1.6 pJ/conversion.
+    adc_fom_fj_per_step=2.7951,
+    detector_fj=12.0,
+    laser_wall_plug_efficiency=0.15,
+    fixed_loss_db=5.0,
+)
+
+#: Aggressive future-device projection.
+AGGRESSIVE = ScalingScenario(
+    name="aggressive",
+    mzm_pj=0.30,
+    mrr_drive_pj=0.08,
+    photodiode_pj=0.12,
+    dac_pj_at_8bit=0.10,
+    # 8-bit @ 5 GS/s -> 0.5 pJ/conversion.
+    adc_fom_fj_per_step=0.87346,
+    detector_fj=5.5,
+    laser_wall_plug_efficiency=0.20,
+    fixed_loss_db=4.0,
+)
+
+SCENARIOS: Tuple[ScalingScenario, ...] = (CONSERVATIVE, MODERATE, AGGRESSIVE)
+
+_BY_NAME: Dict[str, ScalingScenario] = {s.name: s for s in SCENARIOS}
+
+
+def scenario_by_name(name: str) -> ScalingScenario:
+    """Look up a scenario by its lowercase name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise CalibrationError(
+            f"unknown scaling scenario {name!r}; options: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the modeling library.
+
+All library errors derive from :class:`ReproError` so callers can install a
+single ``except`` clause around model evaluation.  Subclasses partition the
+failure modes a user can hit: malformed specifications, invalid mappings,
+capacity violations, and calibration/lookup failures in the energy library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """An architecture, component, or workload specification is malformed."""
+
+
+class WorkloadError(SpecError):
+    """A DNN layer or network definition is inconsistent (e.g. bad shapes)."""
+
+
+class MappingError(ReproError):
+    """A mapping is structurally invalid for its workload or architecture."""
+
+
+class CapacityError(MappingError):
+    """A mapping requires more storage at a level than the hardware provides."""
+
+
+class EstimationError(ReproError):
+    """The energy/area estimation layer could not produce an estimate."""
+
+
+class CalibrationError(EstimationError):
+    """A component parameter set is outside the calibrated validity range."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

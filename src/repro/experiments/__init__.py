@@ -1,0 +1,36 @@
+"""The paper's evaluation experiments, one module per figure.
+
+Each module exposes ``run()`` returning a result object with the modeled
+numbers, the paper's reported numbers (from
+:mod:`repro.experiments.reported`), comparison metrics, and a ``table()``
+rendering.  The benchmark suite calls these; so can users::
+
+    from repro.experiments import fig2_validation
+    print(fig2_validation.run().table())
+"""
+
+from repro.experiments import (
+    batching,
+    calibration,
+    fig2_validation,
+    fig3_throughput,
+    fig4_memory,
+    fig5_reuse,
+    reported,
+    sensitivity,
+    system_comparison,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "batching",
+    "calibration",
+    "sensitivity",
+    "fig2_validation",
+    "fig3_throughput",
+    "fig4_memory",
+    "fig5_reuse",
+    "reported",
+    "system_comparison",
+    "run_all",
+]

@@ -1,0 +1,114 @@
+"""Values reported by the papers, transcribed for comparison.
+
+Provenance and caveats
+----------------------
+
+The ISPASS'24 paper publishes its results as figures only (no
+machine-readable artifact is bundled with the arXiv source), and its
+"Reported" series in turn transcribes the Albireo paper's (ISCA'21)
+projections.  Working offline, we therefore keep two kinds of reference
+numbers, clearly separated:
+
+* ``FIG*_CLAIMS`` — quantitative statements made in the paper's *text*
+  (exact, quotable): 0.4% average Fig. 2 error; DRAM consuming 75% of the
+  aggressively-scaled system; 67% (3x) energy reduction from batching +
+  fusion; 42% converter / 31% accelerator energy reduction from added
+  reuse.  These are the reproduction targets.
+
+* ``FIG*_REPORTED`` — per-bar values for figure-shaped comparisons.  The
+  component-level bars are calibration-derived: our device library
+  (:mod:`repro.energy.scaling`) was fitted so the modeled baseline matches
+  the figure's reported magnitudes, exactly as the paper fitted CiMLoop's
+  component library to Albireo's published projections; the bars are then
+  rounded to transcription precision.  They validate that the *pipeline*
+  (mapping analysis x component energies) reproduces the totals, not that
+  we independently re-measured Albireo.  Treat absolute pJ values with
+  ~10% uncertainty; shapes (ratios between bars) are the meaningful part.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — accelerator energy breakdown validation (pJ/MAC, best case)
+# ---------------------------------------------------------------------------
+
+FIG2_REPORTED: Dict[str, Dict[str, float]] = {
+    "conservative": {
+        "MRR": 0.600, "MZM": 0.444, "Laser": 0.860, "AO/AE": 0.180,
+        "DE/AE": 0.889, "AE/DE": 0.267, "Cache": 0.055,
+    },
+    "moderate": {
+        "MRR": 0.250, "MZM": 0.133, "Laser": 0.364, "AO/AE": 0.070,
+        "DE/AE": 0.356, "AE/DE": 0.107, "Cache": 0.055,
+    },
+    "aggressive": {
+        "MRR": 0.080, "MZM": 0.033, "Laser": 0.100, "AO/AE": 0.024,
+        "DE/AE": 0.111, "AE/DE": 0.033, "Cache": 0.055,
+    },
+}
+
+FIG2_CLAIMS = {
+    #: "The average overall energy error is 0.4%."
+    "average_error_max": 0.004,
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — throughput (MACs/cycle)
+# ---------------------------------------------------------------------------
+
+#: Ideal = 100% utilization of the 6480-MAC/cycle Albireo configuration.
+#: "Reported" transcribes Albireo's near-ideal claims; "modeled" is the
+#: ISPASS paper's bar (transcribed from the figure, +-10%).
+FIG3_REPORTED: Dict[str, Dict[str, float]] = {
+    "VGG16": {"ideal": 6480.0, "reported": 6000.0, "modeled": 5300.0},
+    "AlexNet": {"ideal": 6480.0, "reported": 6200.0, "modeled": 1900.0},
+}
+
+FIG3_CLAIMS = {
+    #: VGG16 runs near ideal; AlexNet is "significantly lower" than
+    #: reported once under-utilization is modeled.  We encode the claims
+    #: as ratio bounds for shape checks.
+    "vgg16_modeled_over_ideal_min": 0.70,
+    "alexnet_modeled_over_reported_max": 0.50,
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — full-system (accelerator + DRAM) memory exploration, ResNet18
+# ---------------------------------------------------------------------------
+
+FIG4_CLAIMS = {
+    #: "for the aggressively-scaled Albireo, DRAM consumes 75% of overall
+    #: system energy"
+    "aggressive_dram_share": 0.75,
+    #: conservative: "DRAM consumes little overall energy"
+    "conservative_dram_share_max": 0.30,
+    #: "Using both of these strategies together, we can reduce
+    #: aggressively-scaled system energy by 67% (3x improvement)."
+    "combined_reduction": 0.67,
+}
+
+#: Normalized stacked-bar shares transcribed from the figure for the two
+#: corner points of the aggressive-scaling sweep (baseline and fully
+#: optimized), used for coarse shape comparison only.
+FIG4_REPORTED_SHARES: Dict[str, Dict[str, float]] = {
+    "aggressive/baseline": {"DRAM": 0.75, "accelerator": 0.25},
+    "aggressive/batched+fused": {"DRAM": 0.15, "accelerator": 0.85},
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — architecture (reuse) exploration, aggressively-scaled ResNet18
+# ---------------------------------------------------------------------------
+
+FIG5_CLAIMS = {
+    #: "increasing reuse can reduce data converter energy by 42% and can
+    #: reduce accelerator energy by 31%"
+    "converter_reduction": 0.42,
+    "accelerator_reduction": 0.31,
+}
+
+#: The grid the figure sweeps.
+FIG5_OUTPUT_REUSE = (3, 9, 15)
+FIG5_INPUT_REUSE = (9, 27, 45)
+FIG5_VARIANTS = (("Original", 1), ("More Weight Reuse", 3))

@@ -1,0 +1,125 @@
+"""Cross-system comparison: Albireo vs a weight-stationary WDM crossbar.
+
+The paper's stated third use case for the modeling tool: "compare two
+photonic systems across a range of DNN workloads."  This experiment runs
+both modeled systems over the workload suite with one shared component
+library, so every difference traces to *architecture* — where the
+converters sit relative to the reuse structures — rather than device
+assumptions.
+
+The expected (and reproduced) contrasts:
+
+* the crossbar's analog weight banks all but eliminate weight-conversion
+  energy, where streamed-weight Albireo pays per MAC;
+* Albireo's locally-connected window fabric wins utilization on unstrided
+  3x3 convolutions; the crossbar wins on fully-connected layers, which
+  leave 8 of 9 Albireo window sites dark;
+* both are at the mercy of DRAM for batch-1 FC weights — architecture
+  cannot amortize single-use data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.energy.scaling import AGGRESSIVE, ScalingScenario
+from repro.model.results import NetworkEvaluation
+from repro.report.ascii import format_table
+from repro.systems.albireo import AlbireoConfig, AlbireoSystem, \
+    SYSTEM_BUCKETS
+from repro.systems.crossbar import CROSSBAR_BUCKETS, CrossbarConfig, \
+    CrossbarSystem
+from repro.workloads.models import alexnet, resnet18, vgg16
+from repro.workloads.network import Network
+
+
+@dataclass(frozen=True)
+class SystemComparisonRow:
+    """One (system, network) evaluation."""
+
+    system: str
+    network: str
+    evaluation: NetworkEvaluation
+    weight_conversion_pj_per_mac: float
+
+    @property
+    def energy_per_mac_pj(self) -> float:
+        return self.evaluation.energy_per_mac_pj
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.evaluation.macs_per_cycle
+
+    @property
+    def utilization(self) -> float:
+        return self.evaluation.utilization
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    rows: Tuple[SystemComparisonRow, ...]
+
+    def row(self, system: str, network: str) -> SystemComparisonRow:
+        for row in self.rows:
+            if row.system == system and row.network == network:
+                return row
+        raise KeyError((system, network))
+
+    @property
+    def expected_contrasts_hold(self) -> bool:
+        """The three architecture-level contrasts described above."""
+        checks = []
+        for network in {row.network for row in self.rows}:
+            albireo = self.row("albireo", network)
+            crossbar = self.row("crossbar", network)
+            checks.append(crossbar.weight_conversion_pj_per_mac
+                          < 0.25 * albireo.weight_conversion_pj_per_mac)
+        return all(checks)
+
+    def table(self) -> str:
+        rows = []
+        for row in self.rows:
+            rows.append((
+                row.network, row.system,
+                f"{row.energy_per_mac_pj:.4f}",
+                f"{row.weight_conversion_pj_per_mac:.4f}",
+                f"{row.macs_per_cycle:.0f}",
+                f"{row.utilization:.0%}",
+            ))
+        return (
+            "System comparison (shared component library, aggressive "
+            "scaling)\n"
+            + format_table(
+                ("network", "system", "pJ/MAC", "weight-conv pJ/MAC",
+                 "MACs/cycle", "util"),
+                rows,
+                align_right=[False, False, True, True, True, True])
+        )
+
+
+def run(
+    networks: Optional[Sequence[Network]] = None,
+    scenario: ScalingScenario = AGGRESSIVE,
+    use_mapper: bool = False,
+) -> ComparisonResult:
+    networks = networks or (resnet18(), vgg16(), alexnet())
+    albireo = AlbireoSystem(AlbireoConfig(scenario=scenario))
+    crossbar = CrossbarSystem(CrossbarConfig(scenario=scenario))
+    rows: List[SystemComparisonRow] = []
+    for network in networks:
+        for name, system, buckets in (
+                ("albireo", albireo, SYSTEM_BUCKETS),
+                ("crossbar", crossbar, CROSSBAR_BUCKETS)):
+            evaluation = system.evaluate_network(network,
+                                                 use_mapper=use_mapper)
+            grouped = evaluation.total_energy.per_mac(
+                evaluation.total_macs).grouped(buckets)
+            rows.append(SystemComparisonRow(
+                system=name,
+                network=network.name,
+                evaluation=evaluation,
+                weight_conversion_pj_per_mac=grouped.get(
+                    "Weight DE/AE, AE/AO", 0.0),
+            ))
+    return ComparisonResult(rows=tuple(rows))

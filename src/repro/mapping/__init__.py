@@ -1,0 +1,50 @@
+"""The mapping engine (the Timeloop-equivalent layer).
+
+A *mapping* schedules a convolutional layer onto an architecture: it splits
+each of the seven loop dimensions into per-storage-level temporal factors
+(with an ordering — the loop permutation) and per-fanout spatial factors.
+The :class:`~repro.mapping.analysis.NestAnalyzer` then computes, exactly and
+in closed form, how many times every buffer is read and written, how many
+elements cross every data converter, and how many cycles the layer takes —
+the quantities the paper's energy/throughput results are built from.
+
+The :class:`~repro.mapping.mapper.Mapper` searches the mapping space
+(factorizations x permutations x spatial assignments) for minimum-energy or
+minimum-EDP mappings under user constraints, which is the "rapid design
+space exploration" workflow the paper demonstrates.
+"""
+
+from repro.mapping.analysis import AccessCounts, NestAnalyzer, analyze
+from repro.mapping.constraints import MappingConstraints
+from repro.mapping.factorization import (
+    ceil_div,
+    divisors,
+    factor_splits,
+    padded_factor_splits,
+    tile_candidates,
+)
+from repro.mapping.mapper import Mapper, MapperResult
+from repro.mapping.mapping import (
+    FanoutMapping,
+    LevelMapping,
+    Mapping,
+    TemporalLoop,
+)
+
+__all__ = [
+    "AccessCounts",
+    "FanoutMapping",
+    "LevelMapping",
+    "Mapper",
+    "MapperResult",
+    "Mapping",
+    "MappingConstraints",
+    "NestAnalyzer",
+    "TemporalLoop",
+    "analyze",
+    "ceil_div",
+    "divisors",
+    "factor_splits",
+    "padded_factor_splits",
+    "tile_candidates",
+]

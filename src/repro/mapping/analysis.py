@@ -1,0 +1,462 @@
+"""Exact access-count analysis of a mapped loop nest.
+
+Given (architecture, layer, mapping), :class:`NestAnalyzer` computes the
+quantities every result in the paper is built from:
+
+* per storage level and dataspace: reads, writes (fills / update traffic);
+* per converter stage: conversion events (the paper's central cost);
+* compute events, cycles, per-level occupancy, and utilization.
+
+The method is the analytical dataflow model of Timeloop, reimplemented from
+its defining equations:
+
+**Temporal reuse (fills).**  A storage level holds one tile of each of its
+dataspaces.  Walking the temporal loops *above* the level from innermost to
+outermost, the tile stays resident across the initial contiguous run of
+loops irrelevant to the dataspace (pure temporal reuse); the first relevant
+loop changes the tile, and every loop outside that point — relevant or not —
+multiplies the number of times the tile must be (re)fetched, because an
+intervening relevant sweep evicts it.  Loops of bound 1 are transparent.
+
+**Spatial behaviour (multicast / reduction).**  Crossing a fanout boundary,
+traffic for a dataspace is divided by the product of spatial factors on
+dimensions *irrelevant* to it — if and only if the boundary declares
+multicast capability for that dataspace (a star coupler broadcasting inputs,
+a DE network forking weights).  For outputs the dual operation is spatial
+reduction over reduction-dimension factors (photodiodes summing wavelengths,
+analog summation trees), optionally capped by ``reduction_limit``.
+
+**Output accumulation.**  Outputs flow inward-to-outward.  At each level,
+incoming partial-sum updates are absorbed by read-modify-write until the
+tile's accumulation (the initial run of reduction loops above the level)
+completes; each residency then writes back once.  Reduction loops above the
+first output-relevant loop force mid-accumulation writebacks (spills) whose
+merging happens at the parent via RMW — the accumulate-at-parent policy real
+designs use, which needs no downward partial-sum path.
+
+Every element-copy crossing a converter stage's position costs one
+conversion event; multicast boundaries below a converter therefore amortize
+it, which is exactly the "convert once, reuse spatially" lever the paper's
+Fig. 5 explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from repro.arch.hierarchy import (
+    Architecture,
+    ComputeLevel,
+    ConverterStage,
+    SpatialFanout,
+    StorageLevel,
+)
+from repro.exceptions import CapacityError, MappingError
+from repro.mapping.mapping import Mapping, TemporalLoop
+from repro.workloads.dataspace import (
+    ALL_DATASPACES,
+    DataSpace,
+    dataspace_tile_size,
+    reduction_dims,
+    relevant_dims,
+)
+from repro.workloads.dims import ALL_DIMS, Dim
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass
+class StorageCounts:
+    """Access counts for one storage level, split by dataspace."""
+
+    reads: Dict[DataSpace, float] = field(default_factory=dict)
+    writes: Dict[DataSpace, float] = field(default_factory=dict)
+
+    @property
+    def total_reads(self) -> float:
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> float:
+        return sum(self.writes.values())
+
+
+@dataclass
+class AccessCounts:
+    """Everything the evaluation layer needs to price a mapped layer."""
+
+    #: Per storage-level access counts (element granularity).
+    storage: Dict[str, StorageCounts]
+    #: Per converter-stage, per dataspace conversion events.
+    conversions: Dict[str, Dict[DataSpace, float]]
+    #: Scheduled MAC iterations including padding (energy accounting basis).
+    padded_macs: int
+    #: Real MAC operations of the layer (throughput accounting basis).
+    real_macs: int
+    #: Total cycles (product of all temporal loop bounds).
+    cycles: int
+    #: Per storage-level occupancy in bits (per instance).
+    occupancy_bits: Dict[str, float]
+    #: Per storage-level instance counts.
+    instances: Dict[str, int]
+    #: Padding-induced compute utilization (real/padded, <= 1).
+    padding_utilization: float
+    #: Per storage-level cycles needed to move the level's traffic through
+    #: its bandwidth (only levels that declare a bandwidth appear here).
+    bandwidth_cycles: Dict[str, float] = field(default_factory=dict)
+    #: Per storage-level total traffic in bits (reads + writes).
+    traffic_bits: Dict[str, float] = field(default_factory=dict)
+
+    def converter_events(self, name: str) -> float:
+        return sum(self.conversions.get(name, {}).values())
+
+    @property
+    def effective_cycles(self) -> float:
+        """Cycles including memory-bandwidth stalls (>= compute cycles)."""
+        slowest = max(self.bandwidth_cycles.values(), default=0.0)
+        return max(float(self.cycles), slowest)
+
+    @property
+    def bandwidth_bound_level(self) -> Optional[str]:
+        """The level that limits throughput, or None if compute-bound."""
+        if not self.bandwidth_cycles:
+            return None
+        name, cycles = max(self.bandwidth_cycles.items(),
+                           key=lambda item: item[1])
+        return name if cycles > self.cycles else None
+
+
+def _loop_is_transparent(loop: TemporalLoop) -> bool:
+    return loop.bound <= 1
+
+
+def _fill_events(loops_above_innermost_first: Sequence[TemporalLoop],
+                 dataspace: DataSpace) -> int:
+    """Number of times a level's tile of ``dataspace`` is (re)instantiated.
+
+    ``loops_above_innermost_first`` lists every temporal loop above the
+    level, starting with the innermost.  See the module docstring for the
+    reuse rule being implemented.
+    """
+    relevant = relevant_dims(dataspace)
+    events = 1
+    seen_relevant = False
+    for loop in loops_above_innermost_first:
+        if _loop_is_transparent(loop):
+            continue
+        if not seen_relevant and loop.dim not in relevant:
+            continue  # initial irrelevant run: perfect temporal reuse
+        seen_relevant = True
+        events *= loop.bound
+    return events
+
+
+class NestAnalyzer:
+    """Computes :class:`AccessCounts` for one (architecture, layer, mapping).
+
+    The constructor validates the mapping and precomputes per-node context;
+    :meth:`analyze` runs the inner-to-outer traffic walk.  ``check_capacity``
+    controls whether occupancy violations raise :class:`CapacityError`
+    (mappers search with this on; diagnostic callers may disable it).
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        layer: ConvLayer,
+        mapping: Mapping,
+        check_capacity: bool = True,
+    ) -> None:
+        mapping.validate(architecture, layer)
+        self.architecture = architecture
+        self.layer = layer
+        self.mapping = mapping
+        self.check_capacity = check_capacity
+        self._loops_by_storage: Dict[str, Tuple[TemporalLoop, ...]] = {
+            level.storage: level.loops for level in mapping.levels
+        }
+        self._factors_by_fanout: Dict[str, Dict[Dim, int]] = {
+            spatial.fanout: dict(spatial.factors)
+            for spatial in mapping.spatials
+        }
+        self._storage_order = [s.name for s in architecture.storage_levels]
+
+    # ------------------------------------------------------------------
+    # Precomputed geometry
+    # ------------------------------------------------------------------
+    def _loops_above(self, storage_name: str) -> List[TemporalLoop]:
+        """Temporal loops outside ``storage_name``'s tile, innermost first."""
+        loops: List[TemporalLoop] = []
+        for name in self._storage_order:
+            if name == storage_name:
+                break
+            loops.extend(self._loops_by_storage[name])
+        return loops[::-1]
+
+    def _cumulative_bounds(self, node_index: int) -> Dict[Dim, int]:
+        """Per-dim extent of the tile held at node position ``node_index``.
+
+        Includes the temporal loops of this and every inner storage level
+        plus the spatial factors of every fanout strictly below the node.
+        """
+        bounds = {dim: 1 for dim in ALL_DIMS}
+        for node in self.architecture.nodes[node_index:]:
+            if isinstance(node, StorageLevel):
+                for loop in self._loops_by_storage[node.name]:
+                    bounds[loop.dim] *= loop.bound
+            elif isinstance(node, SpatialFanout):
+                for dim, factor in self._factors_by_fanout[node.name].items():
+                    bounds[dim] *= factor
+        return bounds
+
+    def _instances_above(self, node_index: int) -> int:
+        """Mapped parallel instances of the node at ``node_index``."""
+        product = 1
+        for node in self.architecture.nodes[:node_index]:
+            if isinstance(node, SpatialFanout):
+                for factor in self._factors_by_fanout[node.name].values():
+                    product *= factor
+        return product
+
+    def _tile_elements(self, node_index: int, dataspace: DataSpace) -> int:
+        bounds = self._cumulative_bounds(node_index)
+        return dataspace_tile_size(dataspace, bounds, self.layer.strides)
+
+    # ------------------------------------------------------------------
+    # Spatial boundary amortization
+    # ------------------------------------------------------------------
+    def _boundary_amortization(self, fanout: SpatialFanout,
+                               dataspace: DataSpace) -> float:
+        """Traffic division factor for ``dataspace`` crossing ``fanout``."""
+        factors = self._factors_by_fanout[fanout.name]
+        if dataspace in fanout.multicast:
+            product = 1
+            for dim, factor in factors.items():
+                if dim not in relevant_dims(dataspace):
+                    product *= factor
+            return float(product)
+        if dataspace in fanout.reduction:
+            product = 1
+            for dim, factor in factors.items():
+                if dim in reduction_dims(dataspace):
+                    product *= factor
+            if fanout.reduction_limit is not None:
+                product = min(product, fanout.reduction_limit)
+            return float(product)
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Main walk
+    # ------------------------------------------------------------------
+    def analyze(self) -> AccessCounts:
+        architecture = self.architecture
+        padded_macs = self.mapping.padded_macs()
+        cycles = self.mapping.total_temporal_product
+        if padded_macs != cycles * self.mapping.total_spatial_product:
+            raise MappingError(
+                "internal inconsistency: padded MACs != cycles x spatial"
+            )  # pragma: no cover - structural invariant
+
+        storage_counts: Dict[str, StorageCounts] = {
+            name: StorageCounts() for name in self._storage_order
+        }
+        conversions: Dict[str, Dict[DataSpace, float]] = {
+            stage.name: {} for stage in architecture.converters
+        }
+        occupancy: Dict[str, float] = {}
+        instances: Dict[str, int] = {}
+
+        outermost = {
+            dataspace: self.architecture.storage_for(dataspace)[0].name
+            for dataspace in ALL_DATASPACES
+        }
+
+        # Element-copies per layer currently crossing the walk position,
+        # flowing downward for W/I (read demand) and upward for O (updates).
+        flow: Dict[DataSpace, float] = {
+            ds: float(padded_macs) for ds in ALL_DATASPACES
+        }
+
+        for node_index in range(len(architecture.nodes) - 1, -1, -1):
+            node = architecture.nodes[node_index]
+            if isinstance(node, ComputeLevel):
+                continue
+            if isinstance(node, SpatialFanout):
+                for dataspace in ALL_DATASPACES:
+                    flow[dataspace] /= self._boundary_amortization(
+                        node, dataspace)
+                continue
+            if isinstance(node, ConverterStage):
+                for dataspace in node.dataspaces:
+                    bucket = conversions[node.name]
+                    bucket[dataspace] = bucket.get(dataspace, 0.0) \
+                        + flow[dataspace]
+                continue
+
+            assert isinstance(node, StorageLevel)
+            counts = storage_counts[node.name]
+            level_instances = self._instances_above(node_index)
+            instances[node.name] = level_instances
+            occupancy[node.name] = self._occupancy_bits(node_index, node)
+            if (self.check_capacity and node.capacity_bits is not None
+                    and occupancy[node.name] > node.capacity_bits):
+                raise CapacityError(
+                    f"storage {node.name!r}: mapping needs "
+                    f"{occupancy[node.name]:.0f} bits per instance but "
+                    f"capacity is {node.capacity_bits:.0f}"
+                )
+            for dataspace in node.dataspaces:
+                if dataspace is DataSpace.OUTPUTS:
+                    flow[dataspace] = self._visit_output_storage(
+                        node, node_index, counts, flow[dataspace],
+                        is_outermost=(node.name == outermost[dataspace]),
+                    )
+                else:
+                    flow[dataspace] = self._visit_read_storage(
+                        node, node_index, counts, flow[dataspace],
+                        dataspace,
+                        is_outermost=(node.name == outermost[dataspace]),
+                    )
+
+        real_macs = self._grouped_real_macs()
+        traffic_bits, bandwidth_cycles = compute_traffic(
+            self.architecture, self.layer, storage_counts, instances)
+        return AccessCounts(
+            storage=storage_counts,
+            conversions=conversions,
+            padded_macs=padded_macs,
+            real_macs=real_macs,
+            cycles=cycles,
+            occupancy_bits=occupancy,
+            instances=instances,
+            padding_utilization=(real_macs / padded_macs if padded_macs else 0.0),
+            bandwidth_cycles=bandwidth_cycles,
+            traffic_bits=traffic_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-storage visitors
+    # ------------------------------------------------------------------
+    def _visit_read_storage(
+        self,
+        node: StorageLevel,
+        node_index: int,
+        counts: StorageCounts,
+        incoming_demand: float,
+        dataspace: DataSpace,
+        is_outermost: bool,
+    ) -> float:
+        """Weights/inputs: serve downstream demand, fetch fills from above."""
+        counts.reads[dataspace] = counts.reads.get(dataspace, 0.0) \
+            + incoming_demand
+        if is_outermost:
+            # Backing store: tensors are resident; nothing fills it.
+            return 0.0
+        fills = (
+            _fill_events(self._loops_above(node.name), dataspace)
+            * self._tile_elements(node_index, dataspace)
+            * self._instances_above(node_index)
+        )
+        counts.writes[dataspace] = counts.writes.get(dataspace, 0.0) + fills
+        return float(fills)
+
+    def _visit_output_storage(
+        self,
+        node: StorageLevel,
+        node_index: int,
+        counts: StorageCounts,
+        updates_in: float,
+        is_outermost: bool,
+    ) -> float:
+        """Outputs: absorb updates by RMW, write back once per residency."""
+        writebacks = float(
+            _fill_events(self._loops_above(node.name), DataSpace.OUTPUTS)
+            * self._tile_elements(node_index, DataSpace.OUTPUTS)
+            * self._instances_above(node_index)
+        )
+        if node.max_accumulation_depth is not None:
+            # An accumulation-depth-limited level (analog integrator) must
+            # write back at least once per `depth` absorbed updates; the
+            # extra writebacks are mid-accumulation spills merged upstream.
+            writebacks = max(writebacks,
+                             updates_in / node.max_accumulation_depth)
+        if updates_in + 1e-9 < writebacks:
+            raise MappingError(
+                f"storage {node.name!r}: output residencies ({writebacks}) "
+                f"exceed incoming updates ({updates_in}); mapping is "
+                f"structurally inconsistent"
+            )  # pragma: no cover - structural invariant
+        counts.writes[DataSpace.OUTPUTS] = counts.writes.get(
+            DataSpace.OUTPUTS, 0.0) + updates_in
+        if is_outermost:
+            # Final tensor: RMW reads only for partial-sum merges; the data
+            # is not read out again.
+            rmw_reads = updates_in - writebacks
+            counts.reads[DataSpace.OUTPUTS] = counts.reads.get(
+                DataSpace.OUTPUTS, 0.0) + rmw_reads
+            return 0.0
+        # RMW reads (updates beyond each residency's first write) plus one
+        # outgoing read per written-back element.
+        counts.reads[DataSpace.OUTPUTS] = counts.reads.get(
+            DataSpace.OUTPUTS, 0.0) + updates_in
+        return float(writebacks)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _occupancy_bits(self, node_index: int, node: StorageLevel) -> float:
+        bits = 0.0
+        for dataspace in node.dataspaces:
+            width = (self.layer.bits_per_weight
+                     if dataspace is DataSpace.WEIGHTS
+                     else self.layer.bits_per_activation)
+            bits += self._tile_elements(node_index, dataspace) * width
+        return bits
+
+    def _grouped_real_macs(self) -> int:
+        """Real MACs of the per-group problem the mapping covers."""
+        layer = self.layer
+        return (layer.n * (layer.m // layer.groups)
+                * (layer.c // layer.groups)
+                * layer.p * layer.q * layer.r * layer.s)
+
+
+def compute_traffic(
+    architecture: Architecture,
+    layer: ConvLayer,
+    storage_counts: Dict[str, StorageCounts],
+    instances: Dict[str, int],
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Per-level traffic (bits) and bandwidth-limited cycle counts.
+
+    Factored out of the analyzer so callers that adjust counts after
+    analysis (fusion's DRAM elision) can refresh the bandwidth picture.
+    """
+    traffic_bits: Dict[str, float] = {}
+    bandwidth_cycles: Dict[str, float] = {}
+    for level in architecture.storage_levels:
+        counts = storage_counts[level.name]
+        bits = 0.0
+        for dataspace in ALL_DATASPACES:
+            width = (layer.bits_per_weight
+                     if dataspace is DataSpace.WEIGHTS
+                     else layer.bits_per_activation)
+            bits += (counts.reads.get(dataspace, 0.0)
+                     + counts.writes.get(dataspace, 0.0)) * width
+        traffic_bits[level.name] = bits
+        if level.bandwidth_bits_per_cycle is not None:
+            available = (level.bandwidth_bits_per_cycle
+                         * instances[level.name])
+            bandwidth_cycles[level.name] = bits / available
+    return traffic_bits, bandwidth_cycles
+
+
+def analyze(
+    architecture: Architecture,
+    layer: ConvLayer,
+    mapping: Mapping,
+    check_capacity: bool = True,
+) -> AccessCounts:
+    """Convenience wrapper around :class:`NestAnalyzer`."""
+    return NestAnalyzer(architecture, layer, mapping,
+                        check_capacity=check_capacity).analyze()

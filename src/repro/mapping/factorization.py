@@ -1,0 +1,109 @@
+"""Integer factorization utilities for mapping search.
+
+The mapper splits each problem dimension into factors assigned to levels.
+Perfect factorizations only exist for composite dimension sizes, so — like
+Timeloop's "imperfect factorization" follow-ons — we also generate *padded*
+splits, where the product may exceed the dimension (the hardware runs idle
+iterations and utilization drops below 1).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for positive operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+@lru_cache(maxsize=4096)
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n`` in ascending order.
+
+    >>> divisors(12)
+    (1, 2, 3, 4, 6, 12)
+    """
+    if n < 1:
+        raise ValueError(f"divisors defined for positive integers, got {n}")
+    small: List[int] = []
+    large: List[int] = []
+    limit = int(math.isqrt(n))
+    for candidate in range(1, limit + 1):
+        if n % candidate == 0:
+            small.append(candidate)
+            if candidate != n // candidate:
+                large.append(n // candidate)
+    return tuple(small + large[::-1])
+
+
+def factor_splits(n: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All ordered ``parts``-tuples of positive integers whose product is n.
+
+    >>> sorted(factor_splits(4, 2))
+    [(1, 4), (2, 2), (4, 1)]
+    """
+    if n < 1 or parts < 1:
+        raise ValueError("factor_splits needs positive n and parts")
+    if parts == 1:
+        yield (n,)
+        return
+    for first in divisors(n):
+        for rest in factor_splits(n // first, parts - 1):
+            yield (first,) + rest
+
+
+def padded_factor_splits(
+    n: int, parts: int, max_padding_ratio: float = 2.0
+) -> Iterator[Tuple[int, ...]]:
+    """Ordered splits whose product is >= n (padding) within a waste bound.
+
+    Generates every exact split of every padded total ``n'`` with
+    ``n <= n' <= n * max_padding_ratio``, deduplicated.  Padding lets the
+    mapper handle prime or awkward dimension sizes at the cost of idle
+    hardware iterations.
+    """
+    if max_padding_ratio < 1.0:
+        raise ValueError("max_padding_ratio must be >= 1.0")
+    seen = set()
+    limit = int(n * max_padding_ratio)
+    for total in range(n, limit + 1):
+        for split in factor_splits(total, parts):
+            if split not in seen:
+                seen.add(split)
+                yield split
+
+
+def tile_candidates(n: int, include_padded: bool = True) -> Tuple[int, ...]:
+    """Candidate single-level tile sizes for a dimension of size ``n``.
+
+    Divisors of ``n``, plus (optionally) ceil-division tilings
+    ``ceil(n / k)`` that waste at most one partial tile — the standard
+    candidates an imperfect-factorization mapper considers.
+    """
+    candidates = set(divisors(n))
+    if include_padded:
+        for parts in range(1, n + 1):
+            candidates.add(ceil_div(n, parts))
+    return tuple(sorted(candidates))
+
+
+def balanced_split(n: int, parts: int) -> Tuple[int, ...]:
+    """A single near-balanced padded split of ``n`` into ``parts`` factors.
+
+    Used as a deterministic fallback mapping; product >= n.
+
+    >>> balanced_split(100, 2)
+    (10, 10)
+    """
+    if n < 1 or parts < 1:
+        raise ValueError("balanced_split needs positive n and parts")
+    root = max(1, round(n ** (1.0 / parts)))
+    factors = [root] * (parts - 1)
+    remaining = ceil_div(n, root ** (parts - 1))
+    factors.append(remaining)
+    return tuple(factors)

@@ -1,0 +1,489 @@
+"""Mapping search: find low-cost schedules for a layer on an architecture.
+
+The mapper enumerates candidate mappings — spatial factor assignments per
+fanout, temporal tilings per storage level, and loop-permutation templates —
+evaluates each through a caller-supplied cost function (typically total
+energy or energy-delay product priced by the model layer), and returns the
+best valid mapping.
+
+The search is deliberately structured like practical Timeloop usage:
+
+* **Spatial candidates** are built inner-fanout-first with greedy "fill the
+  hardware" preference plus alternates, since inner photonic fanouts are
+  rigidly wired (window sites, wavelengths) while outer ones (clusters) are
+  flexible.
+* **Temporal candidates** split each dimension's leftover between the
+  innermost constrained levels (analog accumulators take reduction loops up
+  to their budget), a middle buffer tile, and the backing store.
+* **Permutation templates** order each level's loops to protect one chosen
+  dataspace from refetch (weights / inputs / outputs), the orderings that
+  matter in practice.
+
+Candidates beyond ``max_evaluations`` are sampled with a seeded RNG so runs
+are reproducible.  Invalid candidates (capacity violations, constraint
+breaches) are skipped and counted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.hierarchy import Architecture, SpatialFanout, StorageLevel
+from repro.exceptions import CapacityError, MappingError
+from repro.mapping.constraints import MappingConstraints
+from repro.mapping.factorization import ceil_div, tile_candidates
+from repro.mapping.mapping import (
+    FanoutMapping,
+    LevelMapping,
+    Mapping,
+    TemporalLoop,
+    problem_dims,
+)
+from repro.workloads.dataspace import DataSpace, relevant_dims
+from repro.workloads.dims import ALL_DIMS, Dim
+from repro.workloads.layer import ConvLayer
+
+#: Cost function: maps a structurally valid mapping to a scalar cost.
+#: May raise MappingError/CapacityError to reject a candidate.
+CostFn = Callable[[Mapping], float]
+
+
+@dataclass
+class MapperResult:
+    """Outcome of a mapping search."""
+
+    mapping: Mapping
+    cost: float
+    evaluated: int
+    valid: int
+
+    @property
+    def validity_rate(self) -> float:
+        return self.valid / self.evaluated if self.evaluated else 0.0
+
+
+#: Loop-permutation templates: for each, the listed dims go OUTERMOST at the
+#: level (in order), protecting the named dataspace's tiles below from
+#: refetch by keeping its irrelevant dims innermost.
+_PERMUTATION_TEMPLATES: Dict[str, Tuple[Dim, ...]] = {
+    # Weight-irrelevant dims (N, P, Q) innermost: weights below fetched once.
+    "protect_weights": (Dim.C, Dim.M, Dim.R, Dim.S, Dim.Q, Dim.P, Dim.N),
+    # Input-irrelevant dim (M) innermost: inputs below fetched once.
+    "protect_inputs": (Dim.R, Dim.S, Dim.C, Dim.Q, Dim.P, Dim.N, Dim.M),
+    # Reduction dims innermost: outputs fully accumulate before eviction.
+    "protect_outputs": (Dim.N, Dim.M, Dim.P, Dim.Q, Dim.C, Dim.R, Dim.S),
+}
+
+
+class Mapper:
+    """Searches the mapping space of one architecture."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        cost_fn: CostFn,
+        constraints: Optional[MappingConstraints] = None,
+        spatial_combo_limit: int = 64,
+        temporal_combo_limit: int = 48,
+    ) -> None:
+        self.architecture = architecture
+        self.cost_fn = cost_fn
+        self.constraints = constraints or MappingConstraints()
+        self.spatial_combo_limit = spatial_combo_limit
+        self.temporal_combo_limit = temporal_combo_limit
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        layer: ConvLayer,
+        max_evaluations: int = 2000,
+        seed: int = 0,
+        extra_candidates: Sequence[Mapping] = (),
+    ) -> MapperResult:
+        """Return the lowest-cost valid mapping found for ``layer``.
+
+        ``extra_candidates`` seeds the search with known-good mappings
+        (e.g. a system's reference mapping); they are always evaluated.
+        """
+        rng = random.Random(seed)
+        candidates = list(extra_candidates)
+        candidates.extend(self._generate(layer, rng))
+        if len(candidates) > max_evaluations:
+            seeded = list(extra_candidates)
+            generated = candidates[len(extra_candidates):]
+            sample_size = max(0, max_evaluations - len(seeded))
+            candidates = seeded + rng.sample(generated, sample_size)
+
+        best_mapping: Optional[Mapping] = None
+        best_cost = float("inf")
+        best_key = (float("inf"), float("inf"))
+        evaluated = 0
+        valid = 0
+        for mapping in candidates:
+            evaluated += 1
+            try:
+                mapping.validate(self.architecture, layer)
+                self.constraints.check(mapping)
+                cost = self.cost_fn(mapping)
+            except (MappingError, CapacityError):
+                continue
+            valid += 1
+            # Tie-break equal-cost mappings by latency (fewer temporal
+            # steps = more spatial parallelism).
+            key = (cost, mapping.total_temporal_product)
+            if key < best_key:
+                best_key = key
+                best_cost = cost
+                best_mapping = mapping
+        if best_mapping is None:
+            raise MappingError(
+                f"mapper found no valid mapping for layer {layer.name!r} "
+                f"after {evaluated} candidates; check constraints and "
+                f"buffer capacities"
+            )
+        return MapperResult(mapping=best_mapping, cost=best_cost,
+                            evaluated=evaluated, valid=valid)
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _generate(self, layer: ConvLayer,
+                  rng: random.Random) -> List[Mapping]:
+        dims = problem_dims(layer)
+        mappings: List[Mapping] = []
+        for spatials, remaining in self._spatial_candidates(dims, rng):
+            for levels in self._temporal_candidates(layer, remaining, rng):
+                mappings.append(Mapping(levels=tuple(levels),
+                                        spatials=tuple(spatials)))
+        return mappings
+
+    def _spatial_candidates(
+        self, dims: Dict[Dim, int], rng: random.Random
+    ) -> List[Tuple[List[FanoutMapping], Dict[Dim, int]]]:
+        """Candidate spatial assignments, inner fanouts chosen first."""
+        fanouts = self.architecture.fanouts
+        # Work inner-to-outer; remember arch order for the final mapping.
+        combos: List[Tuple[Dict[str, Dict[Dim, int]], Dict[Dim, int]]] = [
+            ({}, dict(dims))
+        ]
+        for fanout in reversed(fanouts):
+            grown: List[Tuple[Dict[str, Dict[Dim, int]], Dict[Dim, int]]] = []
+            for assignment, remaining in combos:
+                for factors in self._fanout_options(fanout, remaining):
+                    new_remaining = dict(remaining)
+                    for dim, factor in factors.items():
+                        new_remaining[dim] = ceil_div(new_remaining[dim],
+                                                      factor)
+                    new_assignment = dict(assignment)
+                    new_assignment[fanout.name] = factors
+                    grown.append((new_assignment, new_remaining))
+            if len(grown) > self.spatial_combo_limit:
+                grown = rng.sample(grown, self.spatial_combo_limit)
+            combos = grown
+        results = []
+        for assignment, remaining in combos:
+            spatials = [
+                FanoutMapping(fanout=f.name,
+                              factors=assignment.get(f.name, {}))
+                for f in fanouts
+            ]
+            results.append((spatials, remaining))
+        return results
+
+    def _fanout_options(
+        self, fanout: SpatialFanout, remaining: Dict[Dim, int]
+    ) -> List[Dict[Dim, int]]:
+        """A few factor assignments for one fanout: greedy fill + alternates."""
+        constraint = self.constraints.fanout(fanout.name)
+        size_cap = fanout.size
+        if constraint.max_instances is not None:
+            size_cap = min(size_cap, constraint.max_instances)
+        usable_dims = [
+            dim for dim in ALL_DIMS
+            if dim in fanout.allowed_dims
+            and dim not in constraint.forbidden_dims
+            and remaining.get(dim, 1) > 1
+        ]
+        if not usable_dims or size_cap == 1:
+            return [{}]
+
+        def cap_for(dim: Dim) -> int:
+            cap = constraint.max_factor.get(dim, size_cap)
+            return min(cap, size_cap)
+
+        options: List[Dict[Dim, int]] = [{}]
+        # Greedy fills in a few dimension priority orders.
+        orders = [usable_dims, usable_dims[::-1]]
+        for order in orders:
+            factors: Dict[Dim, int] = {}
+            budget = size_cap
+            for dim in order:
+                if budget <= 1:
+                    break
+                factor = min(remaining[dim], cap_for(dim), budget)
+                factor = _largest_fitting_factor(remaining[dim], factor)
+                if factor > 1:
+                    factors[dim] = factor
+                    budget //= factor
+            if factors and factors not in options:
+                options.append(factors)
+        # Single-dimension fills.
+        for dim in usable_dims:
+            factor = _largest_fitting_factor(
+                remaining[dim], min(remaining[dim], cap_for(dim)))
+            candidate = {dim: factor} if factor > 1 else {}
+            if candidate not in options:
+                options.append(candidate)
+        return options
+
+    def _temporal_candidates(
+        self, layer: ConvLayer, leftover: Dict[Dim, int], rng: random.Random
+    ) -> List[List[LevelMapping]]:
+        """Candidate temporal splits of ``leftover`` across storage levels."""
+        storages = self.architecture.storage_levels
+        if len(storages) == 1:
+            loops = _ordered_loops(leftover,
+                                   _PERMUTATION_TEMPLATES["protect_outputs"])
+            return [[LevelMapping(storage=storages[0].name, loops=loops)]]
+
+        # Constrained inner levels (e.g. analog integrators) first.
+        inner_assignments, leftover = self._assign_constrained_inner(
+            storages, leftover)
+
+        outer = storages[0]          # backing store (DRAM)
+        middle = storages[1:]        # buffers between DRAM and the inner
+        middle = [s for s in middle if s.name not in inner_assignments]
+
+        # Stationary holders: middle buffers storing a strict subset of the
+        # dataspaces (an analog weight bank, an output accumulator SRAM)
+        # get loops over their dataspaces' relevant dims up to capacity —
+        # the weight/output-stationary schedules real designs use.
+        general = [s for s in middle if len(s.dataspaces) == 3]
+        holders = [s for s in middle if len(s.dataspaces) < 3]
+        target_buffers = general if general else middle[:1]
+        holder_option_sets = [
+            (holder, self._stationary_options(holder, layer, leftover))
+            for holder in holders
+        ]
+
+        candidates: List[List[LevelMapping]] = []
+        holder_combos = [{}]
+        for holder, options in holder_option_sets:
+            grown = []
+            for combo in holder_combos:
+                for option in options:
+                    extended = dict(combo)
+                    extended[holder.name] = option
+                    grown.append(extended)
+            holder_combos = grown
+
+        for holder_assignment in holder_combos:
+            remaining = dict(leftover)
+            for factors in holder_assignment.values():
+                for dim, factor in factors.items():
+                    remaining[dim] = ceil_div(remaining[dim], factor)
+            for buffer_factors in self._buffer_tilings(
+                    target_buffers, remaining, rng):
+                dram_factors = {
+                    dim: ceil_div(remaining[dim],
+                                  _product_over(buffer_factors, dim))
+                    for dim in ALL_DIMS
+                }
+                for template in _PERMUTATION_TEMPLATES.values():
+                    levels: List[LevelMapping] = []
+                    for storage in storages:
+                        if storage.name == outer.name:
+                            factors = dram_factors
+                        elif storage.name in inner_assignments:
+                            factors = inner_assignments[storage.name]
+                        elif storage.name in holder_assignment:
+                            factors = holder_assignment[storage.name]
+                        else:
+                            factors = buffer_factors.get(storage.name, {})
+                        loops = _ordered_loops(factors, template)
+                        levels.append(LevelMapping(storage=storage.name,
+                                                   loops=loops))
+                    candidates.append(levels)
+        return candidates
+
+    def _stationary_options(
+        self,
+        storage: StorageLevel,
+        layer: ConvLayer,
+        leftover: Dict[Dim, int],
+    ) -> List[Dict[Dim, int]]:
+        """Loop options for a single-dataspace holder buffer.
+
+        Offers "pass-through" (no loops) and "fill to capacity" over the
+        dims relevant to the stored dataspaces, so the search can discover
+        stationary dataflows without enumerating every tile size.
+        """
+        from repro.workloads.dataspace import relevant_dims as rdims
+
+        usable: List[Dim] = []
+        for dataspace in storage.dataspaces:
+            for dim in rdims(dataspace):
+                if dim not in usable and leftover.get(dim, 1) > 1:
+                    usable.append(dim)
+        options: List[Dict[Dim, int]] = [{}]
+        if not usable:
+            return options
+        element_bits = max(layer.bits_per_weight, layer.bits_per_activation)
+        budget = (int(storage.capacity_bits // element_bits)
+                  if storage.capacity_bits is not None else 10 ** 9)
+        if budget <= 1:
+            return options
+        fill: Dict[Dim, int] = {}
+        for dim in usable:
+            if budget <= 1:
+                break
+            factor = _largest_fitting_factor(
+                leftover[dim], min(leftover[dim], budget))
+            if factor > 1:
+                fill[dim] = factor
+                budget //= factor
+        if fill:
+            options.append(fill)
+            if len(fill) > 1:
+                # A half-filled variant leaves room for other dataspaces'
+                # working sets at shared levels below.
+                first_dim = next(iter(fill))
+                half = dict(fill)
+                half[first_dim] = max(1, fill[first_dim] // 2)
+                options.append({d: f for d, f in half.items() if f > 1})
+        return options
+
+    def _assign_constrained_inner(
+        self, storages: Sequence[StorageLevel], leftover: Dict[Dim, int]
+    ) -> Tuple[Dict[str, Dict[Dim, int]], Dict[Dim, int]]:
+        """Give dim-restricted inner levels their loops up to budget."""
+        assignments: Dict[str, Dict[Dim, int]] = {}
+        leftover = dict(leftover)
+        for storage in reversed(storages[1:]):
+            if storage.allowed_temporal_dims is None:
+                continue
+            constraint = self.constraints.storage(storage.name)
+            budget = constraint.max_temporal_product
+            if budget is None:
+                budget = 10 ** 9
+            factors: Dict[Dim, int] = {}
+            for dim in sorted(storage.allowed_temporal_dims,
+                              key=lambda d: -leftover.get(d, 1)):
+                if budget <= 1:
+                    break
+                factor = _largest_fitting_factor(
+                    leftover.get(dim, 1), min(leftover.get(dim, 1), budget))
+                if factor > 1:
+                    factors[dim] = factor
+                    leftover[dim] = ceil_div(leftover[dim], factor)
+                    budget //= factor
+            assignments[storage.name] = factors
+        return assignments, leftover
+
+    def _buffer_tilings(
+        self,
+        buffers: Sequence[StorageLevel],
+        leftover: Dict[Dim, int],
+        rng: random.Random,
+    ) -> List[Dict[str, Dict[Dim, int]]]:
+        """Candidate tile factors for the middle buffer levels.
+
+        For the common single-buffer case, per-dimension candidates are the
+        full leftover (maximum reuse), 1 (stream through), and a couple of
+        intermediate divisor-ish tiles; combinations are capped and sampled.
+        """
+        if not buffers:
+            return [{}]
+        target = buffers[-1]  # innermost general-purpose buffer gets tiles
+        per_dim_options: Dict[Dim, List[int]] = {}
+        for dim in ALL_DIMS:
+            size = leftover.get(dim, 1)
+            if size <= 1:
+                per_dim_options[dim] = [1]
+                continue
+            options = {1, size}
+            ladder = [c for c in tile_candidates(size) if 1 < c < size]
+            if ladder:
+                options.add(ladder[len(ladder) // 2])
+                options.add(ladder[-1])
+            per_dim_options[dim] = sorted(options)
+        combos = []
+        dims_order = list(ALL_DIMS)
+        all_choices = [per_dim_options[dim] for dim in dims_order]
+        total = 1
+        for choices in all_choices:
+            total *= len(choices)
+        product_iter: Iterable[Tuple[int, ...]] = itertools.product(
+            *all_choices)
+        if total > self.temporal_combo_limit:
+            chosen = set()
+            # Always include the two extreme tilings.
+            chosen.add(tuple(options[-1] for options in all_choices))
+            chosen.add(tuple(options[0] for options in all_choices))
+            while len(chosen) < self.temporal_combo_limit:
+                chosen.add(tuple(rng.choice(options)
+                                 for options in all_choices))
+            product_iter = sorted(chosen)
+        for combo in product_iter:
+            factors = {
+                dim: factor
+                for dim, factor in zip(dims_order, combo) if factor > 1
+            }
+            result: Dict[str, Dict[Dim, int]] = {target.name: factors}
+            # Any buffers between DRAM and the target pass through untiled.
+            for other in buffers[:-1]:
+                result[other.name] = {}
+            combos.append(result)
+        return combos
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _largest_fitting_factor(size: int, cap: int) -> int:
+    """Best spatial/tiling factor <= cap for a dimension of ``size``.
+
+    Chooses the factor that minimizes the remaining iteration count
+    ``ceil(size / f)`` (i.e. maximizes throughput), breaking ties by the
+    smallest padded total ``f * ceil(size / f)`` (i.e. least idle work).
+    A full-cap split therefore wins unless a smaller factor covers the
+    dimension in the same number of steps with less padding.
+    """
+    if cap <= 1:
+        return 1
+    if size <= cap:
+        return size
+    best_factor = 1
+    best_key = (size, size)  # (steps, padded total) for f = 1
+    for factor in range(1, cap + 1):
+        steps = -(-size // factor)
+        key = (steps, steps * factor)
+        if key < best_key:
+            best_key = key
+            best_factor = factor
+    return best_factor
+
+
+def _ordered_loops(factors: Dict[Dim, int],
+                   outer_order: Tuple[Dim, ...]) -> Tuple[TemporalLoop, ...]:
+    """Loops for ``factors`` ordered by a permutation template."""
+    loops = []
+    for dim in outer_order:
+        bound = factors.get(dim, 1)
+        if bound > 1:
+            loops.append(TemporalLoop(dim=dim, bound=bound))
+    return tuple(loops)
+
+
+def _product_over(buffer_factors: Dict[str, Dict[Dim, int]],
+                  dim: Dim) -> int:
+    product = 1
+    for factors in buffer_factors.values():
+        product *= factors.get(dim, 1)
+    return product

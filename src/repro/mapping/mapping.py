@@ -1,0 +1,293 @@
+"""Mapping representation: how a layer's loops are scheduled onto hardware.
+
+A :class:`Mapping` assigns:
+
+* to every **storage level** of the architecture, an ordered list of
+  temporal loops (:class:`LevelMapping`) — the level's tiling factors and
+  their permutation, listed *outermost first*;
+* to every **fanout boundary**, a dict of spatial factors
+  (:class:`FanoutMapping`) — how many hardware instances each problem
+  dimension spreads across.
+
+The product of all factors of a dimension (temporal and spatial) is the
+mapping's *padded* size for that dimension and must be at least the layer's
+size; any excess is idle padding that shows up as utilization < 1.
+
+Validation is strict and early: a mapping that refers to unknown levels,
+violates a fanout's allowed dimensions or size, or under-covers the layer
+raises :class:`~repro.exceptions.MappingError` with a precise message, so
+mapper bugs surface at construction rather than as silently wrong energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Tuple
+
+from repro.arch.hierarchy import Architecture, SpatialFanout, StorageLevel
+from repro.exceptions import MappingError
+from repro.workloads.dims import ALL_DIMS, Dim
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class TemporalLoop:
+    """One temporal loop: iterate ``dim`` ``bound`` times."""
+
+    dim: Dim
+    bound: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dim", Dim(self.dim))
+        if self.bound < 1:
+            raise MappingError(
+                f"temporal loop over {self.dim} must have bound >= 1, got "
+                f"{self.bound}"
+            )
+
+    def __repr__(self) -> str:
+        return f"for {self.dim.value} in 0..{self.bound}"
+
+
+@dataclass(frozen=True)
+class LevelMapping:
+    """Temporal loops attached to one storage level, outermost first."""
+
+    storage: str
+    loops: Tuple[TemporalLoop, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "loops", tuple(self.loops))
+
+    @property
+    def factor_product(self) -> int:
+        product = 1
+        for loop in self.loops:
+            product *= loop.bound
+        return product
+
+    def factors(self) -> Dict[Dim, int]:
+        """Combined factor per dimension at this level."""
+        result: Dict[Dim, int] = {}
+        for loop in self.loops:
+            result[loop.dim] = result.get(loop.dim, 1) * loop.bound
+        return result
+
+
+@dataclass(frozen=True)
+class FanoutMapping:
+    """Spatial factors mapped onto one fanout boundary."""
+
+    fanout: str
+    factors: TMapping[Dim, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalized = {}
+        for dim, factor in self.factors.items():
+            factor = int(factor)
+            if factor < 1:
+                raise MappingError(
+                    f"fanout {self.fanout!r}: spatial factor for {dim} must "
+                    f"be >= 1, got {factor}"
+                )
+            if factor > 1:
+                normalized[Dim(dim)] = factor
+        object.__setattr__(self, "factors", normalized)
+
+    @property
+    def factor_product(self) -> int:
+        product = 1
+        for factor in self.factors.values():
+            product *= factor
+        return product
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A complete schedule of one layer onto one architecture."""
+
+    levels: Tuple[LevelMapping, ...]
+    spatials: Tuple[FanoutMapping, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(self.levels))
+        object.__setattr__(self, "spatials", tuple(self.spatials))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def level_for(self, storage: str) -> LevelMapping:
+        for level in self.levels:
+            if level.storage == storage:
+                return level
+        raise MappingError(f"mapping has no level entry for {storage!r}")
+
+    def spatial_for(self, fanout: str) -> FanoutMapping:
+        for spatial in self.spatials:
+            if spatial.fanout == fanout:
+                return spatial
+        raise MappingError(f"mapping has no spatial entry for {fanout!r}")
+
+    def padded_dims(self) -> Dict[Dim, int]:
+        """Per-dimension product of every temporal and spatial factor."""
+        totals = {dim: 1 for dim in ALL_DIMS}
+        for level in self.levels:
+            for dim, factor in level.factors().items():
+                totals[dim] *= factor
+        for spatial in self.spatials:
+            for dim, factor in spatial.factors.items():
+                totals[dim] *= factor
+        return totals
+
+    @property
+    def total_temporal_product(self) -> int:
+        """Total cycles implied by the temporal loops (one step per cycle)."""
+        product = 1
+        for level in self.levels:
+            product *= level.factor_product
+        return product
+
+    @property
+    def total_spatial_product(self) -> int:
+        product = 1
+        for spatial in self.spatials:
+            product *= spatial.factor_product
+        return product
+
+    def padded_macs(self) -> int:
+        product = 1
+        for total in self.padded_dims().values():
+            product *= total
+        return product
+
+    def utilization_vs(self, layer: ConvLayer) -> float:
+        """Fraction of scheduled iterations that are real work (<= 1)."""
+        padded = self.padded_macs()
+        real = _grouped_macs_reference(layer)
+        return real / padded if padded else 0.0
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, architecture: Architecture, layer: ConvLayer) -> None:
+        """Raise :class:`MappingError` unless this mapping is well-formed.
+
+        Checks structural agreement with the architecture (one level entry
+        per storage level, one spatial entry per fanout, in order), fanout
+        size and allowed-dimension limits, storage temporal-dimension
+        restrictions, and full coverage of the layer's (per-group) loop
+        bounds.
+        """
+        storage_names = [s.name for s in architecture.storage_levels]
+        mapped_names = [level.storage for level in self.levels]
+        if mapped_names != storage_names:
+            raise MappingError(
+                f"mapping levels {mapped_names} do not match architecture "
+                f"storage levels {storage_names}"
+            )
+        fanout_names = [f.name for f in architecture.fanouts]
+        mapped_fanouts = [spatial.fanout for spatial in self.spatials]
+        if mapped_fanouts != fanout_names:
+            raise MappingError(
+                f"mapping spatials {mapped_fanouts} do not match architecture "
+                f"fanouts {fanout_names}"
+            )
+        for spatial, fanout in zip(self.spatials, architecture.fanouts):
+            self._validate_spatial(spatial, fanout)
+        for level_mapping in self.levels:
+            storage = architecture.node_named(level_mapping.storage)
+            assert isinstance(storage, StorageLevel)
+            self._validate_temporal(level_mapping, storage)
+        self._validate_coverage(layer)
+
+    @staticmethod
+    def _validate_spatial(spatial: FanoutMapping, fanout: SpatialFanout) -> None:
+        illegal = set(spatial.factors) - set(fanout.allowed_dims)
+        if illegal:
+            raise MappingError(
+                f"fanout {fanout.name!r}: dimensions "
+                f"{sorted(d.value for d in illegal)} may not map here "
+                f"(allowed: {sorted(d.value for d in fanout.allowed_dims)})"
+            )
+        if spatial.factor_product > fanout.size:
+            raise MappingError(
+                f"fanout {fanout.name!r}: mapped {spatial.factor_product} "
+                f"instances but hardware provides {fanout.size}"
+            )
+
+    @staticmethod
+    def _validate_temporal(level_mapping: LevelMapping,
+                           storage: StorageLevel) -> None:
+        if storage.allowed_temporal_dims is None:
+            return
+        for loop in level_mapping.loops:
+            if loop.bound > 1 and loop.dim not in storage.allowed_temporal_dims:
+                raise MappingError(
+                    f"storage {storage.name!r}: temporal iteration over "
+                    f"{loop.dim.value} not allowed (allowed: "
+                    f"{sorted(d.value for d in storage.allowed_temporal_dims)})"
+                )
+
+    def _validate_coverage(self, layer: ConvLayer) -> None:
+        padded = self.padded_dims()
+        required = _grouped_dims_reference(layer)
+        for dim, size in required.items():
+            if padded[dim] < size:
+                raise MappingError(
+                    f"mapping covers only {padded[dim]} of dimension "
+                    f"{dim.value} (layer needs {size})"
+                )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Timeloop-style loop-nest rendering, outermost level first."""
+        lines: List[str] = []
+        indent = 0
+        spatial_by_name = {s.fanout: s for s in self.spatials}
+        for level in self.levels:
+            lines.append("  " * indent + f"[{level.storage}]")
+            for loop in level.loops:
+                lines.append("  " * (indent + 1)
+                             + f"for {loop.dim.value} in [0:{loop.bound})")
+            indent += 1
+        for name, spatial in spatial_by_name.items():
+            if spatial.factors:
+                rendered = ", ".join(
+                    f"{dim.value}:{factor}"
+                    for dim, factor in sorted(spatial.factors.items())
+                )
+                lines.append("  " * indent + f"spatial[{name}] {rendered}")
+        return "\n".join(lines)
+
+
+def problem_dims(layer: ConvLayer) -> Dict[Dim, int]:
+    """Loop bounds a mapping must cover: the per-group problem.
+
+    Grouped convolutions are mapped per group (the standard approach for
+    architectures without native group support); the evaluation layer scales
+    results by the group count.
+    """
+    return {
+        Dim.N: layer.n,
+        Dim.M: layer.m // layer.groups,
+        Dim.C: layer.c // layer.groups,
+        Dim.P: layer.p,
+        Dim.Q: layer.q,
+        Dim.R: layer.r,
+        Dim.S: layer.s,
+    }
+
+
+def problem_macs(layer: ConvLayer) -> int:
+    """MACs of the per-group problem a mapping covers."""
+    product = 1
+    for size in problem_dims(layer).values():
+        product *= size
+    return product
+
+
+# Backwards-compatible internal aliases.
+_grouped_dims_reference = problem_dims
+_grouped_macs_reference = problem_macs

@@ -1,0 +1,86 @@
+"""Serialization of mappings to and from plain dictionaries.
+
+Mappings are the experiment-defining artifact (a schedule found by an
+expensive search is worth keeping), so they round-trip through
+JSON-compatible dicts::
+
+    {
+      "levels": [
+        {"storage": "DRAM", "loops": [["C", 4], ["M", 2]]},
+        {"storage": "GB", "loops": [["P", 8]]}
+      ],
+      "spatials": [
+        {"fanout": "pe", "factors": {"M": 16}}
+      ]
+    }
+
+Loops are listed outermost first, matching
+:class:`~repro.mapping.mapping.LevelMapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping as TMapping
+
+from repro.exceptions import MappingError
+from repro.mapping.mapping import (
+    FanoutMapping,
+    LevelMapping,
+    Mapping,
+    TemporalLoop,
+)
+from repro.workloads.dims import Dim
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict[str, Any]:
+    """Serialize a mapping to a JSON-compatible dict."""
+    return {
+        "levels": [
+            {
+                "storage": level.storage,
+                "loops": [[loop.dim.value, loop.bound]
+                          for loop in level.loops],
+            }
+            for level in mapping.levels
+        ],
+        "spatials": [
+            {
+                "fanout": spatial.fanout,
+                "factors": {dim.value: factor
+                            for dim, factor in spatial.factors.items()},
+            }
+            for spatial in mapping.spatials
+        ],
+    }
+
+
+def mapping_from_dict(spec: TMapping[str, Any]) -> Mapping:
+    """Rebuild a mapping from its dict form."""
+    if "levels" not in spec:
+        raise MappingError("mapping spec missing 'levels'")
+    levels: List[LevelMapping] = []
+    for level_spec in spec["levels"]:
+        try:
+            loops = tuple(
+                TemporalLoop(Dim(dim), int(bound))
+                for dim, bound in level_spec.get("loops", ())
+            )
+            levels.append(LevelMapping(storage=str(level_spec["storage"]),
+                                       loops=loops))
+        except (KeyError, ValueError) as error:
+            raise MappingError(
+                f"malformed level spec {level_spec!r}: {error}"
+            ) from error
+    spatials: List[FanoutMapping] = []
+    for spatial_spec in spec.get("spatials", ()):
+        try:
+            factors = {Dim(dim): int(factor)
+                       for dim, factor
+                       in spatial_spec.get("factors", {}).items()}
+            spatials.append(FanoutMapping(fanout=str(spatial_spec["fanout"]),
+                                          factors=factors))
+        except (KeyError, ValueError) as error:
+            raise MappingError(
+                f"malformed spatial spec {spatial_spec!r}: {error}"
+            ) from error
+    return Mapping(levels=tuple(levels), spatials=tuple(spatials))

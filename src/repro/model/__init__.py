@@ -1,0 +1,26 @@
+"""Full-system evaluation (the CiMLoop-equivalent layer).
+
+Ties together an architecture, an energy table, a workload, and mappings to
+produce the paper's output quantities: per-component energy breakdowns
+(groupable into the paper's figure buckets), throughput with utilization
+losses, area, and whole-network results with the system-level options the
+paper explores — batching and layer fusion.
+"""
+
+from repro.model.accelerator import AcceleratorModel, NetworkOptions
+from repro.model.buckets import BucketRule, BucketScheme
+from repro.model.results import (
+    EnergyBreakdown,
+    LayerEvaluation,
+    NetworkEvaluation,
+)
+
+__all__ = [
+    "AcceleratorModel",
+    "BucketRule",
+    "BucketScheme",
+    "EnergyBreakdown",
+    "LayerEvaluation",
+    "NetworkEvaluation",
+    "NetworkOptions",
+]

@@ -1,0 +1,84 @@
+"""Grouping energy entries into the paper's figure buckets.
+
+The paper reports energy under two different groupings:
+
+* **Fig. 2** (component view): MRR, MZM, Laser, AO/AE, DE/AE, AE/DE, Cache.
+* **Figs. 4-5** (dataspace-conversion view): "Weight DE/AE, AE/AO",
+  "Input DE/AE, AE/AO", "Output AO/AE, AE/DE", "Other AO", "On-Chip
+  Buffer", "DRAM".
+
+A :class:`BucketScheme` is an ordered list of rules mapping (component
+instance, dataspace) pairs to bucket labels; first match wins, with an
+explicit default for anything unmatched so new components can never vanish
+silently from a figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.workloads.dataspace import DataSpace
+
+
+@dataclass(frozen=True)
+class BucketRule:
+    """One matching rule.
+
+    ``component`` matches the instance name exactly, or any instance when
+    set to ``"*"``.  ``dataspace`` matches exactly, or any (including none)
+    when ``None``.
+    """
+
+    component: str
+    dataspace: Optional[DataSpace]
+    bucket: str
+    match_any_dataspace: bool = False
+
+    def matches(self, component: str,
+                dataspace: Optional[DataSpace]) -> bool:
+        if self.component != "*" and self.component != component:
+            return False
+        if self.match_any_dataspace:
+            return True
+        return self.dataspace == dataspace
+
+
+@dataclass(frozen=True)
+class BucketScheme:
+    """An ordered rule list with a default bucket."""
+
+    name: str
+    rules: Tuple[BucketRule, ...]
+    default: str = "Other"
+    #: Preferred display order of buckets (unlisted buckets go last).
+    order: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "order", tuple(self.order))
+
+    def bucket_of(self, component: str,
+                  dataspace: Optional[DataSpace]) -> str:
+        for rule in self.rules:
+            if rule.matches(component, dataspace):
+                return rule.bucket
+        return self.default
+
+    def sort_key(self, bucket: str) -> Tuple[int, str]:
+        try:
+            return (self.order.index(bucket), bucket)
+        except ValueError:
+            return (len(self.order), bucket)
+
+
+def component_rule(component: str, bucket: str) -> BucketRule:
+    """Rule matching one component for every dataspace."""
+    return BucketRule(component=component, dataspace=None, bucket=bucket,
+                      match_any_dataspace=True)
+
+
+def dataspace_rule(component: str, dataspace: DataSpace,
+                   bucket: str) -> BucketRule:
+    """Rule matching one (component, dataspace) pair."""
+    return BucketRule(component=component, dataspace=dataspace, bucket=bucket)

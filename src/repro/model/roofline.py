@@ -1,0 +1,128 @@
+"""Roofline analysis: compute-bound vs memory-bound placement per layer.
+
+Given a system's peak throughput and DRAM bandwidth, each layer lands on
+the classic roofline: attainable throughput is the lesser of the compute
+peak and ``arithmetic intensity x memory bandwidth``.  This complements
+the paper's utilization analysis (Fig. 3 explains the gap *below* the
+compute roof) by also explaining when the roof itself is the memory slope
+— which the bandwidth-extended model can now place layers against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.hierarchy import Architecture
+from repro.mapping.analysis import analyze
+from repro.mapping.mapping import Mapping
+from repro.report.ascii import format_table
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position against the roofline."""
+
+    layer: str
+    #: MACs per byte of DRAM traffic (arithmetic intensity).
+    intensity: float
+    #: min(compute peak, intensity x bandwidth), in MACs/cycle.
+    attainable_macs_per_cycle: float
+    #: What the mapped schedule actually achieves.
+    achieved_macs_per_cycle: float
+    #: "compute" or "memory" — which roof caps this layer.
+    bound: str
+
+    @property
+    def roof_efficiency(self) -> float:
+        """Achieved as a fraction of attainable (mapping quality)."""
+        if self.attainable_macs_per_cycle == 0:
+            return 0.0
+        return (self.achieved_macs_per_cycle
+                / self.attainable_macs_per_cycle)
+
+
+@dataclass(frozen=True)
+class RooflineResult:
+    points: Tuple[RooflinePoint, ...]
+    peak_macs_per_cycle: int
+    bandwidth_bytes_per_cycle: Optional[float]
+
+    @property
+    def memory_bound_layers(self) -> List[str]:
+        return [p.layer for p in self.points if p.bound == "memory"]
+
+    def table(self) -> str:
+        rows = []
+        for point in self.points:
+            rows.append((
+                point.layer,
+                f"{point.intensity:.1f}",
+                f"{point.attainable_macs_per_cycle:.0f}",
+                f"{point.achieved_macs_per_cycle:.0f}",
+                point.bound,
+                f"{point.roof_efficiency:.0%}",
+            ))
+        header = (f"Roofline: peak {self.peak_macs_per_cycle} MACs/cycle"
+                  + (f", {self.bandwidth_bytes_per_cycle:.1f} B/cycle DRAM"
+                     if self.bandwidth_bytes_per_cycle else
+                     ", unbounded DRAM"))
+        return header + "\n" + format_table(
+            ("layer", "MACs/byte", "attainable", "achieved", "bound",
+             "roof eff."),
+            rows, align_right=[False, True, True, True, False, True])
+
+
+def layer_roofline(
+    architecture: Architecture,
+    layer: ConvLayer,
+    mapping: Mapping,
+) -> RooflinePoint:
+    """Place one mapped layer against its architecture's roofline."""
+    counts = analyze(architecture, layer, mapping, check_capacity=False)
+    outer = architecture.storage_levels[0]
+    dram_bytes = counts.traffic_bits.get(outer.name, 0.0) / 8.0
+    intensity = counts.padded_macs / dram_bytes if dram_bytes else float("inf")
+    peak = float(architecture.peak_parallelism)
+    if outer.bandwidth_bits_per_cycle is not None:
+        bandwidth_bytes = outer.bandwidth_bits_per_cycle / 8.0
+        memory_roof = intensity * bandwidth_bytes
+    else:
+        memory_roof = float("inf")
+    attainable = min(peak, memory_roof)
+    achieved = counts.real_macs / counts.effective_cycles
+    return RooflinePoint(
+        layer=layer.name,
+        intensity=intensity,
+        attainable_macs_per_cycle=attainable,
+        achieved_macs_per_cycle=achieved,
+        bound="memory" if memory_roof < peak else "compute",
+    )
+
+
+def network_roofline(system, network) -> RooflineResult:
+    """Roofline placement for every unique layer of a network.
+
+    ``system`` is any object with ``architecture`` and
+    ``reference_mapping`` (AlbireoSystem, CrossbarSystem, or a custom
+    bundle); strided-workload transforms are honored when the system
+    provides ``analysis_layer``.
+    """
+    architecture = system.architecture
+    outer = architecture.storage_levels[0]
+    points = []
+    for entry in network:
+        layer = entry.layer
+        target = layer
+        if hasattr(system, "analysis_layer"):
+            target = system.analysis_layer(layer)
+        mapping = system.reference_mapping(layer)
+        points.append(layer_roofline(architecture, target, mapping))
+    bandwidth = (outer.bandwidth_bits_per_cycle / 8.0
+                 if outer.bandwidth_bits_per_cycle is not None else None)
+    return RooflineResult(
+        points=tuple(points),
+        peak_macs_per_cycle=architecture.peak_parallelism,
+        bandwidth_bytes_per_cycle=bandwidth,
+    )

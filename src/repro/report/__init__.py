@@ -1,0 +1,17 @@
+"""Terminal rendering: aligned tables and stacked bars.
+
+Benchmarks and examples use these to print figure analogues next to the
+paper's reported values, so a reproduction run reads like the paper's
+evaluation section.
+"""
+
+from repro.report.ascii import (
+    bar,
+    format_table,
+    percent,
+    stacked_bar,
+    stacked_bar_chart,
+)
+
+__all__ = ["bar", "format_table", "percent", "stacked_bar",
+           "stacked_bar_chart"]

@@ -1,0 +1,132 @@
+"""Plain-text tables and bar charts.
+
+No plotting dependency is assumed (the evaluation environment is offline),
+so figures render as Unicode bar charts — close enough to compare shapes
+against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = "▏▎▍▌▋▊▉█"
+#: Cycle of fill characters distinguishing stacked-bar segments.
+_SEGMENT_CHARS = "█▓▒░▞▚▣▤"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: Optional[Sequence[bool]] = None,
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(format_table(('a', 'b'), [(1, 'x'), (22, 'yy')]))
+    a   b
+    --  --
+    1   x
+    22  yy
+    """
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows))
+        if text_rows else len(headers[i])
+        for i in range(columns)
+    ]
+    if align_right is None:
+        align_right = [False] * columns
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if align_right[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render(list(headers)),
+             render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """A single horizontal bar scaled so ``maximum`` fills ``width``."""
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    whole = int(fraction * width)
+    remainder = fraction * width - whole
+    partial = _BLOCKS[int(remainder * len(_BLOCKS))] \
+        if 0 < remainder and whole < width else ""
+    return "█" * whole + partial
+
+
+def stacked_bar(
+    segments: Sequence[Tuple[str, float]],
+    maximum: float,
+    width: int = 50,
+) -> str:
+    """One stacked horizontal bar; each segment gets a distinct fill."""
+    if maximum <= 0:
+        return ""
+    rendered = []
+    for index, (_, value) in enumerate(segments):
+        cells = int(round(max(0.0, value) / maximum * width))
+        rendered.append(_SEGMENT_CHARS[index % len(_SEGMENT_CHARS)] * cells)
+    return "".join(rendered)
+
+
+def stacked_bar_chart(
+    rows: Sequence[Tuple[str, Mapping[str, float]]],
+    width: int = 50,
+    show_legend: bool = True,
+) -> str:
+    """A labeled stacked-bar chart, one bar per row.
+
+    ``rows`` is ``[(label, {segment: value, ...}), ...]``; segment order is
+    taken from the first row and kept consistent across bars.
+    """
+    if not rows:
+        return ""
+    segment_names: List[str] = []
+    for _, segments in rows:
+        for name in segments:
+            if name not in segment_names:
+                segment_names.append(name)
+    maximum = max(sum(segments.values()) for _, segments in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, segments in rows:
+        ordered = [(name, segments.get(name, 0.0)) for name in segment_names]
+        total = sum(value for _, value in ordered)
+        lines.append(
+            f"{label.rjust(label_width)} |"
+            f"{stacked_bar(ordered, maximum, width).ljust(width)}| "
+            f"{total:.3f}"
+        )
+    if show_legend:
+        legend = "  ".join(
+            f"{_SEGMENT_CHARS[i % len(_SEGMENT_CHARS)]}={name}"
+            for i, name in enumerate(segment_names)
+        )
+        lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a signed percentage string."""
+    return f"{value * 100:+.1f}%"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

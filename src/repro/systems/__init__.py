@@ -1,0 +1,58 @@
+"""Modeled systems: concrete accelerators built from the library.
+
+* :mod:`~repro.systems.albireo` — the Albireo silicon-photonic CNN
+  accelerator (Shiflett et al., ISCA 2021), the system the paper models and
+  explores.
+* :mod:`~repro.systems.dse` — design-space exploration drivers sweeping
+  Albireo's reuse factors and memory-system options (the paper's Figs. 4-5).
+"""
+
+from repro.systems.albireo import (
+    AlbireoConfig,
+    AlbireoSystem,
+    FIG2_BUCKETS,
+    SYSTEM_BUCKETS,
+    albireo_best_case_layer,
+    albireo_reference_mapping,
+    build_albireo_architecture,
+    build_albireo_energy_table,
+)
+from repro.systems.crossbar import (
+    CROSSBAR_BUCKETS,
+    CrossbarConfig,
+    CrossbarSystem,
+    build_crossbar_architecture,
+    build_crossbar_energy_table,
+    crossbar_reference_mapping,
+)
+from repro.systems.dse import (
+    MemoryExplorationPoint,
+    ReuseExplorationPoint,
+    pareto_frontier,
+    sweep_configurations,
+    sweep_memory_options,
+    sweep_reuse_factors,
+)
+
+__all__ = [
+    "CROSSBAR_BUCKETS",
+    "CrossbarConfig",
+    "CrossbarSystem",
+    "build_crossbar_architecture",
+    "build_crossbar_energy_table",
+    "crossbar_reference_mapping",
+    "AlbireoConfig",
+    "AlbireoSystem",
+    "FIG2_BUCKETS",
+    "MemoryExplorationPoint",
+    "ReuseExplorationPoint",
+    "SYSTEM_BUCKETS",
+    "albireo_best_case_layer",
+    "albireo_reference_mapping",
+    "pareto_frontier",
+    "sweep_configurations",
+    "build_albireo_architecture",
+    "build_albireo_energy_table",
+    "sweep_memory_options",
+    "sweep_reuse_factors",
+]

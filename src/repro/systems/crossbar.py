@@ -1,0 +1,478 @@
+"""A weight-stationary photonic WDM crossbar accelerator.
+
+The second full system modeled by this library (after Albireo),
+representative of the microring weight-bank family the paper cites
+(ADEPT-style electro-photonic accelerators, PCNNA/DEAP-class crossbars).
+Modeling two systems with one component library is the paper's
+"comparison between systems" use case.
+
+Organization — ``tiles`` × (``rows`` × ``cols``) ring crossbars:
+
+* **Weights** are converted *once per tile residency*: DRAM → global
+  buffer → **DE/AE DAC** → an analog sample-and-hold **weight bank**
+  holding ``rows x cols`` values that bias the rings while inputs stream.
+  This is the weight-stationary contrast to Albireo's streamed weights:
+  weight conversion energy amortizes over the whole pixel sweep instead
+  of paying per MAC.
+* **Inputs** stream every cycle: DAC → **AE/AO MZM** per row, and each
+  row's light crosses all ``cols`` columns (optical broadcast along the
+  row waveguide — the input-reuse fanout).
+* **Outputs**: each column's photodiode (**AO/AE**) sums the ``rows``
+  contributions optically; an analog integrator accumulates
+  ``integration_depth`` symbols before the column ADC (**AE/DE**) fires.
+
+Trade-offs this structure exposes against Albireo (and which the model
+reproduces): near-zero weight-conversion energy and no window-geometry
+restrictions (FC layers map well), against sample-and-hold refresh limits
+(``hold_cycles``), per-cycle input DACs on every row, and no
+locally-connected window reuse for convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.arch.domains import Conversion, Domain
+from repro.arch.hierarchy import (
+    Architecture,
+    ComputeAction,
+    ComputeLevel,
+    ConverterStage,
+    SpatialFanout,
+    StorageLevel,
+)
+from repro.energy.estimator import ComponentSpec, build_table
+from repro.energy.scaling import CONSERVATIVE, ScalingScenario
+from repro.energy.table import EnergyTable
+from repro.exceptions import SpecError
+from repro.mapping.constraints import MappingConstraints, StorageConstraint
+from repro.mapping.factorization import ceil_div
+from repro.mapping.mapper import Mapper, MapperResult, _largest_fitting_factor
+from repro.mapping.mapping import (
+    FanoutMapping,
+    LevelMapping,
+    Mapping,
+    TemporalLoop,
+    problem_dims,
+)
+from repro.model.accelerator import AcceleratorModel, fusion_blocks
+from repro.model.buckets import BucketScheme, component_rule
+from repro.model.results import LayerEvaluation, NetworkEvaluation
+from repro.units import KIBIBYTE
+from repro.workloads.dataspace import DataSpace
+from repro.workloads.dims import Dim
+from repro.workloads.layer import ConvLayer
+from repro.workloads.network import Network
+
+_W = DataSpace.WEIGHTS
+_I = DataSpace.INPUTS
+_O = DataSpace.OUTPUTS
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Parameters of one WDM-crossbar instance.
+
+    Defaults give 16 x 16 x 16 = 4096 MACs/cycle at 5 GHz — a similar
+    silicon budget to the default Albireo for fair comparison.
+    """
+
+    scenario: ScalingScenario = CONSERVATIVE
+    tiles: int = 16
+    rows: int = 16
+    cols: int = 16
+    #: Analog integration depth before each column ADC fires.
+    integration_depth: int = 4
+    #: Symbols a sample-and-hold weight survives before re-conversion
+    #: (droop limit).  Bounds the weight-stationary amortization.
+    hold_cycles: int = 4096
+    clock_ghz: float = 5.0
+    global_buffer_kib: int = 1024
+    global_buffer_banks: int = 16
+    dram_technology: str = "ddr4"
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("tiles", "rows", "cols", "integration_depth",
+                     "hold_cycles", "global_buffer_kib",
+                     "global_buffer_banks", "bits"):
+            if getattr(self, name) < 1:
+                raise SpecError(f"CrossbarConfig.{name} must be >= 1")
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.tiles * self.rows * self.cols
+
+    @property
+    def global_buffer_bits(self) -> float:
+        return float(self.global_buffer_kib * KIBIBYTE)
+
+    @property
+    def bank_bits(self) -> float:
+        """Per-tile weight bank capacity: one weight per ring."""
+        return float(self.rows * self.cols * self.bits)
+
+    def with_scenario(self, scenario: ScalingScenario) -> "CrossbarConfig":
+        return replace(self, scenario=scenario)
+
+    def describe(self) -> str:
+        return (
+            f"Crossbar[{self.scenario.name}] {self.tiles} tiles x "
+            f"{self.rows}x{self.cols} rings = {self.peak_macs_per_cycle} "
+            f"MACs/cycle @ {self.clock_ghz:g} GHz; integration depth "
+            f"{self.integration_depth}, GB={self.global_buffer_kib} KiB"
+        )
+
+
+def build_crossbar_architecture(config: CrossbarConfig) -> Architecture:
+    """The crossbar node list; see the module docstring for the layout."""
+    nodes = (
+        StorageLevel(
+            name="DRAM", component="dram", domain=Domain.DE,
+            dataspaces={_W, _I, _O}, capacity_bits=None,
+        ),
+        StorageLevel(
+            name="GlobalBuffer", component="global_buffer", domain=Domain.DE,
+            dataspaces={_W, _I, _O}, capacity_bits=config.global_buffer_bits,
+        ),
+        SpatialFanout(
+            name="tiles", size=config.tiles,
+            allowed_dims={Dim.N, Dim.M, Dim.C, Dim.P, Dim.Q},
+            multicast={_W, _I},
+        ),
+        ConverterStage(
+            name="WeightDAC", component="weight_dac",
+            conversion=Conversion(Domain.DE, Domain.AE), dataspaces={_W},
+        ),
+        StorageLevel(
+            name="WeightBank", component="weight_bank", domain=Domain.AE,
+            dataspaces={_W}, capacity_bits=config.bank_bits,
+        ),
+        ConverterStage(
+            name="InputDAC", component="input_dac",
+            conversion=Conversion(Domain.DE, Domain.AE), dataspaces={_I},
+        ),
+        ConverterStage(
+            name="InputModulator", component="input_modulator",
+            conversion=Conversion(Domain.AE, Domain.AO), dataspaces={_I},
+        ),
+        SpatialFanout(
+            name="columns", size=config.cols,
+            allowed_dims={Dim.M},
+            multicast={_I},
+        ),
+        ConverterStage(
+            name="OutputADC", component="output_adc",
+            conversion=Conversion(Domain.AE, Domain.DE), dataspaces={_O},
+        ),
+        StorageLevel(
+            name="AEIntegrator", component="ae_integrator", domain=Domain.AE,
+            dataspaces={_O}, capacity_bits=float(config.bits),
+            allowed_temporal_dims={Dim.C, Dim.R, Dim.S},
+            max_accumulation_depth=float(config.integration_depth),
+        ),
+        ConverterStage(
+            name="OutputPhotodiode", component="output_photodiode",
+            conversion=Conversion(Domain.AO, Domain.AE), dataspaces={_O},
+        ),
+        SpatialFanout(
+            name="rows", size=config.rows,
+            allowed_dims={Dim.C, Dim.R, Dim.S},
+            reduction={_O},
+        ),
+        ComputeLevel(
+            name="RingMAC", component="ring_mac", domain=Domain.AO,
+            actions=(ComputeAction(component="laser", action="mac",
+                                   events_per_mac=1.0),),
+        ),
+    )
+    return Architecture(
+        name=f"crossbar-{config.scenario.name}",
+        nodes=nodes,
+        clock_ghz=config.clock_ghz,
+    )
+
+
+def build_crossbar_energy_table(config: CrossbarConfig) -> EnergyTable:
+    scenario = config.scenario
+    specs = [
+        ComponentSpec("dram", "dram", {
+            "technology": config.dram_technology,
+            "width_bits": config.bits,
+        }),
+        ComponentSpec("global_buffer", "sram", {
+            "capacity_bits": config.global_buffer_bits,
+            "width_bits": config.bits,
+            "banks": config.global_buffer_banks,
+        }),
+        ComponentSpec("weight_dac", "dac", {
+            "energy_pj_at_8bit": scenario.dac_pj_at_8bit,
+            "bits": config.bits,
+        }),
+        # The sample-and-hold bank: charge-domain storage per ring.
+        ComponentSpec("weight_bank", "analog_integrator", {}),
+        ComponentSpec("input_dac", "dac", {
+            "energy_pj_at_8bit": scenario.dac_pj_at_8bit,
+            "bits": config.bits,
+        }),
+        ComponentSpec("input_modulator", "mzm", {
+            "energy_pj": scenario.mzm_pj,
+        }),
+        ComponentSpec("output_photodiode", "photodiode", {
+            "energy_pj": scenario.photodiode_pj,
+        }),
+        ComponentSpec("output_adc", "adc", {
+            "fom_fj_per_step": scenario.adc_fom_fj_per_step,
+            "bits": config.bits,
+            "sample_rate_gsps": config.clock_ghz,
+        }),
+        ComponentSpec("ae_integrator", "analog_integrator", {}),
+        ComponentSpec("laser", "laser", {
+            "detector_fj": scenario.detector_fj,
+            "wall_plug_efficiency": scenario.laser_wall_plug_efficiency,
+            "fixed_loss_db": scenario.fixed_loss_db,
+            "broadcast_ports": config.cols,
+        }),
+        ComponentSpec("ring_mac", "constant", {
+            "energy_pj": 0.0, "actions": ("compute", "mac"),
+        }),
+    ]
+    return build_table(specs)
+
+
+#: Figure buckets matching Albireo's SYSTEM_BUCKETS for cross-system plots.
+CROSSBAR_BUCKETS = BucketScheme(
+    name="crossbar-system",
+    rules=(
+        component_rule("WeightDAC", "Weight DE/AE, AE/AO"),
+        component_rule("WeightBank", "Weight DE/AE, AE/AO"),
+        component_rule("InputDAC", "Input DE/AE, AE/AO"),
+        component_rule("InputModulator", "Input DE/AE, AE/AO"),
+        component_rule("OutputADC", "Output AO/AE, AE/DE"),
+        component_rule("OutputPhotodiode", "Output AO/AE, AE/DE"),
+        component_rule("laser", "Other AO"),
+        component_rule("AEIntegrator", "Other AO"),
+        component_rule("GlobalBuffer", "On-Chip Buffer"),
+        component_rule("DRAM", "DRAM"),
+    ),
+    default="Other AO",
+    order=("Other AO", "Weight DE/AE, AE/AO", "Input DE/AE, AE/AO",
+           "Output AO/AE, AE/DE", "On-Chip Buffer", "DRAM"),
+)
+
+
+def crossbar_constraints(config: CrossbarConfig) -> MappingConstraints:
+    """Integrator depth and sample-and-hold refresh budgets."""
+    return MappingConstraints(
+        storages={
+            "AEIntegrator": StorageConstraint(
+                max_temporal_product=config.integration_depth),
+            # Loops at the weight bank sweep inputs while weights stay
+            # resident; the hold limit caps that sweep length.
+            "WeightBank": StorageConstraint(
+                max_temporal_product=config.hold_cycles),
+        },
+    )
+
+
+def crossbar_reference_mapping(config: CrossbarConfig,
+                               layer: ConvLayer) -> Mapping:
+    """Deterministic weight-stationary reference mapping.
+
+    Spatial: C (and kernel dims) across rows, M across columns, leftovers
+    of M/C/pixels across tiles.  Temporal: reduction leftovers in the
+    integrator, a pixel sweep at the weight bank (weights resident),
+    buffer tiles sized to capacity, remainder at DRAM protecting weights.
+    """
+    dims = problem_dims(layer)
+    remaining = dict(dims)
+
+    def take(dim: Dim, cap: int) -> int:
+        factor = _largest_fitting_factor(remaining[dim],
+                                         min(remaining[dim], cap))
+        remaining[dim] = ceil_div(remaining[dim], factor)
+        return factor
+
+    # Rows serve the reduction dims: kernel window first, channels after.
+    row_budget = config.rows
+    r_sp = take(Dim.R, row_budget)
+    row_budget //= r_sp
+    s_sp = take(Dim.S, row_budget)
+    row_budget //= s_sp
+    c_sp = take(Dim.C, row_budget)
+    m_sp = take(Dim.M, config.cols)
+
+    tile_budget = config.tiles
+    tile_factors: Dict[Dim, int] = {}
+    for dim in (Dim.M, Dim.C, Dim.Q, Dim.P, Dim.N):
+        if tile_budget <= 1:
+            break
+        factor = take(dim, tile_budget)
+        if factor > 1:
+            tile_factors[dim] = factor
+            tile_budget //= factor
+
+    # No temporal loops at the integrator in the reference mapping: a
+    # weight-stationary crossbar cannot accumulate C-chunks in analog
+    # without the bank holding every chunk's weights simultaneously (the
+    # bank tile would multiply by the accumulation length and blow its
+    # capacity), so reduction leftovers merge digitally at the buffer.
+    # The mapper may still discover legal analog accumulation for layers
+    # whose weights fit (the capacity check arbitrates honestly).
+    integrator_factors: Dict[Dim, int] = {}
+
+    # Weight bank: weights stay put across the pixel/batch sweep.
+    bank_factors: Dict[Dim, int] = {}
+    hold = config.hold_cycles
+    for dim in (Dim.Q, Dim.P, Dim.N):
+        if hold <= 1:
+            break
+        factor = take(dim, hold)
+        if factor > 1:
+            bank_factors[dim] = factor
+            hold //= factor
+
+    # Global buffer: everything else that fits; shrink M/C first.
+    gb_factors = dict(remaining)
+    from repro.workloads.dataspace import dataspace_tile_size
+
+    spatial_cum = {Dim.R: r_sp, Dim.S: s_sp, Dim.C: c_sp, Dim.M: m_sp}
+    for dim, factor in tile_factors.items():
+        spatial_cum[dim] = spatial_cum.get(dim, 1) * factor
+
+    def occupancy(factors: Dict[Dim, int]) -> float:
+        bounds = {}
+        for dim in dims:
+            bounds[dim] = (factors.get(dim, 1) * spatial_cum.get(dim, 1)
+                           * integrator_factors.get(dim, 1)
+                           * bank_factors.get(dim, 1))
+        bits = 0.0
+        for dataspace in (_W, _I, _O):
+            width = (layer.bits_per_weight if dataspace is _W
+                     else layer.bits_per_activation)
+            bits += dataspace_tile_size(dataspace, bounds,
+                                        layer.strides) * width
+        return bits
+
+    capacity = config.global_buffer_bits * 0.95
+    for _ in range(256):
+        if occupancy(gb_factors) <= capacity:
+            break
+        largest = max((Dim.N, Dim.M, Dim.C, Dim.P, Dim.Q),
+                      key=lambda d: gb_factors.get(d, 1))
+        if gb_factors.get(largest, 1) <= 1:
+            break
+        gb_factors[largest] = ceil_div(gb_factors[largest], 2)
+
+    dram_factors = {dim: ceil_div(remaining[dim], gb_factors.get(dim, 1))
+                    for dim in dims}
+
+    def loops(factors: Dict[Dim, int],
+              order: Tuple[Dim, ...]) -> Tuple[TemporalLoop, ...]:
+        return tuple(TemporalLoop(dim, factors[dim])
+                     for dim in order if factors.get(dim, 1) > 1)
+
+    gb_order = (Dim.N, Dim.M, Dim.P, Dim.Q, Dim.C, Dim.R, Dim.S)
+    dram_order = (Dim.C, Dim.M, Dim.R, Dim.S, Dim.Q, Dim.P, Dim.N) \
+        if layer.weight_bits >= layer.input_bits \
+        else (Dim.R, Dim.S, Dim.C, Dim.Q, Dim.P, Dim.N, Dim.M)
+
+    levels = (
+        LevelMapping("DRAM", loops(dram_factors, dram_order)),
+        LevelMapping("GlobalBuffer", loops(gb_factors, gb_order)),
+        LevelMapping("WeightBank",
+                     loops(bank_factors, (Dim.N, Dim.P, Dim.Q))),
+        LevelMapping("AEIntegrator",
+                     loops(integrator_factors, (Dim.C, Dim.R, Dim.S))),
+    )
+    spatials = (
+        FanoutMapping("tiles", tile_factors),
+        FanoutMapping("columns", {Dim.M: m_sp} if m_sp > 1 else {}),
+        FanoutMapping("rows", {d: f for d, f in
+                               ((Dim.C, c_sp), (Dim.R, r_sp), (Dim.S, s_sp))
+                               if f > 1}),
+    )
+    return Mapping(levels=levels, spatials=spatials)
+
+
+class CrossbarSystem:
+    """The WDM crossbar ready to evaluate (mirrors :class:`AlbireoSystem`)."""
+
+    def __init__(self, config: Optional[CrossbarConfig] = None) -> None:
+        self.config = config or CrossbarConfig()
+        self.architecture = build_crossbar_architecture(self.config)
+        self.energy_table = build_crossbar_energy_table(self.config)
+        self.model = AcceleratorModel(self.architecture, self.energy_table)
+        self._mapping_cache: Dict[Tuple, Mapping] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def reference_mapping(self, layer: ConvLayer) -> Mapping:
+        key = (layer.n, layer.m, layer.c, layer.p, layer.q, layer.r,
+               layer.s, layer.stride_h, layer.stride_w, layer.groups)
+        cached = self._mapping_cache.get(key)
+        if cached is None:
+            cached = crossbar_reference_mapping(self.config, layer)
+            self._mapping_cache[key] = cached
+        return cached
+
+    def search_mapping(self, layer: ConvLayer,
+                       max_evaluations: int = 1000,
+                       seed: int = 0) -> MapperResult:
+        mapper = Mapper(
+            self.architecture,
+            cost_fn=self.model.energy_cost_fn(layer),
+            constraints=crossbar_constraints(self.config),
+        )
+        return mapper.search(
+            layer, max_evaluations=max_evaluations, seed=seed,
+            extra_candidates=(self.reference_mapping(layer),),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_layer(
+        self,
+        layer: ConvLayer,
+        mapping: Optional[Mapping] = None,
+        use_mapper: bool = False,
+        input_from_dram: bool = True,
+        output_to_dram: bool = True,
+    ) -> LayerEvaluation:
+        if mapping is None:
+            if use_mapper:
+                mapping = self.search_mapping(layer).mapping
+            else:
+                mapping = self.reference_mapping(layer)
+        return self.model.evaluate_layer(
+            layer, mapping,
+            input_from_dram=input_from_dram, output_to_dram=output_to_dram,
+        )
+
+    def evaluate_network(self, network: Network,
+                         fused: bool = False,
+                         use_mapper: bool = False) -> NetworkEvaluation:
+        evaluations = []
+        entries = network.entries
+        for index, entry in enumerate(entries):
+            is_last = index == len(entries) - 1
+            for input_dram, output_dram, count in fusion_blocks(
+                    entry, is_last, fused):
+                evaluation = self.evaluate_layer(
+                    entry.layer, use_mapper=use_mapper,
+                    input_from_dram=input_dram,
+                    output_to_dram=output_dram,
+                )
+                evaluations.append((evaluation, count))
+        return NetworkEvaluation(
+            name=network.name,
+            layers=tuple(evaluations),
+            clock_ghz=self.architecture.clock_ghz,
+            peak_parallelism=self.architecture.peak_parallelism,
+        )
+
+    def describe(self) -> str:
+        return self.config.describe() + "\n" + self.architecture.describe()

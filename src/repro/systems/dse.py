@@ -1,0 +1,242 @@
+"""Design-space exploration drivers for the paper's Figs. 4 and 5.
+
+These functions sweep Albireo configurations and return structured points;
+the experiment modules format them into the paper's figures and the
+benchmarks regenerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.energy.scaling import ScalingScenario
+from repro.model.results import NetworkEvaluation
+from repro.systems.albireo import AlbireoConfig, AlbireoSystem
+from repro.workloads.network import Network
+
+
+@dataclass(frozen=True)
+class ReuseExplorationPoint:
+    """One (OR, IR, variant) point of the Fig. 5 reuse exploration."""
+
+    output_reuse: int
+    input_reuse: int
+    weight_lanes: int
+    variant: str
+    evaluation: NetworkEvaluation
+
+    @property
+    def energy_per_mac_pj(self) -> float:
+        return self.evaluation.energy_per_mac_pj
+
+
+def sweep_reuse_factors(
+    network: Network,
+    base_config: AlbireoConfig,
+    output_reuse_values: Sequence[int] = (3, 9, 15),
+    input_reuse_values: Sequence[int] = (9, 27, 45),
+    weight_lane_variants: Sequence[Tuple[str, int]] = (
+        ("Original", 1), ("More Weight Reuse", 3),
+    ),
+    include_dram: bool = False,
+    use_mapper: bool = False,
+) -> List[ReuseExplorationPoint]:
+    """Evaluate ``network`` across the paper's Fig. 5 reuse grid.
+
+    Increasing ``star_ports`` (IR) multiplies the broadcast width, so the
+    cluster count is scaled down to hold the total MAC count approximately
+    constant — the paper explores reuse re-wirings of the same silicon
+    budget, not larger chips.  ``include_dram=False`` reproduces the
+    figure's accelerator-energy view.
+    """
+    base_parallelism = base_config.peak_macs_per_cycle
+    points: List[ReuseExplorationPoint] = []
+    for variant_name, weight_lanes in weight_lane_variants:
+        for input_reuse in input_reuse_values:
+            for output_reuse in output_reuse_values:
+                lane_scale = (input_reuse // base_config.star_ports) \
+                    * weight_lanes
+                clusters = max(1, base_config.clusters // lane_scale)
+                config = replace(
+                    base_config,
+                    star_ports=input_reuse,
+                    output_reuse=output_reuse,
+                    weight_lanes=weight_lanes,
+                    clusters=clusters,
+                )
+                system = AlbireoSystem(config)
+                evaluation = _evaluate(system, network, use_mapper,
+                                       include_dram)
+                points.append(ReuseExplorationPoint(
+                    output_reuse=output_reuse,
+                    input_reuse=input_reuse,
+                    weight_lanes=weight_lanes,
+                    variant=variant_name,
+                    evaluation=evaluation,
+                ))
+    return points
+
+
+@dataclass(frozen=True)
+class MemoryExplorationPoint:
+    """One (scaling, batching, fusion) point of the Fig. 4 exploration."""
+
+    scenario: ScalingScenario
+    batch: int
+    fused: bool
+    evaluation: NetworkEvaluation
+
+    @property
+    def label(self) -> str:
+        batching = "Batched" if self.batch > 1 else "Non-Batched"
+        fusion = "Fused" if self.fused else "Not Fused"
+        return f"{self.scenario.name}/{fusion}/{batching}"
+
+    @property
+    def energy_per_mac_pj(self) -> float:
+        return self.evaluation.energy_per_mac_pj
+
+
+def sweep_memory_options(
+    network: Network,
+    base_config: AlbireoConfig,
+    scenarios: Sequence[ScalingScenario],
+    batch_sizes: Sequence[int] = (1, 8),
+    fusion_options: Sequence[bool] = (False, True),
+    fused_buffer_kib: Optional[int] = None,
+    use_mapper: bool = False,
+) -> List[MemoryExplorationPoint]:
+    """Evaluate ``network`` across the paper's Fig. 4 memory-system grid.
+
+    Fusion keeps inter-layer activations on chip, which requires a global
+    buffer at least as large as the biggest resident footprint; unless
+    ``fused_buffer_kib`` overrides it, the fused configurations auto-size
+    the buffer to that footprint (rounded up to a power of two), paying the
+    higher per-access energy of the larger SRAM — the trade-off the paper
+    calls out.
+    """
+    points: List[MemoryExplorationPoint] = []
+    for scenario in scenarios:
+        for fused in fusion_options:
+            for batch in batch_sizes:
+                batched_network = (network.with_batch(batch)
+                                   if batch > 1 else network)
+                config = base_config.with_scenario(scenario)
+                if fused:
+                    required_kib = fused_buffer_kib
+                    if required_kib is None:
+                        required_bits = batched_network.max_activation_bits \
+                            * 1.25  # weight-tile headroom
+                        required_kib = _next_power_of_two_kib(required_bits)
+                    buffer_kib = max(config.global_buffer_kib, required_kib)
+                    # Larger fused buffers keep their bank size constant
+                    # (more banks), paying the H-tree growth term of the
+                    # SRAM model rather than quadratically longer bitlines.
+                    bank_kib = (config.global_buffer_kib
+                                // config.global_buffer_banks)
+                    config = replace(
+                        config,
+                        global_buffer_kib=buffer_kib,
+                        global_buffer_banks=max(config.global_buffer_banks,
+                                                buffer_kib // bank_kib),
+                    )
+                system = AlbireoSystem(config)
+                evaluation = system.evaluate_network(
+                    batched_network, fused=fused, use_mapper=use_mapper)
+                points.append(MemoryExplorationPoint(
+                    scenario=scenario, batch=batch, fused=fused,
+                    evaluation=evaluation,
+                ))
+    return points
+
+
+def _evaluate(system: AlbireoSystem, network: Network, use_mapper: bool,
+              include_dram: bool) -> NetworkEvaluation:
+    evaluation = system.evaluate_network(network, use_mapper=use_mapper)
+    if include_dram:
+        return evaluation
+    return _without_dram(evaluation)
+
+
+def _without_dram(evaluation: NetworkEvaluation) -> NetworkEvaluation:
+    """Drop DRAM entries (the accelerator-only view of Figs. 2 and 5)."""
+    from repro.model.results import EnergyBreakdown, LayerEvaluation
+
+    stripped = []
+    for layer_eval, count in evaluation.layers:
+        entries = {
+            key: value
+            for key, value in layer_eval.energy.entries().items()
+            if key[0] != "DRAM"
+        }
+        stripped.append((
+            LayerEvaluation(
+                layer=layer_eval.layer,
+                energy=EnergyBreakdown(entries),
+                cycles=layer_eval.cycles,
+                real_macs=layer_eval.real_macs,
+                padded_macs=layer_eval.padded_macs,
+                peak_parallelism=layer_eval.peak_parallelism,
+                clock_ghz=layer_eval.clock_ghz,
+                occupancy_bits=layer_eval.occupancy_bits,
+            ),
+            count,
+        ))
+    return NetworkEvaluation(
+        name=evaluation.name,
+        layers=tuple(stripped),
+        clock_ghz=evaluation.clock_ghz,
+        peak_parallelism=evaluation.peak_parallelism,
+    )
+
+
+def pareto_frontier(points, objectives):
+    """Return the Pareto-optimal subset of ``points``.
+
+    ``objectives`` maps each point to a tuple of costs (all minimized).
+    A point survives if no other point is at least as good on every
+    objective and strictly better on one.  Used by energy-vs-latency
+    configuration sweeps.
+
+    >>> pareto_frontier([(1, 5), (2, 2), (3, 3)], lambda p: p)
+    [(1, 5), (2, 2)]
+    """
+    points = list(points)
+    costs = [tuple(objectives(point)) for point in points]
+    frontier = []
+    for i, point in enumerate(points):
+        dominated = False
+        for j, other in enumerate(costs):
+            if j == i:
+                continue
+            if all(o <= c for o, c in zip(other, costs[i])) \
+                    and any(o < c for o, c in zip(other, costs[i])):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(point)
+    return frontier
+
+
+def sweep_configurations(
+    network: Network,
+    configs: Sequence[AlbireoConfig],
+    use_mapper: bool = False,
+) -> List[Tuple[AlbireoConfig, NetworkEvaluation]]:
+    """Evaluate ``network`` on every configuration (generic DSE driver)."""
+    results = []
+    for config in configs:
+        system = AlbireoSystem(config)
+        results.append((config,
+                        system.evaluate_network(network,
+                                                use_mapper=use_mapper)))
+    return results
+
+
+def _next_power_of_two_kib(bits: float) -> int:
+    kib = max(1, int(bits / 8192))
+    power = 1
+    while power < kib:
+        power *= 2
+    return power

@@ -1,0 +1,143 @@
+"""Unit conventions and helpers used throughout the model.
+
+The model works in a small set of base units, chosen so that the numbers
+that appear in the photonic-accelerator literature are convenient to read:
+
+* energy   — picojoules (pJ)
+* time     — nanoseconds (ns)
+* power    — milliwatts (mW); note 1 mW * 1 ns == 1 pJ, so the three units
+  are mutually consistent and power*time products need no conversion factor
+* area     — square micrometers (um^2)
+* distance — millimeters (mm), the natural scale of on-chip waveguides
+* data     — bits
+
+Optical losses and gains are handled in decibels with explicit conversion
+helpers, since mixing dB and linear values silently is the most common bug
+in photonic link-budget arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Energy prefixes, expressed in the base unit (picojoules).
+# ---------------------------------------------------------------------------
+PICOJOULE = 1.0
+FEMTOJOULE = 1e-3
+NANOJOULE = 1e3
+MICROJOULE = 1e6
+MILLIJOULE = 1e9
+JOULE = 1e12
+
+# ---------------------------------------------------------------------------
+# Time prefixes, expressed in the base unit (nanoseconds).
+# ---------------------------------------------------------------------------
+NANOSECOND = 1.0
+PICOSECOND = 1e-3
+MICROSECOND = 1e3
+MILLISECOND = 1e6
+SECOND = 1e9
+
+# ---------------------------------------------------------------------------
+# Power prefixes, expressed in the base unit (milliwatts).
+# 1 mW * 1 ns = 1e-3 W * 1e-9 s = 1e-12 J = 1 pJ, so POWER * TIME -> ENERGY
+# holds with no conversion factor.
+# ---------------------------------------------------------------------------
+MILLIWATT = 1.0
+MICROWATT = 1e-3
+WATT = 1e3
+
+# ---------------------------------------------------------------------------
+# Area, expressed in the base unit (square micrometers).
+# ---------------------------------------------------------------------------
+SQUARE_MICROMETER = 1.0
+SQUARE_MILLIMETER = 1e6
+
+# ---------------------------------------------------------------------------
+# Data sizes, expressed in the base unit (bits).
+# ---------------------------------------------------------------------------
+BIT = 1
+BYTE = 8
+KIBIBYTE = 8 * 1024
+MEBIBYTE = 8 * 1024 * 1024
+GIBIBYTE = 8 * 1024 * 1024 * 1024
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in decibels to a linear power ratio.
+
+    >>> db_to_linear(3.0103)  # doctest: +ELLIPSIS
+    2.0...
+    """
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises ``ValueError`` for non-positive ratios, which have no dB
+    representation; callers that can legitimately see a zero (for example an
+    unused optical path) should guard before converting.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"cannot express non-positive ratio {ratio!r} in dB")
+    return 10.0 * math.log10(ratio)
+
+
+def ghz_to_cycle_ns(frequency_ghz: float) -> float:
+    """Return the cycle time in nanoseconds of a clock at ``frequency_ghz``."""
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz!r}")
+    return 1.0 / frequency_ghz
+
+
+def format_energy(picojoules: float) -> str:
+    """Render an energy in the most readable SI prefix.
+
+    >>> format_energy(0.0005)
+    '0.500 fJ'
+    >>> format_energy(1234.5)
+    '1.234 nJ'
+    """
+    magnitude = abs(picojoules)
+    if magnitude < 1.0:
+        return f"{picojoules / FEMTOJOULE:.3f} fJ"
+    if magnitude < NANOJOULE:
+        return f"{picojoules:.3f} pJ"
+    if magnitude < MICROJOULE:
+        return f"{picojoules / NANOJOULE:.3f} nJ"
+    if magnitude < MILLIJOULE:
+        return f"{picojoules / MICROJOULE:.3f} uJ"
+    return f"{picojoules / MILLIJOULE:.3f} mJ"
+
+
+def format_bits(bits: float) -> str:
+    """Render a bit count with a binary prefix.
+
+    >>> format_bits(16 * 1024 * 8)
+    '16.0 KiB'
+    """
+    if bits < KIBIBYTE:
+        return f"{bits / BYTE:.1f} B"
+    if bits < MEBIBYTE:
+        return f"{bits / KIBIBYTE:.1f} KiB"
+    if bits < GIBIBYTE:
+        return f"{bits / MEBIBYTE:.1f} MiB"
+    return f"{bits / GIBIBYTE:.2f} GiB"
+
+
+def format_count(count: float) -> str:
+    """Render a large count with an SI suffix (K/M/G).
+
+    >>> format_count(1_820_000_000)
+    '1.82G'
+    """
+    magnitude = abs(count)
+    if magnitude < 1e3:
+        return f"{count:.0f}"
+    if magnitude < 1e6:
+        return f"{count / 1e3:.2f}K"
+    if magnitude < 1e9:
+        return f"{count / 1e6:.2f}M"
+    return f"{count / 1e9:.2f}G"

@@ -1,0 +1,154 @@
+"""Internal consistency checking of analysis results.
+
+Any correct Timeloop-style analysis must satisfy a set of conservation
+laws — compute demand served exactly, fills bounded below by distinct
+tensor volumes, output updates conserved level to level.
+:func:`check_consistency` verifies them for one analyzed mapping and
+returns human-readable violations (empty list = consistent).
+
+This exists as a library feature (not just test code) because users
+extending the architecture vocabulary — new fanout semantics, new storage
+behaviours — need a cheap way to detect when an extension breaks the
+bookkeeping.  The property-based test suite runs it across randomized
+workloads and mappings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.hierarchy import Architecture
+from repro.mapping.analysis import AccessCounts
+from repro.workloads.dataspace import DataSpace
+from repro.workloads.layer import ConvLayer
+
+_TOLERANCE = 1e-6
+
+
+def check_consistency(
+    architecture: Architecture,
+    layer: ConvLayer,
+    counts: AccessCounts,
+) -> List[str]:
+    """Return conservation-law violations for one analysis result."""
+    problems: List[str] = []
+    problems.extend(_check_cycles(counts))
+    problems.extend(_check_compute_demand(architecture, counts))
+    problems.extend(_check_fill_lower_bounds(architecture, layer, counts))
+    problems.extend(_check_output_conservation(architecture, layer, counts))
+    problems.extend(_check_nonnegative(counts))
+    return problems
+
+
+def assert_consistent(architecture: Architecture, layer: ConvLayer,
+                      counts: AccessCounts) -> None:
+    """Raise ``AssertionError`` listing any conservation-law violations."""
+    problems = check_consistency(architecture, layer, counts)
+    if problems:
+        raise AssertionError(
+            "analysis inconsistencies:\n  " + "\n  ".join(problems))
+
+
+# ---------------------------------------------------------------------------
+# Individual laws
+# ---------------------------------------------------------------------------
+
+def _check_cycles(counts: AccessCounts) -> List[str]:
+    problems = []
+    if counts.cycles < 1:
+        problems.append(f"cycles must be >= 1, got {counts.cycles}")
+    if counts.padded_macs < counts.real_macs:
+        problems.append(
+            f"padded MACs {counts.padded_macs} below real "
+            f"{counts.real_macs}")
+    if not 0.0 < counts.padding_utilization <= 1.0 + _TOLERANCE:
+        problems.append(
+            f"padding utilization {counts.padding_utilization} out of "
+            f"(0, 1]")
+    if counts.effective_cycles + _TOLERANCE < counts.cycles:
+        problems.append("effective cycles below compute cycles")
+    return problems
+
+
+def _check_compute_demand(architecture: Architecture,
+                          counts: AccessCounts) -> List[str]:
+    """The innermost storage of W and I serves >= one read per MAC
+    divided by the total multicast capacity below it (and at most one
+    per MAC)."""
+    problems = []
+    for dataspace in (DataSpace.WEIGHTS, DataSpace.INPUTS):
+        inner = architecture.storage_for(dataspace)[-1]
+        reads = counts.storage[inner.name].reads.get(dataspace, 0.0)
+        if reads > counts.padded_macs * (1 + _TOLERANCE):
+            problems.append(
+                f"{inner.name} serves {reads} {dataspace.value} reads, "
+                f"more than one per MAC")
+        max_multicast = 1
+        for fanout in architecture.fanouts_below(inner.name):
+            if dataspace in fanout.multicast:
+                max_multicast *= fanout.size
+        if reads * max_multicast < counts.padded_macs * (1 - _TOLERANCE):
+            problems.append(
+                f"{inner.name} serves only {reads} {dataspace.value} "
+                f"reads for {counts.padded_macs} MACs with multicast "
+                f"capacity {max_multicast}")
+    return problems
+
+
+def _check_fill_lower_bounds(architecture: Architecture, layer: ConvLayer,
+                             counts: AccessCounts) -> List[str]:
+    """Backing-store reads cannot beat distinct-tensor volumes."""
+    problems = []
+    outer = architecture.storage_levels[0]
+    outer_counts = counts.storage[outer.name]
+    weight_elements = ((layer.m // layer.groups)
+                       * (layer.c // layer.groups) * layer.r * layer.s)
+    reads_w = outer_counts.reads.get(DataSpace.WEIGHTS, 0.0)
+    if reads_w and reads_w < weight_elements * (1 - _TOLERANCE):
+        problems.append(
+            f"{outer.name} reads {reads_w} weights, below the distinct "
+            f"volume {weight_elements}")
+    return problems
+
+
+def _check_output_conservation(architecture: Architecture, layer: ConvLayer,
+                               counts: AccessCounts) -> List[str]:
+    """Final output writebacks cover the output tensor; every level's
+    output writes are at least its writebacks upstream."""
+    problems = []
+    output_elements = (layer.n * (layer.m // layer.groups)
+                       * layer.p * layer.q)
+    outer = architecture.storage_levels[0]
+    writes = counts.storage[outer.name].writes.get(DataSpace.OUTPUTS, 0.0)
+    if writes and writes < output_elements * (1 - _TOLERANCE):
+        problems.append(
+            f"{outer.name} receives {writes} output writes, below the "
+            f"tensor volume {output_elements}")
+    for level in architecture.storage_for(DataSpace.OUTPUTS):
+        level_counts = counts.storage[level.name]
+        reads = level_counts.reads.get(DataSpace.OUTPUTS, 0.0)
+        level_writes = level_counts.writes.get(DataSpace.OUTPUTS, 0.0)
+        if reads > level_writes * (1 + _TOLERANCE):
+            problems.append(
+                f"{level.name} reads more output elements ({reads}) than "
+                f"were ever written ({level_writes})")
+    return problems
+
+
+def _check_nonnegative(counts: AccessCounts) -> List[str]:
+    problems = []
+    for name, storage in counts.storage.items():
+        for kind, mapping in (("read", storage.reads),
+                              ("write", storage.writes)):
+            for dataspace, value in mapping.items():
+                if value < -_TOLERANCE:
+                    problems.append(
+                        f"{name} has negative {dataspace.value} "
+                        f"{kind}s: {value}")
+    for converter, events in counts.conversions.items():
+        for dataspace, value in events.items():
+            if value < -_TOLERANCE:
+                problems.append(
+                    f"{converter} has negative {dataspace.value} "
+                    f"conversions: {value}")
+    return problems

@@ -1,0 +1,69 @@
+"""DNN workload definitions.
+
+This package describes *what* is computed: convolutional and fully-connected
+layer shapes, the three dataspaces (weights, inputs, outputs) each layer
+touches, and whole networks assembled from layers.  Analytical accelerator
+models only need tensor *shapes*, never tensor values, so a workload here is
+purely a shape-level object.
+
+Public surface:
+
+* :class:`~repro.workloads.dims.Dim` — the seven canonical convolution loop
+  dimensions (N, M, C, P, Q, R, S).
+* :class:`~repro.workloads.layer.ConvLayer` — a single convolution /
+  fully-connected layer.
+* :class:`~repro.workloads.dataspace.DataSpace` — weights / inputs / outputs.
+* :class:`~repro.workloads.network.Network` — an ordered set of layers.
+* :mod:`~repro.workloads.models` — VGG16, AlexNet, ResNet18, and small test
+  networks used by the paper's experiments.
+"""
+
+from repro.workloads.dataspace import (
+    ALL_DATASPACES,
+    DataSpace,
+    dataspace_tile_size,
+    relevant_dims,
+    reduction_dims,
+)
+from repro.workloads.dims import ALL_DIMS, Dim
+from repro.workloads.layer import ConvLayer, dense_layer, depthwise_layer
+from repro.workloads.models import (
+    alexnet,
+    lenet5,
+    mobilenet_v1,
+    resnet18,
+    tiny_cnn,
+    vgg16,
+)
+from repro.workloads.network import LayerRepetition, Network
+from repro.workloads.spec import (
+    layer_from_dict,
+    layer_to_dict,
+    network_from_dict,
+    network_to_dict,
+)
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "layer_to_dict",
+    "layer_from_dict",
+    "ALL_DATASPACES",
+    "ALL_DIMS",
+    "ConvLayer",
+    "DataSpace",
+    "Dim",
+    "LayerRepetition",
+    "Network",
+    "alexnet",
+    "dataspace_tile_size",
+    "dense_layer",
+    "depthwise_layer",
+    "lenet5",
+    "mobilenet_v1",
+    "reduction_dims",
+    "relevant_dims",
+    "resnet18",
+    "tiny_cnn",
+    "vgg16",
+]

@@ -1,0 +1,78 @@
+"""Canonical loop dimensions for convolutional workloads.
+
+We use the Timeloop naming convention, which the paper's toolchain
+(CiMLoop -> Timeloop) also uses:
+
+=====  =============================================
+Dim    Meaning
+=====  =============================================
+``N``  batch size
+``M``  output channels (number of filters)
+``C``  input channels
+``P``  output feature-map height
+``Q``  output feature-map width
+``R``  filter height
+``S``  filter width
+=====  =============================================
+
+A dense (fully-connected) layer is the special case
+``P = Q = R = S = 1`` with ``M`` outputs and ``C`` inputs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class Dim(str, Enum):
+    """One of the seven canonical convolution loop dimensions."""
+
+    N = "N"
+    M = "M"
+    C = "C"
+    P = "P"
+    Q = "Q"
+    R = "R"
+    S = "S"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Dim.{self.value}"
+
+
+#: All dimensions in canonical order (the order used for default loop nests).
+ALL_DIMS: Tuple[Dim, ...] = (
+    Dim.N,
+    Dim.M,
+    Dim.C,
+    Dim.P,
+    Dim.Q,
+    Dim.R,
+    Dim.S,
+)
+
+
+def full_dim_map(bounds: Mapping[Dim, int]) -> Dict[Dim, int]:
+    """Return a dict with an entry for every dimension, defaulting to 1.
+
+    Mapping and tiling code frequently works with partial dimension maps
+    (e.g. "tile C by 4, Q by 7"); this helper normalizes them so downstream
+    arithmetic never needs ``.get(dim, 1)`` sprinkled everywhere.
+    """
+    normalized = {dim: 1 for dim in ALL_DIMS}
+    for dim, bound in bounds.items():
+        if bound < 1:
+            raise ValueError(f"dimension {dim} must have bound >= 1, got {bound}")
+        normalized[Dim(dim)] = int(bound)
+    return normalized
+
+
+def product_of(bounds: Mapping[Dim, int], dims: Iterable[Dim]) -> int:
+    """Product of ``bounds`` over ``dims`` (missing dims count as 1)."""
+    result = 1
+    for dim in dims:
+        result *= int(bounds.get(dim, 1))
+    return result

@@ -1,0 +1,229 @@
+"""Single-layer workload shapes.
+
+:class:`ConvLayer` captures everything the analytical model needs to know
+about one DNN layer: the seven loop bounds, strides, and datatype widths.
+Helper constructors cover the common layer families (dense, depthwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.workloads.dims import Dim
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """Shape of a 2-D convolution (or fully-connected) layer.
+
+    Parameters follow the Timeloop convention (see :mod:`repro.workloads.dims`).
+    The input feature-map size is derived, not stored: for unit dilation,
+    ``H = (P - 1) * stride_h + R`` and ``W = (Q - 1) * stride_w + S``.
+
+    ``groups`` models grouped convolution (AlexNet's historical two-GPU
+    split, ResNeXt, depthwise): input channels ``C`` and output channels
+    ``M`` are both *per-layer totals*, and each output channel only sees
+    ``C / groups`` input channels.  MAC counts and weight sizes account
+    for this.
+
+    ``bits_per_weight`` / ``bits_per_activation`` set datatype widths; the
+    photonic systems modeled in the paper use 8-bit symbols end to end.
+    """
+
+    name: str
+    n: int = 1
+    m: int = 1
+    c: int = 1
+    p: int = 1
+    q: int = 1
+    r: int = 1
+    s: int = 1
+    stride_h: int = 1
+    stride_w: int = 1
+    groups: int = 1
+    bits_per_weight: int = 8
+    bits_per_activation: int = 8
+    #: Free-form tag used by network builders ("conv", "fc", "pointwise", ...).
+    kind: str = field(default="conv", compare=False)
+
+    def __post_init__(self) -> None:
+        for attribute in ("n", "m", "c", "p", "q", "r", "s",
+                          "stride_h", "stride_w", "groups",
+                          "bits_per_weight", "bits_per_activation"):
+            value = getattr(self, attribute)
+            if not isinstance(value, int) or value < 1:
+                raise WorkloadError(
+                    f"layer {self.name!r}: {attribute} must be a positive "
+                    f"integer, got {value!r}"
+                )
+        if self.m % self.groups != 0 or self.c % self.groups != 0:
+            raise WorkloadError(
+                f"layer {self.name!r}: groups={self.groups} must divide both "
+                f"M={self.m} and C={self.c}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def input_h(self) -> int:
+        """Input feature-map height implied by P, R, and the stride."""
+        return (self.p - 1) * self.stride_h + self.r
+
+    @property
+    def input_w(self) -> int:
+        """Input feature-map width implied by Q, S, and the stride."""
+        return (self.q - 1) * self.stride_w + self.s
+
+    @property
+    def dims(self) -> Dict[Dim, int]:
+        """The seven loop bounds as a dimension map."""
+        return {
+            Dim.N: self.n,
+            Dim.M: self.m,
+            Dim.C: self.c,
+            Dim.P: self.p,
+            Dim.Q: self.q,
+            Dim.R: self.r,
+            Dim.S: self.s,
+        }
+
+    @property
+    def strides(self) -> Tuple[int, int]:
+        return (self.stride_h, self.stride_w)
+
+    # ------------------------------------------------------------------
+    # Work and tensor volumes
+    # ------------------------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations required by this layer."""
+        per_group_c = self.c // self.groups
+        return self.n * self.m * per_group_c * self.p * self.q * self.r * self.s
+
+    @property
+    def weight_elements(self) -> int:
+        return self.m * (self.c // self.groups) * self.r * self.s
+
+    @property
+    def input_elements(self) -> int:
+        return self.n * self.c * self.input_h * self.input_w
+
+    @property
+    def output_elements(self) -> int:
+        return self.n * self.m * self.p * self.q
+
+    @property
+    def weight_bits(self) -> int:
+        return self.weight_elements * self.bits_per_weight
+
+    @property
+    def input_bits(self) -> int:
+        return self.input_elements * self.bits_per_activation
+
+    @property
+    def output_bits(self) -> int:
+        return self.output_elements * self.bits_per_activation
+
+    # ------------------------------------------------------------------
+    # Classification helpers used by utilization modeling
+    # ------------------------------------------------------------------
+    @property
+    def is_fully_connected(self) -> bool:
+        """True if the layer has no spatial structure (P=Q=R=S=1)."""
+        return self.p == 1 and self.q == 1 and self.r == 1 and self.s == 1
+
+    @property
+    def is_strided(self) -> bool:
+        return self.stride_h > 1 or self.stride_w > 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        """True for 1x1 convolutions with spatial outputs."""
+        return self.r == 1 and self.s == 1 and not self.is_fully_connected
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.groups == self.c and self.groups == self.m and self.groups > 1
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_batch(self, n: int) -> "ConvLayer":
+        """Return a copy of this layer with batch size ``n``."""
+        if n < 1:
+            raise WorkloadError(f"batch size must be >= 1, got {n}")
+        return replace(self, n=n)
+
+    def ungrouped(self) -> "ConvLayer":
+        """Return an equivalent layer with ``groups=1``.
+
+        The per-group channel count is preserved so MAC counts match; this
+        is the approximation used when an architecture has no native support
+        for grouped convolution.
+        """
+        if self.groups == 1:
+            return self
+        return replace(self, c=self.c // self.groups, groups=1)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        shape = (
+            f"N={self.n} M={self.m} C={self.c} "
+            f"P={self.p} Q={self.q} R={self.r} S={self.s}"
+        )
+        extras = []
+        if self.is_strided:
+            extras.append(f"stride={self.stride_h}x{self.stride_w}")
+        if self.groups > 1:
+            extras.append(f"groups={self.groups}")
+        suffix = (" [" + ", ".join(extras) + "]") if extras else ""
+        return f"{self.name}: {shape}{suffix}"
+
+
+def dense_layer(
+    name: str,
+    in_features: int,
+    out_features: int,
+    batch: int = 1,
+    bits: int = 8,
+) -> ConvLayer:
+    """Build a fully-connected layer as the canonical degenerate convolution."""
+    return ConvLayer(
+        name=name,
+        n=batch,
+        m=out_features,
+        c=in_features,
+        bits_per_weight=bits,
+        bits_per_activation=bits,
+        kind="fc",
+    )
+
+
+def depthwise_layer(
+    name: str,
+    channels: int,
+    p: int,
+    q: int,
+    r: int = 3,
+    s: int = 3,
+    stride: int = 1,
+    batch: int = 1,
+) -> ConvLayer:
+    """Build a depthwise convolution (one filter per channel)."""
+    return ConvLayer(
+        name=name,
+        n=batch,
+        m=channels,
+        c=channels,
+        p=p,
+        q=q,
+        r=r,
+        s=s,
+        stride_h=stride,
+        stride_w=stride,
+        groups=channels,
+        kind="depthwise",
+    )

@@ -1,0 +1,204 @@
+"""Model zoo: the DNN workloads used by the paper's experiments.
+
+The paper evaluates three ImageNet-era networks:
+
+* **VGG16** (Simonyan & Zisserman 2015) — throughput validation, Fig. 3.
+* **AlexNet** (Krizhevsky et al. 2012) — throughput validation, Fig. 3; its
+  strided 11x11 first layer and large FC layers are the under-utilization
+  case study.
+* **ResNet18** (He et al. 2016) — the full-system energy workload of
+  Figs. 4 and 5.
+
+Shapes assume the standard 224x224 (227x227 for AlexNet) ImageNet input,
+8-bit weights and activations (the photonic symbol width used throughout
+the paper), and batch size 1 unless rebatched with
+:meth:`~repro.workloads.network.Network.with_batch`.
+
+Reference MAC counts (used as test oracles): VGG16 ~= 15.47 G, AlexNet
+~= 0.72 G (with its historical grouped convolutions), ResNet18 ~= 1.81 G.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layer import ConvLayer, dense_layer, depthwise_layer
+from repro.workloads.network import LayerRepetition, Network
+
+
+def vgg16(batch: int = 1) -> Network:
+    """VGG16: thirteen 3x3 stride-1 convolutions plus three FC layers.
+
+    Every convolution is an unstrided 3x3 — the layer family Albireo's
+    locally-connected photonic fabric is designed for, which is why the
+    paper finds near-ideal throughput on this network.
+    """
+    def conv(name: str, c: int, m: int, hw: int) -> ConvLayer:
+        return ConvLayer(name=name, n=batch, m=m, c=c, p=hw, q=hw, r=3, s=3)
+
+    layers: List[ConvLayer] = [
+        conv("conv1_1", 3, 64, 224),
+        conv("conv1_2", 64, 64, 224),
+        conv("conv2_1", 64, 128, 112),
+        conv("conv2_2", 128, 128, 112),
+        conv("conv3_1", 128, 256, 56),
+        conv("conv3_2", 256, 256, 56),
+        conv("conv3_3", 256, 256, 56),
+        conv("conv4_1", 256, 512, 28),
+        conv("conv4_2", 512, 512, 28),
+        conv("conv4_3", 512, 512, 28),
+        conv("conv5_1", 512, 512, 14),
+        conv("conv5_2", 512, 512, 14),
+        conv("conv5_3", 512, 512, 14),
+        dense_layer("fc6", 25088, 4096, batch=batch),
+        dense_layer("fc7", 4096, 4096, batch=batch),
+        dense_layer("fc8", 4096, 1000, batch=batch),
+    ]
+    return Network.from_layers("VGG16", layers)
+
+
+def alexnet(batch: int = 1) -> Network:
+    """AlexNet with its historical grouped convolutions.
+
+    The 11x11 stride-4 first layer and the three large FC layers are the
+    shapes the paper identifies as severely under-utilizing Albireo.
+    """
+    layers = [
+        ConvLayer(name="conv1", n=batch, m=96, c=3, p=55, q=55, r=11, s=11,
+                  stride_h=4, stride_w=4),
+        ConvLayer(name="conv2", n=batch, m=256, c=96, p=27, q=27, r=5, s=5,
+                  groups=2),
+        ConvLayer(name="conv3", n=batch, m=384, c=256, p=13, q=13, r=3, s=3),
+        ConvLayer(name="conv4", n=batch, m=384, c=384, p=13, q=13, r=3, s=3,
+                  groups=2),
+        ConvLayer(name="conv5", n=batch, m=256, c=384, p=13, q=13, r=3, s=3,
+                  groups=2),
+        dense_layer("fc6", 9216, 4096, batch=batch),
+        dense_layer("fc7", 4096, 4096, batch=batch),
+        dense_layer("fc8", 4096, 1000, batch=batch),
+    ]
+    return Network.from_layers("AlexNet", layers)
+
+
+def resnet18(batch: int = 1) -> Network:
+    """ResNet18 with residual-block liveness annotations.
+
+    Each basic block's skip tensor must stay resident while the block's two
+    convolutions execute; ``resident_extra_bits`` carries that cost into the
+    fused-execution buffer-sizing analysis of the paper's Fig. 4.
+
+    Downsample (1x1 stride-2 projection) convolutions of the first block in
+    stages 2-4 are included: they are pointwise *and* strided, which matters
+    for utilization.
+    """
+    bits = 8
+
+    def conv(name: str, c: int, m: int, hw: int, stride: int = 1,
+             r: int = 3, skip_bits: int = 0) -> LayerRepetition:
+        layer = ConvLayer(name=name, n=batch, m=m, c=c, p=hw, q=hw, r=r, s=r,
+                          stride_h=stride, stride_w=stride)
+        return LayerRepetition(layer=layer, count=1,
+                               resident_extra_bits=skip_bits)
+
+    def skip(c: int, hw: int) -> int:
+        """Bits of the residual tensor that stays live across a block."""
+        return batch * c * hw * hw * bits
+
+    entries: List[LayerRepetition] = []
+    # Stem: 7x7 stride-2 convolution reading the image from DRAM.
+    stem = ConvLayer(name="conv1", n=batch, m=64, c=3, p=112, q=112, r=7, s=7,
+                     stride_h=2, stride_w=2)
+    entries.append(LayerRepetition(layer=stem, count=1,
+                                   consumes_previous_output=False))
+    # Stage 1: two basic blocks at 56x56, 64 channels (after max-pool).
+    for block in (1, 2):
+        entries.append(conv(f"layer1.{block}.conv1", 64, 64, 56,
+                            skip_bits=skip(64, 56)))
+        entries.append(conv(f"layer1.{block}.conv2", 64, 64, 56,
+                            skip_bits=skip(64, 56)))
+    # Stages 2-4 halve resolution and double channels; the first block of
+    # each stage strides and carries a 1x1 downsample projection.
+    stage_shapes = ((2, 128, 28), (3, 256, 14), (4, 512, 7))
+    for stage, channels, hw in stage_shapes:
+        in_channels = channels // 2
+        entries.append(conv(f"layer{stage}.1.conv1", in_channels, channels, hw,
+                            stride=2, skip_bits=skip(in_channels, hw * 2)))
+        entries.append(conv(f"layer{stage}.1.conv2", channels, channels, hw,
+                            skip_bits=skip(channels, hw)))
+        entries.append(conv(f"layer{stage}.1.downsample", in_channels, channels,
+                            hw, stride=2, r=1,
+                            skip_bits=skip(in_channels, hw * 2)))
+        entries.append(conv(f"layer{stage}.2.conv1", channels, channels, hw,
+                            skip_bits=skip(channels, hw)))
+        entries.append(conv(f"layer{stage}.2.conv2", channels, channels, hw,
+                            skip_bits=skip(channels, hw)))
+    # Classifier.
+    entries.append(LayerRepetition(layer=dense_layer("fc", 512, 1000,
+                                                     batch=batch), count=1))
+    return Network(name="ResNet18", entries=tuple(entries))
+
+
+def lenet5(batch: int = 1) -> Network:
+    """LeNet-5 on 32x32 inputs — a small workload for tutorials and tests."""
+    layers = [
+        ConvLayer(name="conv1", n=batch, m=6, c=1, p=28, q=28, r=5, s=5),
+        ConvLayer(name="conv2", n=batch, m=16, c=6, p=10, q=10, r=5, s=5),
+        dense_layer("fc1", 400, 120, batch=batch),
+        dense_layer("fc2", 120, 84, batch=batch),
+        dense_layer("fc3", 84, 10, batch=batch),
+    ]
+    return Network.from_layers("LeNet5", layers)
+
+
+def mobilenet_v1(batch: int = 1, width_multiplier: float = 1.0) -> Network:
+    """MobileNetV1: depthwise-separable convolutions on 224x224 inputs.
+
+    A deliberately adversarial workload for broadcast-photonic fabrics:
+    depthwise layers have one input channel per filter (no WDM channel
+    parallelism, no input-broadcast sharing across output channels), and
+    pointwise (1x1) layers cannot use the window-site array.  Reference
+    MAC count at width 1.0: ~0.57 G.
+    """
+    def channels(base: int) -> int:
+        return max(1, int(base * width_multiplier))
+
+    entries: List[LayerRepetition] = []
+    stem = ConvLayer(name="conv1", n=batch, m=channels(32), c=3,
+                     p=112, q=112, r=3, s=3, stride_h=2, stride_w=2)
+    entries.append(LayerRepetition(layer=stem, count=1,
+                                   consumes_previous_output=False))
+    # (input channels, output channels, output spatial size, dw stride)
+    # per depthwise-separable block.
+    blocks = [
+        (32, 64, 112, 1),
+        (64, 128, 56, 2), (128, 128, 56, 1),
+        (128, 256, 28, 2), (256, 256, 28, 1),
+        (256, 512, 14, 2),
+        (512, 512, 14, 1), (512, 512, 14, 1), (512, 512, 14, 1),
+        (512, 512, 14, 1), (512, 512, 14, 1),
+        (512, 1024, 7, 2), (1024, 1024, 7, 1),
+    ]
+    for index, (c_in, c_out, out_hw, stride) in enumerate(blocks, start=2):
+        dw = depthwise_layer(f"conv{index}.dw", channels(c_in),
+                             p=out_hw, q=out_hw,
+                             stride=stride, batch=batch)
+        entries.append(LayerRepetition(layer=dw, count=1))
+        pw = ConvLayer(name=f"conv{index}.pw", n=batch,
+                       m=channels(c_out), c=channels(c_in),
+                       p=out_hw, q=out_hw, r=1, s=1)
+        entries.append(LayerRepetition(layer=pw, count=1))
+    entries.append(LayerRepetition(
+        layer=dense_layer("fc", channels(1024), 1000, batch=batch),
+        count=1))
+    return Network(name="MobileNetV1", entries=tuple(entries))
+
+
+def tiny_cnn(batch: int = 1) -> Network:
+    """A three-layer CNN small enough for exhaustive mapper search in tests."""
+    layers = [
+        ConvLayer(name="conv1", n=batch, m=8, c=3, p=16, q=16, r=3, s=3),
+        ConvLayer(name="conv2", n=batch, m=16, c=8, p=8, q=8, r=3, s=3,
+                  stride_h=2, stride_w=2),
+        dense_layer("fc", 16 * 8 * 8, 10, batch=batch),
+    ]
+    return Network.from_layers("TinyCNN", layers)

@@ -1,0 +1,201 @@
+"""Whole-network workloads: ordered layers plus inter-layer tensor flow.
+
+A :class:`Network` is an ordered sequence of layers with enough connectivity
+information for two system-level analyses the paper performs:
+
+* **DRAM traffic accounting** (paper Fig. 4): each layer's inputs come either
+  from DRAM or, under layer *fusion*, from the on-chip global buffer where
+  the previous layer left them.
+* **Throughput aggregation** (paper Fig. 3): total MACs / total cycles over
+  all layers.
+
+Networks in the model zoo mark repeated layer shapes with a
+:class:`LayerRepetition` count instead of duplicating evaluation work —
+layers with identical shapes have identical energy/latency, so evaluating
+one and multiplying is exact and makes whole-network evaluation fast
+(which is itself one of the paper's claims about the modeling approach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class LayerRepetition:
+    """A layer shape plus how many times it appears consecutively."""
+
+    layer: ConvLayer
+    count: int = 1
+    #: True when the layer's input tensor is produced by the previous layer
+    #: (and can therefore stay on-chip under fusion).  The first layer of a
+    #: network reads the image from DRAM and has this set to False.
+    consumes_previous_output: bool = True
+    #: Extra resident tensor bits required while this layer runs, on top of
+    #: its own input/output tiles — used to model residual (skip) connections
+    #: whose source activation must stay live across the block.
+    resident_extra_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise WorkloadError(
+                f"layer {self.layer.name!r}: repetition count must be >= 1"
+            )
+        if self.resident_extra_bits < 0:
+            raise WorkloadError(
+                f"layer {self.layer.name!r}: resident_extra_bits must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class Network:
+    """An ordered DNN workload.
+
+    ``entries`` lists unique layer shapes in execution order with repetition
+    counts.  Iterating the network yields ``(layer, count)`` pairs; helper
+    properties aggregate MACs and tensor volumes for the whole network.
+    """
+
+    name: str
+    entries: Tuple[LayerRepetition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WorkloadError(f"network {self.name!r} has no layers")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_layers(
+        name: str,
+        layers: Sequence[ConvLayer],
+        first_reads_dram: bool = True,
+    ) -> "Network":
+        """Build a network from a flat layer list, merging repeated shapes.
+
+        Consecutive layers with identical shape (everything except the name)
+        are merged into one :class:`LayerRepetition`.
+        """
+        if not layers:
+            raise WorkloadError(f"network {name!r} has no layers")
+        entries: List[LayerRepetition] = []
+        for index, layer in enumerate(layers):
+            consumes_previous = index > 0 or not first_reads_dram
+            if entries and _same_shape(entries[-1].layer, layer) and consumes_previous:
+                previous = entries[-1]
+                entries[-1] = LayerRepetition(
+                    layer=previous.layer,
+                    count=previous.count + 1,
+                    consumes_previous_output=previous.consumes_previous_output,
+                    resident_extra_bits=previous.resident_extra_bits,
+                )
+            else:
+                entries.append(
+                    LayerRepetition(
+                        layer=layer,
+                        count=1,
+                        consumes_previous_output=consumes_previous,
+                    )
+                )
+        return Network(name=name, entries=tuple(entries))
+
+    def with_batch(self, batch: int) -> "Network":
+        """Return a copy of the network with every layer at batch size ``batch``."""
+        entries = tuple(
+            LayerRepetition(
+                layer=entry.layer.with_batch(batch),
+                count=entry.count,
+                consumes_previous_output=entry.consumes_previous_output,
+                resident_extra_bits=entry.resident_extra_bits * batch,
+            )
+            for entry in self.entries
+        )
+        return Network(name=self.name, entries=entries)
+
+    def map_layers(self, transform: Callable[[ConvLayer], ConvLayer]) -> "Network":
+        """Return a copy with ``transform`` applied to every layer shape."""
+        entries = tuple(
+            LayerRepetition(
+                layer=transform(entry.layer),
+                count=entry.count,
+                consumes_previous_output=entry.consumes_previous_output,
+                resident_extra_bits=entry.resident_extra_bits,
+            )
+            for entry in self.entries
+        )
+        return Network(name=self.name, entries=entries)
+
+    # ------------------------------------------------------------------
+    # Iteration and aggregate statistics
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[LayerRepetition]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        """Total number of layers, counting repetitions."""
+        return sum(entry.count for entry in self.entries)
+
+    @property
+    def unique_layer_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(entry.layer.macs * entry.count for entry in self.entries)
+
+    @property
+    def total_weight_bits(self) -> int:
+        return sum(entry.layer.weight_bits * entry.count for entry in self.entries)
+
+    @property
+    def total_input_bits(self) -> int:
+        """Sum of every layer's input tensor size (inter-layer tensors counted
+        once per consumer, as a DRAM-traffic upper bound for unfused execution)."""
+        return sum(entry.layer.input_bits * entry.count for entry in self.entries)
+
+    @property
+    def total_output_bits(self) -> int:
+        return sum(entry.layer.output_bits * entry.count for entry in self.entries)
+
+    @property
+    def max_activation_bits(self) -> int:
+        """Largest simultaneous input+output+residual footprint of any layer.
+
+        This is the global-buffer capacity a fused execution needs to keep
+        inter-layer activations on chip (paper Fig. 4's "larger global
+        buffer" cost of fusion).
+        """
+        footprint = 0
+        for entry in self.entries:
+            layer_bits = (
+                entry.layer.input_bits
+                + entry.layer.output_bits
+                + entry.resident_extra_bits
+            )
+            footprint = max(footprint, layer_bits)
+        return footprint
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the network."""
+        lines = [f"{self.name}: {len(self)} layers, {self.total_macs:,} MACs"]
+        for entry in self.entries:
+            prefix = f"  x{entry.count} " if entry.count > 1 else "     "
+            lines.append(prefix + entry.layer.describe())
+        return "\n".join(lines)
+
+
+def _same_shape(a: ConvLayer, b: ConvLayer) -> bool:
+    """Shape equality ignoring the layer name."""
+    return (
+        a.n == b.n and a.m == b.m and a.c == b.c
+        and a.p == b.p and a.q == b.q and a.r == b.r and a.s == b.s
+        and a.stride_h == b.stride_h and a.stride_w == b.stride_w
+        and a.groups == b.groups
+        and a.bits_per_weight == b.bits_per_weight
+        and a.bits_per_activation == b.bits_per_activation
+    )

@@ -1,0 +1,110 @@
+"""Serialization of workloads to and from plain dictionaries.
+
+Networks round-trip through JSON-compatible dicts so workloads can live
+in data files next to architecture specs::
+
+    {
+      "name": "my-net",
+      "layers": [
+        {"name": "conv1", "m": 64, "c": 3, "p": 112, "q": 112,
+         "r": 7, "s": 7, "stride": 2, "first": true},
+        {"name": "fc", "m": 1000, "c": 512, "kind": "fc"}
+      ]
+    }
+
+``stride`` expands to both axes unless ``stride_h``/``stride_w`` are
+given; ``first: true`` marks layers whose input comes from DRAM
+(defaults: only the first listed layer); ``skip_bits`` carries residual
+liveness for fusion studies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.exceptions import WorkloadError
+from repro.workloads.layer import ConvLayer
+from repro.workloads.network import LayerRepetition, Network
+
+_LAYER_KEYS = {"name", "n", "m", "c", "p", "q", "r", "s", "stride",
+               "stride_h", "stride_w", "groups", "bits", "kind",
+               "first", "count", "skip_bits"}
+
+
+def layer_from_dict(spec: Mapping[str, Any]) -> ConvLayer:
+    """Build one layer from its dict form."""
+    unknown = set(spec) - _LAYER_KEYS
+    if unknown:
+        raise WorkloadError(
+            f"layer spec has unknown keys {sorted(unknown)}")
+    if "name" not in spec:
+        raise WorkloadError("layer spec missing 'name'")
+    stride = int(spec.get("stride", 1))
+    bits = int(spec.get("bits", 8))
+    return ConvLayer(
+        name=str(spec["name"]),
+        n=int(spec.get("n", 1)),
+        m=int(spec.get("m", 1)),
+        c=int(spec.get("c", 1)),
+        p=int(spec.get("p", 1)),
+        q=int(spec.get("q", 1)),
+        r=int(spec.get("r", 1)),
+        s=int(spec.get("s", 1)),
+        stride_h=int(spec.get("stride_h", stride)),
+        stride_w=int(spec.get("stride_w", stride)),
+        groups=int(spec.get("groups", 1)),
+        bits_per_weight=bits,
+        bits_per_activation=bits,
+        kind=str(spec.get("kind", "conv")),
+    )
+
+
+def layer_to_dict(layer: ConvLayer) -> Dict[str, Any]:
+    spec: Dict[str, Any] = {"name": layer.name}
+    for key, value, default in (
+            ("n", layer.n, 1), ("m", layer.m, 1), ("c", layer.c, 1),
+            ("p", layer.p, 1), ("q", layer.q, 1), ("r", layer.r, 1),
+            ("s", layer.s, 1), ("stride_h", layer.stride_h, 1),
+            ("stride_w", layer.stride_w, 1), ("groups", layer.groups, 1)):
+        if value != default:
+            spec[key] = value
+    if layer.bits_per_weight != 8:
+        spec["bits"] = layer.bits_per_weight
+    if layer.kind != "conv":
+        spec["kind"] = layer.kind
+    return spec
+
+
+def network_from_dict(spec: Mapping[str, Any]) -> Network:
+    """Build a network from its dict form."""
+    if "name" not in spec or "layers" not in spec:
+        raise WorkloadError("network spec needs 'name' and 'layers'")
+    layers = list(spec["layers"])
+    if not layers:
+        raise WorkloadError(f"network {spec['name']!r} has no layers")
+    entries: List[LayerRepetition] = []
+    for index, layer_spec in enumerate(layers):
+        first = bool(layer_spec.get("first", index == 0))
+        entries.append(LayerRepetition(
+            layer=layer_from_dict(layer_spec),
+            count=int(layer_spec.get("count", 1)),
+            consumes_previous_output=not first,
+            resident_extra_bits=int(layer_spec.get("skip_bits", 0)),
+        ))
+    return Network(name=str(spec["name"]), entries=tuple(entries))
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    layers = []
+    for index, entry in enumerate(network.entries):
+        layer_spec = layer_to_dict(entry.layer)
+        if entry.count != 1:
+            layer_spec["count"] = entry.count
+        default_first = index == 0
+        is_first = not entry.consumes_previous_output
+        if is_first != default_first:
+            layer_spec["first"] = is_first
+        if entry.resident_extra_bits:
+            layer_spec["skip_bits"] = entry.resident_extra_bits
+        layers.append(layer_spec)
+    return {"name": network.name, "layers": layers}

@@ -1,0 +1,185 @@
+"""Tests for architecture nodes, validation, and queries."""
+
+import pytest
+
+from repro.arch import (
+    Architecture,
+    ComputeAction,
+    ComputeLevel,
+    Conversion,
+    ConverterStage,
+    Domain,
+    SpatialFanout,
+    StorageLevel,
+)
+from repro.exceptions import SpecError
+from repro.workloads import DataSpace
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+def _storage(name="S", dataspaces=(W, I, O), **kwargs):
+    return StorageLevel(name=name, component="sram", domain=Domain.DE,
+                        dataspaces=frozenset(dataspaces), **kwargs)
+
+
+def _compute(name="mac"):
+    return ComputeLevel(name=name, component="mac", domain=Domain.DE)
+
+
+class TestNodeValidation:
+    def test_storage_requires_dataspaces(self):
+        with pytest.raises(SpecError):
+            _storage(dataspaces=())
+
+    def test_storage_rejects_nonpositive_capacity(self):
+        with pytest.raises(SpecError):
+            _storage(capacity_bits=0)
+
+    def test_storage_rejects_bad_accumulation_depth(self):
+        with pytest.raises(SpecError):
+            _storage(dataspaces=(O,), max_accumulation_depth=0.5)
+
+    def test_unbounded_storage(self):
+        assert _storage().is_unbounded
+        assert not _storage(capacity_bits=8.0).is_unbounded
+
+    def test_fanout_needs_dims_when_parallel(self):
+        with pytest.raises(SpecError):
+            SpatialFanout(name="f", size=4, allowed_dims=frozenset())
+
+    def test_fanout_size_one_without_dims_ok(self):
+        fanout = SpatialFanout(name="f", size=1, allowed_dims=frozenset())
+        assert fanout.size == 1
+
+    def test_fanout_rejects_zero_size(self):
+        with pytest.raises(SpecError):
+            SpatialFanout(name="f", size=0, allowed_dims={Dim.M})
+
+    def test_fanout_rejects_bad_reduction_limit(self):
+        with pytest.raises(SpecError):
+            SpatialFanout(name="f", size=4, allowed_dims={Dim.M},
+                          reduction_limit=0)
+
+    def test_converter_requires_dataspaces(self):
+        with pytest.raises(SpecError):
+            ConverterStage(name="c", component="dac",
+                           conversion=Conversion(Domain.DE, Domain.AE),
+                           dataspaces=frozenset())
+
+    def test_conversion_rejects_identity(self):
+        with pytest.raises(SpecError):
+            Conversion(Domain.DE, Domain.DE)
+
+    def test_compute_action_rejects_negative_rate(self):
+        with pytest.raises(SpecError):
+            ComputeAction(component="laser", events_per_mac=-1.0)
+
+
+class TestArchitectureValidation:
+    def test_minimal_valid(self):
+        arch = Architecture(name="a", nodes=(_storage(), _compute()))
+        assert arch.peak_parallelism == 1
+
+    def test_requires_compute_last(self):
+        with pytest.raises(SpecError):
+            Architecture(name="a", nodes=(_compute(), _storage()))
+
+    def test_requires_exactly_one_compute(self):
+        with pytest.raises(SpecError):
+            Architecture(name="a",
+                         nodes=(_storage(), _compute("m1"), _compute("m2")))
+
+    def test_requires_storage(self):
+        with pytest.raises(SpecError):
+            Architecture(name="a", nodes=(_compute(),))
+
+    def test_outermost_must_hold_all_dataspaces(self):
+        with pytest.raises(SpecError):
+            Architecture(name="a",
+                         nodes=(_storage(dataspaces=(W,)), _compute()))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SpecError):
+            Architecture(name="a", nodes=(
+                _storage("S"), _storage("S", capacity_bits=8), _compute()))
+
+    def test_converter_needs_upstream_storage(self):
+        converter = ConverterStage(
+            name="c", component="dac",
+            conversion=Conversion(Domain.DE, Domain.AE), dataspaces={W})
+        # Converter before any storage: invalid.
+        with pytest.raises(SpecError):
+            Architecture(name="a", nodes=(converter, _storage(), _compute()))
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(SpecError):
+            Architecture(name="a", nodes=(_storage(), _compute()),
+                         clock_ghz=0.0)
+
+
+class TestQueries:
+    @pytest.fixture
+    def arch(self):
+        return Architecture(name="q", nodes=(
+            _storage("DRAM"),
+            _storage("GB", capacity_bits=1e6),
+            SpatialFanout(name="f1", size=4, allowed_dims={Dim.M},
+                          multicast={I}),
+            ConverterStage(name="dac", component="dac",
+                           conversion=Conversion(Domain.DE, Domain.AE),
+                           dataspaces={W}),
+            SpatialFanout(name="f2", size=3, allowed_dims={Dim.C},
+                          reduction={O}),
+            _compute(),
+        ))
+
+    def test_peak_parallelism(self, arch):
+        assert arch.peak_parallelism == 12
+
+    def test_storage_levels_order(self, arch):
+        assert [s.name for s in arch.storage_levels] == ["DRAM", "GB"]
+
+    def test_fanouts(self, arch):
+        assert [f.name for f in arch.fanouts] == ["f1", "f2"]
+
+    def test_converters_for(self, arch):
+        assert [c.name for c in arch.converters_for(W)] == ["dac"]
+        assert arch.converters_for(I) == []
+
+    def test_storage_for(self, arch):
+        assert len(arch.storage_for(O)) == 2
+
+    def test_node_named(self, arch):
+        assert arch.node_named("GB").capacity_bits == 1e6
+        with pytest.raises(SpecError):
+            arch.node_named("nope")
+
+    def test_index_of(self, arch):
+        assert arch.index_of("DRAM") == 0
+        with pytest.raises(SpecError):
+            arch.index_of("nope")
+
+    def test_fanouts_below(self, arch):
+        assert [f.name for f in arch.fanouts_below("GB")] == ["f1", "f2"]
+        assert [f.name for f in arch.fanouts_below("dac")] == ["f2"]
+
+    def test_component_names_deduplicated(self, arch):
+        names = arch.component_names()
+        assert names.count("sram") == 1
+        assert "dac" in names and "mac" in names
+
+    def test_replace_node(self, arch):
+        bigger = _storage("GB", capacity_bits=2e6)
+        replaced = arch.replace_node("GB", bigger)
+        assert replaced.node_named("GB").capacity_bits == 2e6
+        # Original untouched.
+        assert arch.node_named("GB").capacity_bits == 1e6
+
+    def test_cycle_ns(self, arch):
+        assert arch.cycle_ns == 1.0
+
+    def test_describe_runs(self, arch):
+        text = arch.describe()
+        assert "DRAM" in text and "fanout" in text

@@ -1,0 +1,99 @@
+"""Tests for dict-spec serialization of architectures."""
+
+import pytest
+
+from repro.arch import (
+    Architecture,
+    Domain,
+    architecture_from_dict,
+    architecture_to_dict,
+)
+from repro.exceptions import SpecError
+from repro.systems import AlbireoConfig, build_albireo_architecture
+
+
+MINIMAL_SPEC = {
+    "name": "mini",
+    "clock_ghz": 2.0,
+    "nodes": [
+        {"type": "storage", "name": "DRAM", "component": "dram",
+         "domain": "DE", "dataspaces": ["Weights", "Inputs", "Outputs"]},
+        {"type": "fanout", "name": "array", "size": 8,
+         "allowed_dims": ["M"], "multicast": ["Inputs"]},
+        {"type": "converter", "name": "adc", "component": "adc",
+         "from": "AE", "to": "DE", "dataspaces": ["Outputs"]},
+        {"type": "compute", "name": "mac", "component": "mac",
+         "domain": "AE",
+         "actions": [{"component": "laser", "events_per_mac": 0.5}]},
+    ],
+}
+
+
+class TestFromDict:
+    def test_minimal(self):
+        arch = architecture_from_dict(MINIMAL_SPEC)
+        assert arch.name == "mini"
+        assert arch.clock_ghz == 2.0
+        assert arch.peak_parallelism == 8
+        assert arch.compute.actions[0].events_per_mac == 0.5
+
+    def test_missing_top_key(self):
+        with pytest.raises(SpecError):
+            architecture_from_dict({"nodes": []})
+
+    def test_missing_node_type(self):
+        spec = dict(MINIMAL_SPEC, nodes=[{"name": "x"}])
+        with pytest.raises(SpecError):
+            architecture_from_dict(spec)
+
+    def test_unknown_node_type(self):
+        spec = dict(MINIMAL_SPEC, nodes=[{"type": "warp-drive"}])
+        with pytest.raises(SpecError):
+            architecture_from_dict(spec)
+
+    def test_missing_required_field_reports_index(self):
+        spec = dict(MINIMAL_SPEC,
+                    nodes=[{"type": "storage", "name": "S"}])
+        with pytest.raises(SpecError) as excinfo:
+            architecture_from_dict(spec)
+        assert "#0" in str(excinfo.value)
+
+    def test_bad_domain_value(self):
+        node = dict(MINIMAL_SPEC["nodes"][0], domain="XX")
+        spec = dict(MINIMAL_SPEC, nodes=[node] + MINIMAL_SPEC["nodes"][1:])
+        with pytest.raises(SpecError):
+            architecture_from_dict(spec)
+
+
+class TestRoundTrip:
+    def test_minimal_roundtrip(self):
+        arch = architecture_from_dict(MINIMAL_SPEC)
+        spec = architecture_to_dict(arch)
+        again = architecture_from_dict(spec)
+        assert architecture_to_dict(again) == spec
+
+    def test_albireo_roundtrip(self):
+        arch = build_albireo_architecture(AlbireoConfig())
+        spec = architecture_to_dict(arch)
+        again = architecture_from_dict(spec)
+        assert again.name == arch.name
+        assert again.peak_parallelism == arch.peak_parallelism
+        assert [n.name for n in again.nodes] == [n.name for n in arch.nodes]
+        # Full fidelity.
+        assert architecture_to_dict(again) == spec
+
+    def test_roundtrip_preserves_accumulation_depth(self):
+        arch = build_albireo_architecture(AlbireoConfig(output_reuse=15))
+        spec = architecture_to_dict(arch)
+        again = architecture_from_dict(spec)
+        integrator = again.node_named("AEIntegrator")
+        assert integrator.max_accumulation_depth == \
+            arch.node_named("AEIntegrator").max_accumulation_depth
+
+    def test_spec_is_json_serializable(self):
+        import json
+
+        arch = build_albireo_architecture(AlbireoConfig())
+        text = json.dumps(architecture_to_dict(arch))
+        again = architecture_from_dict(json.loads(text))
+        assert again.peak_parallelism == arch.peak_parallelism

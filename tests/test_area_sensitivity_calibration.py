@@ -1,0 +1,197 @@
+"""Tests for the area model, sensitivity analysis, calibration inversion,
+and workload dict specs."""
+
+import json
+
+import pytest
+
+from repro.energy.scaling import AGGRESSIVE, CONSERVATIVE
+from repro.exceptions import CalibrationError, WorkloadError
+from repro.experiments import calibration, sensitivity
+from repro.experiments.reported import FIG2_REPORTED
+from repro.model.area import area_report, system_area_report
+from repro.systems import (
+    AlbireoConfig,
+    AlbireoSystem,
+    CrossbarConfig,
+    CrossbarSystem,
+)
+from repro.workloads import resnet18, tiny_cnn
+from repro.workloads.spec import (
+    layer_from_dict,
+    layer_to_dict,
+    network_from_dict,
+    network_to_dict,
+)
+
+
+class TestAreaReport:
+    def test_positional_fallback(self):
+        system = AlbireoSystem(AlbireoConfig())
+        report = area_report(system.architecture, system.energy_table)
+        assert report.total_mm2 > 0
+        assert report.area_of("GlobalBuffer") > 0
+
+    def test_event_rate_sizes_adcs(self):
+        """With a best-case reference analysis, ADC replication follows
+        the conversion rate (432/cycle), not the list position (144)."""
+        system = AlbireoSystem(AlbireoConfig())
+        report = system_area_report(system)
+        adcs = report.instances_of("OutputADC")
+        # 6480 MACs/cycle / (5 wavelengths x OR 3) = 432 conversions/cycle.
+        assert adcs == 432
+
+    def test_event_rate_sizes_modulators(self):
+        system = AlbireoSystem(AlbireoConfig())
+        report = system_area_report(system)
+        # One MZM modulation per 9-way broadcast: 6480/9 = 720 per cycle.
+        assert report.instances_of("InputMZM") == 720
+
+    def test_reference_beats_positional_for_converters(self):
+        system = AlbireoSystem(AlbireoConfig())
+        positional = area_report(system.architecture, system.energy_table)
+        sized = system_area_report(system)
+        assert sized.area_of("OutputADC") > positional.area_of("OutputADC")
+
+    def test_crossbar_report(self):
+        system = CrossbarSystem(CrossbarConfig())
+        report = system_area_report(
+            system, reference_layer=tiny_cnn().entries[0].layer)
+        assert report.total_mm2 > 0
+
+    def test_table_renders(self):
+        system = AlbireoSystem(AlbireoConfig())
+        text = system_area_report(system).table()
+        assert "TOTAL" in text and "mm^2" in text
+
+    def test_unknown_node_raises(self):
+        system = AlbireoSystem(AlbireoConfig())
+        report = system_area_report(system)
+        with pytest.raises(KeyError):
+            report.area_of("FluxCapacitor")
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sensitivity.run(CONSERVATIVE)
+
+    def test_covers_all_fields(self, result):
+        assert {e.field for e in result.entries} \
+            == set(sensitivity.PERTURBED_FIELDS)
+
+    def test_energy_monotone_in_device_energy(self, result):
+        for entry in result.entries:
+            if entry.field == "laser_wall_plug_efficiency":
+                # Efficiency is inverse: better efficiency, less energy.
+                assert entry.high_pj_per_mac < entry.low_pj_per_mac
+            else:
+                assert entry.high_pj_per_mac > entry.low_pj_per_mac
+
+    def test_optical_loss_is_the_dominant_sensitivity(self, result):
+        """The tornado's head is the fixed optical loss: it enters the
+        laser budget *exponentially* (dB -> linear), so a 20% loss error
+        outweighs 20% on any single linearly-entering device energy — a
+        genuinely useful calibration insight the analysis surfaces."""
+        assert result.most_sensitive == "fixed_loss_db"
+
+    def test_linear_parameters_rank_by_bucket_share(self, result):
+        by_field = {e.field: e.magnitude for e in result.entries}
+        # DAC feeds both weight and input paths (the largest linear
+        # bucket), so it outranks the MZM and photodiode terms.
+        assert by_field["dac_pj_at_8bit"] > by_field["mzm_pj"]
+        assert by_field["dac_pj_at_8bit"] > by_field["photodiode_pj"]
+
+    def test_swings_bounded_by_perturbation(self, result):
+        # A +-20% perturbation of one component can move the total by at
+        # most +-20% (shares are <= 1), modulo the loss exponent.
+        for entry in result.entries:
+            assert entry.magnitude <= 0.45
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "Sensitivity" in text and "+20%" in text
+
+
+class TestCalibrationInversion:
+    @pytest.mark.parametrize("scenario_name,efficiency,loss", [
+        ("conservative", 0.10, 6.0),
+        ("moderate", 0.15, 5.0),
+        ("aggressive", 0.20, 4.0),
+    ])
+    def test_roundtrip_reproduces_targets(self, scenario_name, efficiency,
+                                          loss):
+        config = AlbireoConfig()
+        targets = FIG2_REPORTED[scenario_name]
+        derived = calibration.derive_scenario(
+            f"derived-{scenario_name}", targets, config,
+            wall_plug_efficiency=efficiency, fixed_loss_db=loss)
+        error = calibration.calibration_error(
+            {k: v for k, v in targets.items() if k != "Cache"},
+            derived, config)
+        assert error < 0.02, f"{scenario_name}: {error:.1%}"
+
+    def test_derived_matches_shipped_scenario(self):
+        """Inverting the conservative targets lands on (approximately)
+        the shipped CONSERVATIVE parameters — the calibration is honest."""
+        derived = calibration.derive_scenario(
+            "check", FIG2_REPORTED["conservative"], AlbireoConfig(),
+            wall_plug_efficiency=0.10, fixed_loss_db=6.0)
+        assert derived.mzm_pj == pytest.approx(CONSERVATIVE.mzm_pj,
+                                               rel=0.02)
+        assert derived.dac_pj_at_8bit == pytest.approx(
+            CONSERVATIVE.dac_pj_at_8bit, rel=0.02)
+        assert derived.adc_fom_fj_per_step == pytest.approx(
+            CONSERVATIVE.adc_fom_fj_per_step, rel=0.02)
+
+    def test_missing_bucket_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibration.derive_scenario(
+                "bad", {"MRR": 1.0}, AlbireoConfig(),
+                wall_plug_efficiency=0.1, fixed_loss_db=6.0)
+
+
+class TestWorkloadSpec:
+    def test_layer_roundtrip(self):
+        layer = resnet18().entries[0].layer
+        rebuilt = layer_from_dict(layer_to_dict(layer))
+        assert rebuilt == layer
+
+    def test_network_roundtrip(self):
+        network = resnet18()
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert rebuilt.total_macs == network.total_macs
+        assert rebuilt.max_activation_bits == network.max_activation_bits
+        assert len(rebuilt) == len(network)
+
+    def test_roundtrip_through_json(self):
+        network = tiny_cnn()
+        text = json.dumps(network_to_dict(network))
+        rebuilt = network_from_dict(json.loads(text))
+        assert rebuilt.total_macs == network.total_macs
+
+    def test_stride_shorthand(self):
+        layer = layer_from_dict({"name": "s", "m": 4, "p": 4, "q": 4,
+                                 "r": 3, "s": 3, "stride": 2})
+        assert layer.stride_h == layer.stride_w == 2
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            layer_from_dict({"name": "x", "padding": 1})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            layer_from_dict({"m": 4})
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(WorkloadError):
+            network_from_dict({"name": "x", "layers": []})
+
+    def test_first_flag_roundtrip(self):
+        spec = {"name": "n", "layers": [
+            {"name": "a", "m": 4, "c": 4},
+            {"name": "b", "m": 4, "c": 4, "first": True},
+        ]}
+        network = network_from_dict(spec)
+        assert not network.entries[1].consumes_previous_output
+        assert network_to_dict(network)["layers"][1]["first"] is True

@@ -1,0 +1,109 @@
+"""Tests for memory-bandwidth modeling (memory-bound throughput)."""
+
+import pytest
+
+from repro.arch import Architecture, ComputeLevel, Domain, SpatialFanout, \
+    StorageLevel
+from repro.mapping import FanoutMapping, LevelMapping, Mapping, \
+    TemporalLoop, analyze
+from repro.systems import AlbireoConfig, AlbireoSystem
+from repro.workloads import ConvLayer, DataSpace, dense_layer
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+def _arch(dram_bw=None):
+    return Architecture(name="bw", nodes=(
+        StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                     dataspaces={W, I, O},
+                     bandwidth_bits_per_cycle=dram_bw),
+        StorageLevel(name="GB", component="sram", domain=Domain.DE,
+                     capacity_bits=1e9, dataspaces={W, I, O}),
+        SpatialFanout(name="pe", size=16, allowed_dims={Dim.M},
+                      multicast={I}),
+        ComputeLevel(name="mac", component="mac", domain=Domain.DE),
+    ))
+
+
+def _mapping():
+    return Mapping(
+        levels=(LevelMapping("DRAM", ()),
+                LevelMapping("GB", (TemporalLoop(Dim.C, 64),))),
+        spatials=(FanoutMapping("pe", {Dim.M: 16}),),
+    )
+
+
+LAYER = ConvLayer(name="fc", m=16, c=64)
+
+
+class TestAnalysisBandwidth:
+    def test_no_bandwidth_means_compute_bound(self):
+        counts = analyze(_arch(None), LAYER, _mapping())
+        assert counts.bandwidth_cycles == {}
+        assert counts.effective_cycles == counts.cycles
+        assert counts.bandwidth_bound_level is None
+
+    def test_traffic_bits_computed_for_all_levels(self):
+        counts = analyze(_arch(None), LAYER, _mapping())
+        # DRAM moves the three tensors once: (16*64 W + 64 I + 16 O) * 8b.
+        assert counts.traffic_bits["DRAM"] == pytest.approx(
+            (16 * 64 + 64 + 16) * 8)
+
+    def test_tight_bandwidth_stalls(self):
+        # 8 bits/cycle: DRAM traffic of 8832 bits needs 1104 cycles,
+        # far above the 64 compute cycles.
+        counts = analyze(_arch(8.0), LAYER, _mapping())
+        assert counts.cycles == 64
+        assert counts.effective_cycles == pytest.approx(1104.0)
+        assert counts.bandwidth_bound_level == "DRAM"
+
+    def test_ample_bandwidth_no_stall(self):
+        counts = analyze(_arch(1e6), LAYER, _mapping())
+        assert counts.effective_cycles == counts.cycles
+        assert counts.bandwidth_bound_level is None
+
+
+class TestAlbireoBandwidth:
+    def test_default_is_unbounded(self):
+        config = AlbireoConfig()
+        assert config.dram_bandwidth_bits_per_cycle is None
+
+    def test_bits_per_cycle_conversion(self):
+        # 25.6 GB/s at 5 GHz: 25.6 * 8 / 5 = 40.96 bits/cycle.
+        config = AlbireoConfig(dram_bandwidth_gbps=25.6)
+        assert config.dram_bandwidth_bits_per_cycle == pytest.approx(40.96)
+
+    def test_fc_layer_becomes_memory_bound(self):
+        """A batch-1 FC layer streams one weight per MAC: with realistic
+        DRAM bandwidth, throughput is memory-limited, not compute-limited —
+        the effect the paper's Fig. 3 convention ignores by design."""
+        fc = dense_layer("fc6", 4096, 4096)
+        unbounded = AlbireoSystem(AlbireoConfig()).evaluate_layer(fc)
+        bounded = AlbireoSystem(
+            AlbireoConfig(dram_bandwidth_gbps=25.6)).evaluate_layer(fc)
+        assert bounded.cycles > 5 * unbounded.cycles
+        assert bounded.bandwidth_bound_level == "DRAM"
+        assert bounded.macs_per_cycle < unbounded.macs_per_cycle
+
+    def test_conv_layer_compute_bound_with_hbm(self):
+        """A reuse-heavy convolution needs ~95 GB/s to feed Albireo's
+        32 TMAC/s; HBM2-class bandwidth makes it compute-bound while
+        DDR4-class does not — a genuinely useful system-level insight
+        this model adds beyond the paper's compute-only Fig. 3."""
+        conv = ConvLayer(name="c", m=128, c=128, p=28, q=28, r=3, s=3)
+        ddr = AlbireoSystem(
+            AlbireoConfig(dram_bandwidth_gbps=25.6)).evaluate_layer(conv)
+        hbm = AlbireoSystem(
+            AlbireoConfig(dram_bandwidth_gbps=256.0)).evaluate_layer(conv)
+        assert ddr.bandwidth_bound_level == "DRAM"
+        assert hbm.bandwidth_bound_level is None
+        assert hbm.cycles == hbm.compute_cycles
+
+    def test_fusion_elision_reduces_bandwidth_pressure(self):
+        conv = ConvLayer(name="c", m=64, c=64, p=56, q=56, r=1, s=1)
+        system = AlbireoSystem(AlbireoConfig(dram_bandwidth_gbps=4.0))
+        base = system.evaluate_layer(conv)
+        fused = system.evaluate_layer(conv, input_from_dram=False,
+                                      output_to_dram=False)
+        assert fused.cycles <= base.cycles

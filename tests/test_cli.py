@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "error" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "VGG16" in out and "AlexNet" in out
+
+    def test_arch(self, capsys):
+        assert main(["arch"]) == 0
+        out = capsys.readouterr().out
+        assert "GlobalBuffer" in out and "star_coupler" in out
+
+    def test_arch_scenario_flag(self, capsys):
+        assert main(["arch", "--scenario", "aggressive"]) == 0
+        assert "aggressive" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "mm^2" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["warp"])
+
+    def test_bad_scenario_raises(self):
+        from repro.exceptions import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            main(["arch", "--scenario", "optimistic"])

@@ -1,0 +1,77 @@
+"""Tests for ADC/DAC figure-of-merit models."""
+
+import pytest
+
+from repro.energy import estimate
+from repro.energy.converters import adc_energy_pj, dac_energy_pj
+from repro.exceptions import CalibrationError
+
+
+class TestAdc:
+    def test_walden_scaling_per_bit(self):
+        e8 = adc_energy_pj(10.0, 8)
+        e9 = adc_energy_pj(10.0, 9)
+        assert e9 == pytest.approx(2 * e8)
+
+    def test_fom_linear(self):
+        assert adc_energy_pj(20.0, 8) == pytest.approx(
+            2 * adc_energy_pj(10.0, 8))
+
+    def test_no_speed_penalty_below_corner(self):
+        slow = adc_energy_pj(10.0, 8, sample_rate_gsps=0.5)
+        corner = adc_energy_pj(10.0, 8, sample_rate_gsps=1.0)
+        assert slow == pytest.approx(corner)
+
+    def test_speed_penalty_above_corner(self):
+        e1 = adc_energy_pj(10.0, 8, sample_rate_gsps=1.0)
+        e4 = adc_energy_pj(10.0, 8, sample_rate_gsps=4.0)
+        assert e4 == pytest.approx(2 * e1)  # (4/1)^0.5 = 2
+
+    def test_absolute_value_8bit(self):
+        # 10 fJ/step * 256 steps = 2.56 pJ at the corner.
+        assert adc_energy_pj(10.0, 8) == pytest.approx(2.56)
+
+    def test_area_exponential_in_bits(self):
+        a8 = estimate("adc", "a", {"fom_fj_per_step": 10.0, "bits": 8})
+        a10 = estimate("adc", "b", {"fom_fj_per_step": 10.0, "bits": 10})
+        assert a10.area_um2 == pytest.approx(4 * a8.area_um2)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(CalibrationError):
+            adc_energy_pj(10.0, 0)
+        with pytest.raises(CalibrationError):
+            adc_energy_pj(10.0, 20)
+
+    def test_rejects_bad_fom(self):
+        with pytest.raises(CalibrationError):
+            adc_energy_pj(0.0, 8)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(CalibrationError):
+            adc_energy_pj(10.0, 8, sample_rate_gsps=0.0)
+
+
+class TestDac:
+    def test_reference_at_8bit(self):
+        assert dac_energy_pj(0.8, 8) == pytest.approx(0.8)
+
+    def test_bit_scaling(self):
+        # One extra bit: 2x capacitor array, 9/8 driver term.
+        assert dac_energy_pj(0.8, 9) == pytest.approx(0.8 * 2 * 9 / 8)
+
+    def test_fewer_bits_cheaper(self):
+        assert dac_energy_pj(0.8, 4) < dac_energy_pj(0.8, 8)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(CalibrationError):
+            dac_energy_pj(0.0, 8)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(CalibrationError):
+            dac_energy_pj(0.8, 0)
+
+    def test_dac_cheaper_than_adc_at_matched_point(self):
+        # The survey trend the model encodes.
+        adc = adc_energy_pj(7.0, 8, sample_rate_gsps=5.0)
+        dac = dac_energy_pj(0.8, 8)
+        assert dac < adc

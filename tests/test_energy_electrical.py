@@ -1,0 +1,130 @@
+"""Tests for electrical component estimators (SRAM, DRAM, logic)."""
+
+import pytest
+
+from repro.energy import estimate
+from repro.exceptions import CalibrationError
+
+
+class TestSram:
+    def test_energy_grows_with_capacity(self):
+        small = estimate("sram", "s", {"capacity_bits": 64 * 1024 * 8})
+        large = estimate("sram", "l", {"capacity_bits": 1024 * 1024 * 8})
+        assert large.energy("read") > small.energy("read")
+
+    def test_sqrt_capacity_scaling(self):
+        base = estimate("sram", "b", {"capacity_bits": 64 * 1024 * 8})
+        quad = estimate("sram", "q", {"capacity_bits": 4 * 64 * 1024 * 8})
+        assert quad.energy("read") == pytest.approx(
+            2 * base.energy("read"), rel=0.05)
+
+    def test_banking_reduces_access_energy(self):
+        flat = estimate("sram", "f", {"capacity_bits": 1024 * 1024 * 8})
+        banked = estimate("sram", "b", {"capacity_bits": 1024 * 1024 * 8,
+                                        "banks": 16})
+        assert banked.energy("read") < flat.energy("read")
+
+    def test_htree_term_for_large_buffers(self):
+        # Same bank size, 8x the capacity: only the H-tree term differs.
+        one = estimate("sram", "o", {"capacity_bits": 1024 * 1024 * 8,
+                                     "banks": 16})
+        eight = estimate("sram", "e", {"capacity_bits": 8 * 1024 * 1024 * 8,
+                                       "banks": 128})
+        assert eight.energy("read") > one.energy("read")
+        assert eight.energy("read") < 1.5 * one.energy("read")
+
+    def test_write_costs_more_than_read(self):
+        entry = estimate("sram", "s", {"capacity_bits": 1024 * 8})
+        assert entry.energy("write") > entry.energy("read")
+
+    def test_width_scales_energy(self):
+        narrow = estimate("sram", "n", {"capacity_bits": 1024 * 8,
+                                        "width_bits": 8})
+        wide = estimate("sram", "w", {"capacity_bits": 1024 * 8,
+                                      "width_bits": 16})
+        assert wide.energy("read") == pytest.approx(
+            2 * narrow.energy("read"))
+
+    def test_area_scales_with_bits(self):
+        small = estimate("sram", "s", {"capacity_bits": 1024})
+        large = estimate("sram", "l", {"capacity_bits": 2048})
+        assert large.area_um2 == pytest.approx(2 * small.area_um2)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CalibrationError):
+            estimate("sram", "s", {"capacity_bits": 0})
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(CalibrationError):
+            estimate("sram", "s", {"capacity_bits": 1024, "banks": 0})
+
+    def test_reasonable_absolute_value(self):
+        # A 64 KiB macro reads ~6 fJ/bit -> ~0.05 pJ per 8-bit element.
+        entry = estimate("sram", "s", {"capacity_bits": 64 * 1024 * 8,
+                                       "width_bits": 8})
+        assert 0.01 < entry.energy("read") < 0.2
+
+
+class TestDram:
+    def test_technology_presets_ordered(self):
+        ddr4 = estimate("dram", "a", {"technology": "ddr4"})
+        lpddr4 = estimate("dram", "b", {"technology": "lpddr4"})
+        hbm2 = estimate("dram", "c", {"technology": "hbm2"})
+        assert ddr4.energy("read") > lpddr4.energy("read") \
+            > hbm2.energy("read")
+
+    def test_default_is_ddr4_16pj_per_bit(self):
+        entry = estimate("dram", "d", {"width_bits": 8})
+        assert entry.energy("read") == pytest.approx(128.0)
+
+    def test_pj_per_bit_override(self):
+        entry = estimate("dram", "d", {"pj_per_bit": 4.0, "width_bits": 8})
+        assert entry.energy("read") == pytest.approx(32.0)
+
+    def test_unknown_technology_raises(self):
+        with pytest.raises(CalibrationError):
+            estimate("dram", "d", {"technology": "ddr9"})
+
+    def test_offchip_has_no_area(self):
+        assert estimate("dram", "d", {}).area_um2 == 0.0
+
+
+class TestLogic:
+    def test_register(self):
+        entry = estimate("register", "r", {"width_bits": 8})
+        assert entry.energy("read") == pytest.approx(0.012, rel=0.01)
+
+    def test_adder_linear_in_width(self):
+        a8 = estimate("adder", "a", {"width_bits": 8})
+        a16 = estimate("adder", "b", {"width_bits": 16})
+        assert a16.energy("compute") == pytest.approx(
+            2 * a8.energy("compute"))
+
+    def test_multiplier_quadratic_in_width(self):
+        m8 = estimate("multiplier", "a", {"width_bits": 8})
+        m16 = estimate("multiplier", "b", {"width_bits": 16})
+        assert m16.energy("compute") == pytest.approx(
+            4 * m8.energy("compute"))
+
+    def test_integrator_update_is_cheap(self):
+        entry = estimate("analog_integrator", "i", {})
+        assert entry.energy("update") < 0.05
+
+    def test_wire_scales_with_length(self):
+        short = estimate("wire", "s", {"length_mm": 1.0})
+        long = estimate("wire", "l", {"length_mm": 3.0})
+        assert long.energy("transfer") == pytest.approx(
+            3 * short.energy("transfer"))
+
+    def test_wire_rejects_negative_length(self):
+        with pytest.raises(CalibrationError):
+            estimate("wire", "w", {"length_mm": -1.0})
+
+    def test_constant_component(self):
+        entry = estimate("constant", "c", {"energy_pj": 0.5,
+                                           "actions": ("ping",)})
+        assert entry.energy("ping") == 0.5
+
+    def test_constant_default_zero(self):
+        entry = estimate("constant", "c", {})
+        assert entry.energy("compute") == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the estimator plug-in registry."""
+
+import pytest
+
+from repro.energy import (
+    ComponentSpec,
+    available_estimators,
+    build_table,
+    estimate,
+)
+from repro.energy.estimator import register_estimator
+from repro.energy.table import EnergyEntry
+from repro.exceptions import EstimationError
+
+
+class TestRegistry:
+    def test_known_estimators_registered(self):
+        names = available_estimators()
+        for expected in ("sram", "dram", "adc", "dac", "mrr", "mzm",
+                         "photodiode", "laser", "star_coupler", "register",
+                         "adder", "multiplier", "wire", "constant",
+                         "analog_integrator", "waveguide"):
+            assert expected in names, expected
+
+    def test_descriptions_nonempty(self):
+        for name, description in available_estimators().items():
+            assert description, f"{name} has no description"
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(EstimationError) as excinfo:
+            estimate("flux_capacitor", "f")
+        assert "sram" in str(excinfo.value)
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(EstimationError) as excinfo:
+            estimate("sram", "s", {"capacity_bits": 1024, "typo_attr": 1})
+        assert "typo_attr" in str(excinfo.value)
+
+    def test_missing_required_attribute_rejected(self):
+        with pytest.raises(EstimationError) as excinfo:
+            estimate("sram", "s", {})
+        assert "capacity_bits" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(EstimationError):
+            @register_estimator("sram")
+            def duplicate(name, attributes):  # pragma: no cover
+                return EnergyEntry(component=name, energy_per_action_pj={})
+
+
+class TestBuildTable:
+    def test_builds_all_specs(self):
+        table = build_table([
+            ComponentSpec("buf", "sram", {"capacity_bits": 8 * 1024 * 8}),
+            ComponentSpec("mem", "dram", {}),
+        ])
+        assert "buf" in table and "mem" in table
+
+    def test_duplicate_names_rejected(self):
+        specs = [
+            ComponentSpec("buf", "sram", {"capacity_bits": 1024}),
+            ComponentSpec("buf", "dram", {}),
+        ]
+        with pytest.raises(EstimationError):
+            build_table(specs)
+
+    def test_spec_attributes_are_copied(self):
+        attributes = {"capacity_bits": 1024}
+        spec = ComponentSpec("buf", "sram", attributes)
+        attributes["capacity_bits"] = 0  # mutating the source dict is safe
+        assert spec.attributes["capacity_bits"] == 1024

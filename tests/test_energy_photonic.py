@@ -1,0 +1,131 @@
+"""Tests for photonic component estimators and the optical link budget."""
+
+import pytest
+
+from repro.energy import estimate
+from repro.energy.photonic import (
+    SHARED_DRIVE_OVERHEAD_PER_LANE,
+    coupler_excess_loss_db,
+    link_loss_db,
+)
+from repro.exceptions import CalibrationError
+
+
+class TestMrr:
+    def test_base_energy(self):
+        entry = estimate("mrr", "m", {"energy_pj": 0.6})
+        assert entry.energy("convert") == pytest.approx(0.6)
+
+    def test_shared_lanes_overhead(self):
+        shared = estimate("mrr", "m", {"energy_pj": 0.6, "shared_lanes": 3})
+        expected = 0.6 * (1 + 2 * SHARED_DRIVE_OVERHEAD_PER_LANE)
+        assert shared.energy("convert") == pytest.approx(expected)
+
+    def test_sharing_still_wins_per_mac(self):
+        # One event feeds `lanes` MACs; overhead must not eat the gain.
+        single = estimate("mrr", "a", {"energy_pj": 0.6})
+        shared = estimate("mrr", "b", {"energy_pj": 0.6, "shared_lanes": 3})
+        per_mac_single = single.energy("convert")
+        per_mac_shared = shared.energy("convert") / 3
+        assert per_mac_shared < per_mac_single
+
+    def test_area_scales_with_lanes(self):
+        one = estimate("mrr", "a", {"energy_pj": 0.6})
+        three = estimate("mrr", "b", {"energy_pj": 0.6, "shared_lanes": 3})
+        assert three.area_um2 == pytest.approx(3 * one.area_um2)
+
+    def test_tuning_power_recorded(self):
+        entry = estimate("mrr", "m", {"energy_pj": 0.6, "tuning_mw": 0.02})
+        assert entry.static_power_mw == pytest.approx(0.02)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CalibrationError):
+            estimate("mrr", "m", {"energy_pj": -1.0})
+
+
+class TestMzmPhotodiode:
+    def test_mzm(self):
+        assert estimate("mzm", "m", {"energy_pj": 4.0}).energy(
+            "convert") == 4.0
+
+    def test_photodiode(self):
+        assert estimate("photodiode", "p", {"energy_pj": 0.9}).energy(
+            "convert") == 0.9
+
+    def test_both_reject_negative(self):
+        with pytest.raises(CalibrationError):
+            estimate("mzm", "m", {"energy_pj": -0.1})
+        with pytest.raises(CalibrationError):
+            estimate("photodiode", "p", {"energy_pj": -0.1})
+
+
+class TestPassives:
+    def test_star_coupler_free_dynamic(self):
+        entry = estimate("star_coupler", "s", {"ports": 9})
+        assert entry.energy("transfer") == 0.0
+        assert entry.area_um2 > 0
+
+    def test_star_coupler_area_grows_with_ports(self):
+        small = estimate("star_coupler", "a", {"ports": 9})
+        large = estimate("star_coupler", "b", {"ports": 45})
+        assert large.area_um2 == pytest.approx(5 * small.area_um2)
+
+    def test_waveguide(self):
+        entry = estimate("waveguide", "w", {"length_mm": 2.0})
+        assert entry.energy("transfer") == 0.0
+        assert entry.area_um2 > 0
+
+
+class TestLinkBudget:
+    def test_single_port_no_excess(self):
+        assert coupler_excess_loss_db(1) == 0.0
+
+    def test_excess_grows_logarithmically(self):
+        assert coupler_excess_loss_db(4) == pytest.approx(1.0)  # 0.5 * 2
+        assert coupler_excess_loss_db(16) == pytest.approx(2.0)
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(CalibrationError):
+            coupler_excess_loss_db(0)
+
+    def test_link_loss_composition(self):
+        assert link_loss_db(6.0, 4) == pytest.approx(7.0)
+
+
+class TestLaser:
+    def _laser(self, **overrides):
+        attributes = {"detector_fj": 15.0, "wall_plug_efficiency": 0.1,
+                      "fixed_loss_db": 6.0, "broadcast_ports": 9}
+        attributes.update(overrides)
+        return estimate("laser", "l", attributes)
+
+    def test_energy_formula(self):
+        # 15 fJ * 10^((6 + 0.5*log2 9)/10) / 0.1 / 1000.
+        entry = self._laser()
+        assert entry.energy("mac") == pytest.approx(0.860, rel=0.01)
+
+    def test_split_neutrality_except_excess(self):
+        # Going 9 -> 45 ports only adds coupler excess, not 5x power.
+        nine = self._laser(broadcast_ports=9).energy("mac")
+        wide = self._laser(broadcast_ports=45).energy("mac")
+        assert wide / nine < 1.5
+        assert wide > nine
+
+    def test_efficiency_inverse(self):
+        lossy = self._laser(wall_plug_efficiency=0.05).energy("mac")
+        good = self._laser(wall_plug_efficiency=0.2).energy("mac")
+        assert lossy == pytest.approx(4 * good)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(CalibrationError):
+            self._laser(wall_plug_efficiency=0.0)
+        with pytest.raises(CalibrationError):
+            self._laser(wall_plug_efficiency=1.5)
+
+    def test_rejects_bad_detector(self):
+        with pytest.raises(CalibrationError):
+            self._laser(detector_fj=0.0)
+
+    def test_mac_and_compute_aliases(self):
+        entry = self._laser()
+        assert entry.energy("mac") == entry.energy("compute")

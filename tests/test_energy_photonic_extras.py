@@ -1,0 +1,82 @@
+"""Tests for the extended photonic component set (SOA, tuner, microcomb,
+optical links)."""
+
+import pytest
+
+from repro.energy import estimate
+from repro.exceptions import CalibrationError
+
+
+class TestSoa:
+    def test_energy_is_bias_over_rate(self):
+        entry = estimate("soa", "s", {"gain_db": 10.0, "bias_mw": 50.0,
+                                      "symbol_rate_gsps": 5.0})
+        assert entry.energy("transfer") == pytest.approx(10.0)
+
+    def test_static_power_recorded(self):
+        entry = estimate("soa", "s", {"gain_db": 10.0, "bias_mw": 50.0})
+        assert entry.static_power_mw == 50.0
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(CalibrationError):
+            estimate("soa", "s", {"gain_db": -1.0, "bias_mw": 50.0})
+
+    def test_rejects_zero_bias(self):
+        with pytest.raises(CalibrationError):
+            estimate("soa", "s", {"gain_db": 10.0, "bias_mw": 0.0})
+
+
+class TestThermalTuner:
+    def test_hold_energy(self):
+        entry = estimate("thermal_tuner", "t", {"power_mw": 0.02,
+                                                "symbol_rate_gsps": 5.0})
+        assert entry.energy("hold") == pytest.approx(0.004)
+
+    def test_zero_power_athermal(self):
+        entry = estimate("thermal_tuner", "t", {"power_mw": 0.0})
+        assert entry.energy("hold") == 0.0
+        assert entry.static_power_mw == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(CalibrationError):
+            estimate("thermal_tuner", "t", {"power_mw": -0.1})
+
+
+class TestMicrocomb:
+    def _comb(self, **overrides):
+        attributes = {"lines": 5, "line_power_mw": 1.0,
+                      "conversion_efficiency": 0.2,
+                      "symbol_rate_gsps": 5.0}
+        attributes.update(overrides)
+        return estimate("microcomb", "c", attributes)
+
+    def test_pump_power(self):
+        # 5 lines x 1 mW / 0.2 = 25 mW pump; /5 GS/s = 5 pJ/symbol.
+        entry = self._comb()
+        assert entry.energy("mac") == pytest.approx(5.0)
+        assert entry.static_power_mw == pytest.approx(25.0)
+
+    def test_more_lines_more_pump(self):
+        assert self._comb(lines=10).energy("mac") \
+            == pytest.approx(2 * self._comb().energy("mac"))
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(CalibrationError):
+            self._comb(conversion_efficiency=0.0)
+        with pytest.raises(CalibrationError):
+            self._comb(conversion_efficiency=1.5)
+
+    def test_rejects_bad_lines(self):
+        with pytest.raises(CalibrationError):
+            self._comb(lines=0)
+
+
+class TestOpticalLink:
+    def test_per_element_energy(self):
+        entry = estimate("optical_link", "l", {"energy_pj_per_bit": 1.5,
+                                               "width_bits": 8})
+        assert entry.energy("convert") == pytest.approx(12.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CalibrationError):
+            estimate("optical_link", "l", {"energy_pj_per_bit": -1.0})

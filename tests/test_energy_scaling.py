@@ -1,0 +1,58 @@
+"""Tests for the optical-device scaling scenarios."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    MODERATE,
+    SCENARIOS,
+    scenario_by_name,
+)
+from repro.exceptions import CalibrationError
+
+
+class TestScenarios:
+    def test_three_scenarios(self):
+        assert len(SCENARIOS) == 3
+        assert [s.name for s in SCENARIOS] == ["conservative", "moderate",
+                                               "aggressive"]
+
+    @pytest.mark.parametrize("field", [
+        "mzm_pj", "mrr_drive_pj", "photodiode_pj", "dac_pj_at_8bit",
+        "adc_fom_fj_per_step", "detector_fj",
+    ])
+    def test_monotone_improvement(self, field):
+        """Every device parameter improves monotonically across scalings."""
+        values = [getattr(s, field) for s in
+                  (CONSERVATIVE, MODERATE, AGGRESSIVE)]
+        assert values[0] > values[1] > values[2], field
+
+    def test_efficiency_improves(self):
+        assert (CONSERVATIVE.laser_wall_plug_efficiency
+                < AGGRESSIVE.laser_wall_plug_efficiency)
+
+    def test_losses_improve(self):
+        assert CONSERVATIVE.fixed_loss_db > AGGRESSIVE.fixed_loss_db
+
+    def test_lookup_by_name(self):
+        assert scenario_by_name("moderate") is MODERATE
+        assert scenario_by_name("AGGRESSIVE") is AGGRESSIVE
+
+    def test_lookup_unknown(self):
+        with pytest.raises(CalibrationError):
+            scenario_by_name("futuristic")
+
+    def test_validation_rejects_nonpositive_device(self):
+        with pytest.raises(CalibrationError):
+            dataclasses.replace(CONSERVATIVE, mzm_pj=0.0)
+
+    def test_validation_rejects_bad_efficiency(self):
+        with pytest.raises(CalibrationError):
+            dataclasses.replace(CONSERVATIVE, laser_wall_plug_efficiency=2.0)
+
+    def test_validation_rejects_negative_loss(self):
+        with pytest.raises(CalibrationError):
+            dataclasses.replace(CONSERVATIVE, fixed_loss_db=-1.0)

@@ -1,0 +1,73 @@
+"""Tests for EnergyEntry and EnergyTable."""
+
+import pytest
+
+from repro.energy import EnergyEntry, EnergyTable
+from repro.exceptions import EstimationError
+
+
+def _entry(name="x", read=1.0, write=2.0, area=10.0):
+    return EnergyEntry(component=name,
+                       energy_per_action_pj={"read": read, "write": write},
+                       area_um2=area)
+
+
+class TestEnergyEntry:
+    def test_energy_lookup(self):
+        entry = _entry()
+        assert entry.energy("read") == 1.0
+        assert entry.energy("write") == 2.0
+
+    def test_unknown_action_raises_with_available(self):
+        with pytest.raises(EstimationError) as excinfo:
+            _entry().energy("teleport")
+        assert "read" in str(excinfo.value)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(EstimationError):
+            EnergyEntry(component="x", energy_per_action_pj={"read": -1.0})
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(EstimationError):
+            EnergyEntry(component="x", energy_per_action_pj={},
+                        area_um2=-1.0)
+
+    def test_actions_iterable(self):
+        assert set(_entry().actions) == {"read", "write"}
+
+
+class TestEnergyTable:
+    def test_add_and_lookup(self):
+        table = EnergyTable([_entry("a"), _entry("b", read=3.0)])
+        assert table.energy("b", "read") == 3.0
+        assert table.area("a") == 10.0
+        assert len(table) == 2
+        assert "a" in table and "c" not in table
+
+    def test_duplicate_add_raises(self):
+        table = EnergyTable([_entry("a")])
+        with pytest.raises(EstimationError):
+            table.add(_entry("a"))
+
+    def test_replace_overwrites(self):
+        table = EnergyTable([_entry("a")])
+        table.replace(_entry("a", read=9.0))
+        assert table.energy("a", "read") == 9.0
+
+    def test_missing_component_raises_with_known(self):
+        table = EnergyTable([_entry("a")])
+        with pytest.raises(EstimationError) as excinfo:
+            table.energy("zz", "read")
+        assert "'a'" in str(excinfo.value)
+
+    def test_total_area(self):
+        table = EnergyTable([_entry("a", area=10.0), _entry("b", area=5.0)])
+        assert table.total_area_um2({"a": 2, "b": 4}) == 40.0
+
+    def test_iteration(self):
+        table = EnergyTable([_entry("a"), _entry("b")])
+        assert {entry.component for entry in table} == {"a", "b"}
+
+    def test_describe_renders_all_actions(self):
+        text = EnergyTable([_entry("a")]).describe()
+        assert "read" in text and "write" in text

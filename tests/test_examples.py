@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run and say what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, substring its output must contain)
+_CASES = [
+    ("quickstart.py", "pJ/MAC"),
+    ("full_system_memory_study.py", "Batching + fusion"),
+    ("reuse_exploration.py", "accelerator energy reduction"),
+    ("throughput_study.py", "MACs/cycle"),
+    ("custom_photonic_accelerator.py", "wdm-crossbar"),
+    ("pareto_exploration.py", "Pareto"),
+    ("roofline_study.py", "memory-bound"),
+]
+
+
+@pytest.mark.parametrize("script,expected", _CASES)
+def test_example_runs(script, expected):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout, (
+        f"{script} output missing {expected!r}:\n{result.stdout[-500:]}")
+
+
+def test_every_example_is_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {script for script, _ in _CASES}
+    assert shipped == covered, (
+        f"examples without smoke tests: {shipped - covered}")

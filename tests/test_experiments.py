@@ -1,0 +1,212 @@
+"""Tests for the figure experiments: paper-claim reproduction.
+
+These are the headline integration tests — each asserts the *shape* claims
+of the corresponding paper figure, with the tolerances recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_validation,
+    fig3_throughput,
+    fig4_memory,
+    fig5_reuse,
+)
+from repro.experiments.reported import (
+    FIG2_REPORTED,
+    FIG3_REPORTED,
+    FIG5_INPUT_REUSE,
+    FIG5_OUTPUT_REUSE,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_validation.run()
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return fig3_throughput.run()
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_memory.run()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_reuse.run()
+
+
+class TestFig2:
+    def test_three_scenarios(self, fig2):
+        assert [v.scenario for v in fig2.validations] \
+            == ["conservative", "moderate", "aggressive"]
+
+    def test_average_error_within_claim(self, fig2):
+        # Paper: 0.4% average overall error; we allow 1% for transcription.
+        assert fig2.average_error <= 0.01
+        assert fig2.meets_paper_claim
+
+    def test_every_bucket_close(self, fig2):
+        for validation in fig2.validations:
+            for bucket, reported in validation.reported.items():
+                modeled = validation.modeled[bucket]
+                assert modeled == pytest.approx(reported, rel=0.05), \
+                    f"{validation.scenario}/{bucket}"
+
+    def test_scenario_totals_ordered(self, fig2):
+        totals = [v.modeled_total for v in fig2.validations]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_conservative_magnitude(self, fig2):
+        # The figure's conservative bar sits between 3 and 4 pJ/MAC.
+        assert 2.5 < fig2.validations[0].modeled_total < 4.5
+
+    def test_table_renders(self, fig2):
+        text = fig2.table()
+        assert "MRR" in text and "error" in text
+
+
+class TestFig3:
+    def test_vgg16_near_ideal(self, fig3):
+        vgg = fig3.for_network("VGG16")
+        assert vgg.modeled_over_ideal >= 0.70
+
+    def test_alexnet_severely_degraded(self, fig3):
+        alex = fig3.for_network("AlexNet")
+        assert alex.modeled_over_reported <= 0.50
+
+    def test_alexnet_worse_than_vgg(self, fig3):
+        assert fig3.for_network("AlexNet").modeled \
+            < 0.5 * fig3.for_network("VGG16").modeled
+
+    def test_modeled_below_ideal_always(self, fig3):
+        for throughput in fig3.throughputs:
+            assert throughput.modeled <= throughput.ideal
+
+    def test_claims_met(self, fig3):
+        assert fig3.meets_paper_claims
+
+    def test_ideal_matches_peak(self, fig3):
+        assert fig3.for_network("VGG16").ideal == 6480
+
+    def test_table_renders(self, fig3):
+        text = fig3.table()
+        assert "VGG16" in text and "AlexNet" in text
+
+    def test_fc_layers_underutilized_in_breakdown(self, fig3):
+        alex = fig3.for_network("AlexNet")
+        fc_evals = [e for e, _ in alex.evaluation.layers
+                    if e.layer.is_fully_connected]
+        assert fc_evals
+        for evaluation in fc_evals:
+            assert evaluation.utilization < 0.15
+
+
+class TestFig4:
+    def test_aggressive_dram_dominant(self, fig4):
+        share = fig4.dram_share("aggressive")
+        assert share >= 0.55, f"DRAM share {share:.0%}, paper says 75%"
+
+    def test_conservative_dram_small(self, fig4):
+        assert fig4.dram_share("conservative") <= 0.30
+
+    def test_combined_reduction_near_3x(self, fig4):
+        reduction = fig4.combined_reduction("aggressive")
+        assert reduction >= 0.50, \
+            f"combined reduction {reduction:.0%}, paper says 67%"
+
+    def test_batching_helps(self, fig4):
+        base = fig4.point("aggressive", batch=1, fused=False)
+        batched = fig4.point("aggressive", batch=8, fused=False)
+        assert batched.energy_per_mac_pj < base.energy_per_mac_pj
+
+    def test_fusion_helps(self, fig4):
+        base = fig4.point("aggressive", batch=1, fused=False)
+        fused = fig4.point("aggressive", batch=1, fused=True)
+        assert fused.energy_per_mac_pj < base.energy_per_mac_pj
+
+    def test_fusion_grows_buffer_energy(self, fig4):
+        base = fig4.buckets_per_mac(
+            fig4.point("aggressive", batch=8, fused=False))
+        fused = fig4.buckets_per_mac(
+            fig4.point("aggressive", batch=8, fused=True))
+        # The paper's stated cost of fusion: more on-chip buffer energy.
+        assert fused["On-Chip Buffer"] > base["On-Chip Buffer"]
+
+    def test_claims_met(self, fig4):
+        assert fig4.meets_paper_claims
+
+    def test_table_renders(self, fig4):
+        assert "DRAM" in fig4.table()
+
+
+class TestFig5:
+    def test_full_grid(self, fig5):
+        assert len(fig5.points) == (len(FIG5_OUTPUT_REUSE)
+                                    * len(FIG5_INPUT_REUSE) * 2)
+
+    def test_or_monotonic_within_variant(self, fig5):
+        for variant in ("Original", "More Weight Reuse"):
+            for input_reuse in FIG5_INPUT_REUSE:
+                energies = [
+                    fig5.point(variant, output_reuse, input_reuse)
+                    .energy_per_mac_pj
+                    for output_reuse in FIG5_OUTPUT_REUSE
+                ]
+                assert energies == sorted(energies, reverse=True), \
+                    f"{variant} IR={input_reuse}: {energies}"
+
+    def test_ir_reduces_input_conversion(self, fig5):
+        low = fig5.buckets_per_mac(fig5.point("Original", 3, 9))
+        high = fig5.buckets_per_mac(fig5.point("Original", 3, 45))
+        assert high["Input DE/AE, AE/AO"] < low["Input DE/AE, AE/AO"]
+
+    def test_weight_reuse_reduces_weight_conversion(self, fig5):
+        original = fig5.buckets_per_mac(fig5.point("Original", 3, 9))
+        mwr = fig5.buckets_per_mac(
+            fig5.point("More Weight Reuse", 3, 9))
+        assert mwr["Weight DE/AE, AE/AO"] \
+            < 0.6 * original["Weight DE/AE, AE/AO"]
+
+    def test_converter_reduction_claim(self, fig5):
+        # Paper: 42%; require at least ~70% of it.
+        assert fig5.converter_reduction >= 0.30
+
+    def test_accelerator_reduction_claim(self, fig5):
+        # Paper: 31%.
+        assert fig5.accelerator_reduction >= 0.22
+
+    def test_claims_met(self, fig5):
+        assert fig5.meets_paper_claims
+
+    def test_table_renders(self, fig5):
+        text = fig5.table()
+        assert "More Weight Reuse" in text
+
+
+class TestReportedData:
+    def test_fig2_reported_buckets_consistent(self):
+        for scenario, buckets in FIG2_REPORTED.items():
+            assert set(buckets) == {"MRR", "MZM", "Laser", "AO/AE",
+                                    "DE/AE", "AE/DE", "Cache"}, scenario
+            assert all(value > 0 for value in buckets.values())
+
+    def test_fig3_reported_ordering(self):
+        for network, series in FIG3_REPORTED.items():
+            assert series["modeled"] <= series["reported"] \
+                <= series["ideal"], network
+
+
+class TestRunner:
+    def test_run_all_reports(self):
+        from repro.experiments import run_all
+
+        results = run_all()
+        assert all(results.claims.values()), results.claims
+        report = results.report()
+        assert "Claim summary" in report

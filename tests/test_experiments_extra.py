@@ -1,0 +1,122 @@
+"""Tests for the extension experiments (batching, sensitivity parameters,
+calibration helpers) and experiment customization hooks."""
+
+import pytest
+
+from repro.energy import AGGRESSIVE, CONSERVATIVE
+from repro.experiments import batching, calibration, fig2_validation, \
+    fig3_throughput, sensitivity
+from repro.experiments.reported import FIG2_REPORTED
+from repro.systems import AlbireoConfig
+from repro.workloads import lenet5, tiny_cnn
+
+
+class TestBatchingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return batching.run(batch_sizes=(1, 4, 16))
+
+    def test_points_cover_batches(self, result):
+        assert [p.batch for p in result.points] == [1, 4, 16]
+
+    def test_energy_monotone_decreasing(self, result):
+        energies = [p.energy_uj_per_inference for p in result.points]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_latency_monotone_increasing(self, result):
+        latencies = [p.latency_ms_per_request for p in result.points]
+        assert latencies == sorted(latencies)
+
+    def test_weight_dram_amortizes(self, result):
+        first, last = result.points[0], result.points[-1]
+        assert last.weight_dram_pj_per_mac \
+            < 0.2 * first.weight_dram_pj_per_mac
+
+    def test_energy_floor(self, result):
+        assert result.energy_floor_uj \
+            == result.points[-1].energy_uj_per_inference
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "Batching" in text and "uJ/inf" in text
+
+    def test_conservative_amortizes_less(self):
+        aggressive = batching.run(AGGRESSIVE, batch_sizes=(1, 8))
+        conservative = batching.run(CONSERVATIVE, batch_sizes=(1, 8))
+
+        def saving(result):
+            return 1 - (result.points[-1].energy_uj_per_inference
+                        / result.points[0].energy_uj_per_inference)
+
+        assert saving(aggressive) > saving(conservative)
+
+
+class TestSensitivityParameters:
+    def test_custom_field_subset(self):
+        result = sensitivity.run(fields=("mzm_pj", "dac_pj_at_8bit"))
+        assert len(result.entries) == 2
+
+    def test_small_perturbation_small_swing(self):
+        small = sensitivity.run(perturbation=0.05,
+                                fields=("dac_pj_at_8bit",))
+        large = sensitivity.run(perturbation=0.4,
+                                fields=("dac_pj_at_8bit",))
+        assert small.entries[0].magnitude < large.entries[0].magnitude
+
+    def test_aggressive_scenario_runs(self):
+        result = sensitivity.run(AGGRESSIVE, fields=("adc_fom_fj_per_step",))
+        assert result.scenario == "aggressive"
+
+
+class TestCalibrationHelpers:
+    def test_modeled_buckets_keys(self):
+        buckets = calibration.modeled_buckets(CONSERVATIVE,
+                                              AlbireoConfig())
+        assert set(buckets) == {"MRR", "MZM", "Laser", "AO/AE", "DE/AE",
+                                "AE/DE", "Cache"}
+
+    def test_error_zero_for_self(self):
+        config = AlbireoConfig()
+        modeled = calibration.modeled_buckets(CONSERVATIVE, config)
+        error = calibration.calibration_error(modeled, CONSERVATIVE,
+                                              config)
+        assert error == pytest.approx(0.0, abs=1e-9)
+
+    def test_error_detects_mismatch(self):
+        config = AlbireoConfig()
+        wrong = dict(FIG2_REPORTED["conservative"])
+        wrong["MZM"] *= 2
+        error = calibration.calibration_error(wrong, CONSERVATIVE, config)
+        assert error > 0.3
+
+    def test_derivation_respects_reuse_factors(self):
+        """Doubling IR halves the MZM bucket at fixed device energy, so
+        deriving from the same targets must double the device energy."""
+        targets = FIG2_REPORTED["conservative"]
+        base = calibration.derive_scenario(
+            "a", targets, AlbireoConfig(star_ports=9),
+            wall_plug_efficiency=0.1, fixed_loss_db=6.0)
+        wide = calibration.derive_scenario(
+            "b", targets, AlbireoConfig(star_ports=18),
+            wall_plug_efficiency=0.1, fixed_loss_db=6.0)
+        assert wide.mzm_pj == pytest.approx(2 * base.mzm_pj, rel=1e-6)
+
+
+class TestExperimentCustomization:
+    def test_fig2_subset_of_scenarios(self):
+        result = fig2_validation.run(scenarios=(CONSERVATIVE,))
+        assert len(result.validations) == 1
+        assert result.validations[0].scenario == "conservative"
+
+    def test_fig3_custom_networks(self):
+        result = fig3_throughput.run(networks=(tiny_cnn(), lenet5()))
+        assert {t.network for t in result.throughputs} \
+            == {"TinyCNN", "LeNet5"}
+        # Unlisted networks fall back to peak for ideal/reported.
+        tiny = result.for_network("TinyCNN")
+        assert tiny.ideal == AlbireoConfig().peak_macs_per_cycle
+
+    def test_fig3_unknown_network_lookup_raises(self):
+        result = fig3_throughput.run(networks=(tiny_cnn(),))
+        with pytest.raises(KeyError):
+            result.for_network("VGG16")

@@ -1,0 +1,92 @@
+"""Unit tests for the per-repetition fusion traffic-flag logic."""
+
+import pytest
+
+from repro.model.accelerator import fusion_blocks
+from repro.workloads import ConvLayer
+from repro.workloads.network import LayerRepetition
+
+
+def _entry(count=1, consumes_previous=True):
+    return LayerRepetition(
+        layer=ConvLayer(name="l", m=4, c=4),
+        count=count,
+        consumes_previous_output=consumes_previous,
+    )
+
+
+class TestUnfused:
+    @pytest.mark.parametrize("count", [1, 3])
+    def test_everything_round_trips_dram(self, count):
+        blocks = fusion_blocks(_entry(count=count), is_last_entry=False,
+                               fused=False)
+        assert blocks == [(True, True, count)]
+
+
+class TestFusedSingleRepetition:
+    def test_first_layer_reads_dram_writes_onchip(self):
+        blocks = fusion_blocks(_entry(consumes_previous=False),
+                               is_last_entry=False, fused=True)
+        assert blocks == [(True, False, 1)]
+
+    def test_interior_layer_fully_onchip(self):
+        blocks = fusion_blocks(_entry(), is_last_entry=False, fused=True)
+        assert blocks == [(False, False, 1)]
+
+    def test_last_layer_writes_dram(self):
+        blocks = fusion_blocks(_entry(), is_last_entry=True, fused=True)
+        assert blocks == [(False, True, 1)]
+
+    def test_single_layer_network_round_trips(self):
+        blocks = fusion_blocks(_entry(consumes_previous=False),
+                               is_last_entry=True, fused=True)
+        assert blocks == [(True, True, 1)]
+
+
+class TestFusedRepetitions:
+    def test_interior_block_all_onchip(self):
+        blocks = fusion_blocks(_entry(count=4), is_last_entry=False,
+                               fused=True)
+        assert blocks == [(False, False, 4)]
+
+    def test_first_block_splits_head(self):
+        blocks = fusion_blocks(_entry(count=3, consumes_previous=False),
+                               is_last_entry=False, fused=True)
+        assert blocks == [(True, False, 1), (False, False, 2)]
+
+    def test_last_block_splits_tail(self):
+        blocks = fusion_blocks(_entry(count=3), is_last_entry=True,
+                               fused=True)
+        assert blocks == [(False, False, 2), (False, True, 1)]
+
+    def test_first_and_last_block_splits_both(self):
+        blocks = fusion_blocks(_entry(count=3, consumes_previous=False),
+                               is_last_entry=True, fused=True)
+        assert blocks == [(True, False, 1), (False, False, 1),
+                          (False, True, 1)]
+
+
+class TestConservation:
+    @pytest.mark.parametrize("count", [1, 2, 5])
+    @pytest.mark.parametrize("consumes", [True, False])
+    @pytest.mark.parametrize("is_last", [True, False])
+    def test_counts_always_sum_to_repetitions(self, count, consumes,
+                                              is_last):
+        entry = _entry(count=count, consumes_previous=consumes)
+        blocks = fusion_blocks(entry, is_last, fused=True)
+        assert sum(c for _, _, c in blocks) == count
+        assert all(c > 0 for _, _, c in blocks)
+
+    @pytest.mark.parametrize("count", [1, 2, 5])
+    def test_exactly_one_dram_write_when_last(self, count):
+        blocks = fusion_blocks(_entry(count=count), is_last_entry=True,
+                               fused=True)
+        dram_writes = sum(c for _, out, c in blocks if out)
+        assert dram_writes == 1
+
+    @pytest.mark.parametrize("count", [1, 2, 5])
+    def test_at_most_one_dram_read(self, count):
+        blocks = fusion_blocks(_entry(count=count, consumes_previous=False),
+                               is_last_entry=False, fused=True)
+        dram_reads = sum(c for inp, _, c in blocks if inp)
+        assert dram_reads == 1

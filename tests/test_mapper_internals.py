@@ -1,0 +1,168 @@
+"""White-box tests for the mapper's candidate generators."""
+
+import random
+
+import pytest
+
+from repro.arch import Architecture, ComputeLevel, Domain, SpatialFanout, \
+    StorageLevel
+from repro.mapping import Mapper, MappingConstraints
+from repro.mapping.constraints import FanoutConstraint
+from repro.mapping.mapper import _ordered_loops, _PERMUTATION_TEMPLATES
+from repro.mapping.mapping import problem_dims
+from repro.workloads import ConvLayer, DataSpace
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+def _arch_with_fanout(size=8, dims=(Dim.M, Dim.C)):
+    return Architecture(name="t", nodes=(
+        StorageLevel(name="DRAM", component="d", domain=Domain.DE,
+                     dataspaces={W, I, O}),
+        StorageLevel(name="GB", component="s", domain=Domain.DE,
+                     capacity_bits=1e9, dataspaces={W, I, O}),
+        SpatialFanout(name="pe", size=size,
+                      allowed_dims=frozenset(dims), multicast={I}),
+        ComputeLevel(name="mac", component="m", domain=Domain.DE),
+    ))
+
+
+def _noop_cost(mapping):
+    return 0.0
+
+
+class TestFanoutOptions:
+    def _options(self, layer, constraints=None, size=8,
+                 dims=(Dim.M, Dim.C)):
+        arch = _arch_with_fanout(size=size, dims=dims)
+        mapper = Mapper(arch, _noop_cost, constraints=constraints)
+        fanout = arch.fanouts[0]
+        remaining = problem_dims(layer)
+        return mapper._fanout_options(fanout, remaining)
+
+    def test_includes_empty_option(self):
+        options = self._options(ConvLayer(name="l", m=8, c=8))
+        assert {} in options
+
+    def test_greedy_fill_present(self):
+        options = self._options(ConvLayer(name="l", m=8, c=8))
+        assert any(factors.get(Dim.M, 1) * factors.get(Dim.C, 1) == 8
+                   for factors in options)
+
+    def test_respects_max_instances(self):
+        constraints = MappingConstraints(
+            fanouts={"pe": FanoutConstraint(max_instances=2)})
+        options = self._options(ConvLayer(name="l", m=8, c=8),
+                                constraints=constraints)
+        for factors in options:
+            product = 1
+            for factor in factors.values():
+                product *= factor
+            assert product <= 2
+
+    def test_respects_forbidden_dims(self):
+        constraints = MappingConstraints(
+            fanouts={"pe": FanoutConstraint(forbidden_dims={Dim.C})})
+        options = self._options(ConvLayer(name="l", m=8, c=8),
+                                constraints=constraints)
+        assert all(Dim.C not in factors for factors in options)
+
+    def test_unit_dims_yield_only_empty(self):
+        options = self._options(ConvLayer(name="l", m=1, c=1))
+        assert options == [{}]
+
+    def test_single_dim_fill(self):
+        options = self._options(ConvLayer(name="l", m=64, c=1),
+                                dims=(Dim.M,))
+        assert {Dim.M: 8} in options
+
+
+class TestOrderedLoops:
+    def test_template_order_respected(self):
+        factors = {Dim.M: 4, Dim.C: 2, Dim.P: 3}
+        loops = _ordered_loops(factors,
+                               _PERMUTATION_TEMPLATES["protect_outputs"])
+        dims = [loop.dim for loop in loops]
+        # protect_outputs puts reduction dims innermost (last).
+        assert dims.index(Dim.C) > dims.index(Dim.M)
+
+    def test_unit_factors_skipped(self):
+        loops = _ordered_loops({Dim.M: 1, Dim.C: 4},
+                               _PERMUTATION_TEMPLATES["protect_weights"])
+        assert len(loops) == 1 and loops[0].dim == Dim.C
+
+    def test_all_templates_cover_all_dims(self):
+        for name, template in _PERMUTATION_TEMPLATES.items():
+            assert set(template) == set(Dim), name
+
+
+class TestSearchDeterminismAndSampling:
+    def test_generation_capped_by_max_evaluations(self):
+        arch = _arch_with_fanout()
+        layer = ConvLayer(name="l", m=16, c=16, p=8, q=8)
+        calls = []
+
+        def counting_cost(mapping):
+            calls.append(1)
+            return 1.0
+
+        mapper = Mapper(arch, counting_cost)
+        mapper.search(layer, max_evaluations=50, seed=0)
+        assert len(calls) <= 50
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        arch = _arch_with_fanout()
+        layer = ConvLayer(name="l", m=16, c=16, p=8, q=8)
+
+        def traffic(mapping):
+            from repro.mapping import analyze
+
+            counts = analyze(arch, layer, mapping)
+            return counts.storage["DRAM"].total_reads
+
+        mapper = Mapper(arch, traffic)
+        costs = {mapper.search(layer, max_evaluations=150,
+                               seed=seed).cost for seed in range(3)}
+        assert all(cost < float("inf") for cost in costs)
+
+
+class TestStationaryOptions:
+    def test_weight_holder_gets_fill_option(self):
+        arch = Architecture(name="t", nodes=(
+            StorageLevel(name="DRAM", component="d", domain=Domain.DE,
+                         dataspaces={W, I, O}),
+            StorageLevel(name="GB", component="s", domain=Domain.DE,
+                         capacity_bits=1e9, dataspaces={W, I, O}),
+            StorageLevel(name="Bank", component="b", domain=Domain.AE,
+                         capacity_bits=64 * 8.0, dataspaces={W}),
+            ComputeLevel(name="mac", component="m", domain=Domain.DE),
+        ))
+        mapper = Mapper(arch, _noop_cost)
+        layer = ConvLayer(name="l", m=16, c=16, p=4, q=4)
+        bank = arch.storage_levels[2]
+        options = mapper._stationary_options(bank, layer,
+                                             problem_dims(layer))
+        assert {} in options
+        fills = [o for o in options if o]
+        assert fills, "expected a fill-to-capacity option"
+        for option in fills:
+            product = 1
+            for factor in option.values():
+                product *= factor
+            assert product <= 64  # capacity in elements
+
+    def test_tiny_capacity_passthrough_only(self):
+        arch = Architecture(name="t", nodes=(
+            StorageLevel(name="DRAM", component="d", domain=Domain.DE,
+                         dataspaces={W, I, O}),
+            StorageLevel(name="Reg", component="r", domain=Domain.DE,
+                         capacity_bits=8.0, dataspaces={W}),
+            ComputeLevel(name="mac", component="m", domain=Domain.DE),
+        ))
+        mapper = Mapper(arch, _noop_cost)
+        layer = ConvLayer(name="l", m=16, c=16)
+        register = arch.storage_levels[1]
+        options = mapper._stationary_options(register, layer,
+                                             problem_dims(layer))
+        assert options == [{}]

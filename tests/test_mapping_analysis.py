@@ -1,0 +1,353 @@
+"""Tests for the access-count analysis engine.
+
+Every count in the first two test classes is verified by hand against the
+Timeloop dataflow model (the derivations are spelled out in comments), so
+these tests pin the engine's semantics, not just its stability.
+"""
+
+import pytest
+
+from repro.arch import (
+    Architecture,
+    ComputeLevel,
+    Conversion,
+    ConverterStage,
+    Domain,
+    SpatialFanout,
+    StorageLevel,
+)
+from repro.exceptions import CapacityError, MappingError
+from repro.mapping import (
+    FanoutMapping,
+    LevelMapping,
+    Mapping,
+    TemporalLoop,
+    analyze,
+)
+from repro.workloads import ConvLayer, DataSpace
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+class TestHandVerifiedTwoLevel:
+    """M=4, C=2, P=2, Q=2 conv; M spatial on a 4-wide multicast array."""
+
+    @pytest.fixture
+    def counts(self, two_level_arch, small_conv):
+        mapping = Mapping(
+            levels=(
+                LevelMapping("DRAM", ()),
+                LevelMapping("GB", (TemporalLoop(Dim.C, 2),
+                                    TemporalLoop(Dim.Q, 2),
+                                    TemporalLoop(Dim.P, 2))),
+            ),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        return analyze(two_level_arch, small_conv, mapping)
+
+    def test_padded_and_cycles(self, counts):
+        assert counts.padded_macs == 32
+        assert counts.cycles == 8
+        assert counts.padding_utilization == 1.0
+
+    def test_weights(self, counts):
+        # Every MAC reads a weight; no multicast for weights (M is
+        # relevant), so GB serves 32 reads; the 8-element weight tensor is
+        # fetched once from DRAM.
+        gb, dram = counts.storage["GB"], counts.storage["DRAM"]
+        assert gb.reads[W] == 32
+        assert gb.writes[W] == 8
+        assert dram.reads[W] == 8
+
+    def test_inputs_multicast(self, counts):
+        # The array multicasts inputs across M: 32 MACs / 4 = 8 reads.
+        gb, dram = counts.storage["GB"], counts.storage["DRAM"]
+        assert gb.reads[I] == 8
+        assert gb.writes[I] == 8
+        assert dram.reads[I] == 8
+
+    def test_outputs(self, counts):
+        # 16 outputs, each accumulated over C=2: 32 updates at GB, one
+        # writeback each; no partial-sum RMW at DRAM.
+        gb, dram = counts.storage["GB"], counts.storage["DRAM"]
+        assert gb.writes[O] == 32
+        assert gb.reads[O] == 32  # 16 RMW + 16 outgoing
+        assert dram.writes[O] == 16
+        assert dram.reads.get(O, 0) == 0
+
+    def test_instances(self, counts):
+        assert counts.instances["GB"] == 1
+        assert counts.instances["DRAM"] == 1
+
+
+class TestHandVerifiedPermutations:
+    """M=4, C=4 matrix-vector product, no spatial array."""
+
+    def _counts(self, flat_arch, dram_loops, gb_loops):
+        layer = ConvLayer(name="t", m=4, c=4)
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", dram_loops),
+            LevelMapping("GB", gb_loops),
+        ))
+        return analyze(flat_arch, layer, mapping)
+
+    def test_m_outer_c_inner(self, flat_arch):
+        counts = self._counts(
+            flat_arch,
+            dram_loops=(TemporalLoop(Dim.M, 4),),
+            gb_loops=(TemporalLoop(Dim.C, 4),),
+        )
+        gb, dram = counts.storage["GB"], counts.storage["DRAM"]
+        # Weight tiles of 4 fetched once per M step: 16 total = tensor.
+        assert dram.reads[W] == 16
+        # Inputs: the C-tile persists across the M loop (irrelevant): one
+        # fetch of 4 elements.
+        assert dram.reads[I] == 4
+        # Outputs: each M step accumulates fully in GB, then writes back.
+        assert dram.writes[O] == 4
+        assert dram.reads.get(O, 0) == 0
+        assert gb.reads[O] == 16  # 12 RMW + 4 outgoing
+
+    def test_c_outer_m_inner_forces_spills(self, flat_arch):
+        counts = self._counts(
+            flat_arch,
+            dram_loops=(TemporalLoop(Dim.C, 4), TemporalLoop(Dim.M, 4)),
+            gb_loops=(),
+        )
+        dram = counts.storage["DRAM"]
+        # GB tile is one element; every (c, m) revisit spills partials:
+        # 16 writebacks, 12 of them partial merges read back at DRAM.
+        assert dram.writes[O] == 16
+        assert dram.reads[O] == 12
+        # Inputs: initial irrelevant run (M innermost) gives reuse: the
+        # 4 inputs are each fetched once.
+        assert dram.reads[I] == 4
+        assert dram.reads[W] == 16
+
+    def test_transparent_unit_loops_do_not_break_reuse(self, flat_arch):
+        counts = self._counts(
+            flat_arch,
+            dram_loops=(TemporalLoop(Dim.C, 4),
+                        TemporalLoop(Dim.N, 1),   # bound-1: transparent
+                        TemporalLoop(Dim.M, 4)),
+            gb_loops=(),
+        )
+        assert counts.storage["DRAM"].reads[I] == 4
+
+
+class TestInputHalo:
+    def test_gb_input_fills_use_halo(self, flat_arch):
+        # P=4 at GB with R=3 temporal at GB too: input tile is 6 rows.
+        layer = ConvLayer(name="h", p=4, r=3)
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", ()),
+            LevelMapping("GB", (TemporalLoop(Dim.P, 4),
+                                TemporalLoop(Dim.R, 3))),
+        ))
+        counts = analyze(flat_arch, layer, mapping)
+        assert counts.storage["DRAM"].reads[I] == 6
+
+    def test_strided_halo(self, flat_arch):
+        layer = ConvLayer(name="h", p=4, r=3, stride_h=2)
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", ()),
+            LevelMapping("GB", (TemporalLoop(Dim.P, 4),
+                                TemporalLoop(Dim.R, 3))),
+        ))
+        counts = analyze(flat_arch, layer, mapping)
+        assert counts.storage["DRAM"].reads[I] == 9  # (4-1)*2 + 3
+
+
+class TestConverters:
+    def test_converter_events_and_multicast(self, converter_arch):
+        # M=8 spatial with input multicast: weight DAC converts per MAC,
+        # input DAC converts once per broadcast.
+        layer = ConvLayer(name="c", m=8, c=4)
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.C, 4),))),
+            spatials=(FanoutMapping("array", {Dim.M: 8}),),
+        )
+        counts = analyze(converter_arch, layer, mapping)
+        assert counts.conversions["WDAC"][W] == 32
+        assert counts.conversions["IDAC"][I] == 4  # 32 / 8 multicast
+        assert counts.conversions["ADC"][O] == 32  # every partial, no red.
+
+    def test_converter_total_helper(self, converter_arch):
+        layer = ConvLayer(name="c", m=8, c=4)
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.C, 4),))),
+            spatials=(FanoutMapping("array", {Dim.M: 8}),),
+        )
+        counts = analyze(converter_arch, layer, mapping)
+        assert counts.converter_events("WDAC") == 32
+
+
+class TestSpatialReduction:
+    @pytest.fixture
+    def reduce_arch(self):
+        return Architecture(name="red", nodes=(
+            StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                         dataspaces={W, I, O}),
+            StorageLevel(name="GB", component="sram", domain=Domain.DE,
+                         capacity_bits=1e9, dataspaces={W, I, O}),
+            SpatialFanout(name="tree", size=4, allowed_dims={Dim.C},
+                          reduction={O}),
+            ComputeLevel(name="mac", component="mac", domain=Domain.DE),
+        ))
+
+    def test_full_reduction(self, reduce_arch):
+        layer = ConvLayer(name="r", m=2, c=4)
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.M, 2),))),
+            spatials=(FanoutMapping("tree", {Dim.C: 4}),),
+        )
+        counts = analyze(reduce_arch, layer, mapping)
+        # 8 MACs reduce 4:1 spatially: GB receives 2 updates (one per M).
+        assert counts.storage["GB"].writes[O] == 2
+
+    def test_reduction_limit_caps_amortization(self, reduce_arch):
+        limited = reduce_arch.replace_node(
+            "tree",
+            SpatialFanout(name="tree", size=4, allowed_dims={Dim.C},
+                          reduction={O}, reduction_limit=2),
+        )
+        layer = ConvLayer(name="r", m=2, c=4)
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.M, 2),))),
+            spatials=(FanoutMapping("tree", {Dim.C: 4}),),
+        )
+        counts = analyze(limited, layer, mapping)
+        # Only pairs merge: 8 MACs -> 4 updates into GB.
+        assert counts.storage["GB"].writes[O] == 4
+
+
+class TestAccumulationDepth:
+    @pytest.fixture
+    def integrator_arch(self):
+        return Architecture(name="acc", nodes=(
+            StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                         dataspaces={W, I, O}),
+            StorageLevel(name="GB", component="sram", domain=Domain.DE,
+                         capacity_bits=1e9, dataspaces={W, I, O}),
+            StorageLevel(name="ACC", component="acc", domain=Domain.AE,
+                         dataspaces={O}, capacity_bits=8.0,
+                         allowed_temporal_dims={Dim.C, Dim.R, Dim.S},
+                         max_accumulation_depth=4.0),
+            ComputeLevel(name="mac", component="mac", domain=Domain.AE),
+        ))
+
+    def test_depth_limits_absorption(self, integrator_arch):
+        # C=16 accumulation with depth 4: the integrator must write back
+        # 4 partials per output even though its loops could absorb all 16.
+        layer = ConvLayer(name="a", m=2, c=16)
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", ()),
+            LevelMapping("GB", (TemporalLoop(Dim.M, 2),)),
+            LevelMapping("ACC", (TemporalLoop(Dim.C, 16),)),
+        ))
+        counts = analyze(integrator_arch, layer, mapping)
+        # 32 updates in, depth 4 -> at least 8 writebacks into GB.
+        assert counts.storage["GB"].writes[O] == 8
+
+    def test_within_depth_no_extra_writebacks(self, integrator_arch):
+        layer = ConvLayer(name="a", m=2, c=4)
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", ()),
+            LevelMapping("GB", (TemporalLoop(Dim.M, 2),)),
+            LevelMapping("ACC", (TemporalLoop(Dim.C, 4),)),
+        ))
+        counts = analyze(integrator_arch, layer, mapping)
+        assert counts.storage["GB"].writes[O] == 2  # one per output
+
+
+class TestCapacity:
+    def test_capacity_violation_raises(self, small_conv):
+        tiny = Architecture(name="tiny", nodes=(
+            StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                         dataspaces={W, I, O}),
+            StorageLevel(name="GB", component="sram", domain=Domain.DE,
+                         capacity_bits=64.0, dataspaces={W, I, O}),
+            ComputeLevel(name="mac", component="mac", domain=Domain.DE),
+        ))
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", ()),
+            LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                TemporalLoop(Dim.C, 2),
+                                TemporalLoop(Dim.P, 2),
+                                TemporalLoop(Dim.Q, 2))),
+        ))
+        with pytest.raises(CapacityError):
+            analyze(tiny, small_conv, mapping)
+
+    def test_check_capacity_false_permits(self, small_conv):
+        tiny = Architecture(name="tiny", nodes=(
+            StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                         dataspaces={W, I, O}),
+            StorageLevel(name="GB", component="sram", domain=Domain.DE,
+                         capacity_bits=64.0, dataspaces={W, I, O}),
+            ComputeLevel(name="mac", component="mac", domain=Domain.DE),
+        ))
+        mapping = Mapping(levels=(
+            LevelMapping("DRAM", ()),
+            LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                TemporalLoop(Dim.C, 2),
+                                TemporalLoop(Dim.P, 2),
+                                TemporalLoop(Dim.Q, 2))),
+        ))
+        counts = analyze(tiny, small_conv, mapping, check_capacity=False)
+        assert counts.occupancy_bits["GB"] > 64.0
+
+
+class TestConservation:
+    """Cross-level conservation laws that any correct analysis satisfies."""
+
+    def test_dram_weight_reads_at_least_tensor(self, two_level_arch,
+                                               medium_conv):
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", (TemporalLoop(Dim.C, 8),)),
+                    LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                        TemporalLoop(Dim.P, 8),
+                                        TemporalLoop(Dim.Q, 8),
+                                        TemporalLoop(Dim.R, 3),
+                                        TemporalLoop(Dim.S, 3)))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        counts = analyze(two_level_arch, medium_conv, mapping)
+        assert counts.storage["DRAM"].reads[W] \
+            >= medium_conv.weight_elements
+
+    def test_output_writebacks_equal_tensor_when_no_spills(
+            self, two_level_arch, medium_conv):
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                        TemporalLoop(Dim.P, 8),
+                                        TemporalLoop(Dim.Q, 8),
+                                        TemporalLoop(Dim.C, 8),
+                                        TemporalLoop(Dim.R, 3),
+                                        TemporalLoop(Dim.S, 3)))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        counts = analyze(two_level_arch, medium_conv, mapping)
+        assert counts.storage["DRAM"].writes[O] \
+            == medium_conv.output_elements
+
+    def test_gb_output_updates_equal_macs(self, two_level_arch,
+                                          medium_conv):
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                        TemporalLoop(Dim.P, 8),
+                                        TemporalLoop(Dim.Q, 8),
+                                        TemporalLoop(Dim.C, 8),
+                                        TemporalLoop(Dim.R, 3),
+                                        TemporalLoop(Dim.S, 3)))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        counts = analyze(two_level_arch, medium_conv, mapping)
+        assert counts.storage["GB"].writes[O] == counts.padded_macs

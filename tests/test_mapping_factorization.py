@@ -1,0 +1,123 @@
+"""Tests for factorization utilities."""
+
+import math
+
+import pytest
+
+from repro.mapping.factorization import (
+    balanced_split,
+    ceil_div,
+    divisors,
+    factor_splits,
+    padded_factor_splits,
+    tile_candidates,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(5, 1) == 5
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+
+class TestDivisors:
+    def test_twelve(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_prime(self):
+        assert divisors(13) == (1, 13)
+
+    def test_one(self):
+        assert divisors(1) == (1,)
+
+    def test_square(self):
+        assert divisors(36) == (1, 2, 3, 4, 6, 9, 12, 18, 36)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @pytest.mark.parametrize("n", [2, 24, 97, 360, 1024])
+    def test_all_divide(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    def test_sorted_ascending(self):
+        assert list(divisors(360)) == sorted(divisors(360))
+
+
+class TestFactorSplits:
+    def test_two_way(self):
+        assert sorted(factor_splits(4, 2)) == [(1, 4), (2, 2), (4, 1)]
+
+    def test_products_correct(self):
+        for split in factor_splits(24, 3):
+            assert math.prod(split) == 24
+
+    def test_count_for_prime_power(self):
+        # 8 = 2^3 into 2 parts: (1,8),(2,4),(4,2),(8,1).
+        assert len(list(factor_splits(8, 2))) == 4
+
+    def test_single_part(self):
+        assert list(factor_splits(7, 1)) == [(7,)]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            list(factor_splits(0, 2))
+        with pytest.raises(ValueError):
+            list(factor_splits(4, 0))
+
+
+class TestPaddedSplits:
+    def test_includes_exact(self):
+        splits = set(padded_factor_splits(6, 2, max_padding_ratio=1.0))
+        assert splits == set(factor_splits(6, 2))
+
+    def test_padding_covers_primes(self):
+        # 7 padded up to 8 allows a (2, 4) split.
+        splits = set(padded_factor_splits(7, 2, max_padding_ratio=1.2))
+        assert (2, 4) in splits
+
+    def test_all_products_at_least_n(self):
+        for split in padded_factor_splits(10, 2, max_padding_ratio=1.5):
+            assert math.prod(split) >= 10
+
+    def test_rejects_ratio_below_one(self):
+        with pytest.raises(ValueError):
+            list(padded_factor_splits(4, 2, max_padding_ratio=0.5))
+
+
+class TestTileCandidates:
+    def test_divisors_included(self):
+        assert set(divisors(12)) <= set(tile_candidates(12))
+
+    def test_padded_ceilings_included(self):
+        # ceil(10/3) = 4 is a useful non-divisor tile.
+        assert 4 in tile_candidates(10)
+
+    def test_without_padding_only_divisors(self):
+        assert set(tile_candidates(10, include_padded=False)) \
+            == set(divisors(10))
+
+
+class TestBalancedSplit:
+    def test_square(self):
+        assert balanced_split(100, 2) == (10, 10)
+
+    def test_covers(self):
+        for n in (7, 12, 100, 997):
+            for parts in (1, 2, 3):
+                assert math.prod(balanced_split(n, parts)) >= n
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            balanced_split(0, 1)

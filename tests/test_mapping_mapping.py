@@ -1,0 +1,163 @@
+"""Tests for the mapping representation and its validation."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping import FanoutMapping, LevelMapping, Mapping, TemporalLoop
+from repro.mapping.mapping import problem_dims, problem_macs
+from repro.workloads import ConvLayer
+from repro.workloads.dims import Dim
+
+
+def _mapping(levels=None, spatials=()):
+    if levels is None:
+        levels = (LevelMapping("DRAM", ()), LevelMapping("GB", ()))
+    return Mapping(levels=tuple(levels), spatials=tuple(spatials))
+
+
+class TestTemporalLoop:
+    def test_rejects_zero_bound(self):
+        with pytest.raises(MappingError):
+            TemporalLoop(Dim.M, 0)
+
+    def test_repr(self):
+        assert "M" in repr(TemporalLoop(Dim.M, 4))
+
+
+class TestLevelMapping:
+    def test_factor_product(self):
+        level = LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                    TemporalLoop(Dim.C, 3)))
+        assert level.factor_product == 12
+
+    def test_factors_merge_repeated_dims(self):
+        level = LevelMapping("GB", (TemporalLoop(Dim.M, 4),
+                                    TemporalLoop(Dim.M, 2)))
+        assert level.factors()[Dim.M] == 8
+
+
+class TestFanoutMapping:
+    def test_drops_unit_factors(self):
+        spatial = FanoutMapping("pe", {Dim.M: 1, Dim.C: 4})
+        assert Dim.M not in spatial.factors
+        assert spatial.factor_product == 4
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(MappingError):
+            FanoutMapping("pe", {Dim.M: 0})
+
+
+class TestPaddedDims:
+    def test_combines_temporal_and_spatial(self):
+        mapping = _mapping(
+            levels=(LevelMapping("DRAM", (TemporalLoop(Dim.M, 2),)),
+                    LevelMapping("GB", (TemporalLoop(Dim.M, 3),))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        assert mapping.padded_dims()[Dim.M] == 24
+
+    def test_total_products(self):
+        mapping = _mapping(
+            levels=(LevelMapping("DRAM", (TemporalLoop(Dim.C, 5),)),
+                    LevelMapping("GB", (TemporalLoop(Dim.Q, 2),))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        assert mapping.total_temporal_product == 10
+        assert mapping.total_spatial_product == 4
+        assert mapping.padded_macs() == 40
+
+
+class TestValidation:
+    def test_valid_mapping(self, two_level_arch, small_conv):
+        mapping = _mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("GB", (TemporalLoop(Dim.C, 2),
+                                        TemporalLoop(Dim.P, 2),
+                                        TemporalLoop(Dim.Q, 2)))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        mapping.validate(two_level_arch, small_conv)  # no raise
+
+    def test_missing_level_entry(self, two_level_arch, small_conv):
+        mapping = Mapping(levels=(LevelMapping("DRAM", ()),),
+                          spatials=(FanoutMapping("pe", {}),))
+        with pytest.raises(MappingError):
+            mapping.validate(two_level_arch, small_conv)
+
+    def test_wrong_level_order(self, two_level_arch, small_conv):
+        mapping = Mapping(
+            levels=(LevelMapping("GB", ()), LevelMapping("DRAM", ())),
+            spatials=(FanoutMapping("pe", {}),))
+        with pytest.raises(MappingError):
+            mapping.validate(two_level_arch, small_conv)
+
+    def test_missing_spatial_entry(self, two_level_arch, small_conv):
+        mapping = Mapping(levels=(LevelMapping("DRAM", ()),
+                                  LevelMapping("GB", ())))
+        with pytest.raises(MappingError):
+            mapping.validate(two_level_arch, small_conv)
+
+    def test_spatial_overflows_fanout(self, two_level_arch, small_conv):
+        mapping = _mapping(spatials=(FanoutMapping("pe", {Dim.M: 8}),))
+        with pytest.raises(MappingError) as excinfo:
+            mapping.validate(two_level_arch, small_conv)
+        assert "pe" in str(excinfo.value)
+
+    def test_spatial_illegal_dim(self, two_level_arch, small_conv):
+        mapping = _mapping(spatials=(FanoutMapping("pe", {Dim.C: 2}),))
+        with pytest.raises(MappingError):
+            mapping.validate(two_level_arch, small_conv)
+
+    def test_under_coverage_detected(self, two_level_arch, small_conv):
+        # small_conv needs M=4, C=2, P=2, Q=2; give it nothing.
+        mapping = _mapping(spatials=(FanoutMapping("pe", {}),))
+        with pytest.raises(MappingError) as excinfo:
+            mapping.validate(two_level_arch, small_conv)
+        assert "covers only" in str(excinfo.value)
+
+    def test_overpadding_allowed_but_counted(self, two_level_arch,
+                                             small_conv):
+        mapping = _mapping(
+            levels=(LevelMapping("DRAM", (TemporalLoop(Dim.C, 2),
+                                          TemporalLoop(Dim.P, 2),
+                                          TemporalLoop(Dim.Q, 3))),
+                    LevelMapping("GB", ())),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        mapping.validate(two_level_arch, small_conv)
+        assert mapping.utilization_vs(small_conv) == pytest.approx(2 / 3)
+
+    def test_restricted_temporal_dims(self, small_conv):
+        from repro.systems import AlbireoConfig, build_albireo_architecture
+
+        arch = build_albireo_architecture(AlbireoConfig())
+        levels = [LevelMapping(s.name, ()) for s in arch.storage_levels]
+        # Illegal: a P loop on the analog integrator.
+        levels[2] = LevelMapping("AEIntegrator", (TemporalLoop(Dim.P, 2),))
+        spatials = tuple(FanoutMapping(f.name, {}) for f in arch.fanouts)
+        mapping = Mapping(levels=tuple(levels), spatials=spatials)
+        with pytest.raises(MappingError):
+            mapping.validate(arch, small_conv)
+
+
+class TestGroupedProblems:
+    def test_problem_dims_divide_groups(self):
+        layer = ConvLayer(name="g", m=8, c=8, p=4, q=4, groups=2)
+        dims = problem_dims(layer)
+        assert dims[Dim.M] == 4 and dims[Dim.C] == 4
+
+    def test_problem_macs(self):
+        layer = ConvLayer(name="g", m=8, c=8, p=4, q=4, groups=2)
+        assert problem_macs(layer) * layer.groups == layer.macs
+
+
+class TestDescribe:
+    def test_renders_nest(self):
+        mapping = _mapping(
+            levels=(LevelMapping("DRAM", (TemporalLoop(Dim.M, 2),)),
+                    LevelMapping("GB", (TemporalLoop(Dim.C, 4),))),
+            spatials=(FanoutMapping("pe", {Dim.M: 4}),),
+        )
+        text = mapping.describe()
+        assert "for M in [0:2)" in text
+        assert "spatial[pe]" in text

@@ -1,0 +1,173 @@
+"""Tests for the accelerator model: pricing, fusion elision, networks."""
+
+import pytest
+
+from repro.exceptions import CapacityError, SpecError
+from repro.mapping import FanoutMapping, LevelMapping, Mapping, TemporalLoop
+from repro.model import AcceleratorModel, NetworkOptions
+from repro.workloads import ConvLayer, DataSpace, Network
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+@pytest.fixture
+def model(converter_arch, toy_energy_table):
+    return AcceleratorModel(converter_arch, toy_energy_table)
+
+
+def _mapping(gb_loops):
+    return Mapping(
+        levels=(LevelMapping("DRAM", ()),
+                LevelMapping("GB", tuple(gb_loops))),
+        spatials=(FanoutMapping("array", {Dim.M: 8}),),
+    )
+
+
+LAYER = ConvLayer(name="t", m=8, c=4, p=2, q=2)
+MAPPING = _mapping((TemporalLoop(Dim.C, 4), TemporalLoop(Dim.P, 2),
+                    TemporalLoop(Dim.Q, 2)))
+
+
+class TestConstruction:
+    def test_missing_component_rejected(self, converter_arch):
+        from repro.energy import EnergyTable
+
+        with pytest.raises(SpecError) as excinfo:
+            AcceleratorModel(converter_arch, EnergyTable())
+        assert "dram" in str(excinfo.value)
+
+
+class TestLayerEvaluation:
+    def test_energy_matches_counts_times_prices(self, model,
+                                                toy_energy_table):
+        evaluation = model.evaluate_layer(LAYER, MAPPING)
+        # Weight DAC: one conversion per MAC = 128 events.
+        expected_wdac = 128 * toy_energy_table.energy("dac_w", "convert")
+        assert evaluation.energy.component_total("WDAC") \
+            == pytest.approx(expected_wdac)
+        # Input DAC: multicast 8 ways -> 16 events.
+        expected_idac = 16 * toy_energy_table.energy("dac_i", "convert")
+        assert evaluation.energy.component_total("IDAC") \
+            == pytest.approx(expected_idac)
+
+    def test_cycles_and_utilization(self, model):
+        evaluation = model.evaluate_layer(LAYER, MAPPING)
+        assert evaluation.cycles == 16
+        assert evaluation.utilization == 1.0
+        assert evaluation.macs_per_cycle == 8.0
+
+    def test_grouped_layer_scales(self, model):
+        plain = model.evaluate_layer(LAYER, MAPPING)
+        grouped_layer = ConvLayer(name="g", m=16, c=8, p=2, q=2, groups=2)
+        grouped = model.evaluate_layer(grouped_layer, MAPPING)
+        assert grouped.real_macs == 2 * plain.real_macs
+        assert grouped.cycles == 2 * plain.cycles
+        assert grouped.energy_pj == pytest.approx(2 * plain.energy_pj)
+
+    def test_analysis_layer_reports_original_work(self, model):
+        # Evaluate a 2x-expanded workload but report the original MACs.
+        expanded = ConvLayer(name="t", m=8, c=4, p=2, q=4)
+        mapping = _mapping((TemporalLoop(Dim.C, 4), TemporalLoop(Dim.P, 2),
+                            TemporalLoop(Dim.Q, 4)))
+        evaluation = model.evaluate_layer(LAYER, mapping,
+                                          analysis_layer=expanded)
+        assert evaluation.real_macs == LAYER.macs
+        assert evaluation.padded_macs == expanded.macs
+        assert evaluation.utilization == pytest.approx(0.5)
+
+
+class TestFusionElision:
+    def test_input_elision_removes_dram_reads(self, model):
+        base = model.evaluate_layer(LAYER, MAPPING)
+        fused = model.evaluate_layer(LAYER, MAPPING, input_from_dram=False)
+        saved = base.energy_pj - fused.energy_pj
+        assert saved > 0
+        assert fused.energy.dataspace_total(I) \
+            < base.energy.dataspace_total(I)
+
+    def test_output_elision_removes_dram_writes(self, model):
+        base = model.evaluate_layer(LAYER, MAPPING)
+        fused = model.evaluate_layer(LAYER, MAPPING, output_to_dram=False)
+        assert fused.energy_pj < base.energy_pj
+        dram_o_base = [v for (c, d), v in base.energy.entries().items()
+                       if c == "DRAM" and d == O]
+        dram_o_fused = [v for (c, d), v in fused.energy.entries().items()
+                        if c == "DRAM" and d == O]
+        assert sum(dram_o_fused) < sum(dram_o_base) or not dram_o_fused
+
+    def test_elision_never_negative(self, model):
+        fused = model.evaluate_layer(LAYER, MAPPING,
+                                     input_from_dram=False,
+                                     output_to_dram=False)
+        for value in fused.energy.entries().values():
+            assert value >= 0
+
+
+class TestNetworkEvaluation:
+    def _network(self):
+        layers = [ConvLayer(name=f"l{i}", m=8, c=4, p=2, q=2)
+                  for i in range(3)]
+        return Network.from_layers("net", layers)
+
+    def test_unfused_network(self, model):
+        provider = lambda layer: MAPPING  # noqa: E731
+        evaluation = model.evaluate_network(self._network(), provider)
+        assert evaluation.total_macs == 3 * LAYER.macs
+
+    def test_fusion_reduces_energy(self, model):
+        provider = lambda layer: MAPPING  # noqa: E731
+        network = self._network()
+        base = model.evaluate_network(network, provider)
+        fused = model.evaluate_network(network, provider,
+                                       NetworkOptions(fused=True))
+        assert fused.energy_pj < base.energy_pj
+
+    def test_fusion_capacity_guard(self, converter_arch, toy_energy_table):
+        # Shrink the GB below the network's resident footprint.
+        from repro.arch import Domain, StorageLevel
+
+        tiny_gb = StorageLevel(name="GB", component="sram",
+                               domain=Domain.DE, capacity_bits=256.0,
+                               dataspaces={W, I, O})
+        arch = converter_arch.replace_node("GB", tiny_gb)
+        model = AcceleratorModel(arch, toy_energy_table)
+        big_layer = ConvLayer(name="big", m=8, c=4, p=8, q=8)
+        network = Network.from_layers("n", [big_layer, big_layer])
+        provider = lambda layer: _mapping(  # noqa: E731
+            (TemporalLoop(Dim.C, 4), TemporalLoop(Dim.P, 8),
+             TemporalLoop(Dim.Q, 8)))
+        with pytest.raises(CapacityError):
+            model.evaluate_network(network, provider,
+                                   NetworkOptions(fused=True))
+
+    def test_fusion_capacity_check_can_be_disabled(self, converter_arch,
+                                                   toy_energy_table):
+        from repro.arch import Domain, StorageLevel
+
+        tiny_gb = StorageLevel(name="GB", component="sram",
+                               domain=Domain.DE, capacity_bits=3000.0,
+                               dataspaces={W, I, O})
+        arch = converter_arch.replace_node("GB", tiny_gb)
+        model = AcceleratorModel(arch, toy_energy_table)
+        network = Network.from_layers(
+            "n", [ConvLayer(name="l", m=8, c=4, p=2, q=2)] * 2)
+        provider = lambda layer: MAPPING  # noqa: E731
+        evaluation = model.evaluate_network(
+            network, provider,
+            NetworkOptions(fused=True, check_fusion_capacity=False))
+        assert evaluation.total_macs > 0
+
+
+class TestArea:
+    def test_area_positive_and_scaled_by_instances(self, model):
+        areas = model.area_um2()
+        assert areas["GB"] > 0
+        # ADC is inside the 8-wide array in list position terms.
+        assert all(value >= 0 for value in areas.values())
+
+    def test_cost_fns(self, model):
+        energy_cost = model.energy_cost_fn(LAYER)
+        edp_cost = model.edp_cost_fn(LAYER)
+        assert energy_cost(MAPPING) > 0
+        assert edp_cost(MAPPING) > 0

@@ -1,0 +1,92 @@
+"""Tests for figure bucket schemes."""
+
+from repro.model.buckets import (
+    BucketRule,
+    BucketScheme,
+    component_rule,
+    dataspace_rule,
+)
+from repro.workloads import DataSpace
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+def _scheme():
+    return BucketScheme(
+        name="test",
+        rules=(
+            dataspace_rule("dac", W, "weight-path"),
+            dataspace_rule("dac", I, "input-path"),
+            component_rule("adc", "output-path"),
+            BucketRule(component="*", dataspace=O, bucket="any-output"),
+        ),
+        default="misc",
+        order=("weight-path", "input-path", "output-path"),
+    )
+
+
+class TestMatching:
+    def test_dataspace_specific(self):
+        scheme = _scheme()
+        assert scheme.bucket_of("dac", W) == "weight-path"
+        assert scheme.bucket_of("dac", I) == "input-path"
+
+    def test_component_any_dataspace(self):
+        scheme = _scheme()
+        assert scheme.bucket_of("adc", O) == "output-path"
+        assert scheme.bucket_of("adc", None) == "output-path"
+
+    def test_wildcard_component(self):
+        assert _scheme().bucket_of("buffer", O) == "any-output"
+
+    def test_default(self):
+        assert _scheme().bucket_of("mystery", None) == "misc"
+
+    def test_first_match_wins(self):
+        scheme = BucketScheme(
+            name="t",
+            rules=(component_rule("x", "first"),
+                   component_rule("x", "second")),
+        )
+        assert scheme.bucket_of("x", None) == "first"
+
+
+class TestOrdering:
+    def test_sort_key_orders_listed_first(self):
+        scheme = _scheme()
+        assert scheme.sort_key("weight-path") < scheme.sort_key("misc")
+        assert scheme.sort_key("input-path") < scheme.sort_key("output-path")
+
+    def test_unlisted_buckets_last(self):
+        scheme = _scheme()
+        assert scheme.sort_key("zzz")[0] == len(scheme.order)
+
+
+class TestAlbireoSchemes:
+    def test_fig2_buckets_cover_albireo_components(self):
+        from repro.systems import FIG2_BUCKETS
+
+        assert FIG2_BUCKETS.bucket_of("WeightModulator", W) == "MRR"
+        assert FIG2_BUCKETS.bucket_of("InputMZM", I) == "MZM"
+        assert FIG2_BUCKETS.bucket_of("laser", None) == "Laser"
+        assert FIG2_BUCKETS.bucket_of("OutputPhotodiode", O) == "AO/AE"
+        assert FIG2_BUCKETS.bucket_of("WeightDAC", W) == "DE/AE"
+        assert FIG2_BUCKETS.bucket_of("InputDAC", I) == "DE/AE"
+        assert FIG2_BUCKETS.bucket_of("OutputADC", O) == "AE/DE"
+        assert FIG2_BUCKETS.bucket_of("GlobalBuffer", W) == "Cache"
+        assert FIG2_BUCKETS.bucket_of("DRAM", W) == "DRAM"
+
+    def test_system_buckets_pair_conversions_with_dataspaces(self):
+        from repro.systems import SYSTEM_BUCKETS
+
+        assert SYSTEM_BUCKETS.bucket_of("WeightDAC", W) \
+            == "Weight DE/AE, AE/AO"
+        assert SYSTEM_BUCKETS.bucket_of("WeightModulator", W) \
+            == "Weight DE/AE, AE/AO"
+        assert SYSTEM_BUCKETS.bucket_of("InputMZM", I) \
+            == "Input DE/AE, AE/AO"
+        assert SYSTEM_BUCKETS.bucket_of("OutputADC", O) \
+            == "Output AO/AE, AE/DE"
+        assert SYSTEM_BUCKETS.bucket_of("GlobalBuffer", I) \
+            == "On-Chip Buffer"
+        assert SYSTEM_BUCKETS.bucket_of("laser", None) == "Other AO"

@@ -1,0 +1,135 @@
+"""Tests for energy breakdowns and evaluation result containers."""
+
+import pytest
+
+from repro.model.buckets import BucketScheme, component_rule
+from repro.model.results import (
+    EnergyBreakdown,
+    LayerEvaluation,
+    NetworkEvaluation,
+)
+from repro.workloads import ConvLayer, DataSpace
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+def _breakdown():
+    breakdown = EnergyBreakdown()
+    breakdown.add("adc", O, 10.0)
+    breakdown.add("dac", W, 5.0)
+    breakdown.add("dac", I, 3.0)
+    breakdown.add("laser", None, 2.0)
+    return breakdown
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        assert _breakdown().total_pj == 20.0
+
+    def test_add_accumulates(self):
+        breakdown = _breakdown()
+        breakdown.add("adc", O, 1.0)
+        assert breakdown.entries()[("adc", O)] == 11.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _breakdown().add("adc", O, -1.0)
+
+    def test_component_total(self):
+        assert _breakdown().component_total("dac") == 8.0
+
+    def test_dataspace_total(self):
+        assert _breakdown().dataspace_total(W) == 5.0
+        assert _breakdown().dataspace_total(None) == 2.0
+
+    def test_addition(self):
+        combined = _breakdown() + _breakdown()
+        assert combined.total_pj == 40.0
+
+    def test_scaled(self):
+        assert _breakdown().scaled(0.5).total_pj == 10.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _breakdown().scaled(-1.0)
+
+    def test_per_mac(self):
+        assert _breakdown().per_mac(10).total_pj == 2.0
+
+    def test_per_mac_rejects_zero(self):
+        with pytest.raises(ValueError):
+            _breakdown().per_mac(0)
+
+    def test_grouped(self):
+        scheme = BucketScheme(
+            name="t",
+            rules=(component_rule("adc", "converters"),
+                   component_rule("dac", "converters")),
+            default="other",
+            order=("converters", "other"),
+        )
+        grouped = _breakdown().grouped(scheme)
+        assert grouped == {"converters": 18.0, "other": 2.0}
+        assert list(grouped) == ["converters", "other"]
+
+    def test_top_contributors(self):
+        top = _breakdown().top_contributors(2)
+        assert top[0] == (("adc", O), 10.0)
+        assert len(top) == 2
+
+    def test_describe_contains_total(self):
+        assert "TOTAL" in _breakdown().describe()
+
+
+def _layer_eval(cycles=100, real=3200, padded=3200):
+    return LayerEvaluation(
+        layer=ConvLayer(name="l", m=4, c=2, p=20, q=20),
+        energy=_breakdown(),
+        cycles=cycles,
+        real_macs=real,
+        padded_macs=padded,
+        peak_parallelism=64,
+        clock_ghz=2.0,
+    )
+
+
+class TestLayerEvaluation:
+    def test_energy_per_mac(self):
+        assert _layer_eval().energy_per_mac_pj == pytest.approx(20.0 / 3200)
+
+    def test_macs_per_cycle(self):
+        assert _layer_eval().macs_per_cycle == 32.0
+
+    def test_utilization(self):
+        assert _layer_eval().utilization == pytest.approx(0.5)
+
+    def test_latency(self):
+        assert _layer_eval().latency_ns == pytest.approx(50.0)
+
+    def test_describe(self):
+        assert "MACs/cycle" in _layer_eval().describe()
+
+
+class TestNetworkEvaluation:
+    def _network_eval(self):
+        return NetworkEvaluation(
+            name="net",
+            layers=((_layer_eval(), 2), (_layer_eval(cycles=50), 1)),
+            clock_ghz=2.0,
+            peak_parallelism=64,
+        )
+
+    def test_totals_respect_counts(self):
+        evaluation = self._network_eval()
+        assert evaluation.total_cycles == 250
+        assert evaluation.total_macs == 3 * 3200
+        assert evaluation.energy_pj == pytest.approx(60.0)
+
+    def test_aggregate_rates(self):
+        evaluation = self._network_eval()
+        assert evaluation.macs_per_cycle == pytest.approx(9600 / 250)
+        assert evaluation.energy_per_mac_pj == pytest.approx(60.0 / 9600)
+        assert 0 < evaluation.utilization <= 1.0
+
+    def test_describe_lists_layers(self):
+        assert "x2" in self._network_eval().describe()

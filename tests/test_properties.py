@@ -1,0 +1,277 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the engine on randomized layers and mappings, checking the
+conservation laws and bounds any correct Timeloop-style analysis must obey
+— the strongest defense against silent access-count bugs.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import FanoutMapping, LevelMapping, Mapping, TemporalLoop
+from repro.mapping.analysis import analyze
+from repro.mapping.factorization import (
+    balanced_split,
+    ceil_div,
+    divisors,
+    factor_splits,
+    tile_candidates,
+)
+from repro.mapping.mapper import _largest_fitting_factor
+from repro.systems import AlbireoConfig, AlbireoSystem
+from repro.systems.albireo import albireo_reference_mapping, \
+    build_albireo_architecture
+from repro.workloads import ConvLayer, DataSpace
+from repro.workloads.dataspace import dataspace_tile_size
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+dims_strategy = st.fixed_dictionaries({
+    "m": st.integers(1, 32),
+    "c": st.integers(1, 32),
+    "p": st.integers(1, 16),
+    "q": st.integers(1, 16),
+    "r": st.integers(1, 5),
+    "s": st.integers(1, 5),
+    "n": st.integers(1, 4),
+})
+
+
+@st.composite
+def layers(draw):
+    shape = draw(dims_strategy)
+    stride_h = draw(st.integers(1, 3))
+    stride_w = draw(st.integers(1, 3))
+    return ConvLayer(name="prop", stride_h=stride_h, stride_w=stride_w,
+                     **shape)
+
+
+@st.composite
+def flat_mappings(draw, layer):
+    """A random two-level (DRAM/GB) mapping covering ``layer`` exactly."""
+    dram_factors = {}
+    gb_factors = {}
+    for dim, size in layer.dims.items():
+        split_at = draw(st.sampled_from(divisors(size)))
+        dram_factors[dim] = size // split_at if size % split_at == 0 \
+            else ceil_div(size, split_at)
+        gb_factors[dim] = split_at
+    order = draw(st.permutations(list(Dim)))
+    dram_loops = tuple(TemporalLoop(d, dram_factors[d]) for d in order
+                       if dram_factors[d] > 1)
+    gb_loops = tuple(TemporalLoop(d, gb_factors[d]) for d in order
+                     if gb_factors[d] > 1)
+    return Mapping(levels=(LevelMapping("DRAM", dram_loops),
+                           LevelMapping("GB", gb_loops)))
+
+
+# ---------------------------------------------------------------------------
+# Factorization properties
+# ---------------------------------------------------------------------------
+
+class TestFactorizationProperties:
+    @given(st.integers(1, 2000))
+    def test_divisors_all_divide_and_bracket(self, n):
+        ds = divisors(n)
+        assert ds[0] == 1 and ds[-1] == n
+        assert all(n % d == 0 for d in ds)
+
+    @given(st.integers(1, 200), st.integers(1, 4))
+    def test_factor_splits_product(self, n, parts):
+        for split in factor_splits(n, parts):
+            assert math.prod(split) == n
+
+    @given(st.integers(1, 500))
+    def test_tile_candidates_cover_range(self, n):
+        candidates = tile_candidates(n)
+        assert 1 in candidates and n in candidates
+        assert all(1 <= c <= n for c in candidates)
+
+    @given(st.integers(1, 500), st.integers(1, 50))
+    def test_largest_fitting_factor_bounds(self, size, cap):
+        factor = _largest_fitting_factor(size, cap)
+        assert 1 <= factor <= max(1, min(size, cap))
+        # Never more steps than the full-cap split.
+        assert ceil_div(size, factor) <= ceil_div(size, min(size, cap)) \
+            or factor == min(size, cap)
+
+    @given(st.integers(1, 1000), st.integers(1, 4))
+    def test_balanced_split_covers(self, n, parts):
+        assert math.prod(balanced_split(n, parts)) >= n
+
+
+# ---------------------------------------------------------------------------
+# Tile-size properties
+# ---------------------------------------------------------------------------
+
+class TestTileProperties:
+    @given(dims_strategy)
+    def test_tiles_bounded_by_tensor(self, shape):
+        layer = ConvLayer(name="t", **shape)
+        bounds = layer.dims
+        assert dataspace_tile_size(W, bounds) == layer.weight_elements
+        assert dataspace_tile_size(O, bounds) == layer.output_elements
+        assert dataspace_tile_size(I, bounds, layer.strides) \
+            == layer.input_elements
+
+    @given(dims_strategy, st.integers(1, 3), st.integers(1, 3))
+    def test_input_halo_monotone_in_stride(self, shape, s1, s2):
+        assume(s1 <= s2)
+        bounds = ConvLayer(name="t", **shape).dims
+        small = dataspace_tile_size(I, bounds, (s1, s1))
+        large = dataspace_tile_size(I, bounds, (s2, s2))
+        assert small <= large
+
+    @given(dims_strategy)
+    def test_tile_monotone_in_bounds(self, shape):
+        layer = ConvLayer(name="t", **shape)
+        full = layer.dims
+        half = {d: max(1, b // 2) for d, b in full.items()}
+        for ds in (W, I, O):
+            assert dataspace_tile_size(ds, half, layer.strides) \
+                <= dataspace_tile_size(ds, full, layer.strides)
+
+
+# ---------------------------------------------------------------------------
+# Analysis conservation properties
+# ---------------------------------------------------------------------------
+
+class TestAnalysisProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_laws(self, data):
+        layer = data.draw(layers())
+        mapping = data.draw(flat_mappings(layer))
+        arch = _flat_arch()
+        counts = analyze(arch, layer, mapping, check_capacity=False)
+        gb, dram = counts.storage["GB"], counts.storage["DRAM"]
+        padded = counts.padded_macs
+
+        # Compute demand: each MAC reads one weight and one input from GB.
+        assert gb.reads[W] == padded
+        assert gb.reads[I] == padded
+        # Fills never below the distinct-tensor lower bound (per-group).
+        assert dram.reads[W] >= _grouped_weight_elements(layer)
+        assert dram.reads[I] >= _grouped_input_lower_bound(layer)
+        # Output updates at GB equal the MACs; writebacks to DRAM at least
+        # the output tensor, writes conserve.
+        assert gb.writes[O] == padded
+        assert dram.writes[O] >= _grouped_output_elements(layer)
+        # Utilization bounds.
+        assert 0 < counts.padding_utilization <= 1.0
+        # Cycle identity.
+        assert counts.cycles * mapping.total_spatial_product == padded
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_rmw_reads_never_exceed_updates(self, data):
+        layer = data.draw(layers())
+        mapping = data.draw(flat_mappings(layer))
+        counts = analyze(_flat_arch(), layer, mapping,
+                         check_capacity=False)
+        dram = counts.storage["DRAM"]
+        assert dram.reads.get(O, 0.0) <= dram.writes.get(O, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Albireo end-to-end properties
+# ---------------------------------------------------------------------------
+
+class TestAlbireoProperties:
+    @given(dims_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_reference_mapping_always_valid(self, shape):
+        layer = ConvLayer(name="p", **shape)
+        config = AlbireoConfig()
+        arch = build_albireo_architecture(config)
+        mapping = albireo_reference_mapping(config, layer)
+        mapping.validate(arch, layer)  # must not raise
+
+    @given(dims_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_evaluation_invariants(self, shape):
+        layer = ConvLayer(name="p", **shape)
+        system = AlbireoSystem(AlbireoConfig())
+        evaluation = system.evaluate_layer(layer)
+        assert evaluation.energy_pj > 0
+        assert 0 < evaluation.utilization <= 1.0
+        assert evaluation.cycles >= 1
+        assert evaluation.energy_per_mac_pj > 0
+        for value in evaluation.energy.entries().values():
+            assert value >= 0
+
+    @given(dims_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_albireo_analysis_passes_consistency_checker(self, shape):
+        from repro.mapping.analysis import analyze
+        from repro.validation import check_consistency
+
+        layer = ConvLayer(name="p", **shape)
+        system = AlbireoSystem(AlbireoConfig())
+        target = system.analysis_layer(layer)
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, target, mapping)
+        assert check_consistency(system.architecture, target, counts) == []
+
+    @given(dims_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_crossbar_analysis_passes_consistency_checker(self, shape):
+        from repro.mapping.analysis import analyze
+        from repro.systems import CrossbarConfig, CrossbarSystem
+        from repro.validation import check_consistency
+
+        layer = ConvLayer(name="p", **shape)
+        system = CrossbarSystem(CrossbarConfig())
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, layer, mapping)
+        assert check_consistency(system.architecture, layer, counts) == []
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _flat_arch():
+    from repro.arch import (Architecture, ComputeLevel, Domain,
+                            StorageLevel)
+
+    return Architecture(name="flat", nodes=(
+        StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                     dataspaces={W, I, O}),
+        StorageLevel(name="GB", component="sram", domain=Domain.DE,
+                     capacity_bits=None, dataspaces={W, I, O}),
+        ComputeLevel(name="mac", component="mac", domain=Domain.DE),
+    ))
+
+
+def _grouped_weight_elements(layer):
+    return (layer.m // layer.groups) * (layer.c // layer.groups) \
+        * layer.r * layer.s
+
+
+def _grouped_output_elements(layer):
+    return layer.n * (layer.m // layer.groups) * layer.p * layer.q
+
+
+def _grouped_input_lower_bound(layer):
+    """Distinct input elements a convolution actually touches (per group).
+
+    When the stride exceeds the filter extent, rows/columns between
+    windows are never read, so the touched count is ``P*R`` per axis, not
+    the contiguous span ``(P-1)*stride + R``.
+    """
+    def touched(outputs, filter_extent, stride):
+        if stride <= filter_extent:
+            return (outputs - 1) * stride + filter_extent
+        return outputs * filter_extent
+
+    height = touched(layer.p, layer.r, layer.stride_h)
+    width = touched(layer.q, layer.s, layer.stride_w)
+    return layer.n * (layer.c // layer.groups) * height * width

@@ -1,0 +1,61 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        system = repro.AlbireoSystem(
+            repro.AlbireoConfig(scenario=repro.AGGRESSIVE))
+        result = system.evaluate_network(repro.tiny_cnn())
+        assert result.energy_pj > 0
+        assert "TinyCNN" in result.describe()
+
+    def test_custom_architecture_flow(self):
+        """Users can assemble and price a custom architecture."""
+        from repro import (
+            AcceleratorModel, Architecture, ComputeLevel, ConvLayer,
+            Domain, FanoutMapping, LevelMapping, Mapping, SpatialFanout,
+            StorageLevel, TemporalLoop, build_table, ComponentSpec,
+            DataSpace, Dim,
+        )
+
+        arch = Architecture(name="custom", nodes=(
+            StorageLevel(name="DRAM", component="dram", domain=Domain.DE,
+                         dataspaces=set(DataSpace)),
+            StorageLevel(name="SP", component="scratch", domain=Domain.DE,
+                         capacity_bits=1e6, dataspaces=set(DataSpace)),
+            SpatialFanout(name="pes", size=16, allowed_dims={Dim.M, Dim.C},
+                          multicast={DataSpace.INPUTS}),
+            ComputeLevel(name="alu", component="alu", domain=Domain.DE),
+        ))
+        table = build_table([
+            ComponentSpec("dram", "dram", {}),
+            ComponentSpec("scratch", "sram", {"capacity_bits": 1e6}),
+            ComponentSpec("alu", "multiplier", {}),
+        ])
+        model = AcceleratorModel(arch, table)
+        layer = ConvLayer(name="l", m=16, c=4, p=4, q=4)
+        mapping = Mapping(
+            levels=(LevelMapping("DRAM", ()),
+                    LevelMapping("SP", (TemporalLoop(Dim.C, 4),
+                                        TemporalLoop(Dim.P, 4),
+                                        TemporalLoop(Dim.Q, 4)))),
+            spatials=(FanoutMapping("pes", {Dim.M: 16}),),
+        )
+        evaluation = model.evaluate_layer(layer, mapping)
+        assert evaluation.utilization == 1.0
+
+    def test_exceptions_hierarchy(self):
+        assert issubclass(repro.MappingError, repro.ReproError)
+        assert issubclass(repro.CapacityError, repro.MappingError)
+        assert issubclass(repro.SpecError, repro.ReproError)
+        assert issubclass(repro.WorkloadError, repro.SpecError)

@@ -1,0 +1,86 @@
+"""Tests for ASCII table and bar-chart rendering."""
+
+import pytest
+
+from repro.report import bar, format_table, percent, stacked_bar, \
+    stacked_bar_chart
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = text.split("\n")
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_right_alignment(self):
+        text = format_table(("v",), [(5,), (500,)],
+                            align_right=[True])
+        lines = text.split("\n")
+        assert lines[2].endswith("5")
+        assert lines[3].endswith("500")
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.123456,)])
+        assert "0.1235" in text
+
+
+class TestBars:
+    def test_full_bar(self):
+        assert bar(10, 10, width=10) == "█" * 10
+
+    def test_half_bar(self):
+        rendered = bar(5, 10, width=10)
+        assert rendered.startswith("█" * 5)
+        assert len(rendered) <= 6
+
+    def test_zero_value(self):
+        assert bar(0, 10, width=10) == ""
+
+    def test_zero_max(self):
+        assert bar(5, 0) == ""
+
+    def test_clamps_overflow(self):
+        assert len(bar(20, 10, width=10)) == 10
+
+    def test_stacked_bar_segments(self):
+        rendered = stacked_bar([("a", 5), ("b", 5)], maximum=10, width=10)
+        assert len(rendered) == 10
+        assert len(set(rendered)) == 2  # two distinct fills
+
+    def test_stacked_bar_chart(self):
+        chart = stacked_bar_chart([
+            ("row1", {"x": 1.0, "y": 2.0}),
+            ("row2", {"x": 0.5, "y": 0.5}),
+        ], width=20)
+        lines = chart.split("\n")
+        assert len(lines) == 3  # two bars + legend
+        assert "x" in lines[-1] and "y" in lines[-1]
+        assert "3.000" in lines[0]
+
+    def test_stacked_bar_chart_empty(self):
+        assert stacked_bar_chart([]) == ""
+
+    def test_segment_order_consistent(self):
+        chart = stacked_bar_chart([
+            ("a", {"x": 1.0}),
+            ("b", {"y": 1.0, "x": 1.0}),
+        ], width=10, show_legend=True)
+        legend = chart.split("\n")[-1]
+        assert legend.index("x") < legend.index("y")
+
+
+class TestPercent:
+    def test_positive(self):
+        assert percent(0.42) == "+42.0%"
+
+    def test_negative(self):
+        assert percent(-0.1) == "-10.0%"

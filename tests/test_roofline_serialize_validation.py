@@ -1,0 +1,154 @@
+"""Tests for roofline analysis, mapping serialization, and the
+consistency checker."""
+
+import json
+
+import pytest
+
+from repro.mapping.analysis import analyze
+from repro.mapping.serialize import mapping_from_dict, mapping_to_dict
+from repro.model.roofline import layer_roofline, network_roofline
+from repro.exceptions import MappingError
+from repro.systems import AlbireoConfig, AlbireoSystem, CrossbarConfig, \
+    CrossbarSystem
+from repro.validation import assert_consistent, check_consistency
+from repro.workloads import ConvLayer, dense_layer, tiny_cnn
+
+
+class TestRoofline:
+    def test_unbounded_dram_is_compute_bound(self):
+        system = AlbireoSystem(AlbireoConfig())
+        result = network_roofline(system, tiny_cnn())
+        assert result.memory_bound_layers == []
+        assert all(p.bound == "compute" for p in result.points)
+
+    def test_ddr_bandwidth_makes_fc_memory_bound(self):
+        system = AlbireoSystem(AlbireoConfig(dram_bandwidth_gbps=25.6))
+        fc = dense_layer("fc", 4096, 4096)
+        mapping = system.reference_mapping(fc)
+        point = layer_roofline(system.architecture, fc, mapping)
+        assert point.bound == "memory"
+        assert point.attainable_macs_per_cycle \
+            < system.config.peak_macs_per_cycle
+
+    def test_achieved_never_exceeds_attainable(self):
+        system = AlbireoSystem(AlbireoConfig(dram_bandwidth_gbps=25.6))
+        result = network_roofline(system, tiny_cnn())
+        for point in result.points:
+            assert point.achieved_macs_per_cycle \
+                <= point.attainable_macs_per_cycle * (1 + 1e-6)
+            assert 0 < point.roof_efficiency <= 1 + 1e-6
+
+    def test_intensity_reflects_reuse(self):
+        """Convolutions have far higher arithmetic intensity than
+        batch-1 FC layers (weights used once)."""
+        system = AlbireoSystem(AlbireoConfig())
+        conv = ConvLayer(name="c", m=64, c=64, p=28, q=28, r=3, s=3)
+        fc = dense_layer("fc", 4096, 4096)
+        conv_point = layer_roofline(system.architecture, conv,
+                                    system.reference_mapping(conv))
+        fc_point = layer_roofline(system.architecture, fc,
+                                  system.reference_mapping(fc))
+        assert conv_point.intensity > 10 * fc_point.intensity
+
+    def test_table_renders(self):
+        system = AlbireoSystem(AlbireoConfig(dram_bandwidth_gbps=25.6))
+        text = network_roofline(system, tiny_cnn()).table()
+        assert "Roofline" in text and "bound" in text
+
+    def test_works_for_crossbar_too(self):
+        system = CrossbarSystem(CrossbarConfig())
+        result = network_roofline(system, tiny_cnn())
+        assert len(result.points) == tiny_cnn().unique_layer_count
+
+
+class TestMappingSerialization:
+    def _mapping(self):
+        system = AlbireoSystem(AlbireoConfig())
+        layer = ConvLayer(name="c", m=64, c=64, p=14, q=14, r=3, s=3)
+        return system, layer, system.reference_mapping(layer)
+
+    def test_roundtrip_identity(self):
+        system, layer, mapping = self._mapping()
+        rebuilt = mapping_from_dict(mapping_to_dict(mapping))
+        assert rebuilt == mapping
+
+    def test_roundtrip_through_json(self):
+        system, layer, mapping = self._mapping()
+        text = json.dumps(mapping_to_dict(mapping))
+        rebuilt = mapping_from_dict(json.loads(text))
+        rebuilt.validate(system.architecture,
+                         system.analysis_layer(layer))
+
+    def test_roundtrip_preserves_evaluation(self):
+        system, layer, mapping = self._mapping()
+        rebuilt = mapping_from_dict(mapping_to_dict(mapping))
+        original = system.evaluate_layer(layer, mapping=mapping)
+        again = system.evaluate_layer(layer, mapping=rebuilt)
+        assert original.energy_pj == pytest.approx(again.energy_pj)
+
+    def test_missing_levels_rejected(self):
+        with pytest.raises(MappingError):
+            mapping_from_dict({})
+
+    def test_malformed_loop_rejected(self):
+        with pytest.raises(MappingError):
+            mapping_from_dict(
+                {"levels": [{"storage": "X", "loops": [["ZZ", 2]]}]})
+
+    def test_malformed_spatial_rejected(self):
+        with pytest.raises(MappingError):
+            mapping_from_dict(
+                {"levels": [{"storage": "X"}],
+                 "spatials": [{"factors": {"M": 2}}]})
+
+
+class TestConsistencyChecker:
+    def test_albireo_reference_is_consistent(self):
+        system = AlbireoSystem(AlbireoConfig())
+        layer = ConvLayer(name="c", m=64, c=64, p=28, q=28, r=3, s=3)
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, layer, mapping)
+        assert check_consistency(system.architecture, layer, counts) == []
+
+    def test_crossbar_reference_is_consistent(self):
+        system = CrossbarSystem(CrossbarConfig())
+        layer = ConvLayer(name="c", m=64, c=64, p=28, q=28, r=3, s=3)
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, layer, mapping)
+        assert_consistent(system.architecture, layer, counts)  # no raise
+
+    def test_detects_corrupted_counts(self):
+        from repro.workloads import DataSpace
+
+        system = AlbireoSystem(AlbireoConfig())
+        layer = ConvLayer(name="c", m=64, c=64, p=14, q=14, r=3, s=3)
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, layer, mapping)
+        # Corrupt: claim DRAM read fewer weights than the tensor holds.
+        counts.storage["DRAM"].reads[DataSpace.WEIGHTS] = 1.0
+        problems = check_consistency(system.architecture, layer, counts)
+        assert any("distinct volume" in p for p in problems)
+
+    def test_detects_negative_counts(self):
+        from repro.workloads import DataSpace
+
+        system = AlbireoSystem(AlbireoConfig())
+        layer = ConvLayer(name="c", m=16, c=16, p=4, q=4)
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, layer, mapping)
+        counts.storage["GlobalBuffer"].writes[DataSpace.INPUTS] = -5.0
+        problems = check_consistency(system.architecture, layer, counts)
+        assert any("negative" in p for p in problems)
+
+    def test_assert_consistent_raises_with_details(self):
+        from repro.workloads import DataSpace
+
+        system = AlbireoSystem(AlbireoConfig())
+        layer = ConvLayer(name="c", m=16, c=16, p=4, q=4)
+        mapping = system.reference_mapping(layer)
+        counts = analyze(system.architecture, layer, mapping)
+        counts.storage["DRAM"].reads[DataSpace.WEIGHTS] = 1.0
+        with pytest.raises(AssertionError) as excinfo:
+            assert_consistent(system.architecture, layer, counts)
+        assert "inconsistencies" in str(excinfo.value)

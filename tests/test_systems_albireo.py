@@ -1,0 +1,256 @@
+"""Tests for the Albireo system model."""
+
+import pytest
+
+from repro.energy import AGGRESSIVE, CONSERVATIVE
+from repro.exceptions import SpecError
+from repro.systems import (
+    AlbireoConfig,
+    AlbireoSystem,
+    albireo_best_case_layer,
+    build_albireo_architecture,
+    build_albireo_energy_table,
+)
+from repro.systems.albireo import (
+    albireo_analysis_layer,
+    albireo_mapping_candidates,
+    albireo_reference_mapping,
+)
+from repro.workloads import ConvLayer, DataSpace, dense_layer
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+class TestConfig:
+    def test_default_peak(self):
+        assert AlbireoConfig().peak_macs_per_cycle == 6480
+
+    def test_or_decomposition_baseline(self):
+        config = AlbireoConfig(output_reuse=3)
+        assert config.or_spatial == 3 and config.or_temporal == 1
+
+    def test_or_decomposition_nine(self):
+        config = AlbireoConfig(output_reuse=9)
+        assert config.or_spatial == 9 and config.or_temporal == 1
+
+    def test_or_decomposition_fifteen(self):
+        config = AlbireoConfig(output_reuse=15)
+        assert config.or_spatial * config.or_temporal == 15
+        assert config.or_spatial <= config.window_sites
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecError):
+            AlbireoConfig(clusters=0)
+
+    def test_with_scenario(self):
+        config = AlbireoConfig().with_scenario(AGGRESSIVE)
+        assert config.scenario is AGGRESSIVE
+
+    def test_describe(self):
+        assert "6480" in AlbireoConfig().describe()
+
+
+class TestArchitecture:
+    def test_structure(self):
+        arch = build_albireo_architecture(AlbireoConfig())
+        assert [s.name for s in arch.storage_levels] \
+            == ["DRAM", "GlobalBuffer", "AEIntegrator"]
+        assert arch.peak_parallelism == 6480
+        assert {c.name for c in arch.converters} == {
+            "WeightDAC", "InputDAC", "WeightModulator", "InputMZM",
+            "OutputADC", "OutputPhotodiode"}
+
+    def test_converter_domains(self):
+        arch = build_albireo_architecture(AlbireoConfig())
+        adc = arch.node_named("OutputADC")
+        assert adc.conversion.label == "AE/DE"
+        mzm = arch.node_named("InputMZM")
+        assert mzm.conversion.label == "AE/AO"
+
+    def test_star_coupler_multicasts_inputs(self):
+        arch = build_albireo_architecture(AlbireoConfig())
+        star = arch.node_named("star_coupler")
+        assert I in star.multicast and W not in star.multicast
+
+    def test_wavelengths_reduce_outputs(self):
+        arch = build_albireo_architecture(AlbireoConfig())
+        wavelengths = arch.node_named("wavelengths")
+        assert O in wavelengths.reduction
+
+    def test_or_limits_site_reduction(self):
+        arch = build_albireo_architecture(AlbireoConfig(output_reuse=3))
+        sites = arch.node_named("window_sites")
+        assert sites.reduction_limit == 3
+
+    def test_energy_table_covers_architecture(self):
+        config = AlbireoConfig()
+        arch = build_albireo_architecture(config)
+        table = build_albireo_energy_table(config)
+        for component in arch.component_names():
+            assert component in table
+
+
+class TestAnalysisLayer:
+    def test_unstrided_untouched(self):
+        layer = ConvLayer(name="c", m=4, c=4, p=8, q=8, r=3, s=3)
+        assert albireo_analysis_layer(layer) is layer
+
+    def test_column_stride_expanded(self):
+        layer = ConvLayer(name="c", m=4, c=4, p=8, q=8, r=3, s=3,
+                          stride_h=2, stride_w=2)
+        expanded = albireo_analysis_layer(layer)
+        assert expanded.q == 16 and expanded.stride_w == 1
+        # Row stride remains: skipping rows is free.
+        assert expanded.p == 8 and expanded.stride_h == 2
+
+    def test_expanded_input_width_preserved(self):
+        layer = ConvLayer(name="c", m=4, c=4, p=8, q=8, r=3, s=3,
+                          stride_h=2, stride_w=2)
+        expanded = albireo_analysis_layer(layer)
+        assert abs(expanded.input_w - layer.input_w) <= layer.stride_w
+
+
+class TestReferenceMapping:
+    def test_valid_for_best_case(self):
+        config = AlbireoConfig()
+        layer = albireo_best_case_layer(config)
+        mapping = albireo_reference_mapping(config, layer)
+        arch = build_albireo_architecture(config)
+        mapping.validate(arch, layer)
+
+    def test_best_case_fills_hardware(self):
+        config = AlbireoConfig()
+        layer = albireo_best_case_layer(config)
+        mapping = albireo_reference_mapping(config, layer)
+        assert mapping.total_spatial_product == config.peak_macs_per_cycle
+        assert mapping.utilization_vs(layer) == 1.0
+
+    def test_candidates_all_valid_or_skipped(self):
+        config = AlbireoConfig()
+        arch = build_albireo_architecture(config)
+        layer = ConvLayer(name="c", m=64, c=64, p=56, q=56, r=3, s=3)
+        candidates = albireo_mapping_candidates(config, layer)
+        assert len(candidates) >= 2
+        valid = 0
+        for mapping in candidates:
+            try:
+                mapping.validate(arch, layer)
+                valid += 1
+            except Exception:
+                pass
+        assert valid >= 1
+
+    @pytest.mark.parametrize("m,c,p,q,r,s", [
+        (64, 3, 112, 112, 7, 7),
+        (1000, 512, 1, 1, 1, 1),
+        (96, 3, 55, 55, 11, 11),
+        (512, 512, 7, 7, 3, 3),
+        (13, 7, 5, 3, 2, 2),   # awkward primes
+    ])
+    def test_reference_mapping_covers_any_shape(self, m, c, p, q, r, s):
+        config = AlbireoConfig()
+        layer = ConvLayer(name="any", m=m, c=c, p=p, q=q, r=r, s=s)
+        arch = build_albireo_architecture(config)
+        mapping = albireo_reference_mapping(config, layer)
+        mapping.validate(arch, layer)
+
+
+class TestSystemEvaluation:
+    def test_best_case_full_utilization(self):
+        system = AlbireoSystem(AlbireoConfig())
+        layer = albireo_best_case_layer(system.config)
+        evaluation = system.evaluate_layer(layer)
+        assert evaluation.utilization == 1.0
+        assert evaluation.macs_per_cycle == 6480
+
+    def test_fc_layer_uses_one_window_site(self):
+        system = AlbireoSystem(AlbireoConfig())
+        fc = dense_layer("fc", 4096, 4096)
+        evaluation = system.evaluate_layer(fc)
+        # A single window site of nine: utilization near 1/9.
+        assert evaluation.utilization <= 1 / 9 + 0.02
+
+    def test_strided_layer_underutilizes(self):
+        system = AlbireoSystem(AlbireoConfig())
+        strided = ConvLayer(name="s", m=96, c=40, p=55, q=55, r=3, s=3,
+                            stride_h=4, stride_w=4)
+        unstrided = ConvLayer(name="u", m=96, c=40, p=55, q=55, r=3, s=3)
+        eval_s = system.evaluate_layer(strided)
+        eval_u = system.evaluate_layer(unstrided)
+        assert eval_s.utilization < 0.5 * eval_u.utilization
+
+    def test_scenario_ordering(self):
+        layer = albireo_best_case_layer()
+        energies = []
+        for scenario in (CONSERVATIVE, AGGRESSIVE):
+            system = AlbireoSystem(AlbireoConfig(scenario=scenario))
+            energies.append(system.evaluate_layer(layer).energy_per_mac_pj)
+        assert energies[0] > energies[1]
+
+    def test_mapping_cache_hit(self):
+        system = AlbireoSystem(AlbireoConfig())
+        layer = albireo_best_case_layer(system.config)
+        first = system.reference_mapping(layer)
+        second = system.reference_mapping(layer)
+        assert first is second
+
+    def test_search_mapping_not_worse_than_reference(self):
+        system = AlbireoSystem(AlbireoConfig())
+        layer = ConvLayer(name="c", m=64, c=64, p=14, q=14, r=3, s=3)
+        reference_energy = system.evaluate_layer(layer).energy_pj
+        result = system.search_mapping(layer, max_evaluations=200, seed=2)
+        assert result.cost <= reference_energy * (1 + 1e-9)
+
+    def test_network_evaluation_counts(self):
+        from repro.workloads import tiny_cnn
+
+        system = AlbireoSystem(AlbireoConfig())
+        network = tiny_cnn()
+        evaluation = system.evaluate_network(network)
+        assert evaluation.total_macs == network.total_macs
+
+    def test_area_summary(self):
+        system = AlbireoSystem(AlbireoConfig())
+        areas = system.area_summary_um2()
+        assert areas["GlobalBuffer"] > 0
+        assert sum(areas.values()) > 0
+
+    def test_describe(self):
+        assert "albireo" in AlbireoSystem().describe().lower()
+
+
+class TestConversionRates:
+    """Per-MAC conversion rates on the best-case layer match the fabric."""
+
+    @pytest.fixture
+    def counts(self):
+        from repro.mapping.analysis import analyze
+
+        config = AlbireoConfig()
+        system = AlbireoSystem(config)
+        layer = albireo_best_case_layer(config)
+        mapping = system.reference_mapping(layer)
+        return analyze(system.architecture, layer, mapping), layer, config
+
+    def test_weight_conversions_per_mac(self, counts):
+        result, layer, config = counts
+        rate = result.converter_events("WeightDAC") / result.padded_macs
+        assert rate == pytest.approx(1.0 / config.weight_lanes)
+
+    def test_input_conversions_per_mac(self, counts):
+        result, layer, config = counts
+        rate = result.converter_events("InputMZM") / result.padded_macs
+        assert rate == pytest.approx(1.0 / config.star_ports)
+
+    def test_photodiode_rate(self, counts):
+        result, layer, config = counts
+        rate = result.converter_events("OutputPhotodiode") \
+            / result.padded_macs
+        assert rate == pytest.approx(1.0 / config.wavelengths)
+
+    def test_adc_rate(self, counts):
+        result, layer, config = counts
+        rate = result.converter_events("OutputADC") / result.padded_macs
+        assert rate == pytest.approx(
+            1.0 / (config.wavelengths * config.output_reuse))

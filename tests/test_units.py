@@ -1,0 +1,101 @@
+"""Tests for unit constants and conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestEnergyUnits:
+    def test_femtojoule_is_thousandth_of_picojoule(self):
+        assert units.FEMTOJOULE == pytest.approx(1e-3)
+
+    def test_joule_chain(self):
+        assert units.JOULE == pytest.approx(1e12 * units.PICOJOULE)
+        assert units.MILLIJOULE == pytest.approx(1e-3 * units.JOULE)
+        assert units.MICROJOULE == pytest.approx(1e-6 * units.JOULE)
+        assert units.NANOJOULE == pytest.approx(1e-9 * units.JOULE)
+
+    def test_power_times_time_is_energy(self):
+        # 1 mW for 1 ns is 1 pJ; the base units make this product direct.
+        assert units.MILLIWATT * units.NANOSECOND == units.PICOJOULE
+
+    def test_watt_times_second(self):
+        assert units.WATT * units.SECOND == pytest.approx(units.JOULE)
+
+
+class TestDataUnits:
+    def test_byte(self):
+        assert units.BYTE == 8
+
+    def test_binary_prefixes(self):
+        assert units.KIBIBYTE == 1024 * 8
+        assert units.MEBIBYTE == 1024 * units.KIBIBYTE
+        assert units.GIBIBYTE == 1024 * units.MEBIBYTE
+
+
+class TestDecibels:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_roundtrip(self):
+        for ratio in (0.1, 0.5, 1.0, 2.0, 100.0):
+            assert units.db_to_linear(
+                units.linear_to_db(ratio)) == pytest.approx(ratio)
+
+    def test_negative_db_attenuates(self):
+        assert units.db_to_linear(-3.0) < 1.0
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+
+class TestFrequency:
+    def test_one_ghz_is_one_ns(self):
+        assert units.ghz_to_cycle_ns(1.0) == pytest.approx(1.0)
+
+    def test_five_ghz(self):
+        assert units.ghz_to_cycle_ns(5.0) == pytest.approx(0.2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.ghz_to_cycle_ns(0.0)
+
+
+class TestFormatting:
+    def test_format_energy_femtojoules(self):
+        assert units.format_energy(0.0005) == "0.500 fJ"
+
+    def test_format_energy_picojoules(self):
+        assert units.format_energy(2.5) == "2.500 pJ"
+
+    def test_format_energy_nanojoules(self):
+        assert "nJ" in units.format_energy(1234.5)
+
+    def test_format_energy_microjoules(self):
+        assert "uJ" in units.format_energy(2e6)
+
+    def test_format_energy_millijoules(self):
+        assert "mJ" in units.format_energy(3e9)
+
+    def test_format_bits(self):
+        assert units.format_bits(16 * units.KIBIBYTE) == "16.0 KiB"
+        assert units.format_bits(32) == "4.0 B"
+        assert "MiB" in units.format_bits(2 * units.MEBIBYTE)
+        assert "GiB" in units.format_bits(3 * units.GIBIBYTE)
+
+    def test_format_count(self):
+        assert units.format_count(999) == "999"
+        assert units.format_count(1500) == "1.50K"
+        assert units.format_count(2_000_000) == "2.00M"
+        assert units.format_count(1_820_000_000) == "1.82G"

@@ -1,0 +1,89 @@
+"""Tests for dataspace projections and the input-halo tile arithmetic."""
+
+import pytest
+
+from repro.workloads.dataspace import (
+    ALL_DATASPACES,
+    DataSpace,
+    dataspace_tile_size,
+    is_relevant,
+    reduction_dims,
+    relevant_dims,
+)
+from repro.workloads.dims import Dim
+
+W, I, O = DataSpace.WEIGHTS, DataSpace.INPUTS, DataSpace.OUTPUTS
+
+
+class TestRelevance:
+    def test_weight_dims(self):
+        assert relevant_dims(W) == {Dim.M, Dim.C, Dim.R, Dim.S}
+
+    def test_output_dims(self):
+        assert relevant_dims(O) == {Dim.N, Dim.M, Dim.P, Dim.Q}
+
+    def test_input_dims_include_window_pairs(self):
+        dims = relevant_dims(I)
+        assert {Dim.P, Dim.R, Dim.Q, Dim.S, Dim.C, Dim.N} <= dims
+        assert Dim.M not in dims
+
+    def test_reduction_dims_only_for_outputs(self):
+        assert reduction_dims(O) == {Dim.C, Dim.R, Dim.S}
+        assert reduction_dims(W) == frozenset()
+        assert reduction_dims(I) == frozenset()
+
+    def test_is_relevant(self):
+        assert is_relevant(W, Dim.M)
+        assert not is_relevant(W, Dim.N)
+
+    def test_every_dim_relevant_to_some_dataspace(self):
+        for dim in Dim:
+            assert any(is_relevant(ds, dim) for ds in ALL_DATASPACES)
+
+
+class TestTileSizes:
+    def test_weights_product(self):
+        bounds = {Dim.M: 2, Dim.C: 3, Dim.R: 3, Dim.S: 3, Dim.P: 10}
+        assert dataspace_tile_size(W, bounds) == 2 * 3 * 3 * 3
+
+    def test_outputs_product(self):
+        bounds = {Dim.N: 2, Dim.M: 4, Dim.P: 5, Dim.Q: 6, Dim.C: 100}
+        assert dataspace_tile_size(O, bounds) == 2 * 4 * 5 * 6
+
+    def test_outputs_ignore_reduction_dims(self):
+        small = dataspace_tile_size(O, {Dim.M: 4})
+        big = dataspace_tile_size(O, {Dim.M: 4, Dim.C: 64, Dim.R: 3})
+        assert small == big == 4
+
+    def test_input_halo_unit_stride(self):
+        # 4 output rows with a 3-tall filter cover 6 input rows.
+        assert dataspace_tile_size(I, {Dim.P: 4, Dim.R: 3}) == 6
+
+    def test_input_halo_both_axes(self):
+        size = dataspace_tile_size(
+            I, {Dim.P: 4, Dim.R: 3, Dim.Q: 5, Dim.S: 3})
+        assert size == 6 * 7
+
+    def test_input_halo_strided(self):
+        # stride 2: (4-1)*2 + 3 = 9 rows.
+        assert dataspace_tile_size(I, {Dim.P: 4, Dim.R: 3},
+                                   stride=(2, 1)) == 9
+
+    def test_input_channels_and_batch_multiply(self):
+        size = dataspace_tile_size(I, {Dim.N: 2, Dim.C: 3, Dim.P: 2,
+                                       Dim.R: 3})
+        assert size == 2 * 3 * 4
+
+    def test_input_no_window_dims(self):
+        # FC-style: one pixel.
+        assert dataspace_tile_size(I, {Dim.C: 128}) == 128
+
+    def test_halo_overlap_saves_vs_naive(self):
+        # Naive (no overlap) would be P*R = 12; halo gives 6.
+        naive = 4 * 3
+        halo = dataspace_tile_size(I, {Dim.P: 4, Dim.R: 3})
+        assert halo < naive
+
+    def test_empty_bounds_is_one_element(self):
+        for ds in ALL_DATASPACES:
+            assert dataspace_tile_size(ds, {}) == 1

@@ -1,0 +1,140 @@
+"""Tests for the model zoo: layer counts, MAC totals, tensor volumes.
+
+Reference values are the community-standard numbers for 224x224 (227x227
+for AlexNet) ImageNet inputs; they act as independent oracles for the
+shape definitions.
+"""
+
+import pytest
+
+from repro.workloads import alexnet, lenet5, resnet18, tiny_cnn, vgg16
+from repro.workloads.network import Network
+
+
+class TestVGG16:
+    def test_total_macs(self):
+        # 15.47 GMACs (13 convs + 3 FCs).
+        assert vgg16().total_macs == pytest.approx(15.47e9, rel=0.01)
+
+    def test_layer_count(self):
+        assert len(vgg16()) == 16
+
+    def test_weight_volume(self):
+        # ~138M parameters at 8 bits.
+        assert vgg16().total_weight_bits / 8 == pytest.approx(138e6,
+                                                              rel=0.02)
+
+    def test_all_convs_are_3x3_unstrided(self):
+        for entry in vgg16():
+            layer = entry.layer
+            if layer.kind == "conv":
+                assert (layer.r, layer.s) == (3, 3)
+                assert not layer.is_strided
+
+    def test_batch_scales_macs(self):
+        assert vgg16(batch=4).total_macs == 4 * vgg16().total_macs
+
+
+class TestAlexNet:
+    def test_total_macs(self):
+        # 0.72 GMACs with the historical grouped convolutions.
+        assert alexnet().total_macs == pytest.approx(0.724e9, rel=0.01)
+
+    def test_layer_count(self):
+        assert len(alexnet()) == 8
+
+    def test_first_layer_strided_11x11(self):
+        first = alexnet().entries[0].layer
+        assert (first.r, first.s) == (11, 11)
+        assert first.stride_h == first.stride_w == 4
+
+    def test_has_grouped_convolutions(self):
+        grouped = [e.layer for e in alexnet() if e.layer.groups > 1]
+        assert len(grouped) == 3
+
+    def test_fc_macs_share(self):
+        net = alexnet()
+        fc_macs = sum(e.layer.macs * e.count for e in net
+                      if e.layer.is_fully_connected)
+        assert fc_macs == pytest.approx(58.6e6, rel=0.02)
+
+
+class TestResNet18:
+    def test_total_macs(self):
+        # ~1.81 GMACs.
+        assert resnet18().total_macs == pytest.approx(1.814e9, rel=0.01)
+
+    def test_weight_volume(self):
+        # ~11.7M parameters.
+        assert resnet18().total_weight_bits / 8 == pytest.approx(11.7e6,
+                                                                 rel=0.02)
+
+    def test_has_downsample_projections(self):
+        names = [e.layer.name for e in resnet18()]
+        downsamples = [n for n in names if "downsample" in n]
+        assert len(downsamples) == 3
+
+    def test_first_layer_reads_dram(self):
+        first = resnet18().entries[0]
+        assert not first.consumes_previous_output
+
+    def test_interior_layers_consume_previous(self):
+        interior = resnet18().entries[1:-1]
+        assert all(e.consumes_previous_output for e in interior)
+
+    def test_residual_liveness_annotated(self):
+        skip_bits = [e.resident_extra_bits for e in resnet18()]
+        assert any(bits > 0 for bits in skip_bits)
+
+    def test_max_activation_footprint_reasonable(self):
+        # Largest layer footprint (in+out+skip) is conv1's: a 157 KB input
+        # image plus its 803 KB output map — just under 1 MB at batch 1.
+        footprint_mb = resnet18().max_activation_bits / 8 / 1e6
+        assert 0.5 < footprint_mb < 4.0
+
+    def test_batch_scales_residuals(self):
+        b1 = resnet18().max_activation_bits
+        b4 = resnet18(batch=4).max_activation_bits
+        assert b4 == pytest.approx(4 * b1, rel=0.01)
+
+
+class TestSmallNetworks:
+    def test_lenet5_layers(self):
+        assert len(lenet5()) == 5
+
+    def test_lenet5_fc_sizes_chain(self):
+        layers = [e.layer for e in lenet5()]
+        assert layers[2].c == 400  # 16 * 5 * 5 after conv2 pooling
+
+    def test_tiny_cnn_is_small(self):
+        assert tiny_cnn().total_macs < 2_000_000
+
+    def test_tiny_cnn_has_stride_and_fc(self):
+        layers = [e.layer for e in tiny_cnn()]
+        assert any(layer.is_strided for layer in layers)
+        assert any(layer.is_fully_connected for layer in layers)
+
+
+class TestNetworkInvariants:
+    @pytest.mark.parametrize("factory", [vgg16, alexnet, resnet18, lenet5,
+                                         tiny_cnn])
+    def test_every_network_nonempty_and_positive(self, factory):
+        network = factory()
+        assert len(network) >= 3
+        assert network.total_macs > 0
+        assert network.total_weight_bits > 0
+
+    @pytest.mark.parametrize("factory", [vgg16, alexnet, resnet18])
+    def test_channel_chaining(self, factory):
+        """Each conv layer's C matches the previous layer's M (where the
+        topology is a simple chain and no pooling reshapes channels)."""
+        network = factory()
+        previous_m = None
+        for entry in network:
+            layer = entry.layer
+            if previous_m is not None and entry.consumes_previous_output \
+                    and not layer.is_fully_connected \
+                    and "downsample" not in layer.name:
+                assert layer.c in (previous_m, layer.c)
+            if "downsample" not in layer.name:
+                previous_m = layer.m

@@ -1,0 +1,92 @@
+"""Tests for Network construction, merging, and aggregate statistics."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import ConvLayer, Network, dense_layer
+from repro.workloads.network import LayerRepetition
+
+
+def _conv(name, m=4, c=3, p=8, q=8):
+    return ConvLayer(name=name, m=m, c=c, p=p, q=q, r=3, s=3)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            Network(name="empty", entries=())
+
+    def test_from_layers_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            Network.from_layers("empty", [])
+
+    def test_repetition_rejects_zero_count(self):
+        with pytest.raises(WorkloadError):
+            LayerRepetition(layer=_conv("a"), count=0)
+
+    def test_repetition_rejects_negative_resident_bits(self):
+        with pytest.raises(WorkloadError):
+            LayerRepetition(layer=_conv("a"), resident_extra_bits=-1)
+
+
+class TestMerging:
+    def test_identical_consecutive_layers_merge(self):
+        layers = [_conv("a"), _conv("b"), _conv("c")]
+        network = Network.from_layers("n", layers)
+        assert network.unique_layer_count < 3
+        assert len(network) == 3
+
+    def test_different_shapes_do_not_merge(self):
+        layers = [_conv("a", m=4), _conv("b", m=8)]
+        network = Network.from_layers("n", layers)
+        assert network.unique_layer_count == 2
+
+    def test_first_layer_never_merges_into_dram_reader(self):
+        # First layer reads DRAM; a merged block must not hide that.
+        layers = [_conv("a"), _conv("b")]
+        network = Network.from_layers("n", layers)
+        assert not network.entries[0].consumes_previous_output
+
+    def test_merge_preserves_total_macs(self):
+        layers = [_conv("a"), _conv("b"), _conv("c"), _conv("d", m=8)]
+        network = Network.from_layers("n", layers)
+        assert network.total_macs == sum(l.macs for l in layers)
+
+
+class TestAggregates:
+    def test_totals(self):
+        network = Network.from_layers("n", [_conv("a"), _conv("b", m=8)])
+        assert network.total_weight_bits == sum(
+            e.layer.weight_bits * e.count for e in network)
+        assert network.total_input_bits > 0
+        assert network.total_output_bits > 0
+
+    def test_max_activation_bits_is_max_not_sum(self):
+        small = _conv("small", m=2, p=2, q=2)
+        big = _conv("big", m=64, p=32, q=32)
+        network = Network.from_layers("n", [small, big])
+        footprint = network.max_activation_bits
+        assert footprint == big.input_bits + big.output_bits
+
+    def test_with_batch(self):
+        network = Network.from_layers("n", [_conv("a")])
+        batched = network.with_batch(4)
+        assert batched.total_macs == 4 * network.total_macs
+        assert len(batched) == len(network)
+
+    def test_map_layers(self):
+        network = Network.from_layers("n", [_conv("a")])
+        widened = network.map_layers(lambda l: l.with_batch(2))
+        assert widened.total_macs == 2 * network.total_macs
+
+    def test_describe_contains_layers(self):
+        network = Network.from_layers("n", [_conv("a"), dense_layer("fc",
+                                                                    8, 4)])
+        text = network.describe()
+        assert "n:" in text and "fc" in text
+
+    def test_iteration_order(self):
+        layers = [_conv("a", m=2), _conv("b", m=4), _conv("c", m=8)]
+        network = Network.from_layers("n", layers)
+        ms = [entry.layer.m for entry in network]
+        assert ms == [2, 4, 8]
