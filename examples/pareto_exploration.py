@@ -11,22 +11,26 @@ energy, request latency):
 * batching amortizes weight DRAM fetches — less energy per inference —
   but a request now waits for the whole batch: the classic trade-off.
 
-This is the third analysis workflow (besides validation and per-figure
-studies) the paper positions the modeling tool for.
+The 24 evaluations run through the sweep engine
+(:mod:`repro.engine`): each (config, network) pair becomes a declarative
+job, the executor fans the batch out over worker processes, and an
+in-memory cache shares layer evaluations between jobs.  Point a ``cache``
+directory at :func:`repro.engine.run_jobs` and a second run of this
+script becomes near-instant.
 
 Run:  python examples/pareto_exploration.py
 """
 
 from dataclasses import replace
 
-from repro import AGGRESSIVE, AlbireoConfig, AlbireoSystem, resnet18
+from repro import AGGRESSIVE, AlbireoConfig, resnet18
+from repro.engine import EvaluationCache, make_job, pareto_frontier, run_jobs
 from repro.report import format_table
-from repro.systems import pareto_frontier
 
 
 def main() -> None:
     base = AlbireoConfig(scenario=AGGRESSIVE)
-    points = []
+    jobs = []
     for batch in (1, 8):
         network = resnet18(batch=batch)
         for clusters in (8, 16, 32):
@@ -34,14 +38,23 @@ def main() -> None:
                 config = replace(base, clusters=clusters,
                                  output_reuse=output_reuse,
                                  weight_lanes=weight_lanes)
-                evaluation = AlbireoSystem(config).evaluate_network(network)
-                points.append({
-                    "config": config,
-                    "batch": batch,
-                    # A request waits for its whole batch.
-                    "latency_ms": evaluation.latency_ns / 1e6,
-                    "energy_uj": evaluation.energy_pj / 1e6 / batch,
-                })
+                jobs.append(make_job(network, config,
+                                     tags={"batch": batch}))
+
+    # workers=2 exercises the process pool; results are identical to
+    # workers=1, just faster on multi-core machines.
+    evaluations = run_jobs(jobs, workers=2, cache=EvaluationCache())
+
+    points = []
+    for job, evaluation in zip(jobs, evaluations):
+        batch = job.tag("batch")
+        points.append({
+            "config": job.config,
+            "batch": batch,
+            # A request waits for its whole batch.
+            "latency_ms": evaluation.latency_ns / 1e6,
+            "energy_uj": evaluation.energy_pj / 1e6 / batch,
+        })
 
     frontier = {
         id(p) for p in pareto_frontier(

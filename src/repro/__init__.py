@@ -30,6 +30,9 @@ Layer cake (each importable on its own):
   throughput, batching, fusion).
 * :mod:`repro.systems` — the Albireo model and design-space exploration
   drivers.
+* :mod:`repro.engine` — the parallel sweep engine: declarative evaluation
+  jobs, a persistent mapping/evaluation cache, and a serial/multiprocess
+  batch executor.
 * :mod:`repro.experiments` — the paper's four evaluation experiments.
 """
 
@@ -84,6 +87,14 @@ from repro.model import (
     LayerEvaluation,
     NetworkEvaluation,
     NetworkOptions,
+)
+from repro.engine import (
+    EvaluationCache,
+    EvaluationJob,
+    make_job,
+    pareto_frontier,
+    run_job,
+    run_jobs,
 )
 from repro.systems import (
     AlbireoConfig,
@@ -144,6 +155,8 @@ __all__ = [
     "EnergyEntry",
     "EnergyTable",
     "EstimationError",
+    "EvaluationCache",
+    "EvaluationJob",
     "FIG2_BUCKETS",
     "FanoutMapping",
     "LayerEvaluation",
@@ -172,8 +185,12 @@ __all__ = [
     "build_table",
     "dense_layer",
     "lenet5",
+    "make_job",
     "mobilenet_v1",
+    "pareto_frontier",
     "resnet18",
+    "run_job",
+    "run_jobs",
     "scenario_by_name",
     "sweep_memory_options",
     "sweep_reuse_factors",

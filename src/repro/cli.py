@@ -1,23 +1,33 @@
 """Command-line interface: ``repro <command>`` or ``python -m repro``.
 
-Commands mirror the paper's evaluation section::
+Commands mirror the paper's evaluation section plus the library's own
+analyses::
 
-    repro fig2     # energy-breakdown validation
-    repro fig3     # VGG16 / AlexNet throughput
-    repro fig4     # full-system memory exploration
-    repro fig5     # reuse-factor exploration
-    repro all      # everything + claim summary
-    repro arch     # print the modeled Albireo hierarchy
-    repro area     # per-component area summary
+    repro fig2         # energy-breakdown validation
+    repro fig3         # VGG16 / AlexNet throughput
+    repro fig4         # full-system memory exploration
+    repro fig5         # reuse-factor exploration
+    repro all          # everything + claim summary
+    repro compare      # Albireo vs WDM-crossbar system comparison
+    repro sensitivity  # per-device energy sensitivity analysis
+    repro roofline     # bandwidth roofline of AlexNet on Albireo
+    repro sweep        # parallel/cached configuration sweep (DSE engine)
+    repro arch         # print the modeled Albireo hierarchy
+    repro area         # per-component area summary
+
+Sweep-shaped commands (``fig4``, ``fig5``, ``sweep``, ``all``) accept
+``--workers N`` to evaluate over a process pool and ``--cache DIR`` to
+memoize mapper results and evaluations across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
-from repro.energy.scaling import scenario_by_name
+from repro.energy.scaling import AGGRESSIVE, CONSERVATIVE, scenario_by_name
 from repro.experiments import (
     fig2_validation,
     fig3_throughput,
@@ -27,6 +37,13 @@ from repro.experiments import (
 )
 from repro.report.ascii import format_table
 from repro.systems.albireo import AlbireoConfig, AlbireoSystem
+
+#: The default ``repro sweep`` grid: 2 scenarios x 3 cluster counts x
+#: 2 output-reuse x 2 input-reuse settings = 24 Albireo configurations.
+SWEEP_SCENARIOS = (CONSERVATIVE, AGGRESSIVE)
+SWEEP_CLUSTERS = (8, 16, 32)
+SWEEP_OUTPUT_REUSE = (3, 9)
+SWEEP_INPUT_REUSE = (9, 27)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,7 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "command",
         choices=("fig2", "fig3", "fig4", "fig5", "all", "compare",
-                 "sensitivity", "roofline", "arch", "area"),
+                 "sensitivity", "roofline", "sweep", "arch", "area"),
         help="experiment or report to run",
     )
     parser.add_argument(
@@ -52,7 +69,105 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mapper", action="store_true",
         help="use mapper search instead of reference mappings (slower)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate sweep points over N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persist mapper results and evaluations under DIR "
+             "(reused and extended by later runs)",
+    )
+    parser.add_argument(
+        "--network", default="resnet18",
+        choices=("tiny", "lenet5", "alexnet", "resnet18", "vgg16",
+                 "mobilenet"),
+        help="workload for the sweep command (default resnet18)",
+    )
     return parser
+
+
+def _sweep_network(name: str):
+    from repro.workloads import (
+        alexnet, lenet5, mobilenet_v1, resnet18, tiny_cnn, vgg16,
+    )
+
+    return {
+        "tiny": tiny_cnn,
+        "lenet5": lenet5,
+        "alexnet": alexnet,
+        "resnet18": resnet18,
+        "vgg16": vgg16,
+        "mobilenet": mobilenet_v1,
+    }[name]()
+
+
+def _run_sweep(args) -> str:
+    """The ``repro sweep`` command: a 24-point grid through the engine."""
+    from repro.engine import (
+        EvaluationCache,
+        config_sweep_jobs,
+        pareto_frontier,
+        run_jobs,
+    )
+
+    network = _sweep_network(args.network)
+    configs = []
+    for scenario in SWEEP_SCENARIOS:
+        for clusters in SWEEP_CLUSTERS:
+            for output_reuse in SWEEP_OUTPUT_REUSE:
+                for input_reuse in SWEEP_INPUT_REUSE:
+                    configs.append(replace(
+                        AlbireoConfig(scenario=scenario),
+                        clusters=clusters,
+                        output_reuse=output_reuse,
+                        star_ports=input_reuse,
+                    ))
+    jobs = config_sweep_jobs(network, configs, use_mapper=args.mapper)
+    cache = EvaluationCache(args.cache) if args.cache else None
+
+    def progress(finished: int, total: int, job) -> None:
+        print(f"\r  [{finished}/{total}] {job.describe():<60s}",
+              end="", file=sys.stderr, flush=True)
+
+    results = run_jobs(jobs, workers=args.workers, cache=cache,
+                       progress=progress)
+    print(file=sys.stderr)
+
+    points = list(zip(configs, results))
+    frontier = {
+        id(point) for point in pareto_frontier(
+            points,
+            lambda item: (item[1].energy_per_mac_pj, item[1].latency_ns))
+    }
+    rows = []
+    for point in points:
+        config, evaluation = point
+        rows.append((
+            config.scenario.name,
+            config.clusters,
+            config.output_reuse,
+            config.star_ports,
+            f"{evaluation.energy_per_mac_pj:.4f}",
+            f"{evaluation.latency_ns / 1e6:.3f}",
+            f"{evaluation.utilization:.1%}",
+            "*" if id(point) in frontier else "",
+        ))
+    table = format_table(
+        ("scaling", "clusters", "OR", "IR", "pJ/MAC", "latency ms",
+         "util", "Pareto"),
+        rows,
+        align_right=[False, True, True, True, True, True, True, False])
+    lines = [
+        f"Sweep — {network.name} across {len(configs)} Albireo "
+        f"configurations (workers={args.workers})",
+        table,
+        f"{len(frontier)} Pareto-optimal points "
+        f"(energy/MAC vs request latency)",
+    ]
+    if cache is not None:
+        lines.append(cache.describe_stats())
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -62,11 +177,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig3":
         print(fig3_throughput.run(use_mapper=args.mapper).table())
     elif args.command == "fig4":
-        print(fig4_memory.run(use_mapper=args.mapper).table())
+        print(fig4_memory.run(use_mapper=args.mapper, workers=args.workers,
+                              cache=args.cache).table())
     elif args.command == "fig5":
-        print(fig5_reuse.run(use_mapper=args.mapper).table())
+        print(fig5_reuse.run(use_mapper=args.mapper, workers=args.workers,
+                             cache=args.cache).table())
     elif args.command == "all":
-        print(run_all(use_mapper=args.mapper).report())
+        print(run_all(use_mapper=args.mapper, workers=args.workers,
+                      cache=args.cache).report())
     elif args.command == "compare":
         from repro.experiments import system_comparison
 
@@ -84,6 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario=scenario_by_name(args.scenario),
             dram_bandwidth_gbps=25.6))
         print(network_roofline(system, alexnet()).table())
+    elif args.command == "sweep":
+        print(_run_sweep(args))
     elif args.command == "arch":
         system = AlbireoSystem(AlbireoConfig(
             scenario=scenario_by_name(args.scenario)))

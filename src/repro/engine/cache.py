@@ -1,0 +1,263 @@
+"""Persistent evaluation cache: in-memory dicts with an atomic JSON disk
+image.
+
+The cache memoizes three namespaces, keyed by content hashes so entries
+are valid across processes and sessions:
+
+* ``results``  — whole-job :class:`~repro.model.results.NetworkEvaluation`
+  dicts, keyed by :attr:`EvaluationJob.key`;
+* ``mappings`` — mapper search results (the expensive part of
+  ``use_mapper=True`` runs), keyed by (system, layer shape, search
+  budget, seed);
+* ``layers``   — individual layer evaluations, shared between jobs that
+  evaluate the same layer under the same configuration (e.g. the fused
+  and non-fused arms of a memory sweep).
+
+Disk persistence is a single ``cache.json`` written atomically (temp file
++ ``os.replace``), so a crashed or interrupted sweep never leaves a
+corrupt cache — at worst it leaves the previous image.  Hit/miss counts
+are tracked per namespace and mergeable across worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.engine.codec import (
+    canonical_json,
+    layer_evaluation_from_dict,
+    layer_evaluation_to_dict,
+)
+from repro.mapping.mapper import MapperResult
+from repro.mapping.serialize import mapping_from_dict, mapping_to_dict
+from repro.model.results import LayerEvaluation
+
+NAMESPACES: Tuple[str, ...] = ("results", "mappings", "layers")
+
+_CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one namespace."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return f"{self.hits}/{self.lookups} hits ({self.hit_rate:.1%})"
+
+
+class EvaluationCache:
+    """In-memory + on-disk cache for sweep-engine evaluations.
+
+    ``directory=None`` gives a purely in-memory cache (still useful for
+    sharing mapper results across the jobs of one sweep).  With a
+    directory, existing entries load eagerly on construction and
+    :meth:`save` writes the full image back atomically.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._data: Dict[str, Dict[str, Any]] = {ns: {} for ns in NAMESPACES}
+        self._added: Dict[str, Dict[str, Any]] = {ns: {} for ns in NAMESPACES}
+        self.stats: Dict[str, CacheStats] = {ns: CacheStats()
+                                             for ns in NAMESPACES}
+        if directory is not None:
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Generic namespace access
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        """Look up ``key``, counting the hit or miss."""
+        entry = self._data[namespace].get(key)
+        stats = self.stats[namespace]
+        if entry is None:
+            stats.misses += 1
+        else:
+            stats.hits += 1
+        return entry
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        self._data[namespace][key] = value
+        self._added[namespace][key] = value
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._data.values())
+
+    def size(self, namespace: str) -> int:
+        return len(self._data[namespace])
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+    # ------------------------------------------------------------------
+    def get_result(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.get("results", key)
+
+    def put_result(self, key: str, value: Dict[str, Any]) -> None:
+        self.put("results", key, value)
+
+    # ------------------------------------------------------------------
+    # Worker-merge protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The full entry image, for seeding worker processes."""
+        return {ns: dict(entries) for ns, entries in self._data.items()}
+
+    @classmethod
+    def from_snapshot(
+            cls, snapshot: Dict[str, Dict[str, Any]]) -> "EvaluationCache":
+        cache = cls()
+        for namespace in NAMESPACES:
+            cache._data[namespace].update(snapshot.get(namespace, {}))
+        return cache
+
+    @property
+    def dirty(self) -> bool:
+        """True when entries were added since the last save/pop_added —
+        a clean (100%-hit) run needn't rewrite the disk image."""
+        return any(self._added.values())
+
+    def pop_added(self) -> Dict[str, Dict[str, Any]]:
+        """Entries added since the last call (worker -> parent shipping)."""
+        added = self._added
+        self._added = {ns: {} for ns in NAMESPACES}
+        return added
+
+    def merge(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        """Adopt entries computed elsewhere (also marks them for saving)."""
+        for namespace, values in entries.items():
+            for key, value in values.items():
+                self.put(namespace, key, value)
+
+    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {ns: {"hits": s.hits, "misses": s.misses}
+                for ns, s in self.stats.items()}
+
+    def absorb_stats(self, snapshot: Dict[str, Dict[str, int]]) -> None:
+        """Fold worker-side hit/miss counts into this cache's statistics."""
+        for namespace, counts in snapshot.items():
+            stats = self.stats[namespace]
+            stats.hits += counts.get("hits", 0)
+            stats.misses += counts.get("misses", 0)
+
+    def describe_stats(self) -> str:
+        parts = [f"{ns} {self.stats[ns].describe()}"
+                 for ns in NAMESPACES if self.stats[ns].lookups]
+        return "cache: " + (" | ".join(parts) if parts else "no lookups")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, "cache.json")
+
+    def _load(self) -> None:
+        path = self.path
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                image = json.load(handle)
+        except (OSError, ValueError):
+            return  # unreadable/corrupt image: start fresh, not crash
+        if not isinstance(image, dict) \
+                or image.get("version") != _CACHE_FORMAT_VERSION:
+            return  # stale format: start fresh rather than misread entries
+        for namespace in NAMESPACES:
+            self._data[namespace].update(image.get("entries", {})
+                                         .get(namespace, {}))
+
+    def save(self) -> Optional[str]:
+        """Atomically write the cache image; returns the path written."""
+        path = self.path
+        if path is None:
+            return None
+        os.makedirs(self.directory, exist_ok=True)
+        image = {
+            "version": _CACHE_FORMAT_VERSION,
+            "entries": self._data,
+        }
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".cache-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(image, handle)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._added = {ns: {} for ns in NAMESPACES}
+        return path
+
+
+class SystemStore:
+    """Adapter giving a system object cached mapper searches and layer
+    evaluations.
+
+    :class:`~repro.systems.albireo.AlbireoSystem` accepts one of these as
+    its ``store`` argument and calls the four duck-typed methods below with
+    structural keys (tuples of scalars); the store scopes them under the
+    system's configuration hash so different configurations never collide.
+    """
+
+    def __init__(self, cache: EvaluationCache, system_key: str) -> None:
+        self.cache = cache
+        self.system_key = system_key
+
+    def _key(self, key: Iterable[Any]) -> str:
+        return self.system_key + "/" + canonical_json(list(key))
+
+    # ------------------------------------------------------------------
+    # Mapper results
+    # ------------------------------------------------------------------
+    def load_mapper_result(self, key: Iterable[Any]) -> Optional[MapperResult]:
+        entry = self.cache.get("mappings", self._key(key))
+        if entry is None:
+            return None
+        return MapperResult(
+            mapping=mapping_from_dict(entry["mapping"]),
+            cost=float(entry["cost"]),
+            evaluated=int(entry["evaluated"]),
+            valid=int(entry["valid"]),
+        )
+
+    def save_mapper_result(self, key: Iterable[Any],
+                           result: MapperResult) -> None:
+        self.cache.put("mappings", self._key(key), {
+            "mapping": mapping_to_dict(result.mapping),
+            "cost": result.cost,
+            "evaluated": result.evaluated,
+            "valid": result.valid,
+        })
+
+    # ------------------------------------------------------------------
+    # Layer evaluations
+    # ------------------------------------------------------------------
+    def load_layer(self, key: Iterable[Any]) -> Optional[LayerEvaluation]:
+        entry = self.cache.get("layers", self._key(key))
+        if entry is None:
+            return None
+        return layer_evaluation_from_dict(entry)
+
+    def save_layer(self, key: Iterable[Any],
+                   evaluation: LayerEvaluation) -> None:
+        self.cache.put("layers", self._key(key),
+                       layer_evaluation_to_dict(evaluation))

@@ -1,0 +1,253 @@
+"""Batch job execution: serial or multiprocessing, cache-aware, ordered.
+
+:func:`run_jobs` is the engine's front door.  It takes a job list (from
+the sweep builders or hand-assembled), consults the cache for finished
+results, computes the misses — serially or across a process pool — and
+returns evaluations in input order.  Parallel execution is verified (see
+``tests/test_engine.py``) to produce bit-identical results to serial
+execution: jobs are independent, workers ship results back as JSON dicts
+whose floats round-trip exactly, and ordering is restored by index.
+
+Worker processes are seeded with a snapshot of the parent's cache, so
+mapper results already on disk are reused everywhere; entries a worker
+computes are shipped back and merged into the parent's cache (and saved,
+when the cache has a directory).  Workers do not see entries produced by
+*other* workers within the same run — the parent is the only writer,
+which keeps the on-disk image race-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.engine.cache import EvaluationCache, SystemStore
+from repro.engine.codec import (
+    content_hash,
+    network_evaluation_from_dict,
+    network_evaluation_to_dict,
+)
+from repro.engine.jobs import EvaluationJob, system_registry
+from repro.model.results import (
+    EnergyBreakdown,
+    LayerEvaluation,
+    NetworkEvaluation,
+)
+
+#: Progress callback: (jobs finished, total jobs, job just finished).
+ProgressFn = Callable[[int, int, EvaluationJob], None]
+
+CacheLike = Union[None, str, EvaluationCache]
+
+
+def _as_cache(cache: CacheLike) -> Optional[EvaluationCache]:
+    if cache is None or isinstance(cache, EvaluationCache):
+        return cache
+    return EvaluationCache(str(cache))
+
+
+def strip_dram(evaluation: NetworkEvaluation) -> NetworkEvaluation:
+    """Drop DRAM entries (the accelerator-only view of Figs. 2 and 5)."""
+    stripped = []
+    for layer_eval, count in evaluation.layers:
+        entries = {
+            key: value
+            for key, value in layer_eval.energy.entries().items()
+            if key[0] != "DRAM"
+        }
+        stripped.append((
+            LayerEvaluation(
+                layer=layer_eval.layer,
+                energy=EnergyBreakdown(entries),
+                cycles=layer_eval.cycles,
+                real_macs=layer_eval.real_macs,
+                padded_macs=layer_eval.padded_macs,
+                peak_parallelism=layer_eval.peak_parallelism,
+                clock_ghz=layer_eval.clock_ghz,
+                occupancy_bits=layer_eval.occupancy_bits,
+                compute_cycles=layer_eval.compute_cycles,
+                bandwidth_bound_level=layer_eval.bandwidth_bound_level,
+            ),
+            count,
+        ))
+    return NetworkEvaluation(
+        name=evaluation.name,
+        layers=tuple(stripped),
+        clock_ghz=evaluation.clock_ghz,
+        peak_parallelism=evaluation.peak_parallelism,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-job execution
+# ---------------------------------------------------------------------------
+
+
+def _system_key(job_dict: Dict[str, Any]) -> str:
+    """Configuration-scoped hash for mapper/layer cache entries."""
+    return content_hash({key: job_dict[key]
+                         for key in ("system", "config", "architecture")})
+
+
+def _compute_job(job: EvaluationJob,
+                 cache: Optional[EvaluationCache],
+                 job_dict: Optional[Dict[str, Any]] = None,
+                 ) -> NetworkEvaluation:
+    """Evaluate ``job`` (no whole-result cache lookup; sub-results cached).
+
+    The identity dict (an architecture build + full serialization) is only
+    computed when a cache needs keys; uncached runs skip it entirely.
+    """
+    registry = system_registry()[job.system]
+    if cache is not None and registry["supports_store"]:
+        job_dict = job_dict or job.to_dict()
+        store = SystemStore(cache, _system_key(job_dict))
+        system = registry["system_type"](job.config, store=store)
+    else:
+        system = registry["system_type"](job.config)
+    evaluation = system.evaluate_network(
+        job.network, fused=job.fused, use_mapper=job.use_mapper)
+    if not job.include_dram:
+        evaluation = strip_dram(evaluation)
+    if cache is not None:
+        job_dict = job_dict or job.to_dict()
+        cache.put_result(content_hash(job_dict),
+                         network_evaluation_to_dict(evaluation))
+    return evaluation
+
+
+def run_job(job: EvaluationJob,
+            cache: CacheLike = None) -> NetworkEvaluation:
+    """Evaluate one job, going through the cache when one is given."""
+    cache = _as_cache(cache)
+    if cache is None:
+        return _compute_job(job, None)
+    job_dict = job.to_dict()
+    cached = cache.get_result(content_hash(job_dict))
+    if cached is not None:
+        return network_evaluation_from_dict(cached)
+    return _compute_job(job, cache, job_dict)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing
+# ---------------------------------------------------------------------------
+
+_WORKER_CACHE: Optional[EvaluationCache] = None
+
+
+def _init_worker(snapshot: Optional[Dict[str, Dict[str, Any]]]) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = (EvaluationCache.from_snapshot(snapshot)
+                     if snapshot is not None else None)
+
+
+def _run_job_in_worker(payload):
+    """Execute one (index, job) pair; ship result + new cache entries back."""
+    index, job = payload
+    cache = _WORKER_CACHE
+    evaluation = _compute_job(job, cache)
+    if cache is not None:
+        added = cache.pop_added()
+        stats = cache.stats_snapshot()
+        # Reset so the next job on this worker reports deltas only.
+        for namespace_stats in cache.stats.values():
+            namespace_stats.hits = 0
+            namespace_stats.misses = 0
+    else:
+        added, stats = {}, {}
+    return index, network_evaluation_to_dict(evaluation), added, stats
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits sys.path); spawn elsewhere."""
+    if sys.platform != "win32":
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover
+            pass
+    return multiprocessing.get_context()  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Batch execution
+# ---------------------------------------------------------------------------
+
+
+def run_jobs(
+    jobs: Sequence[EvaluationJob],
+    workers: int = 1,
+    cache: CacheLike = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[NetworkEvaluation]:
+    """Evaluate ``jobs``; results come back in input order.
+
+    ``workers=1`` runs in-process.  ``workers>1`` evaluates cache misses
+    over a ``multiprocessing`` pool; results are bit-identical to the
+    serial path.  ``cache`` may be an :class:`EvaluationCache`, a
+    directory path (the cache loads from and saves to ``cache.json``
+    inside it), or ``None``.
+    """
+    cache = _as_cache(cache)
+    jobs = list(jobs)
+    total = len(jobs)
+    results: List[Optional[NetworkEvaluation]] = [None] * total
+    done = 0
+
+    # Resolve whole-job cache hits up front (counts the hits/misses).
+    # Identity dicts are kept for the misses so the serial path below does
+    # not rebuild the architecture/serialization a second time.
+    misses: List[int] = []
+    job_dicts: Dict[int, Dict[str, Any]] = {}
+    for index, job in enumerate(jobs):
+        if cache is None:
+            misses.append(index)
+            continue
+        job_dicts[index] = job.to_dict()
+        cached = cache.get_result(content_hash(job_dicts[index]))
+        if cached is None:
+            misses.append(index)
+        else:
+            results[index] = network_evaluation_from_dict(cached)
+            done += 1
+            if progress is not None:
+                progress(done, total, job)
+
+    if misses:
+        if workers > 1 and len(misses) > 1:
+            context = _pool_context()
+            # Workers only read the mapper/layer namespaces (the parent
+            # already resolved whole-job hits), so don't ship them the
+            # possibly large results namespace.
+            snapshot = None
+            if cache is not None:
+                snapshot = cache.snapshot()
+                snapshot["results"] = {}
+            pool_size = min(workers, len(misses))
+            with context.Pool(pool_size, initializer=_init_worker,
+                              initargs=(snapshot,)) as pool:
+                payloads = [(index, jobs[index]) for index in misses]
+                for index, result_dict, added, stats in pool.imap_unordered(
+                        _run_job_in_worker, payloads, chunksize=1):
+                    results[index] = network_evaluation_from_dict(result_dict)
+                    if cache is not None:
+                        # ``added`` already contains the job's result entry
+                        # (workers put it before shipping), plus any new
+                        # mapper/layer entries.
+                        cache.merge(added)
+                        cache.absorb_stats(stats)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs[index])
+        else:
+            for index in misses:
+                results[index] = _compute_job(jobs[index], cache,
+                                              job_dicts.get(index))
+                done += 1
+                if progress is not None:
+                    progress(done, total, jobs[index])
+
+    if cache is not None and cache.directory is not None and cache.dirty:
+        cache.save()
+    return results  # type: ignore[return-value]

@@ -1,0 +1,166 @@
+"""Declarative evaluation jobs with stable content-hash keys.
+
+An :class:`EvaluationJob` names everything one evaluation depends on — the
+modeled system, its configuration, the network, and the evaluation options
+— without performing any work.  Jobs are frozen (hashable, picklable)
+values, so they can be generated in bulk by the sweep builders
+(:mod:`repro.engine.sweeps`), shipped to worker processes by the executor
+(:mod:`repro.engine.executor`), and keyed into the persistent cache
+(:mod:`repro.engine.cache`).
+
+The cache key is a SHA-256 content hash over the job's canonical dict
+form, which embeds the raw configuration (scenario parameters price the
+energy table) *and* the derived architecture (via
+:func:`repro.arch.spec.architecture_to_dict`): any change to either —
+a scenario parameter, a buffer size, a fanout — produces a new key, so
+a cache entry can never be served for a job that would evaluate
+differently.  Presentation metadata (``label``, ``tags``) is
+deliberately excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.engine.codec import config_to_dict, content_hash, network_to_dict
+from repro.exceptions import SpecError
+from repro.workloads.network import Network
+
+#: Registry of evaluatable systems.  Each entry maps the job's ``system``
+#: tag to lazily imported (config type, system type, architecture builder,
+#: supports the engine's store seam) — lazy so importing the engine never
+#: drags in (or cycles with) :mod:`repro.systems`.  Must stay in sync
+#: with :func:`system_registry`'s keys (validated without importing
+#: :mod:`repro.systems`, so it is a separate literal).
+_SYSTEM_TAGS = ("albireo", "crossbar")
+
+
+def system_registry() -> Dict[str, Dict[str, Any]]:
+    """The supported systems, resolved on first use.
+
+    ``supports_store`` marks systems whose constructor accepts the engine's
+    mapper/layer store (see :class:`repro.engine.cache.SystemStore`);
+    others still get whole-job result caching.
+    """
+    from repro.systems.albireo import (
+        AlbireoConfig,
+        AlbireoSystem,
+        build_albireo_architecture,
+    )
+    from repro.systems.crossbar import (
+        CrossbarConfig,
+        CrossbarSystem,
+        build_crossbar_architecture,
+    )
+
+    return {
+        "albireo": {
+            "config_type": AlbireoConfig,
+            "system_type": AlbireoSystem,
+            "build_architecture": build_albireo_architecture,
+            "supports_store": True,
+        },
+        "crossbar": {
+            "config_type": CrossbarConfig,
+            "system_type": CrossbarSystem,
+            "build_architecture": build_crossbar_architecture,
+            "supports_store": False,
+        },
+    }
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """One network evaluation, fully specified and inert.
+
+    ``label`` and ``tags`` carry sweep metadata (axis coordinates, variant
+    names) for reassembling results into figure points; they do not affect
+    the job's identity or cache key.
+    """
+
+    network: Network
+    config: Any
+    system: str = "albireo"
+    fused: bool = False
+    use_mapper: bool = False
+    #: False reproduces the accelerator-only views (paper Figs. 2 and 5):
+    #: DRAM energy entries are stripped from the result.
+    include_dram: bool = True
+    label: str = field(default="", compare=False)
+    tags: Tuple[Tuple[str, Any], ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.system not in _SYSTEM_TAGS:
+            raise SpecError(
+                f"unknown system {self.system!r}; "
+                f"options: {sorted(_SYSTEM_TAGS)}")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The job's canonical, JSON-compatible identity dict."""
+        registry = system_registry()[self.system]
+        from repro.arch.spec import architecture_to_dict
+
+        return {
+            "kind": "network-evaluation",
+            "system": self.system,
+            "config": config_to_dict(self.config),
+            "architecture": architecture_to_dict(
+                registry["build_architecture"](self.config)),
+            "network": network_to_dict(self.network),
+            "options": {
+                "fused": self.fused,
+                "use_mapper": self.use_mapper,
+                "include_dram": self.include_dram,
+            },
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content-hash cache key (identical across processes)."""
+        return content_hash(self.to_dict())
+
+    # ------------------------------------------------------------------
+    # Metadata access
+    # ------------------------------------------------------------------
+    @property
+    def tags_dict(self) -> Dict[str, Any]:
+        return dict(self.tags)
+
+    def tag(self, name: str, default: Any = None) -> Any:
+        return self.tags_dict.get(name, default)
+
+    def describe(self) -> str:
+        options = []
+        if self.fused:
+            options.append("fused")
+        if self.use_mapper:
+            options.append("mapper")
+        if not self.include_dram:
+            options.append("no-dram")
+        suffix = f" [{','.join(options)}]" if options else ""
+        body = self.label or (f"{self.system}:{self.network.name}")
+        return body + suffix
+
+
+def make_job(network: Network, config: Any, **options: Any) -> EvaluationJob:
+    """Build a job, inferring ``system`` from the config's type."""
+    if "system" not in options:
+        system = next(
+            (tag for tag, entry in system_registry().items()
+             if isinstance(config, entry["config_type"])),
+            None,
+        )
+        if system is None:
+            raise SpecError(
+                f"cannot infer system for config type "
+                f"{type(config).__name__}; pass system= explicitly")
+        options["system"] = system
+    tags = options.pop("tags", ())
+    if isinstance(tags, dict):
+        tags = tuple(tags.items())
+    return EvaluationJob(network=network, config=config, tags=tags,
+                         **options)

@@ -130,6 +130,8 @@ def run(
     batch_sizes: Sequence[int] = (1, 8),
     config: Optional[AlbireoConfig] = None,
     use_mapper: bool = False,
+    workers: int = 1,
+    cache=None,
 ) -> Fig4Result:
     network = network or resnet18()
     config = config or AlbireoConfig()
@@ -138,5 +140,7 @@ def run(
         batch_sizes=batch_sizes,
         fusion_options=(False, True),
         use_mapper=use_mapper,
+        workers=workers,
+        cache=cache,
     )
     return Fig4Result(points=tuple(points))

@@ -133,6 +133,8 @@ def run(
     input_reuse_values: Sequence[int] = FIG5_INPUT_REUSE,
     config: Optional[AlbireoConfig] = None,
     use_mapper: bool = False,
+    workers: int = 1,
+    cache=None,
 ) -> Fig5Result:
     network = network or resnet18()
     config = (config or AlbireoConfig()).with_scenario(scenario)
@@ -143,5 +145,7 @@ def run(
         weight_lane_variants=FIG5_VARIANTS,
         include_dram=False,
         use_mapper=use_mapper,
+        workers=workers,
+        cache=cache,
     )
     return Fig5Result(points=tuple(points))

@@ -48,11 +48,18 @@ class AllResults:
             + "\n\n" + "\n".join(sections[4:])
 
 
-def run_all(use_mapper: bool = False) -> AllResults:
-    """Run the paper's full evaluation (a few seconds)."""
+def run_all(use_mapper: bool = False, workers: int = 1,
+            cache=None) -> AllResults:
+    """Run the paper's full evaluation (a few seconds).
+
+    ``workers``/``cache`` parallelize and memoize the sweep-shaped
+    experiments (Figs. 4 and 5) through the engine.
+    """
     return AllResults(
         fig2=fig2_validation.run(),
         fig3=fig3_throughput.run(use_mapper=use_mapper),
-        fig4=fig4_memory.run(use_mapper=use_mapper),
-        fig5=fig5_reuse.run(use_mapper=use_mapper),
+        fig4=fig4_memory.run(use_mapper=use_mapper, workers=workers,
+                             cache=cache),
+        fig5=fig5_reuse.run(use_mapper=use_mapper, workers=workers,
+                            cache=cache),
     )

@@ -4,7 +4,8 @@
   accelerator (Shiflett et al., ISCA 2021), the system the paper models and
   explores.
 * :mod:`~repro.systems.dse` — design-space exploration drivers sweeping
-  Albireo's reuse factors and memory-system options (the paper's Figs. 4-5).
+  Albireo's reuse factors and memory-system options (the paper's Figs. 4-5),
+  executed through the parallel/cached sweep engine (:mod:`repro.engine`).
 """
 
 from repro.systems.albireo import (

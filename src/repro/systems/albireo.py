@@ -671,10 +671,18 @@ class AlbireoSystem:
         system = AlbireoSystem(AlbireoConfig(scenario=AGGRESSIVE))
         result = system.evaluate_layer(layer)
         print(result.energy.describe(SYSTEM_BUCKETS))
+
+    ``store`` is an optional persistence seam used by the sweep engine
+    (duck-typed; see :class:`repro.engine.cache.SystemStore`): when given,
+    mapper searches and default-mapping layer evaluations are looked up
+    from / saved to it, so repeat evaluations of the same (config, layer)
+    pair — across jobs, processes, or sessions — skip the expensive work.
     """
 
-    def __init__(self, config: Optional[AlbireoConfig] = None) -> None:
+    def __init__(self, config: Optional[AlbireoConfig] = None,
+                 store: Optional[object] = None) -> None:
         self.config = config or AlbireoConfig()
+        self.store = store
         self.architecture = build_albireo_architecture(self.config)
         self.energy_table = build_albireo_energy_table(self.config)
         self.model = AcceleratorModel(self.architecture, self.energy_table)
@@ -722,15 +730,24 @@ class AlbireoSystem:
         """Mapper search (on the executed workload), seeded with the
         reference mapping."""
         target = self.analysis_layer(layer)
+        store_key = ("mapper", _layer_shape_key(target),
+                     max_evaluations, seed)
+        if self.store is not None:
+            cached = self.store.load_mapper_result(store_key)
+            if cached is not None:
+                return cached
         mapper = Mapper(
             self.architecture,
             cost_fn=self.model.energy_cost_fn(target),
             constraints=albireo_constraints(self.config, target),
         )
-        return mapper.search(
+        result = mapper.search(
             target, max_evaluations=max_evaluations, seed=seed,
             extra_candidates=(self.reference_mapping(layer),),
         )
+        if self.store is not None:
+            self.store.save_mapper_result(store_key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -744,16 +761,30 @@ class AlbireoSystem:
         output_to_dram: bool = True,
     ) -> LayerEvaluation:
         target = self.analysis_layer(layer)
+        store_key = None
+        if self.store is not None and mapping is None:
+            # Only the default-mapping path is cacheable: the key names the
+            # layer (shape and name, so cached results reconstruct exactly)
+            # and every flag that changes the result.
+            store_key = ("layer", layer.name, _layer_shape_key(layer),
+                         bool(use_mapper), bool(input_from_dram),
+                         bool(output_to_dram))
+            cached = self.store.load_layer(store_key)
+            if cached is not None:
+                return cached
         if mapping is None:
             if use_mapper:
                 mapping = self.search_mapping(layer).mapping
             else:
                 mapping = self.reference_mapping(layer)
-        return self.model.evaluate_layer(
+        evaluation = self.model.evaluate_layer(
             layer, mapping,
             input_from_dram=input_from_dram, output_to_dram=output_to_dram,
             analysis_layer=(target if target is not layer else None),
         )
+        if store_key is not None:
+            self.store.save_layer(store_key, evaluation)
+        return evaluation
 
     def evaluate_network(
         self,

@@ -3,17 +3,41 @@
 These functions sweep Albireo configurations and return structured points;
 the experiment modules format them into the paper's figures and the
 benchmarks regenerate them.
+
+Since the sweep-engine refactor they are thin shells: the grids are built
+as declarative job lists by :mod:`repro.engine.sweeps` and executed by
+:func:`repro.engine.executor.run_jobs`, so every sweep gains ``workers``
+(process-pool parallelism) and ``cache`` (persistent memoization of
+mapper results and evaluations) for free while returning exactly the same
+points as the original serial loops.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
+from repro.engine.executor import CacheLike, run_jobs
+from repro.engine.sweeps import (
+    config_sweep_jobs,
+    memory_sweep_jobs,
+    next_power_of_two_kib,
+    pareto_frontier,
+    reuse_sweep_jobs,
+)
 from repro.energy.scaling import ScalingScenario
 from repro.model.results import NetworkEvaluation
-from repro.systems.albireo import AlbireoConfig, AlbireoSystem
+from repro.systems.albireo import AlbireoConfig
 from repro.workloads.network import Network
+
+__all__ = [
+    "MemoryExplorationPoint",
+    "ReuseExplorationPoint",
+    "pareto_frontier",
+    "sweep_configurations",
+    "sweep_memory_options",
+    "sweep_reuse_factors",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +65,8 @@ def sweep_reuse_factors(
     ),
     include_dram: bool = False,
     use_mapper: bool = False,
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> List[ReuseExplorationPoint]:
     """Evaluate ``network`` across the paper's Fig. 5 reuse grid.
 
@@ -50,32 +76,25 @@ def sweep_reuse_factors(
     budget, not larger chips.  ``include_dram=False`` reproduces the
     figure's accelerator-energy view.
     """
-    base_parallelism = base_config.peak_macs_per_cycle
-    points: List[ReuseExplorationPoint] = []
-    for variant_name, weight_lanes in weight_lane_variants:
-        for input_reuse in input_reuse_values:
-            for output_reuse in output_reuse_values:
-                lane_scale = (input_reuse // base_config.star_ports) \
-                    * weight_lanes
-                clusters = max(1, base_config.clusters // lane_scale)
-                config = replace(
-                    base_config,
-                    star_ports=input_reuse,
-                    output_reuse=output_reuse,
-                    weight_lanes=weight_lanes,
-                    clusters=clusters,
-                )
-                system = AlbireoSystem(config)
-                evaluation = _evaluate(system, network, use_mapper,
-                                       include_dram)
-                points.append(ReuseExplorationPoint(
-                    output_reuse=output_reuse,
-                    input_reuse=input_reuse,
-                    weight_lanes=weight_lanes,
-                    variant=variant_name,
-                    evaluation=evaluation,
-                ))
-    return points
+    jobs = reuse_sweep_jobs(
+        network, base_config,
+        output_reuse_values=output_reuse_values,
+        input_reuse_values=input_reuse_values,
+        weight_lane_variants=weight_lane_variants,
+        include_dram=include_dram,
+        use_mapper=use_mapper,
+    )
+    evaluations = run_jobs(jobs, workers=workers, cache=cache)
+    return [
+        ReuseExplorationPoint(
+            output_reuse=job.tag("output_reuse"),
+            input_reuse=job.tag("input_reuse"),
+            weight_lanes=job.tag("weight_lanes"),
+            variant=job.tag("variant"),
+            evaluation=evaluation,
+        )
+        for job, evaluation in zip(jobs, evaluations)
+    ]
 
 
 @dataclass(frozen=True)
@@ -106,6 +125,8 @@ def sweep_memory_options(
     fusion_options: Sequence[bool] = (False, True),
     fused_buffer_kib: Optional[int] = None,
     use_mapper: bool = False,
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> List[MemoryExplorationPoint]:
     """Evaluate ``network`` across the paper's Fig. 4 memory-system grid.
 
@@ -116,127 +137,39 @@ def sweep_memory_options(
     higher per-access energy of the larger SRAM — the trade-off the paper
     calls out.
     """
-    points: List[MemoryExplorationPoint] = []
-    for scenario in scenarios:
-        for fused in fusion_options:
-            for batch in batch_sizes:
-                batched_network = (network.with_batch(batch)
-                                   if batch > 1 else network)
-                config = base_config.with_scenario(scenario)
-                if fused:
-                    required_kib = fused_buffer_kib
-                    if required_kib is None:
-                        required_bits = batched_network.max_activation_bits \
-                            * 1.25  # weight-tile headroom
-                        required_kib = _next_power_of_two_kib(required_bits)
-                    buffer_kib = max(config.global_buffer_kib, required_kib)
-                    # Larger fused buffers keep their bank size constant
-                    # (more banks), paying the H-tree growth term of the
-                    # SRAM model rather than quadratically longer bitlines.
-                    bank_kib = (config.global_buffer_kib
-                                // config.global_buffer_banks)
-                    config = replace(
-                        config,
-                        global_buffer_kib=buffer_kib,
-                        global_buffer_banks=max(config.global_buffer_banks,
-                                                buffer_kib // bank_kib),
-                    )
-                system = AlbireoSystem(config)
-                evaluation = system.evaluate_network(
-                    batched_network, fused=fused, use_mapper=use_mapper)
-                points.append(MemoryExplorationPoint(
-                    scenario=scenario, batch=batch, fused=fused,
-                    evaluation=evaluation,
-                ))
-    return points
-
-
-def _evaluate(system: AlbireoSystem, network: Network, use_mapper: bool,
-              include_dram: bool) -> NetworkEvaluation:
-    evaluation = system.evaluate_network(network, use_mapper=use_mapper)
-    if include_dram:
-        return evaluation
-    return _without_dram(evaluation)
-
-
-def _without_dram(evaluation: NetworkEvaluation) -> NetworkEvaluation:
-    """Drop DRAM entries (the accelerator-only view of Figs. 2 and 5)."""
-    from repro.model.results import EnergyBreakdown, LayerEvaluation
-
-    stripped = []
-    for layer_eval, count in evaluation.layers:
-        entries = {
-            key: value
-            for key, value in layer_eval.energy.entries().items()
-            if key[0] != "DRAM"
-        }
-        stripped.append((
-            LayerEvaluation(
-                layer=layer_eval.layer,
-                energy=EnergyBreakdown(entries),
-                cycles=layer_eval.cycles,
-                real_macs=layer_eval.real_macs,
-                padded_macs=layer_eval.padded_macs,
-                peak_parallelism=layer_eval.peak_parallelism,
-                clock_ghz=layer_eval.clock_ghz,
-                occupancy_bits=layer_eval.occupancy_bits,
-            ),
-            count,
-        ))
-    return NetworkEvaluation(
-        name=evaluation.name,
-        layers=tuple(stripped),
-        clock_ghz=evaluation.clock_ghz,
-        peak_parallelism=evaluation.peak_parallelism,
+    jobs = memory_sweep_jobs(
+        network, base_config, scenarios,
+        batch_sizes=batch_sizes,
+        fusion_options=fusion_options,
+        fused_buffer_kib=fused_buffer_kib,
+        use_mapper=use_mapper,
     )
-
-
-def pareto_frontier(points, objectives):
-    """Return the Pareto-optimal subset of ``points``.
-
-    ``objectives`` maps each point to a tuple of costs (all minimized).
-    A point survives if no other point is at least as good on every
-    objective and strictly better on one.  Used by energy-vs-latency
-    configuration sweeps.
-
-    >>> pareto_frontier([(1, 5), (2, 2), (3, 3)], lambda p: p)
-    [(1, 5), (2, 2)]
-    """
-    points = list(points)
-    costs = [tuple(objectives(point)) for point in points]
-    frontier = []
-    for i, point in enumerate(points):
-        dominated = False
-        for j, other in enumerate(costs):
-            if j == i:
-                continue
-            if all(o <= c for o, c in zip(other, costs[i])) \
-                    and any(o < c for o, c in zip(other, costs[i])):
-                dominated = True
-                break
-        if not dominated:
-            frontier.append(point)
-    return frontier
+    evaluations = run_jobs(jobs, workers=workers, cache=cache)
+    return [
+        MemoryExplorationPoint(
+            scenario=job.config.scenario,
+            batch=job.tag("batch"),
+            fused=job.tag("fused"),
+            evaluation=evaluation,
+        )
+        for job, evaluation in zip(jobs, evaluations)
+    ]
 
 
 def sweep_configurations(
     network: Network,
     configs: Sequence[AlbireoConfig],
     use_mapper: bool = False,
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> List[Tuple[AlbireoConfig, NetworkEvaluation]]:
     """Evaluate ``network`` on every configuration (generic DSE driver)."""
-    results = []
-    for config in configs:
-        system = AlbireoSystem(config)
-        results.append((config,
-                        system.evaluate_network(network,
-                                                use_mapper=use_mapper)))
-    return results
+    jobs = config_sweep_jobs(network, configs, use_mapper=use_mapper)
+    evaluations = run_jobs(jobs, workers=workers, cache=cache)
+    return list(zip(configs, evaluations))
 
 
 def _next_power_of_two_kib(bits: float) -> int:
-    kib = max(1, int(bits / 8192))
-    power = 1
-    while power < kib:
-        power *= 2
-    return power
+    """Backward-compatible alias for
+    :func:`repro.engine.sweeps.next_power_of_two_kib`."""
+    return next_power_of_two_kib(bits)

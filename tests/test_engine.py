@@ -1,0 +1,340 @@
+"""Tests for the parallel sweep engine (jobs, cache, executor, sweeps)."""
+
+import json
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import (
+    EvaluationCache,
+    config_sweep_jobs,
+    make_job,
+    memory_sweep_jobs,
+    parameter_grid,
+    pareto_frontier,
+    reuse_sweep_jobs,
+    run_job,
+    run_jobs,
+)
+from repro.engine.codec import (
+    content_hash,
+    network_evaluation_from_dict,
+    network_evaluation_to_dict,
+    network_from_dict,
+    network_to_dict,
+)
+from repro.systems import AlbireoConfig, AlbireoSystem
+from repro.workloads import tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    return tiny_cnn()
+
+
+def _small_configs(count=4):
+    return [replace(AlbireoConfig(), clusters=clusters,
+                    output_reuse=output_reuse)
+            for clusters in (4, 8)
+            for output_reuse in (3, 9)][:count]
+
+
+def _evaluations_identical(a, b):
+    """Bit-exact equality of two network evaluations."""
+    if (a.name != b.name or a.clock_ghz != b.clock_ghz
+            or a.peak_parallelism != b.peak_parallelism
+            or len(a.layers) != len(b.layers)):
+        return False
+    for (eval_a, count_a), (eval_b, count_b) in zip(a.layers, b.layers):
+        if count_a != count_b or eval_a.cycles != eval_b.cycles:
+            return False
+        if eval_a.energy.entries() != eval_b.energy.entries():
+            return False
+    return True
+
+
+class TestJobs:
+    def test_key_is_deterministic(self, small_network):
+        job_a = make_job(small_network, AlbireoConfig())
+        job_b = make_job(small_network, AlbireoConfig())
+        assert job_a.key == job_b.key
+
+    def test_key_ignores_presentation_metadata(self, small_network):
+        plain = make_job(small_network, AlbireoConfig())
+        tagged = make_job(small_network, AlbireoConfig(),
+                          label="point 3", tags={"clusters": 16})
+        assert plain.key == tagged.key
+
+    def test_key_tracks_config_changes(self, small_network):
+        base = make_job(small_network, AlbireoConfig())
+        bigger = make_job(small_network, AlbireoConfig(clusters=32))
+        assert base.key != bigger.key
+
+    def test_key_tracks_options(self, small_network):
+        base = make_job(small_network, AlbireoConfig())
+        fused = make_job(small_network, AlbireoConfig(), fused=True)
+        mapped = make_job(small_network, AlbireoConfig(), use_mapper=True)
+        assert len({base.key, fused.key, mapped.key}) == 3
+
+    def test_key_stable_across_processes(self, small_network):
+        """The content hash must not depend on PYTHONHASHSEED."""
+        job = make_job(small_network, AlbireoConfig())
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.engine import make_job\n"
+            "from repro.systems import AlbireoConfig\n"
+            "from repro.workloads import tiny_cnn\n"
+            "print(make_job(tiny_cnn(), AlbireoConfig()).key)\n"
+        )
+        keys = set()
+        for seed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, timeout=120,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+            )
+            assert result.returncode == 0, result.stderr[-2000:]
+            keys.add(result.stdout.strip())
+        keys.add(job.key)
+        assert len(keys) == 1
+
+    def test_unknown_system_rejected(self, small_network):
+        from repro.exceptions import SpecError
+
+        with pytest.raises(SpecError):
+            make_job(small_network, AlbireoConfig(), system="tpu")
+
+    def test_system_tags_match_registry(self):
+        from repro.engine.jobs import _SYSTEM_TAGS, system_registry
+
+        assert set(_SYSTEM_TAGS) == set(system_registry())
+
+    def test_make_job_infers_crossbar(self, small_network):
+        from repro.systems import CrossbarConfig
+
+        assert make_job(small_network, CrossbarConfig()).system == "crossbar"
+
+    def test_make_job_rejects_foreign_config(self, small_network):
+        from repro.energy import CONSERVATIVE
+        from repro.exceptions import SpecError
+
+        with pytest.raises(SpecError, match="cannot infer system"):
+            make_job(small_network, CONSERVATIVE)
+
+
+class TestCodec:
+    def test_network_round_trip(self, small_network):
+        spec = network_to_dict(small_network)
+        rebuilt = network_from_dict(json.loads(json.dumps(spec)))
+        assert network_to_dict(rebuilt) == spec
+
+    def test_evaluation_round_trip_is_exact(self, small_network):
+        evaluation = AlbireoSystem(AlbireoConfig()).evaluate_network(
+            small_network)
+        spec = network_evaluation_to_dict(evaluation)
+        rebuilt = network_evaluation_from_dict(json.loads(json.dumps(spec)))
+        assert _evaluations_identical(evaluation, rebuilt)
+        assert rebuilt.energy_pj == evaluation.energy_pj
+
+    def test_content_hash_order_independent(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash(
+            {"b": 2, "a": 1})
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+class TestCache:
+    def test_round_trip_save_reload_hit(self, small_network, tmp_path):
+        jobs = config_sweep_jobs(small_network, _small_configs(2))
+        cache = EvaluationCache(str(tmp_path))
+        cold = run_jobs(jobs, cache=cache)
+        assert cache.stats["results"].hits == 0
+        assert (tmp_path / "cache.json").exists()
+
+        reloaded = EvaluationCache(str(tmp_path))
+        warm = run_jobs(jobs, cache=reloaded)
+        assert reloaded.stats["results"].hits == len(jobs)
+        assert reloaded.stats["results"].misses == 0
+        for a, b in zip(cold, warm):
+            assert _evaluations_identical(a, b)
+
+    def test_mapper_results_cached(self, small_network, tmp_path):
+        job = make_job(small_network, AlbireoConfig(), use_mapper=True)
+        cache = EvaluationCache(str(tmp_path))
+        run_job(job, cache)
+        assert cache.size("mappings") > 0
+        mapper_misses = cache.stats["mappings"].misses
+
+        # Same config, different option: new job, but mapper entries hit.
+        sibling = make_job(small_network, AlbireoConfig(), use_mapper=True,
+                           fused=True)
+        run_job(sibling, cache)
+        assert cache.stats["mappings"].hits > 0
+        assert cache.stats["mappings"].misses == mapper_misses
+
+    def test_corrupt_or_foreign_image_starts_fresh(self, tmp_path):
+        (tmp_path / "cache.json").write_text(
+            json.dumps({"version": 999, "entries": {"results": {"x": 1}}}))
+        cache = EvaluationCache(str(tmp_path))
+        assert len(cache) == 0
+
+    def test_truncated_image_starts_fresh(self, tmp_path):
+        (tmp_path / "cache.json").write_text('{"version": 1, "entries": {TR')
+        cache = EvaluationCache(str(tmp_path))
+        assert len(cache) == 0
+
+    def test_in_memory_cache_needs_no_disk(self, small_network):
+        cache = EvaluationCache()
+        job = make_job(small_network, AlbireoConfig())
+        run_job(job, cache)
+        run_job(job, cache)
+        assert cache.stats["results"].hits == 1
+        assert cache.save() is None
+
+    def test_atomic_save_leaves_single_image(self, small_network, tmp_path):
+        cache = EvaluationCache(str(tmp_path))
+        run_job(make_job(small_network, AlbireoConfig()), cache)
+        cache.save()
+        cache.save()
+        files = list(tmp_path.iterdir())
+        assert [f.name for f in files] == ["cache.json"]
+
+    def test_clean_run_skips_disk_rewrite(self, small_network, tmp_path):
+        jobs = config_sweep_jobs(small_network, _small_configs(2))
+        run_jobs(jobs, cache=EvaluationCache(str(tmp_path)))
+        image = tmp_path / "cache.json"
+        before = image.stat().st_mtime_ns
+
+        warm = EvaluationCache(str(tmp_path))
+        run_jobs(jobs, cache=warm)  # 100% hits: nothing new to persist
+        assert not warm.dirty
+        assert image.stat().st_mtime_ns == before
+
+
+class TestExecutor:
+    def test_parallel_equals_serial(self, small_network):
+        """workers=4 must return the same ordering and identical numbers."""
+        jobs = reuse_sweep_jobs(
+            small_network, AlbireoConfig(),
+            output_reuse_values=(3, 9), input_reuse_values=(9, 27),
+            weight_lane_variants=(("Original", 1),),
+        )
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=4)
+        assert len(serial) == len(parallel) == len(jobs)
+        for a, b in zip(serial, parallel):
+            assert _evaluations_identical(a, b)
+            assert a.energy_pj == b.energy_pj
+
+    def test_parallel_merges_worker_cache_entries(self, small_network,
+                                                  tmp_path):
+        jobs = config_sweep_jobs(small_network, _small_configs(3))
+        cache = EvaluationCache(str(tmp_path))
+        run_jobs(jobs, workers=2, cache=cache)
+        assert cache.size("results") == len(jobs)
+        assert cache.size("layers") > 0
+
+        warm = EvaluationCache(str(tmp_path))
+        run_jobs(jobs, workers=2, cache=warm)
+        assert warm.stats["results"].hits == len(jobs)
+
+    def test_order_preserved_with_cache_hits_interleaved(self,
+                                                         small_network):
+        jobs = config_sweep_jobs(small_network, _small_configs(4))
+        cache = EvaluationCache()
+        # Pre-warm only the middle jobs so hits and misses interleave.
+        run_jobs(jobs[1:3], cache=cache)
+        mixed = run_jobs(jobs, cache=cache)
+        uncached = run_jobs(jobs)
+        for a, b in zip(mixed, uncached):
+            assert _evaluations_identical(a, b)
+
+    def test_progress_reports_every_job(self, small_network):
+        jobs = config_sweep_jobs(small_network, _small_configs(3))
+        seen = []
+        run_jobs(jobs, progress=lambda done, total, job: seen.append(
+            (done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_include_dram_false_strips_dram(self, small_network):
+        job = make_job(small_network, AlbireoConfig(), include_dram=False)
+        evaluation = run_job(job)
+        entries = evaluation.total_energy.entries()
+        assert entries
+        assert all(component != "DRAM" for component, _ in entries)
+
+
+class TestSweepBuilders:
+    def test_parameter_grid_order(self):
+        grid = parameter_grid(a=(1, 2), b=("x", "y"))
+        assert grid == [{"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+                        {"a": 2, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_memory_sweep_sizes_fused_buffer(self, small_network):
+        from repro.energy import AGGRESSIVE
+
+        jobs = memory_sweep_jobs(small_network, AlbireoConfig(),
+                                 scenarios=(AGGRESSIVE,), batch_sizes=(1,))
+        by_fused = {job.tag("fused"): job for job in jobs}
+        assert set(by_fused) == {False, True}
+        assert (by_fused[True].config.global_buffer_kib
+                >= by_fused[False].config.global_buffer_kib)
+
+    def test_reuse_jobs_match_dse_points(self, small_network):
+        """The engine path returns the same grid the legacy loop produced."""
+        from repro.systems import sweep_reuse_factors
+
+        points = sweep_reuse_factors(
+            small_network, AlbireoConfig(),
+            output_reuse_values=(3, 9), input_reuse_values=(9,),
+            weight_lane_variants=(("Original", 1),),
+        )
+        combos = [(p.output_reuse, p.input_reuse, p.variant) for p in points]
+        assert combos == [(3, 9, "Original"), (9, 9, "Original")]
+
+
+class TestParetoFrontier:
+    def test_matches_brute_force_2d(self):
+        import random
+
+        rng = random.Random(7)
+        points = [(rng.randrange(20), rng.randrange(20)) for _ in range(200)]
+        assert pareto_frontier(points, lambda p: p) \
+            == _brute_force(points, lambda p: p)
+
+    def test_matches_brute_force_3d(self):
+        import random
+
+        rng = random.Random(11)
+        points = [tuple(rng.randrange(8) for _ in range(3))
+                  for _ in range(120)]
+        assert pareto_frontier(points, lambda p: p) \
+            == _brute_force(points, lambda p: p)
+
+    def test_duplicates_all_survive(self):
+        points = [(1, 1), (2, 0), (1, 1), (0, 2)]
+        frontier = pareto_frontier(points, lambda p: p)
+        assert frontier == points
+
+    def test_input_order_preserved(self):
+        points = [(3, 1), (1, 3), (2, 2)]
+        assert pareto_frontier(points, lambda p: p) == points
+
+    def test_mismatched_objective_width_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([(1, 2), (1,)], lambda p: p)
+
+
+def _brute_force(points, objectives):
+    costs = [tuple(objectives(p)) for p in points]
+    keep = []
+    for i, point in enumerate(points):
+        dominated = any(
+            all(o <= c for o, c in zip(other, costs[i]))
+            and any(o < c for o, c in zip(other, costs[i]))
+            for j, other in enumerate(costs) if j != i)
+        if not dominated:
+            keep.append(point)
+    return keep

@@ -123,3 +123,16 @@ class TestHelpers:
         assert _next_power_of_two_kib(8192 * 100) == 128
         assert _next_power_of_two_kib(8192) == 1
         assert _next_power_of_two_kib(0) == 1
+
+    def test_next_power_of_two_rounds_up_at_boundaries(self):
+        """Regression: footprints just above a KiB boundary must round UP.
+
+        The original ``int(bits / 8192)`` floored, so a fused-buffer
+        footprint of e.g. 1 KiB + 1 bit sized a 1 KiB buffer that could
+        not hold the resident tensors.
+        """
+        assert _next_power_of_two_kib(8193) == 2
+        assert _next_power_of_two_kib(2 * 8192 + 1) == 4
+        assert _next_power_of_two_kib(4 * 8192 + 1) == 8
+        # Just below a boundary still fits in the boundary's power.
+        assert _next_power_of_two_kib(2 * 8192 - 1) == 2
