@@ -7,9 +7,10 @@ and full mapper-search latency on a representative ResNet18 layer.
 
 from conftest import publish
 
-from repro.mapping.analysis import analyze
+from repro.mapping.analysis import SearchContext, analyze
 from repro.report import format_table
 from repro.systems import AlbireoConfig, AlbireoSystem
+from repro.systems.albireo import albireo_mapping_candidates
 from repro.workloads import ConvLayer
 
 LAYER = ConvLayer(name="resnet-conv", m=128, c=128, p=28, q=28, r=3, s=3)
@@ -26,6 +27,20 @@ def test_single_mapping_analysis(benchmark):
     assert counts.padded_macs >= LAYER.macs
     benchmark.extra_info["evaluations_per_second_hint"] = \
         "see ops/sec column"
+
+
+def test_analysis_shared_context_across_mappings(benchmark):
+    """The reference-mapping pricing pattern: many mappings, one context."""
+    system = AlbireoSystem(AlbireoConfig())
+    mappings = albireo_mapping_candidates(system.config, LAYER)
+    context = SearchContext.for_layer(system.architecture, LAYER)
+
+    def run():
+        return [analyze(system.architecture, LAYER, mapping,
+                        context=context) for mapping in mappings]
+
+    results = benchmark(run)
+    assert len(results) == len(mappings)
 
 
 def test_layer_evaluation_with_pricing(benchmark):
@@ -51,6 +66,8 @@ def test_mapper_search_200_candidates(benchmark):
         [
             ("candidates evaluated", result.evaluated),
             ("valid mappings", result.valid),
+            ("duplicates skipped", result.deduplicated),
+            ("pruned early", result.pruned_early),
             ("best energy (pJ)", f"{result.cost:.1f}"),
         ],
     ))

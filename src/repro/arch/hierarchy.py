@@ -253,18 +253,31 @@ class Architecture:
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
+    # The node-kind views below are cached on first use: architectures are
+    # immutable and the mapping hot path reads them once per candidate.
+    # The cached lists are shared — callers must treat them as read-only.
+    def _cached(self, attribute: str, build) -> list:
+        cached = self.__dict__.get(attribute)
+        if cached is None:
+            cached = build()
+            object.__setattr__(self, attribute, cached)
+        return cached
+
     @property
     def storage_levels(self) -> List[StorageLevel]:
         """Storage levels in outer-to-inner order."""
-        return [n for n in self.nodes if isinstance(n, StorageLevel)]
+        return self._cached("_storage_levels", lambda: [
+            n for n in self.nodes if isinstance(n, StorageLevel)])
 
     @property
     def fanouts(self) -> List[SpatialFanout]:
-        return [n for n in self.nodes if isinstance(n, SpatialFanout)]
+        return self._cached("_fanouts", lambda: [
+            n for n in self.nodes if isinstance(n, SpatialFanout)])
 
     @property
     def converters(self) -> List[ConverterStage]:
-        return [n for n in self.nodes if isinstance(n, ConverterStage)]
+        return self._cached("_converters", lambda: [
+            n for n in self.nodes if isinstance(n, ConverterStage)])
 
     @property
     def compute(self) -> ComputeLevel:
@@ -285,16 +298,16 @@ class Architecture:
         return 1.0 / self.clock_ghz
 
     def node_named(self, name: str) -> Node:
-        for node in self.nodes:
-            if node.name == name:
-                return node
-        raise SpecError(f"architecture {self.name!r} has no node named {name!r}")
+        return self.nodes[self.index_of(name)]
 
     def index_of(self, name: str) -> int:
-        for index, node in enumerate(self.nodes):
-            if node.name == name:
-                return index
-        raise SpecError(f"architecture {self.name!r} has no node named {name!r}")
+        index = self._cached("_name_index", lambda: {
+            node.name: position
+            for position, node in enumerate(self.nodes)}).get(name)
+        if index is None:
+            raise SpecError(
+                f"architecture {self.name!r} has no node named {name!r}")
+        return index
 
     def replace_node(self, name: str, replacement: Node) -> "Architecture":
         """Return a copy with the node called ``name`` swapped out."""

@@ -125,6 +125,8 @@ def _run_sweep(args) -> str:
                     ))
     jobs = config_sweep_jobs(network, configs, use_mapper=args.mapper)
     cache = EvaluationCache(args.cache) if args.cache else None
+    mapper_stats_before = (cache.mapper_search_stats()
+                           if cache is not None else None)
 
     def progress(finished: int, total: int, job) -> None:
         print(f"\r  [{finished}/{total}] {job.describe():<60s}",
@@ -167,6 +169,20 @@ def _run_sweep(args) -> str:
     ]
     if cache is not None:
         lines.append(cache.describe_stats())
+        # Report only this run's fresh searches: entries already in the
+        # cache before the run (warm hits, prior runs) are subtracted out.
+        mapper_stats = {
+            counter: count - mapper_stats_before[counter]
+            for counter, count in cache.mapper_search_stats().items()
+        }
+        if mapper_stats["searches"]:
+            lines.append(
+                f"mapper: {mapper_stats['searches']} searches, "
+                f"{mapper_stats['evaluated']} candidates evaluated "
+                f"({mapper_stats['valid']} valid), "
+                f"{mapper_stats['deduplicated']} duplicates skipped, "
+                f"{mapper_stats['pruned_early']} pruned early"
+            )
     return "\n".join(lines)
 
 

@@ -159,6 +159,23 @@ class EvaluationCache:
                  for ns in NAMESPACES if self.stats[ns].lookups]
         return "cache: " + (" | ".join(parts) if parts else "no lookups")
 
+    def mapper_search_stats(self) -> Dict[str, int]:
+        """Aggregated search-efficiency counters over cached mapper results.
+
+        Sums the ``evaluated`` / ``valid`` / ``deduplicated`` /
+        ``pruned_early`` counters of every mapper-search entry currently
+        in the cache, so sweep front-ends can surface how much work the
+        candidate dedup and early capacity rejection saved.
+        """
+        totals = {"searches": 0, "evaluated": 0, "valid": 0,
+                  "deduplicated": 0, "pruned_early": 0}
+        for entry in self._data["mappings"].values():
+            totals["searches"] += 1
+            for counter in ("evaluated", "valid", "deduplicated",
+                            "pruned_early"):
+                totals[counter] += int(entry.get(counter, 0))
+        return totals
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -237,6 +254,10 @@ class SystemStore:
             cost=float(entry["cost"]),
             evaluated=int(entry["evaluated"]),
             valid=int(entry["valid"]),
+            # Search-efficiency counters; absent in pre-overhaul cache
+            # images, which stay loadable (counters default to 0).
+            deduplicated=int(entry.get("deduplicated", 0)),
+            pruned_early=int(entry.get("pruned_early", 0)),
         )
 
     def save_mapper_result(self, key: Iterable[Any],
@@ -246,6 +267,8 @@ class SystemStore:
             "cost": result.cost,
             "evaluated": result.evaluated,
             "valid": result.valid,
+            "deduplicated": result.deduplicated,
+            "pruned_early": result.pruned_early,
         })
 
     # ------------------------------------------------------------------

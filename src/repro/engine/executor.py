@@ -91,18 +91,16 @@ def _system_key(job_dict: Dict[str, Any]) -> str:
 
 
 def _compute_job(job: EvaluationJob,
-                 cache: Optional[EvaluationCache],
-                 job_dict: Optional[Dict[str, Any]] = None,
-                 ) -> NetworkEvaluation:
+                 cache: Optional[EvaluationCache]) -> NetworkEvaluation:
     """Evaluate ``job`` (no whole-result cache lookup; sub-results cached).
 
     The identity dict (an architecture build + full serialization) is only
-    computed when a cache needs keys; uncached runs skip it entirely.
+    computed when a cache needs keys — and is memoized on the job itself —
+    so uncached runs skip it entirely and cached runs pay for it once.
     """
     registry = system_registry()[job.system]
     if cache is not None and registry["supports_store"]:
-        job_dict = job_dict or job.to_dict()
-        store = SystemStore(cache, _system_key(job_dict))
+        store = SystemStore(cache, _system_key(job.to_dict()))
         system = registry["system_type"](job.config, store=store)
     else:
         system = registry["system_type"](job.config)
@@ -111,9 +109,7 @@ def _compute_job(job: EvaluationJob,
     if not job.include_dram:
         evaluation = strip_dram(evaluation)
     if cache is not None:
-        job_dict = job_dict or job.to_dict()
-        cache.put_result(content_hash(job_dict),
-                         network_evaluation_to_dict(evaluation))
+        cache.put_result(job.key, network_evaluation_to_dict(evaluation))
     return evaluation
 
 
@@ -123,11 +119,10 @@ def run_job(job: EvaluationJob,
     cache = _as_cache(cache)
     if cache is None:
         return _compute_job(job, None)
-    job_dict = job.to_dict()
-    cached = cache.get_result(content_hash(job_dict))
+    cached = cache.get_result(job.key)
     if cached is not None:
         return network_evaluation_from_dict(cached)
-    return _compute_job(job, cache, job_dict)
+    return _compute_job(job, cache)
 
 
 # ---------------------------------------------------------------------------
@@ -196,16 +191,14 @@ def run_jobs(
     done = 0
 
     # Resolve whole-job cache hits up front (counts the hits/misses).
-    # Identity dicts are kept for the misses so the serial path below does
-    # not rebuild the architecture/serialization a second time.
+    # Job identity dicts/keys are memoized on the jobs themselves, so the
+    # serial path below never rebuilds the architecture serialization.
     misses: List[int] = []
-    job_dicts: Dict[int, Dict[str, Any]] = {}
     for index, job in enumerate(jobs):
         if cache is None:
             misses.append(index)
             continue
-        job_dicts[index] = job.to_dict()
-        cached = cache.get_result(content_hash(job_dicts[index]))
+        cached = cache.get_result(job.key)
         if cached is None:
             misses.append(index)
         else:
@@ -242,8 +235,7 @@ def run_jobs(
                         progress(done, total, jobs[index])
         else:
             for index in misses:
-                results[index] = _compute_job(jobs[index], cache,
-                                              job_dicts.get(index))
+                results[index] = _compute_job(jobs[index], cache)
                 done += 1
                 if progress is not None:
                     progress(done, total, jobs[index])

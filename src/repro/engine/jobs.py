@@ -100,11 +100,20 @@ class EvaluationJob:
     # Identity
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """The job's canonical, JSON-compatible identity dict."""
+        """The job's canonical, JSON-compatible identity dict.
+
+        Memoized per instance: building it re-derives the architecture and
+        serializes the network, and sweep runs consult a job's identity
+        several times (cache probe, store scoping, result put).  Jobs are
+        frozen, so the dict can never go stale; treat it as read-only.
+        """
+        cached = self.__dict__.get("_dict_cache")
+        if cached is not None:
+            return cached
         registry = system_registry()[self.system]
         from repro.arch.spec import architecture_to_dict
 
-        return {
+        cached = {
             "kind": "network-evaluation",
             "system": self.system,
             "config": config_to_dict(self.config),
@@ -117,11 +126,24 @@ class EvaluationJob:
                 "include_dram": self.include_dram,
             },
         }
+        object.__setattr__(self, "_dict_cache", cached)
+        return cached
 
     @property
     def key(self) -> str:
         """Stable content-hash cache key (identical across processes)."""
-        return content_hash(self.to_dict())
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = content_hash(self.to_dict())
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
+
+    def __getstate__(self):
+        # Keep worker payloads lean: identity caches re-derive on demand.
+        state = dict(self.__dict__)
+        state.pop("_dict_cache", None)
+        state.pop("_key_cache", None)
+        return state
 
     # ------------------------------------------------------------------
     # Metadata access

@@ -14,7 +14,12 @@ minimum-EDP mappings under user constraints, which is the "rapid design
 space exploration" workflow the paper demonstrates.
 """
 
-from repro.mapping.analysis import AccessCounts, NestAnalyzer, analyze
+from repro.mapping.analysis import (
+    AccessCounts,
+    NestAnalyzer,
+    SearchContext,
+    analyze,
+)
 from repro.mapping.constraints import MappingConstraints
 from repro.mapping.factorization import (
     ceil_div,
@@ -40,6 +45,7 @@ __all__ = [
     "Mapping",
     "MappingConstraints",
     "NestAnalyzer",
+    "SearchContext",
     "TemporalLoop",
     "analyze",
     "ceil_div",

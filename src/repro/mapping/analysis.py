@@ -38,6 +38,34 @@ Every element-copy crossing a converter stage's position costs one
 conversion event; multicast boundaries below a converter therefore amortize
 it, which is exactly the "convert once, reuse spatially" lever the paper's
 Fig. 5 explores.
+
+Search-context design (the mapper hot path)
+-------------------------------------------
+
+Mapping search evaluates thousands of candidates against the *same*
+(architecture, layer) pair, so everything that depends only on that pair is
+hoisted into a shared :class:`SearchContext`:
+
+* a flattened **node plan** (innermost-first) with each node's kind,
+  dataspace list, capacity, and converter wiring pre-resolved — the walk
+  never touches ``isinstance`` or frozensets;
+* **memo tables** for fill events (keyed by the loop-above signature) and
+  tile sizes (keyed by cumulative bounds), shared across every candidate of
+  a search — most candidates differ in only one or two levels, so these hit
+  constantly;
+* a **validate-once protocol**: :class:`Mapper` validates each candidate
+  exactly once and constructs the analyzer with ``validate=False``, removing
+  the duplicate :meth:`Mapping.validate` the constructor used to run;
+* a cheap **early capacity check** (:meth:`SearchContext.
+  capacity_violation`) that bounds per-level occupancy before full analysis
+  and pricing.
+
+:meth:`NestAnalyzer.analyze` itself is a single inner-to-outer pass that
+maintains the cumulative per-dimension bounds, the spatial-instance product,
+and the loops-above signature incrementally, instead of rebuilding
+``_loops_above`` (O(levels^2)) and per-node cumulative-bound dictionaries
+(O(nodes x dims)) for every tile-size query.  Results are bit-identical to
+the original formulation (see ``tests/test_analysis_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -63,6 +91,11 @@ from repro.workloads.dataspace import (
 )
 from repro.workloads.dims import ALL_DIMS, Dim
 from repro.workloads.layer import ConvLayer
+
+_DIM_INDEX: Dict[Dim, int] = {dim: index for index, dim in enumerate(ALL_DIMS)}
+_N, _M, _C, _P, _Q, _R, _S = (_DIM_INDEX[d] for d in
+                              (Dim.N, Dim.M, Dim.C, Dim.P, Dim.Q,
+                               Dim.R, Dim.S))
 
 
 @dataclass
@@ -151,13 +184,285 @@ def _fill_events(loops_above_innermost_first: Sequence[TemporalLoop],
     return events
 
 
+# ---------------------------------------------------------------------------
+# Node-plan records (plain classes with __slots__: attribute access in the
+# analysis walk is the hottest code in the whole mapper)
+# ---------------------------------------------------------------------------
+
+#: Plan-record kind tags (cheaper to branch on than isinstance in the walk).
+_KIND_STORAGE, _KIND_FANOUT, _KIND_CONVERTER = 0, 1, 2
+
+#: Per-memo entry cap inside a SearchContext.  Contexts are cached for the
+#: process lifetime, so without a bound the tile/fill/amortization memos
+#: would grow monotonically across searches; past the cap a memo simply
+#: resets (correctness is unaffected — entries are pure functions).
+_MEMO_LIMIT = 1 << 17
+
+#: flow-vector index per dataspace (ALL_DATASPACES order: W, I, O).
+_FLOW_INDEX: Dict[DataSpace, int] = {
+    ds: index for index, ds in enumerate(ALL_DATASPACES)
+}
+
+
+class _StoragePlan:
+    __slots__ = ("name", "ds_widths", "visits", "capacity_bits",
+                 "max_accumulation_depth", "outermost_for")
+
+    def __init__(self, node: StorageLevel, layer: ConvLayer,
+                 outermost: Dict[DataSpace, str]) -> None:
+        self.name = node.name
+        # list() preserves the frozenset's iteration order, keeping float
+        # accumulation order identical to iterating node.dataspaces.
+        ds_list = list(node.dataspaces)
+        self.ds_widths = [
+            (ds, layer.bits_per_weight if ds is DataSpace.WEIGHTS
+             else layer.bits_per_activation)
+            for ds in ds_list
+        ]
+        self.capacity_bits = node.capacity_bits
+        self.max_accumulation_depth = node.max_accumulation_depth
+        self.outermost_for = frozenset(
+            ds for ds in ds_list if outermost[ds] == node.name)
+        #: (dataspace, flow index, is outputs, is outermost) per dataspace.
+        self.visits = [
+            (ds, _FLOW_INDEX[ds], ds is DataSpace.OUTPUTS,
+             ds in self.outermost_for)
+            for ds in ds_list
+        ]
+
+
+class _FanoutPlan:
+    __slots__ = ("name", "multicast", "reduction", "reduction_limit")
+
+    def __init__(self, node: SpatialFanout) -> None:
+        self.name = node.name
+        self.multicast = node.multicast
+        self.reduction = node.reduction
+        self.reduction_limit = node.reduction_limit
+
+
+class _ConverterPlan:
+    __slots__ = ("name", "visits")
+
+    def __init__(self, node: ConverterStage) -> None:
+        self.name = node.name
+        self.visits = [(ds, _FLOW_INDEX[ds]) for ds in node.dataspaces]
+
+
+class SearchContext:
+    """Shared per-(architecture, layer-geometry) state for mapping search.
+
+    Built once per :meth:`Mapper.search` (or on demand for standalone
+    analyses) and reused across every candidate evaluation.  Holds the
+    flattened node plan plus memo tables for fill events and tile sizes;
+    both are keyed purely by loop/bound signatures, so they are valid for
+    any mapping of any layer sharing this context's strides and datatype
+    widths.
+    """
+
+    __slots__ = ("architecture", "stride_h", "stride_w", "bits_per_weight",
+                 "bits_per_activation", "storage_order", "plan",
+                 "converter_names", "traffic_plan", "_fill_memo",
+                 "_tile_memo", "_amort_memo", "_capacity_checks")
+
+    def __init__(self, architecture: Architecture, layer: ConvLayer) -> None:
+        self.architecture = architecture
+        self.stride_h, self.stride_w = layer.strides
+        self.bits_per_weight = layer.bits_per_weight
+        self.bits_per_activation = layer.bits_per_activation
+        self.storage_order = [s.name for s in architecture.storage_levels]
+        outermost = {
+            dataspace: architecture.storage_for(dataspace)[0].name
+            for dataspace in ALL_DATASPACES
+        }
+        #: Innermost-first tagged node plan (the walk order of analyze()).
+        self.plan: List[Tuple[int, object]] = []
+        for node in reversed(architecture.nodes):
+            if isinstance(node, ComputeLevel):
+                continue
+            if isinstance(node, SpatialFanout):
+                self.plan.append((_KIND_FANOUT, _FanoutPlan(node)))
+            elif isinstance(node, ConverterStage):
+                self.plan.append((_KIND_CONVERTER, _ConverterPlan(node)))
+            else:
+                self.plan.append(
+                    (_KIND_STORAGE, _StoragePlan(node, layer, outermost)))
+        self.converter_names = [stage.name
+                                for stage in architecture.converters]
+        #: (name, per-dataspace widths, bandwidth) per storage level in
+        #: outer-to-inner order, for the inline traffic computation.
+        self.traffic_plan = [
+            (level.name,
+             tuple(layer.bits_per_weight if ds is DataSpace.WEIGHTS
+                   else layer.bits_per_activation for ds in ALL_DATASPACES),
+             level.bandwidth_bits_per_cycle)
+            for level in architecture.storage_levels
+        ]
+        #: (loops-above signature, dataspace) -> fill events.
+        self._fill_memo: Dict[Tuple, int] = {}
+        #: (dataspace, cumulative bounds) -> tile elements.
+        self._tile_memo: Dict[Tuple, int] = {}
+        #: (fanout name, factors signature) -> per-dataspace flow divisors.
+        self._amort_memo: Dict[Tuple, Tuple[float, ...]] = {}
+        #: Capacity-limited storage plans, for the early rejection check.
+        self._capacity_checks = [record for kind, record in self.plan
+                                 if kind == _KIND_STORAGE
+                                 and record.capacity_bits is not None]
+
+    # ------------------------------------------------------------------
+    # Construction cache
+    # ------------------------------------------------------------------
+    #: (id(architecture), strides, widths) -> (architecture, context).
+    #: The architecture reference keeps the id stable for the cache's
+    #: lifetime; entries are few (one per architecture geometry in use).
+    _instances: Dict[Tuple, Tuple[Architecture, "SearchContext"]] = {}
+
+    @classmethod
+    def for_layer(cls, architecture: Architecture,
+                  layer: ConvLayer) -> "SearchContext":
+        """A (cached) context compatible with ``layer`` on ``architecture``.
+
+        Contexts are shareable across layers with the same strides and
+        datatype widths, which is what the memo tables key on.
+        """
+        key = (id(architecture), layer.stride_h, layer.stride_w,
+               layer.bits_per_weight, layer.bits_per_activation)
+        entry = cls._instances.get(key)
+        if entry is None:
+            if len(cls._instances) >= 128:
+                # FIFO-bound the cache (long-lived sweep processes touch
+                # many architecture geometries); evicting also releases
+                # the keep-alive reference to the architecture.
+                cls._instances.pop(next(iter(cls._instances)))
+            entry = (architecture, cls(architecture, layer))
+            cls._instances[key] = entry
+        return entry[1]
+
+    def compatible_with(self, architecture: Architecture,
+                        layer: ConvLayer) -> bool:
+        return (self.architecture is architecture
+                and (self.stride_h, self.stride_w) == layer.strides
+                and self.bits_per_weight == layer.bits_per_weight
+                and self.bits_per_activation == layer.bits_per_activation)
+
+    # ------------------------------------------------------------------
+    # Memoized geometry
+    # ------------------------------------------------------------------
+    def tile_elements(self, dataspace: DataSpace,
+                      bounds: Tuple[int, ...]) -> int:
+        """Distinct elements of ``dataspace`` in a tile of ``bounds``.
+
+        ``bounds`` is the cumulative per-dimension extent in ``ALL_DIMS``
+        order.  Identical arithmetic to :func:`repro.workloads.dataspace.
+        dataspace_tile_size`, inlined and memoized.
+        """
+        key = (dataspace, bounds)
+        memo = self._tile_memo
+        tile = memo.get(key)
+        if tile is None:
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()  # soft cap: contexts live process-long
+            if dataspace is DataSpace.WEIGHTS:
+                tile = bounds[_M] * bounds[_C] * bounds[_R] * bounds[_S]
+            elif dataspace is DataSpace.OUTPUTS:
+                tile = bounds[_N] * bounds[_M] * bounds[_P] * bounds[_Q]
+            else:
+                height = (bounds[_P] - 1) * self.stride_h + bounds[_R]
+                width = (bounds[_Q] - 1) * self.stride_w + bounds[_S]
+                tile = bounds[_N] * bounds[_C] * height * width
+            memo[key] = tile
+        return tile
+
+    def fill_events(self, signature: Tuple[Tuple[Dim, int], ...],
+                    dataspace: DataSpace) -> int:
+        """Memoized :func:`_fill_events` on a non-transparent loop signature.
+
+        ``signature`` lists the (dim, bound) pairs of every bound>1 loop
+        above the level, innermost first.
+        """
+        key = (signature, dataspace)
+        memo = self._fill_memo
+        events = memo.get(key)
+        if events is None:
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()  # soft cap: contexts live process-long
+            relevant = relevant_dims(dataspace)
+            events = 1
+            seen_relevant = False
+            for dim, bound in signature:
+                if not seen_relevant and dim not in relevant:
+                    continue
+                seen_relevant = True
+                events *= bound
+            memo[key] = events
+        return events
+
+    def amortizations(self, record: _FanoutPlan,
+                      factors: TMapping[Dim, int]) -> Tuple[float, ...]:
+        """Per-dataspace flow divisors for one fanout under ``factors``.
+
+        Memoized on the factor assignment: searches revisit the same few
+        spatial assignments for every temporal variant.
+        """
+        key = (record.name, tuple(factors.items()))
+        memo = self._amort_memo
+        divisors = memo.get(key)
+        if divisors is None:
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()  # soft cap: contexts live process-long
+            divisors = tuple(
+                _boundary_amortization(record, factors, dataspace)
+                for dataspace in ALL_DATASPACES
+            )
+            memo[key] = divisors
+        return divisors
+
+    # ------------------------------------------------------------------
+    # Early rejection
+    # ------------------------------------------------------------------
+    def capacity_violation(self, mapping: Mapping) -> Optional[str]:
+        """Name of the first over-capacity storage level, or None.
+
+        Computes exactly the per-instance occupancy the full analysis
+        would, but nothing else — a cheap pre-filter that lets the mapper
+        skip analysis and pricing for candidates the analyzer is certain
+        to reject with :class:`CapacityError`.
+        """
+        if not self._capacity_checks:
+            return None
+        loops_by_storage = mapping.loops_by_storage()
+        factors_by_fanout = mapping.factors_by_fanout()
+        bounds = [1] * len(ALL_DIMS)
+        dim_index = _DIM_INDEX
+        for kind, record in self.plan:
+            if kind == _KIND_CONVERTER:
+                continue
+            if kind == _KIND_FANOUT:
+                for dim, factor in factors_by_fanout[record.name].items():
+                    bounds[dim_index[dim]] *= factor
+                continue
+            for loop in loops_by_storage[record.name]:
+                bounds[dim_index[loop.dim]] *= loop.bound
+            if record.capacity_bits is None:
+                continue
+            bounds_key = tuple(bounds)
+            occupancy = 0.0
+            for dataspace, width in record.ds_widths:
+                occupancy += self.tile_elements(dataspace, bounds_key) * width
+            if occupancy > record.capacity_bits:
+                return record.name
+        return None
+
+
 class NestAnalyzer:
     """Computes :class:`AccessCounts` for one (architecture, layer, mapping).
 
-    The constructor validates the mapping and precomputes per-node context;
-    :meth:`analyze` runs the inner-to-outer traffic walk.  ``check_capacity``
-    controls whether occupancy violations raise :class:`CapacityError`
-    (mappers search with this on; diagnostic callers may disable it).
+    The constructor validates the mapping (unless ``validate=False`` — the
+    mapper's validate-once protocol, for candidates it has already checked)
+    and binds a :class:`SearchContext`; :meth:`analyze` runs the
+    inner-to-outer traffic walk.  ``check_capacity`` controls whether
+    occupancy violations raise :class:`CapacityError` (mappers search with
+    this on; diagnostic callers may disable it).
     """
 
     def __init__(
@@ -166,161 +471,142 @@ class NestAnalyzer:
         layer: ConvLayer,
         mapping: Mapping,
         check_capacity: bool = True,
+        context: Optional[SearchContext] = None,
+        validate: bool = True,
     ) -> None:
-        mapping.validate(architecture, layer)
+        if validate:
+            mapping.validate(architecture, layer)
+        if context is None:
+            context = SearchContext.for_layer(architecture, layer)
+        elif not context.compatible_with(architecture, layer):
+            raise MappingError(
+                "SearchContext was built for a different architecture or "
+                "layer geometry (strides / datatype widths)"
+            )
         self.architecture = architecture
         self.layer = layer
         self.mapping = mapping
         self.check_capacity = check_capacity
-        self._loops_by_storage: Dict[str, Tuple[TemporalLoop, ...]] = {
-            level.storage: level.loops for level in mapping.levels
-        }
-        self._factors_by_fanout: Dict[str, Dict[Dim, int]] = {
-            spatial.fanout: dict(spatial.factors)
-            for spatial in mapping.spatials
-        }
-        self._storage_order = [s.name for s in architecture.storage_levels]
-
-    # ------------------------------------------------------------------
-    # Precomputed geometry
-    # ------------------------------------------------------------------
-    def _loops_above(self, storage_name: str) -> List[TemporalLoop]:
-        """Temporal loops outside ``storage_name``'s tile, innermost first."""
-        loops: List[TemporalLoop] = []
-        for name in self._storage_order:
-            if name == storage_name:
-                break
-            loops.extend(self._loops_by_storage[name])
-        return loops[::-1]
-
-    def _cumulative_bounds(self, node_index: int) -> Dict[Dim, int]:
-        """Per-dim extent of the tile held at node position ``node_index``.
-
-        Includes the temporal loops of this and every inner storage level
-        plus the spatial factors of every fanout strictly below the node.
-        """
-        bounds = {dim: 1 for dim in ALL_DIMS}
-        for node in self.architecture.nodes[node_index:]:
-            if isinstance(node, StorageLevel):
-                for loop in self._loops_by_storage[node.name]:
-                    bounds[loop.dim] *= loop.bound
-            elif isinstance(node, SpatialFanout):
-                for dim, factor in self._factors_by_fanout[node.name].items():
-                    bounds[dim] *= factor
-        return bounds
-
-    def _instances_above(self, node_index: int) -> int:
-        """Mapped parallel instances of the node at ``node_index``."""
-        product = 1
-        for node in self.architecture.nodes[:node_index]:
-            if isinstance(node, SpatialFanout):
-                for factor in self._factors_by_fanout[node.name].values():
-                    product *= factor
-        return product
-
-    def _tile_elements(self, node_index: int, dataspace: DataSpace) -> int:
-        bounds = self._cumulative_bounds(node_index)
-        return dataspace_tile_size(dataspace, bounds, self.layer.strides)
-
-    # ------------------------------------------------------------------
-    # Spatial boundary amortization
-    # ------------------------------------------------------------------
-    def _boundary_amortization(self, fanout: SpatialFanout,
-                               dataspace: DataSpace) -> float:
-        """Traffic division factor for ``dataspace`` crossing ``fanout``."""
-        factors = self._factors_by_fanout[fanout.name]
-        if dataspace in fanout.multicast:
-            product = 1
-            for dim, factor in factors.items():
-                if dim not in relevant_dims(dataspace):
-                    product *= factor
-            return float(product)
-        if dataspace in fanout.reduction:
-            product = 1
-            for dim, factor in factors.items():
-                if dim in reduction_dims(dataspace):
-                    product *= factor
-            if fanout.reduction_limit is not None:
-                product = min(product, fanout.reduction_limit)
-            return float(product)
-        return 1.0
+        self._context = context
 
     # ------------------------------------------------------------------
     # Main walk
     # ------------------------------------------------------------------
     def analyze(self) -> AccessCounts:
-        architecture = self.architecture
-        padded_macs = self.mapping.padded_macs()
-        cycles = self.mapping.total_temporal_product
-        if padded_macs != cycles * self.mapping.total_spatial_product:
+        context = self._context
+        mapping = self.mapping
+        padded_macs = mapping.padded_macs()
+        cycles = mapping.total_temporal_product
+        total_spatial = mapping.total_spatial_product
+        if padded_macs != cycles * total_spatial:
             raise MappingError(
                 "internal inconsistency: padded MACs != cycles x spatial"
             )  # pragma: no cover - structural invariant
 
+        loops_by_storage = mapping.loops_by_storage()
+        factors_by_fanout = mapping.factors_by_fanout()
+
+        # Loops-above signatures (innermost first, transparent loops
+        # dropped), built in one outer-to-inner sweep.
+        signatures: Dict[str, Tuple[Tuple[Dim, int], ...]] = {}
+        accumulated: Tuple[Tuple[Dim, int], ...] = ()
+        for name in context.storage_order:
+            signatures[name] = accumulated[::-1]
+            accumulated = accumulated + tuple(
+                (loop.dim, loop.bound)
+                for loop in loops_by_storage[name] if loop.bound > 1)
+
         storage_counts: Dict[str, StorageCounts] = {
-            name: StorageCounts() for name in self._storage_order
+            name: StorageCounts() for name in context.storage_order
         }
         conversions: Dict[str, Dict[DataSpace, float]] = {
-            stage.name: {} for stage in architecture.converters
+            name: {} for name in context.converter_names
         }
         occupancy: Dict[str, float] = {}
         instances: Dict[str, int] = {}
 
-        outermost = {
-            dataspace: self.architecture.storage_for(dataspace)[0].name
-            for dataspace in ALL_DATASPACES
-        }
-
         # Element-copies per layer currently crossing the walk position,
-        # flowing downward for W/I (read demand) and upward for O (updates).
-        flow: Dict[DataSpace, float] = {
-            ds: float(padded_macs) for ds in ALL_DATASPACES
-        }
+        # flowing downward for W/I (read demand) and upward for O (updates);
+        # indexed in ALL_DATASPACES order.
+        flow: List[float] = [float(padded_macs)] * len(ALL_DATASPACES)
 
-        for node_index in range(len(architecture.nodes) - 1, -1, -1):
-            node = architecture.nodes[node_index]
-            if isinstance(node, ComputeLevel):
+        bounds = [1] * len(ALL_DIMS)
+        dim_index = _DIM_INDEX
+        spatial_inside = 1
+        check_capacity = self.check_capacity
+        fill_events = context.fill_events
+        tile_elements = context.tile_elements
+
+        for kind, record in context.plan:
+            if kind == _KIND_FANOUT:
+                factors = factors_by_fanout[record.name]
+                if factors:
+                    for dim, factor in factors.items():
+                        bounds[dim_index[dim]] *= factor
+                        spatial_inside *= factor
+                    divisors = context.amortizations(record, factors)
+                    for index, divisor in enumerate(divisors):
+                        if divisor != 1.0:
+                            flow[index] /= divisor
                 continue
-            if isinstance(node, SpatialFanout):
-                for dataspace in ALL_DATASPACES:
-                    flow[dataspace] /= self._boundary_amortization(
-                        node, dataspace)
-                continue
-            if isinstance(node, ConverterStage):
-                for dataspace in node.dataspaces:
-                    bucket = conversions[node.name]
+            if kind == _KIND_CONVERTER:
+                bucket = conversions[record.name]
+                for dataspace, index in record.visits:
                     bucket[dataspace] = bucket.get(dataspace, 0.0) \
-                        + flow[dataspace]
+                        + flow[index]
                 continue
 
-            assert isinstance(node, StorageLevel)
-            counts = storage_counts[node.name]
-            level_instances = self._instances_above(node_index)
-            instances[node.name] = level_instances
-            occupancy[node.name] = self._occupancy_bits(node_index, node)
-            if (self.check_capacity and node.capacity_bits is not None
-                    and occupancy[node.name] > node.capacity_bits):
+            # Storage level: its own loops are inside its tile.
+            name = record.name
+            for loop in loops_by_storage[name]:
+                bounds[dim_index[loop.dim]] *= loop.bound
+            bounds_key = tuple(bounds)
+            level_instances = total_spatial // spatial_inside
+            instances[name] = level_instances
+
+            level_occupancy = 0.0
+            for dataspace, width in record.ds_widths:
+                level_occupancy += tile_elements(dataspace, bounds_key) \
+                    * width
+            occupancy[name] = level_occupancy
+            if (check_capacity and record.capacity_bits is not None
+                    and level_occupancy > record.capacity_bits):
                 raise CapacityError(
-                    f"storage {node.name!r}: mapping needs "
-                    f"{occupancy[node.name]:.0f} bits per instance but "
-                    f"capacity is {node.capacity_bits:.0f}"
+                    f"storage {name!r}: mapping needs "
+                    f"{level_occupancy:.0f} bits per instance but "
+                    f"capacity is {record.capacity_bits:.0f}"
                 )
-            for dataspace in node.dataspaces:
-                if dataspace is DataSpace.OUTPUTS:
-                    flow[dataspace] = self._visit_output_storage(
-                        node, node_index, counts, flow[dataspace],
-                        is_outermost=(node.name == outermost[dataspace]),
+
+            counts = storage_counts[name]
+            signature = signatures[name]
+            for dataspace, index, is_outputs, is_outermost in record.visits:
+                if is_outputs:
+                    flow[index] = self._visit_output_storage(
+                        record, counts, flow[index],
+                        fill_events(signature, dataspace)
+                        * tile_elements(dataspace, bounds_key)
+                        * level_instances,
+                        is_outermost,
                     )
+                elif is_outermost:
+                    # Backing store: tensors are resident; nothing fills it.
+                    counts.reads[dataspace] = counts.reads.get(
+                        dataspace, 0.0) + flow[index]
+                    flow[index] = 0.0
                 else:
-                    flow[dataspace] = self._visit_read_storage(
-                        node, node_index, counts, flow[dataspace],
-                        dataspace,
-                        is_outermost=(node.name == outermost[dataspace]),
-                    )
+                    fills = (fill_events(signature, dataspace)
+                             * tile_elements(dataspace, bounds_key)
+                             * level_instances)
+                    counts.reads[dataspace] = counts.reads.get(
+                        dataspace, 0.0) + flow[index]
+                    counts.writes[dataspace] = counts.writes.get(
+                        dataspace, 0.0) + fills
+                    flow[index] = float(fills)
 
         real_macs = self._grouped_real_macs()
-        traffic_bits, bandwidth_cycles = compute_traffic(
-            self.architecture, self.layer, storage_counts, instances)
+        traffic_bits, bandwidth_cycles = self._traffic(context,
+                                                       storage_counts,
+                                                       instances)
         return AccessCounts(
             storage=storage_counts,
             conversions=conversions,
@@ -337,52 +623,25 @@ class NestAnalyzer:
     # ------------------------------------------------------------------
     # Per-storage visitors
     # ------------------------------------------------------------------
-    def _visit_read_storage(
-        self,
-        node: StorageLevel,
-        node_index: int,
-        counts: StorageCounts,
-        incoming_demand: float,
-        dataspace: DataSpace,
-        is_outermost: bool,
-    ) -> float:
-        """Weights/inputs: serve downstream demand, fetch fills from above."""
-        counts.reads[dataspace] = counts.reads.get(dataspace, 0.0) \
-            + incoming_demand
-        if is_outermost:
-            # Backing store: tensors are resident; nothing fills it.
-            return 0.0
-        fills = (
-            _fill_events(self._loops_above(node.name), dataspace)
-            * self._tile_elements(node_index, dataspace)
-            * self._instances_above(node_index)
-        )
-        counts.writes[dataspace] = counts.writes.get(dataspace, 0.0) + fills
-        return float(fills)
-
     def _visit_output_storage(
         self,
-        node: StorageLevel,
-        node_index: int,
+        record: _StoragePlan,
         counts: StorageCounts,
         updates_in: float,
+        residencies: int,
         is_outermost: bool,
     ) -> float:
         """Outputs: absorb updates by RMW, write back once per residency."""
-        writebacks = float(
-            _fill_events(self._loops_above(node.name), DataSpace.OUTPUTS)
-            * self._tile_elements(node_index, DataSpace.OUTPUTS)
-            * self._instances_above(node_index)
-        )
-        if node.max_accumulation_depth is not None:
+        writebacks = float(residencies)
+        if record.max_accumulation_depth is not None:
             # An accumulation-depth-limited level (analog integrator) must
             # write back at least once per `depth` absorbed updates; the
             # extra writebacks are mid-accumulation spills merged upstream.
             writebacks = max(writebacks,
-                             updates_in / node.max_accumulation_depth)
+                             updates_in / record.max_accumulation_depth)
         if updates_in + 1e-9 < writebacks:
             raise MappingError(
-                f"storage {node.name!r}: output residencies ({writebacks}) "
+                f"storage {record.name!r}: output residencies ({writebacks}) "
                 f"exceed incoming updates ({updates_in}); mapping is "
                 f"structurally inconsistent"
             )  # pragma: no cover - structural invariant
@@ -404,14 +663,26 @@ class NestAnalyzer:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _occupancy_bits(self, node_index: int, node: StorageLevel) -> float:
-        bits = 0.0
-        for dataspace in node.dataspaces:
-            width = (self.layer.bits_per_weight
-                     if dataspace is DataSpace.WEIGHTS
-                     else self.layer.bits_per_activation)
-            bits += self._tile_elements(node_index, dataspace) * width
-        return bits
+    @staticmethod
+    def _traffic(
+        context: SearchContext,
+        storage_counts: Dict[str, StorageCounts],
+        instances: Dict[str, int],
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Inline :func:`compute_traffic` over the context's traffic plan."""
+        traffic_bits: Dict[str, float] = {}
+        bandwidth_cycles: Dict[str, float] = {}
+        for name, widths, bandwidth in context.traffic_plan:
+            counts = storage_counts[name]
+            reads, writes = counts.reads, counts.writes
+            bits = 0.0
+            for dataspace, width in zip(ALL_DATASPACES, widths):
+                bits += (reads.get(dataspace, 0.0)
+                         + writes.get(dataspace, 0.0)) * width
+            traffic_bits[name] = bits
+            if bandwidth is not None:
+                bandwidth_cycles[name] = bits / (bandwidth * instances[name])
+        return traffic_bits, bandwidth_cycles
 
     def _grouped_real_macs(self) -> int:
         """Real MACs of the per-group problem the mapping covers."""
@@ -419,6 +690,29 @@ class NestAnalyzer:
         return (layer.n * (layer.m // layer.groups)
                 * (layer.c // layer.groups)
                 * layer.p * layer.q * layer.r * layer.s)
+
+
+def _boundary_amortization(record: _FanoutPlan,
+                           factors: TMapping[Dim, int],
+                           dataspace: DataSpace) -> float:
+    """Traffic division factor for ``dataspace`` crossing a fanout."""
+    if dataspace in record.multicast:
+        product = 1
+        relevant = relevant_dims(dataspace)
+        for dim, factor in factors.items():
+            if dim not in relevant:
+                product *= factor
+        return float(product)
+    if dataspace in record.reduction:
+        product = 1
+        reduction = reduction_dims(dataspace)
+        for dim, factor in factors.items():
+            if dim in reduction:
+                product *= factor
+        if record.reduction_limit is not None:
+            product = min(product, record.reduction_limit)
+        return float(product)
+    return 1.0
 
 
 def compute_traffic(
@@ -456,7 +750,9 @@ def analyze(
     layer: ConvLayer,
     mapping: Mapping,
     check_capacity: bool = True,
+    context: Optional[SearchContext] = None,
 ) -> AccessCounts:
     """Convenience wrapper around :class:`NestAnalyzer`."""
     return NestAnalyzer(architecture, layer, mapping,
-                        check_capacity=check_capacity).analyze()
+                        check_capacity=check_capacity,
+                        context=context).analyze()

@@ -78,17 +78,32 @@ def padded_factor_splits(
                 yield split
 
 
+@lru_cache(maxsize=4096)
 def tile_candidates(n: int, include_padded: bool = True) -> Tuple[int, ...]:
     """Candidate single-level tile sizes for a dimension of size ``n``.
 
     Divisors of ``n``, plus (optionally) ceil-division tilings
     ``ceil(n / k)`` that waste at most one partial tile — the standard
     candidates an imperfect-factorization mapper considers.
+
+    ``ceil(n / k)`` over ``k = 1..n`` takes only ~2*sqrt(n) distinct
+    values, so rather than scanning every ``k`` (O(n)) the loop jumps
+    between blocks of equal quotient (O(sqrt(n))), using the identity
+    ``ceil(n / k) == (n - 1) // k + 1``.  Cached: this sits inside the
+    mapper's per-dimension tiling enumeration.
     """
+    if n < 1:
+        raise ValueError(f"tile_candidates defined for positive n, got {n}")
     candidates = set(divisors(n))
     if include_padded:
-        for parts in range(1, n + 1):
-            candidates.add(ceil_div(n, parts))
+        m = n - 1
+        k = 1
+        while k <= n:
+            quotient = m // k
+            candidates.add(quotient + 1)  # == ceil(n / k)
+            if quotient == 0:
+                break
+            k = m // quotient + 1  # first k of the next quotient block
     return tuple(sorted(candidates))
 
 

@@ -22,17 +22,34 @@ The search is deliberately structured like practical Timeloop usage:
 Candidates beyond ``max_evaluations`` are sampled with a seeded RNG so runs
 are reproducible.  Invalid candidates (capacity violations, constraint
 breaches) are skipped and counted.
+
+Hot-path structure
+------------------
+
+Candidate generation is *spec-based*: the generators produce lightweight
+(spatial assignment, per-level factor dicts, permutation template) tuples,
+deduplicated by canonical mapping key, and only the sampled winners are
+materialized into :class:`Mapping` objects — constructing tens of
+thousands of ``TemporalLoop`` dataclasses for candidates that sampling
+throws away used to dominate search time.  Evaluation shares one
+:class:`~repro.mapping.analysis.SearchContext` across every candidate
+(validate-once, memoized geometry) and prunes capacity-doomed candidates
+before pricing; the ``deduplicated`` / ``pruned_early`` counters on
+:class:`MapperResult` surface both effects.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.hierarchy import Architecture, SpatialFanout, StorageLevel
 from repro.exceptions import CapacityError, MappingError
+from repro.mapping.analysis import SearchContext
 from repro.mapping.constraints import MappingConstraints
 from repro.mapping.factorization import ceil_div, tile_candidates
 from repro.mapping.mapping import (
@@ -42,13 +59,23 @@ from repro.mapping.mapping import (
     TemporalLoop,
     problem_dims,
 )
-from repro.workloads.dataspace import DataSpace, relevant_dims
 from repro.workloads.dims import ALL_DIMS, Dim
 from repro.workloads.layer import ConvLayer
 
 #: Cost function: maps a structurally valid mapping to a scalar cost.
-#: May raise MappingError/CapacityError to reject a candidate.
+#: May raise MappingError/CapacityError to reject a candidate.  Cost
+#: functions that set a truthy ``supports_context`` attribute are called
+#: as ``cost_fn(mapping, context=...)`` with the search's shared
+#: :class:`SearchContext`; they promise to price with capacity checking
+#: on, which also lets the mapper early-reject over-capacity candidates.
 CostFn = Callable[[Mapping], float]
+
+#: Candidate spec: (spatial FanoutMappings, per-level (storage, factors)
+#: pairs, permutation template).  Materialized into a Mapping only after
+#: dedup + sampling.
+_CandidateSpec = Tuple[List[FanoutMapping],
+                       Tuple[Tuple[str, Dict[Dim, int]], ...],
+                       Tuple[Dim, ...]]
 
 
 @dataclass
@@ -59,6 +86,11 @@ class MapperResult:
     cost: float
     evaluated: int
     valid: int
+    #: Generated candidates dropped because an identical schedule (same
+    #: canonical mapping key) was already in the pool.
+    deduplicated: int = 0
+    #: Candidates skipped before pricing by the cheap occupancy bound.
+    pruned_early: int = 0
 
     @property
     def validity_rate(self) -> float:
@@ -76,6 +108,10 @@ _PERMUTATION_TEMPLATES: Dict[str, Tuple[Dim, ...]] = {
     # Reduction dims innermost: outputs fully accumulate before eviction.
     "protect_outputs": (Dim.N, Dim.M, Dim.P, Dim.Q, Dim.C, Dim.R, Dim.S),
 }
+
+#: Template tuple in enumeration order (indexable by candidate index).
+_TEMPLATE_LIST: Tuple[Tuple[Dim, ...], ...] = tuple(
+    _PERMUTATION_TEMPLATES.values())
 
 
 class Mapper:
@@ -109,27 +145,42 @@ class Mapper:
 
         ``extra_candidates`` seeds the search with known-good mappings
         (e.g. a system's reference mapping); they are always evaluated.
+        Generated candidates that duplicate an extra candidate's schedule
+        (or each other's) are dropped, so no schedule is ever priced twice.
         """
         rng = random.Random(seed)
-        candidates = list(extra_candidates)
-        candidates.extend(self._generate(layer, rng))
-        if len(candidates) > max_evaluations:
-            seeded = list(extra_candidates)
-            generated = candidates[len(extra_candidates):]
-            sample_size = max(0, max_evaluations - len(seeded))
-            candidates = seeded + rng.sample(generated, sample_size)
+        seeded = list(extra_candidates)
+        seen = {mapping.canonical_key() for mapping in seeded}
+        budget = max(0, max_evaluations - len(seeded))
+        specs, deduplicated = self._generate_specs(layer, rng, seen, budget)
+        candidates = seeded + [_materialize(spec) for spec in specs]
+
+        context = SearchContext.for_layer(self.architecture, layer)
+        # The validate-once protocol only extends to cost functions that
+        # opt in: they receive the shared context, evaluate without
+        # re-validating, and check capacity — which also licenses the
+        # cheap occupancy pre-filter below.
+        supports_context = bool(getattr(self.cost_fn, "supports_context",
+                                        False))
 
         best_mapping: Optional[Mapping] = None
         best_cost = float("inf")
         best_key = (float("inf"), float("inf"))
         evaluated = 0
         valid = 0
+        pruned_early = 0
         for mapping in candidates:
             evaluated += 1
             try:
                 mapping.validate(self.architecture, layer)
                 self.constraints.check(mapping)
-                cost = self.cost_fn(mapping)
+                if supports_context:
+                    if context.capacity_violation(mapping) is not None:
+                        pruned_early += 1
+                        continue
+                    cost = self.cost_fn(mapping, context=context)
+                else:
+                    cost = self.cost_fn(mapping)
             except (MappingError, CapacityError):
                 continue
             valid += 1
@@ -147,20 +198,111 @@ class Mapper:
                 f"buffer capacities"
             )
         return MapperResult(mapping=best_mapping, cost=best_cost,
-                            evaluated=evaluated, valid=valid)
+                            evaluated=evaluated, valid=valid,
+                            deduplicated=deduplicated,
+                            pruned_early=pruned_early)
 
     # ------------------------------------------------------------------
     # Candidate generation
     # ------------------------------------------------------------------
-    def _generate(self, layer: ConvLayer,
-                  rng: random.Random) -> List[Mapping]:
+    def _generate_specs(
+        self,
+        layer: ConvLayer,
+        rng: random.Random,
+        seen: set,
+        budget: int,
+    ) -> Tuple[List[_CandidateSpec], int]:
+        """Up to ``budget`` deduplicated candidate specs (+ duplicate count).
+
+        Enumerates only the candidate *structure* — spatial assignments,
+        holder-loop combos, buffer tilings — then composes per-level factor
+        dicts and canonical keys lazily:
+
+        * pool comfortably within budget: every candidate is composed,
+          deduplicated by canonical key, and (if still over budget)
+          sampled;
+        * pool much larger than budget: candidate indices are drawn
+          uniformly with the seeded RNG and duplicate schedules are
+          rejected and redrawn, so composition work scales with the
+          evaluation budget instead of the pool size.
+
+        Either way the returned specs contain no duplicate schedules and
+        none that match a key already in ``seen`` (which is extended in
+        place).
+        """
+        if budget <= 0:
+            return [], 0
         dims = problem_dims(layer)
-        mappings: List[Mapping] = []
+        groups: List[Tuple[List[FanoutMapping], _TemporalStructure]] = []
+        group_starts: List[int] = []
+        total = 0
         for spatials, remaining in self._spatial_candidates(dims, rng):
-            for levels in self._temporal_candidates(layer, remaining, rng):
-                mappings.append(Mapping(levels=tuple(levels),
-                                        spatials=tuple(spatials)))
-        return mappings
+            structure = self._temporal_structure(layer, remaining, rng)
+            if structure.count == 0:
+                continue
+            groups.append((spatials, structure))
+            group_starts.append(total)
+            total += structure.count
+
+        specs: List[_CandidateSpec] = []
+        duplicates = 0
+        if total <= 2 * budget:
+            # Small pool: compose everything, dedup, sample the overflow.
+            for spatials, structure in groups:
+                spatial_key = _spatial_key(spatials)
+                for index in range(structure.count):
+                    spec, key = self._compose(spatials, spatial_key,
+                                              structure, index)
+                    if key in seen:
+                        duplicates += 1
+                        continue
+                    seen.add(key)
+                    specs.append(spec)
+            if len(specs) > budget:
+                specs = rng.sample(specs, budget)
+            return specs, duplicates
+
+        # Large pool: draw indices, compose only the winners.  Duplicate
+        # schedules are rejected and redrawn (budget <= total/2, so the
+        # rejection loop terminates quickly).
+        spatial_keys: Dict[int, Tuple] = {}
+        drawn = set()
+        while len(specs) < budget and len(drawn) < total:
+            index = rng.randrange(total)
+            if index in drawn:
+                continue
+            drawn.add(index)
+            group_index = bisect.bisect_right(group_starts, index) - 1
+            spatials, structure = groups[group_index]
+            spatial_key = spatial_keys.get(group_index)
+            if spatial_key is None:
+                spatial_key = _spatial_key(spatials)
+                spatial_keys[group_index] = spatial_key
+            spec, key = self._compose(spatials, spatial_key, structure,
+                                      index - group_starts[group_index])
+            if key in seen:
+                duplicates += 1
+                continue
+            seen.add(key)
+            specs.append(spec)
+        return specs, duplicates
+
+    def _compose(
+        self,
+        spatials: List[FanoutMapping],
+        spatial_key: Tuple,
+        structure: "_TemporalStructure",
+        index: int,
+    ) -> Tuple[_CandidateSpec, Tuple]:
+        """Compose candidate ``index`` of one (spatial, temporal) group."""
+        level_factors, template = structure.compose(index)
+        levels_key = tuple(
+            (name, tuple((dim, factors[dim]) for dim in template
+                         if factors.get(dim, 1) > 1))
+            for name, factors in level_factors
+        )
+        return ((spatials, level_factors, template),
+                (levels_key, spatial_key))
 
     def _spatial_candidates(
         self, dims: Dict[Dim, int], rng: random.Random
@@ -241,15 +383,18 @@ class Mapper:
                 options.append(candidate)
         return options
 
-    def _temporal_candidates(
+    def _temporal_structure(
         self, layer: ConvLayer, leftover: Dict[Dim, int], rng: random.Random
-    ) -> List[List[LevelMapping]]:
-        """Candidate temporal splits of ``leftover`` across storage levels."""
+    ) -> "_TemporalStructure":
+        """Enumerate the temporal-candidate structure for one leftover state.
+
+        Produces holder-loop combos and buffer tilings but defers composing
+        per-level factor dicts to :meth:`_TemporalStructure.compose`, so a
+        budget-limited search only pays for the candidates it draws.
+        """
         storages = self.architecture.storage_levels
         if len(storages) == 1:
-            loops = _ordered_loops(leftover,
-                                   _PERMUTATION_TEMPLATES["protect_outputs"])
-            return [[LevelMapping(storage=storages[0].name, loops=loops)]]
+            return _TemporalStructure.single(storages[0].name, dict(leftover))
 
         # Constrained inner levels (e.g. analog integrators) first.
         inner_assignments, leftover = self._assign_constrained_inner(
@@ -271,8 +416,7 @@ class Mapper:
             for holder in holders
         ]
 
-        candidates: List[List[LevelMapping]] = []
-        holder_combos = [{}]
+        holder_combos: List[Dict[str, Dict[Dim, int]]] = [{}]
         for holder, options in holder_option_sets:
             grown = []
             for combo in holder_combos:
@@ -282,34 +426,22 @@ class Mapper:
                     grown.append(extended)
             holder_combos = grown
 
+        entries = []
         for holder_assignment in holder_combos:
             remaining = dict(leftover)
             for factors in holder_assignment.values():
                 for dim, factor in factors.items():
                     remaining[dim] = ceil_div(remaining[dim], factor)
-            for buffer_factors in self._buffer_tilings(
-                    target_buffers, remaining, rng):
-                dram_factors = {
-                    dim: ceil_div(remaining[dim],
-                                  _product_over(buffer_factors, dim))
-                    for dim in ALL_DIMS
-                }
-                for template in _PERMUTATION_TEMPLATES.values():
-                    levels: List[LevelMapping] = []
-                    for storage in storages:
-                        if storage.name == outer.name:
-                            factors = dram_factors
-                        elif storage.name in inner_assignments:
-                            factors = inner_assignments[storage.name]
-                        elif storage.name in holder_assignment:
-                            factors = holder_assignment[storage.name]
-                        else:
-                            factors = buffer_factors.get(storage.name, {})
-                        loops = _ordered_loops(factors, template)
-                        levels.append(LevelMapping(storage=storage.name,
-                                                   loops=loops))
-                    candidates.append(levels)
-        return candidates
+            tilings = self._buffer_tilings(target_buffers, remaining, rng)
+            entries.append((holder_assignment, remaining, tilings))
+        return _TemporalStructure(
+            storage_names=[storage.name for storage in storages],
+            outer_name=outer.name,
+            target_name=(target_buffers[-1].name if target_buffers
+                         else None),
+            inner_assignments=inner_assignments,
+            entries=entries,
+        )
 
     def _stationary_options(
         self,
@@ -390,16 +522,17 @@ class Mapper:
         buffers: Sequence[StorageLevel],
         leftover: Dict[Dim, int],
         rng: random.Random,
-    ) -> List[Dict[str, Dict[Dim, int]]]:
-        """Candidate tile factors for the middle buffer levels.
+    ) -> List[Dict[Dim, int]]:
+        """Candidate tile factors for the innermost general-purpose buffer.
 
-        For the common single-buffer case, per-dimension candidates are the
-        full leftover (maximum reuse), 1 (stream through), and a couple of
-        intermediate divisor-ish tiles; combinations are capped and sampled.
+        Buffers between DRAM and the target pass through untiled, so only
+        the target's factor dict is returned per candidate.  Per-dimension
+        candidates are the full leftover (maximum reuse), 1 (stream
+        through), and a couple of intermediate divisor-ish tiles;
+        combinations are capped and sampled.
         """
         if not buffers:
             return [{}]
-        target = buffers[-1]  # innermost general-purpose buffer gets tiles
         per_dim_options: Dict[Dim, List[int]] = {}
         for dim in ALL_DIMS:
             size = leftover.get(dim, 1)
@@ -412,7 +545,6 @@ class Mapper:
                 options.add(ladder[len(ladder) // 2])
                 options.add(ladder[-1])
             per_dim_options[dim] = sorted(options)
-        combos = []
         dims_order = list(ALL_DIMS)
         all_choices = [per_dim_options[dim] for dim in dims_order]
         total = 1
@@ -429,23 +561,112 @@ class Mapper:
                 chosen.add(tuple(rng.choice(options)
                                  for options in all_choices))
             product_iter = sorted(chosen)
-        for combo in product_iter:
-            factors = {
-                dim: factor
-                for dim, factor in zip(dims_order, combo) if factor > 1
-            }
-            result: Dict[str, Dict[Dim, int]] = {target.name: factors}
-            # Any buffers between DRAM and the target pass through untiled.
-            for other in buffers[:-1]:
-                result[other.name] = {}
-            combos.append(result)
-        return combos
+        return [
+            {dim: factor
+             for dim, factor in zip(dims_order, combo) if factor > 1}
+            for combo in product_iter
+        ]
 
 
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
 
+class _TemporalStructure:
+    """Temporal candidates for one leftover-dims state, composed on demand.
+
+    ``entries`` holds (holder assignment, remaining dims after holders,
+    buffer tilings) triples; flat candidate index order is holder combo,
+    then tiling, then permutation template — matching the historical
+    enumeration order.
+    """
+
+    __slots__ = ("storage_names", "outer_name", "target_name",
+                 "inner_assignments", "entries", "entry_starts", "count",
+                 "single_leftover")
+
+    def __init__(self, storage_names, outer_name, target_name,
+                 inner_assignments, entries):
+        self.storage_names = storage_names
+        self.outer_name = outer_name
+        self.target_name = target_name
+        self.inner_assignments = inner_assignments
+        self.entries = entries
+        self.single_leftover = None
+        self.entry_starts = []
+        count = 0
+        templates = len(_TEMPLATE_LIST)
+        for _, _, tilings in entries:
+            self.entry_starts.append(count)
+            count += len(tilings) * templates
+        self.count = count
+
+    @classmethod
+    def single(cls, storage_name: str,
+               leftover: Dict[Dim, int]) -> "_TemporalStructure":
+        """The degenerate single-storage-level architecture."""
+        structure = cls([storage_name], storage_name, None, {}, [])
+        structure.single_leftover = leftover
+        structure.count = 1
+        return structure
+
+    def compose(
+        self, index: int
+    ) -> Tuple[Tuple[Tuple[str, Dict[Dim, int]], ...], Tuple[Dim, ...]]:
+        """(per-level (storage, factors), template) for one flat index."""
+        if self.single_leftover is not None:
+            return (((self.storage_names[0], self.single_leftover),),
+                    _PERMUTATION_TEMPLATES["protect_outputs"])
+        entry_index = bisect.bisect_right(self.entry_starts, index) - 1
+        holder_assignment, remaining, tilings = self.entries[entry_index]
+        offset = index - self.entry_starts[entry_index]
+        tiling_index, template_index = divmod(offset, len(_TEMPLATE_LIST))
+        target_factors = tilings[tiling_index]
+        dram_factors = {
+            dim: -(-remaining[dim] // target_factors.get(dim, 1))
+            for dim in ALL_DIMS
+        }
+        inner_assignments = self.inner_assignments
+        level_factors = []
+        for name in self.storage_names:
+            if name == self.outer_name:
+                factors = dram_factors
+            elif name in inner_assignments:
+                factors = inner_assignments[name]
+            elif name in holder_assignment:
+                factors = holder_assignment[name]
+            elif name == self.target_name:
+                factors = target_factors
+            else:
+                factors = {}
+            level_factors.append((name, factors))
+        return tuple(level_factors), _TEMPLATE_LIST[template_index]
+
+
+def _spatial_key(spatials: Sequence[FanoutMapping]) -> Tuple:
+    """The spatial half of a candidate's canonical key."""
+    return tuple(
+        (spatial.fanout,
+         tuple(sorted((dim.value, factor)
+                      for dim, factor in spatial.factors.items())))
+        for spatial in spatials
+    )
+
+
+def _materialize(spec: _CandidateSpec) -> Mapping:
+    """Build the actual :class:`Mapping` for a surviving candidate spec."""
+    spatials, level_factors, template = spec
+    return Mapping(
+        levels=tuple(
+            LevelMapping(storage=name, loops=_ordered_loops(factors,
+                                                            template))
+            for name, factors in level_factors
+        ),
+        spatials=tuple(spatials),
+    )
+
+
+@lru_cache(maxsize=65536)
 def _largest_fitting_factor(size: int, cap: int) -> int:
     """Best spatial/tiling factor <= cap for a dimension of ``size``.
 
@@ -454,6 +675,14 @@ def _largest_fitting_factor(size: int, cap: int) -> int:
     smallest padded total ``f * ceil(size / f)`` (i.e. least idle work).
     A full-cap split therefore wins unless a smaller factor covers the
     dimension in the same number of steps with less padding.
+
+    Instead of scanning every factor in ``1..cap`` (O(cap)), only the
+    smallest factor of each distinct-step block is examined: for a fixed
+    step count ``s = ceil(size / f)``, the padded total ``s * f`` grows
+    with ``f``, so the block's smallest factor dominates the rest.  There
+    are O(sqrt(size)) such blocks, walked with the standard ceil-division
+    block step.  Cached: the mapper asks for the same few (size, cap)
+    pairs thousands of times per search.
     """
     if cap <= 1:
         return 1
@@ -461,12 +690,17 @@ def _largest_fitting_factor(size: int, cap: int) -> int:
         return size
     best_factor = 1
     best_key = (size, size)  # (steps, padded total) for f = 1
-    for factor in range(1, cap + 1):
+    factor = 1
+    while factor <= cap:
         steps = -(-size // factor)
         key = (steps, steps * factor)
         if key < best_key:
             best_key = key
             best_factor = factor
+        if steps <= 1:
+            break
+        # Largest factor with the same ceil(size / f), then step past it.
+        factor = (size - 1) // (steps - 1) + 1
     return best_factor
 
 
@@ -479,11 +713,3 @@ def _ordered_loops(factors: Dict[Dim, int],
         if bound > 1:
             loops.append(TemporalLoop(dim=dim, bound=bound))
     return tuple(loops)
-
-
-def _product_over(buffer_factors: Dict[str, Dict[Dim, int]],
-                  dim: Dim) -> int:
-    product = 1
-    for factors in buffer_factors.values():
-        product *= factors.get(dim, 1)
-    return product

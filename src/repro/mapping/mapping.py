@@ -113,6 +113,37 @@ class Mapping:
         object.__setattr__(self, "levels", tuple(self.levels))
         object.__setattr__(self, "spatials", tuple(self.spatials))
 
+    def __getstate__(self):
+        # The validation memo holds an Architecture reference; shipping it
+        # (or the derived index dicts) with every pickled mapping would
+        # bloat worker payloads.
+        state = dict(self.__dict__)
+        for cache_attr in ("_validated_cache", "_loops_index_cache",
+                           "_factors_index_cache"):
+            state.pop(cache_attr, None)
+        return state
+
+    def loops_by_storage(self) -> Dict[str, Tuple[TemporalLoop, ...]]:
+        """Storage name -> temporal loops, cached (mappings are immutable).
+
+        The analysis walk and the mapper's capacity pre-filter both index
+        levels by name for every candidate; treat the result as read-only.
+        """
+        cached = getattr(self, "_loops_index_cache", None)
+        if cached is None:
+            cached = {level.storage: level.loops for level in self.levels}
+            object.__setattr__(self, "_loops_index_cache", cached)
+        return cached
+
+    def factors_by_fanout(self) -> Dict[str, TMapping[Dim, int]]:
+        """Fanout name -> spatial factors, cached; treat as read-only."""
+        cached = getattr(self, "_factors_index_cache", None)
+        if cached is None:
+            cached = {spatial.fanout: spatial.factors
+                      for spatial in self.spatials}
+            object.__setattr__(self, "_factors_index_cache", cached)
+        return cached
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
@@ -128,37 +159,80 @@ class Mapping:
                 return spatial
         raise MappingError(f"mapping has no spatial entry for {fanout!r}")
 
+    def _padded_totals(self) -> Tuple[int, ...]:
+        """Per-dimension padded totals in ``ALL_DIMS`` order, cached.
+
+        Mappings are immutable, and the search hot path asks for these
+        aggregates several times per candidate (analysis, validation,
+        tie-breaking), so they are computed once per instance.
+        """
+        cached = getattr(self, "_padded_cache", None)
+        if cached is None:
+            totals = {dim: 1 for dim in ALL_DIMS}
+            for level in self.levels:
+                for loop in level.loops:
+                    totals[loop.dim] *= loop.bound
+            for spatial in self.spatials:
+                for dim, factor in spatial.factors.items():
+                    totals[dim] *= factor
+            cached = tuple(totals[dim] for dim in ALL_DIMS)
+            object.__setattr__(self, "_padded_cache", cached)
+        return cached
+
     def padded_dims(self) -> Dict[Dim, int]:
         """Per-dimension product of every temporal and spatial factor."""
-        totals = {dim: 1 for dim in ALL_DIMS}
-        for level in self.levels:
-            for dim, factor in level.factors().items():
-                totals[dim] *= factor
-        for spatial in self.spatials:
-            for dim, factor in spatial.factors.items():
-                totals[dim] *= factor
-        return totals
+        return dict(zip(ALL_DIMS, self._padded_totals()))
 
     @property
     def total_temporal_product(self) -> int:
         """Total cycles implied by the temporal loops (one step per cycle)."""
-        product = 1
-        for level in self.levels:
-            product *= level.factor_product
-        return product
+        cached = getattr(self, "_temporal_cache", None)
+        if cached is None:
+            cached = 1
+            for level in self.levels:
+                cached *= level.factor_product
+            object.__setattr__(self, "_temporal_cache", cached)
+        return cached
 
     @property
     def total_spatial_product(self) -> int:
-        product = 1
-        for spatial in self.spatials:
-            product *= spatial.factor_product
-        return product
+        cached = getattr(self, "_spatial_cache", None)
+        if cached is None:
+            cached = 1
+            for spatial in self.spatials:
+                cached *= spatial.factor_product
+            object.__setattr__(self, "_spatial_cache", cached)
+        return cached
 
     def padded_macs(self) -> int:
         product = 1
-        for total in self.padded_dims().values():
+        for total in self._padded_totals():
             product *= total
         return product
+
+    def canonical_key(self) -> Tuple:
+        """Hashable identity of the *schedule* this mapping expresses.
+
+        Two mappings with the same key produce identical analysis results:
+        the key records, per level, the ordered non-unit loops (bound-1
+        loops are transparent to the analyzer) and, per fanout, the sorted
+        spatial factors (factor order within a fanout has no semantic
+        meaning).  The mapper uses this to deduplicate candidates.
+        """
+        return (
+            tuple(
+                (level.storage,
+                 tuple((loop.dim, loop.bound) for loop in level.loops
+                       if loop.bound > 1))
+                for level in self.levels
+            ),
+            tuple(
+                (spatial.fanout,
+                 tuple(sorted((dim.value, factor)
+                              for dim, factor in spatial.factors.items())))
+                for spatial in self.spatials
+            ),
+        )
 
     def utilization_vs(self, layer: ConvLayer) -> float:
         """Fraction of scheduled iterations that are real work (<= 1)."""
@@ -177,7 +251,18 @@ class Mapping:
         size and allowed-dimension limits, storage temporal-dimension
         restrictions, and full coverage of the layer's (per-group) loop
         bounds.
+
+        The outcome is memoized per (architecture, problem size): mappings
+        are immutable, so re-validating the same mapping against the same
+        target — which search loops and repeated analyses do constantly —
+        is a no-op after the first success.
         """
+        required = _grouped_dims_reference(layer)
+        memo_key = (architecture, tuple(required.values()))
+        cached = getattr(self, "_validated_cache", None)
+        if cached is not None \
+                and cached[0] is memo_key[0] and cached[1] == memo_key[1]:
+            return
         storage_names = [s.name for s in architecture.storage_levels]
         mapped_names = [level.storage for level in self.levels]
         if mapped_names != storage_names:
@@ -199,6 +284,7 @@ class Mapping:
             assert isinstance(storage, StorageLevel)
             self._validate_temporal(level_mapping, storage)
         self._validate_coverage(layer)
+        object.__setattr__(self, "_validated_cache", memo_key)
 
     @staticmethod
     def _validate_spatial(spatial: FanoutMapping, fanout: SpatialFanout) -> None:

@@ -30,7 +30,7 @@ from repro.arch.hierarchy import (
 )
 from repro.energy.table import EnergyTable
 from repro.exceptions import CapacityError, SpecError
-from repro.mapping.analysis import AccessCounts, NestAnalyzer
+from repro.mapping.analysis import AccessCounts, NestAnalyzer, SearchContext
 from repro.mapping.mapping import Mapping
 from repro.model.results import (
     EnergyBreakdown,
@@ -113,6 +113,8 @@ class AcceleratorModel:
         output_to_dram: bool = True,
         check_capacity: bool = True,
         analysis_layer: Optional[ConvLayer] = None,
+        context: Optional[SearchContext] = None,
+        validated: bool = False,
     ) -> LayerEvaluation:
         """Analyze and price one layer under ``mapping``.
 
@@ -125,10 +127,18 @@ class AcceleratorModel:
         windows, most of which the hardware discards) while reporting
         per-MAC energy and utilization against the original layer's real
         work.
+
+        ``context`` shares a :class:`~repro.mapping.analysis.SearchContext`
+        (memoized nest geometry) across evaluations of the same
+        architecture/layer geometry; ``validated=True`` additionally skips
+        re-validating a mapping the caller has already validated against
+        the analysis target (the mapper's validate-once protocol).
         """
         target = analysis_layer if analysis_layer is not None else layer
         analyzer = NestAnalyzer(self.architecture, target, mapping,
-                                check_capacity=check_capacity)
+                                check_capacity=check_capacity,
+                                context=context,
+                                validate=not validated)
         counts = analyzer.analyze()
         counts = self._apply_dram_elision(counts, target, input_from_dram,
                                           output_to_dram)
@@ -155,25 +165,39 @@ class AcceleratorModel:
         layer: ConvLayer,
         input_from_dram: bool = True,
         output_to_dram: bool = True,
-    ) -> Callable[[Mapping], float]:
-        """Cost function (total energy, pJ) for the mapper."""
+    ) -> Callable[..., float]:
+        """Cost function (total energy, pJ) for the mapper.
 
-        def cost(mapping: Mapping) -> float:
+        Participates in the mapper's shared-context protocol: when the
+        search passes its :class:`SearchContext`, the candidate has been
+        validated once already and analysis reuses the context's memoized
+        geometry.
+        """
+
+        def cost(mapping: Mapping,
+                 context: Optional[SearchContext] = None) -> float:
             return self.evaluate_layer(
                 layer, mapping,
                 input_from_dram=input_from_dram,
                 output_to_dram=output_to_dram,
+                context=context,
+                validated=context is not None,
             ).energy_pj
 
+        cost.supports_context = True
         return cost
 
-    def edp_cost_fn(self, layer: ConvLayer) -> Callable[[Mapping], float]:
+    def edp_cost_fn(self, layer: ConvLayer) -> Callable[..., float]:
         """Cost function (energy x delay) for the mapper."""
 
-        def cost(mapping: Mapping) -> float:
-            evaluation = self.evaluate_layer(layer, mapping)
+        def cost(mapping: Mapping,
+                 context: Optional[SearchContext] = None) -> float:
+            evaluation = self.evaluate_layer(
+                layer, mapping, context=context,
+                validated=context is not None)
             return evaluation.energy_pj * evaluation.latency_ns
 
+        cost.supports_context = True
         return cost
 
     # ------------------------------------------------------------------

@@ -51,7 +51,8 @@ from repro.mapping.constraints import (
     MappingConstraints,
     StorageConstraint,
 )
-from repro.mapping.factorization import ceil_div
+from repro.mapping.analysis import SearchContext
+from repro.mapping.factorization import ceil_div, divisors
 from repro.mapping.mapper import Mapper, MapperResult, _largest_fitting_factor
 from repro.mapping.mapping import (
     FanoutMapping,
@@ -463,9 +464,10 @@ def albireo_analysis_layer(layer: ConvLayer) -> ConvLayer:
 def _largest_divisor_at_most(size: int, cap: int) -> int:
     """Largest exact divisor of ``size`` that is <= cap (no padding)."""
     best = 1
-    for candidate in range(1, min(size, cap) + 1):
-        if size % candidate == 0:
-            best = candidate
+    for candidate in divisors(size):
+        if candidate > cap:
+            break
+        best = candidate
     return best
 
 
@@ -708,9 +710,14 @@ class AlbireoSystem:
             return cached
         best_mapping: Optional[Mapping] = None
         best_cost = float("inf")
+        # One shared search context across the candidate pricing loop: the
+        # candidates differ only in tilings/permutations, so the memoized
+        # nest geometry (tile sizes, fill events) hits across them.
+        context = SearchContext.for_layer(self.architecture, target)
         for mapping in albireo_mapping_candidates(self.config, target):
             try:
-                cost = self.model.evaluate_layer(target, mapping).energy_pj
+                cost = self.model.evaluate_layer(target, mapping,
+                                                 context=context).energy_pj
             except Exception:  # invalid candidate (capacity, constraints)
                 continue
             if cost < best_cost:

@@ -174,6 +174,48 @@ class TestCache:
         assert cache.stats["mappings"].hits > 0
         assert cache.stats["mappings"].misses == mapper_misses
 
+    def test_mapper_counters_round_trip(self):
+        """Search-efficiency counters survive the mapper-store round trip."""
+        from repro.engine.cache import SystemStore
+        from repro.mapping.mapper import MapperResult
+        from repro.systems.albireo import albireo_reference_mapping
+        from repro.workloads import ConvLayer
+
+        mapping = albireo_reference_mapping(
+            AlbireoConfig(), ConvLayer(name="l", m=8, c=8, p=4, q=4))
+        cache = EvaluationCache()
+        store = SystemStore(cache, "cfg")
+        store.save_mapper_result(("k",), MapperResult(
+            mapping=mapping, cost=1.5, evaluated=10, valid=7,
+            deduplicated=3, pruned_early=2))
+        loaded = store.load_mapper_result(("k",))
+        assert loaded.deduplicated == 3
+        assert loaded.pruned_early == 2
+        stats = cache.mapper_search_stats()
+        assert stats == {"searches": 1, "evaluated": 10, "valid": 7,
+                         "deduplicated": 3, "pruned_early": 2}
+
+    def test_pre_overhaul_mapper_entries_still_load(self):
+        """Cache images written before the counters existed stay valid."""
+        from repro.engine.cache import SystemStore
+        from repro.mapping.serialize import mapping_to_dict
+        from repro.systems.albireo import albireo_reference_mapping
+        from repro.workloads import ConvLayer
+
+        mapping = albireo_reference_mapping(
+            AlbireoConfig(), ConvLayer(name="l", m=8, c=8, p=4, q=4))
+        cache = EvaluationCache()
+        store = SystemStore(cache, "cfg")
+        # A legacy entry: no deduplicated / pruned_early keys.
+        cache.put("mappings", store._key(("k",)), {
+            "mapping": mapping_to_dict(mapping),
+            "cost": 2.0, "evaluated": 5, "valid": 5,
+        })
+        loaded = store.load_mapper_result(("k",))
+        assert loaded.valid == 5
+        assert loaded.deduplicated == 0
+        assert loaded.pruned_early == 0
+
     def test_corrupt_or_foreign_image_starts_fresh(self, tmp_path):
         (tmp_path / "cache.json").write_text(
             json.dumps({"version": 999, "entries": {"results": {"x": 1}}}))

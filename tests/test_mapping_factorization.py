@@ -108,6 +108,26 @@ class TestTileCandidates:
         assert set(tile_candidates(10, include_padded=False)) \
             == set(divisors(10))
 
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tile_candidates(0)
+
+    def test_matches_naive_enumeration_exactly(self):
+        """The O(sqrt n) quotient-block walk equals the O(n) scan.
+
+        This is the hot-path replacement's correctness proof: for every n
+        the candidate tuple must be identical to enumerating ceil(n / k)
+        for all k, or the mapper's tiling ladder (and thus its candidate
+        pool) would silently change.
+        """
+        for n in range(1, 1025):
+            naive = set(divisors(n))
+            naive.update(ceil_div(n, parts) for parts in range(1, n + 1))
+            assert tile_candidates(n) == tuple(sorted(naive)), n
+
+    def test_cached_instances_are_reused(self):
+        assert tile_candidates(360) is tile_candidates(360)
+
 
 class TestBalancedSplit:
     def test_square(self):

@@ -21,6 +21,23 @@ def _traffic_cost(architecture, layer):
     return cost
 
 
+def _largest_fitting_factor_reference(size: int, cap: int) -> int:
+    """The original O(cap) linear scan, kept as the semantic reference."""
+    if cap <= 1:
+        return 1
+    if size <= cap:
+        return size
+    best_factor = 1
+    best_key = (size, size)
+    for factor in range(1, cap + 1):
+        steps = -(-size // factor)
+        key = (steps, steps * factor)
+        if key < best_key:
+            best_key = key
+            best_factor = factor
+    return best_factor
+
+
 class TestLargestFittingFactor:
     def test_exact_fit(self):
         assert _largest_fitting_factor(8, 8) == 8
@@ -42,6 +59,27 @@ class TestLargestFittingFactor:
     def test_padding_minimized_on_tie(self):
         # 57 over cap 16: 15 and 16 both give 4 steps; 15 pads less (60<64).
         assert _largest_fitting_factor(57, 16) == 15
+
+    def test_matches_linear_scan_exhaustively(self):
+        """Divisor/ceil-block walk == the old O(cap) scan, every pair.
+
+        Exhaustive over a dense small grid, where every quotient-block
+        boundary case occurs, plus a seeded random sample across the full
+        (size, cap) <= 512 range the mapper actually exercises.
+        """
+        import random
+
+        for size in range(1, 130):
+            for cap in range(1, 130):
+                assert _largest_fitting_factor(size, cap) \
+                    == _largest_fitting_factor_reference(size, cap), \
+                    (size, cap)
+        rng = random.Random(42)
+        for _ in range(2000):
+            size = rng.randint(1, 512)
+            cap = rng.randint(1, 512)
+            assert _largest_fitting_factor(size, cap) \
+                == _largest_fitting_factor_reference(size, cap), (size, cap)
 
 
 class TestSearch:
