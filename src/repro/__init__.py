@@ -28,8 +28,9 @@ Layer cake (each importable on its own):
   access-count analysis, and the mapping search.
 * :mod:`repro.model` — the full-system evaluator (energy breakdowns,
   throughput, batching, fusion).
-* :mod:`repro.systems` — the Albireo model and design-space exploration
-  drivers.
+* :mod:`repro.systems` — the pluggable :class:`PhotonicSystem` framework,
+  its registry, the three modeled accelerators (Albireo, WDM crossbar,
+  WDM delay-buffer), and design-space exploration drivers.
 * :mod:`repro.engine` — the parallel sweep engine: declarative evaluation
   jobs, a persistent mapping/evaluation cache, and a serial/multiprocess
   batch executor.
@@ -102,10 +103,18 @@ from repro.systems import (
     CrossbarConfig,
     CrossbarSystem,
     FIG2_BUCKETS,
+    PhotonicSystem,
     SYSTEM_BUCKETS,
+    SystemEntry,
+    WdmDelayConfig,
+    WdmDelaySystem,
     albireo_best_case_layer,
+    create_system,
+    register_system,
     sweep_memory_options,
     sweep_reuse_factors,
+    system_entries,
+    system_names,
 )
 from repro.workloads import (
     ConvLayer,
@@ -169,8 +178,16 @@ __all__ = [
     "Network",
     "NetworkEvaluation",
     "NetworkOptions",
+    "PhotonicSystem",
     "ReproError",
     "SYSTEM_BUCKETS",
+    "SystemEntry",
+    "WdmDelayConfig",
+    "WdmDelaySystem",
+    "create_system",
+    "register_system",
+    "system_entries",
+    "system_names",
     "ScalingScenario",
     "SpatialFanout",
     "SpecError",

@@ -8,26 +8,30 @@ analyses::
     repro fig4         # full-system memory exploration
     repro fig5         # reuse-factor exploration
     repro all          # everything + claim summary
-    repro compare      # Albireo vs WDM-crossbar system comparison
+    repro compare      # cross-system comparison (every registered system)
     repro sensitivity  # per-device energy sensitivity analysis
     repro roofline     # bandwidth roofline of AlexNet on Albireo
     repro sweep        # parallel/cached configuration sweep (DSE engine)
-    repro arch         # print the modeled Albireo hierarchy
+    repro arch         # print a modeled system's hierarchy
     repro area         # per-component area summary
 
+Modeled systems are resolved through the pluggable registry
+(:mod:`repro.systems.registry`); ``sweep``, ``arch``, and ``area`` take
+``--system <name>`` (default ``albireo``) and ``compare`` takes a
+comma-separated ``--system`` list (default: all registered systems).
 Sweep-shaped commands (``fig4``, ``fig5``, ``sweep``, ``all``) accept
 ``--workers N`` to evaluate over a process pool and ``--cache DIR`` to
-memoize mapper results and evaluations across invocations.
+memoize mapper results and evaluations across invocations — warmed-cache
+sweeps work for every registered system.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 from typing import List, Optional
 
-from repro.energy.scaling import AGGRESSIVE, CONSERVATIVE, scenario_by_name
+from repro.energy.scaling import scenario_by_name
 from repro.experiments import (
     fig2_validation,
     fig3_throughput,
@@ -36,14 +40,7 @@ from repro.experiments import (
     run_all,
 )
 from repro.report.ascii import format_table
-from repro.systems.albireo import AlbireoConfig, AlbireoSystem
-
-#: The default ``repro sweep`` grid: 2 scenarios x 3 cluster counts x
-#: 2 output-reuse x 2 input-reuse settings = 24 Albireo configurations.
-SWEEP_SCENARIOS = (CONSERVATIVE, AGGRESSIVE)
-SWEEP_CLUSTERS = (8, 16, 32)
-SWEEP_OUTPUT_REUSE = (3, 9)
-SWEEP_INPUT_REUSE = (9, 27)
+from repro.systems.registry import create_system, get_system, system_names
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,6 +61,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scenario", default="conservative",
         help="scaling scenario for arch/area commands "
              "(conservative|moderate|aggressive)",
+    )
+    parser.add_argument(
+        "--system", default=None, metavar="NAME",
+        help="registered system for sweep/arch/area (default albireo); "
+             "comma-separated list for compare (default: all registered)",
     )
     parser.add_argument(
         "--mapper", action="store_true",
@@ -103,7 +105,8 @@ def _sweep_network(name: str):
 
 
 def _run_sweep(args) -> str:
-    """The ``repro sweep`` command: a 24-point grid through the engine."""
+    """The ``repro sweep`` command: a registered system's default grid
+    through the engine."""
     from repro.engine import (
         EvaluationCache,
         config_sweep_jobs,
@@ -111,18 +114,12 @@ def _run_sweep(args) -> str:
         run_jobs,
     )
 
+    entry = get_system(args.system or "albireo")
+    if entry.default_sweep is None:
+        raise SystemExit(
+            f"system {entry.name!r} registers no default sweep grid")
     network = _sweep_network(args.network)
-    configs = []
-    for scenario in SWEEP_SCENARIOS:
-        for clusters in SWEEP_CLUSTERS:
-            for output_reuse in SWEEP_OUTPUT_REUSE:
-                for input_reuse in SWEEP_INPUT_REUSE:
-                    configs.append(replace(
-                        AlbireoConfig(scenario=scenario),
-                        clusters=clusters,
-                        output_reuse=output_reuse,
-                        star_ports=input_reuse,
-                    ))
+    configs = list(entry.default_sweep())
     jobs = config_sweep_jobs(network, configs, use_mapper=args.mapper)
     cache = EvaluationCache(args.cache) if args.cache else None
     mapper_stats_before = (cache.mapper_search_stats()
@@ -142,26 +139,27 @@ def _run_sweep(args) -> str:
             points,
             lambda item: (item[1].energy_per_mac_pj, item[1].latency_ns))
     }
+    columns = entry.sweep_columns or (
+        ("configuration", lambda config: config.describe()
+         if hasattr(config, "describe") else repr(config)),
+    )
     rows = []
     for point in points:
         config, evaluation = point
-        rows.append((
-            config.scenario.name,
-            config.clusters,
-            config.output_reuse,
-            config.star_ports,
-            f"{evaluation.energy_per_mac_pj:.4f}",
-            f"{evaluation.latency_ns / 1e6:.3f}",
-            f"{evaluation.utilization:.1%}",
-            "*" if id(point) in frontier else "",
-        ))
+        rows.append(
+            tuple(getter(config) for _, getter in columns) + (
+                f"{evaluation.energy_per_mac_pj:.4f}",
+                f"{evaluation.latency_ns / 1e6:.3f}",
+                f"{evaluation.utilization:.1%}",
+                "*" if id(point) in frontier else "",
+            ))
+    headers = tuple(header for header, _ in columns) + (
+        "pJ/MAC", "latency ms", "util", "Pareto")
     table = format_table(
-        ("scaling", "clusters", "OR", "IR", "pJ/MAC", "latency ms",
-         "util", "Pareto"),
-        rows,
-        align_right=[False, True, True, True, True, True, True, False])
+        headers, rows,
+        align_right=[False] + [True] * (len(headers) - 2) + [False])
     lines = [
-        f"Sweep — {network.name} across {len(configs)} Albireo "
+        f"Sweep — {network.name} across {len(configs)} {entry.name} "
         f"configurations (workers={args.workers})",
         table,
         f"{len(frontier)} Pareto-optimal points "
@@ -186,6 +184,15 @@ def _run_sweep(args) -> str:
     return "\n".join(lines)
 
 
+def _scenario_system(args):
+    """A registered system instance under the requested scenario (for the
+    arch/area commands)."""
+    entry = get_system(args.system or "albireo")
+    return create_system(
+        entry.name,
+        entry.config_type(scenario=scenario_by_name(args.scenario)))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "fig2":
@@ -204,7 +211,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "compare":
         from repro.experiments import system_comparison
 
-        print(system_comparison.run(use_mapper=args.mapper).table())
+        systems = ([name.strip() for name in args.system.split(",")
+                    if name.strip()] if args.system else system_names())
+        print(system_comparison.run(use_mapper=args.mapper,
+                                    systems=systems).table())
     elif args.command == "sensitivity":
         from repro.experiments import sensitivity
 
@@ -212,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario_by_name(args.scenario)).table())
     elif args.command == "roofline":
         from repro.model.roofline import network_roofline
+        from repro.systems.albireo import AlbireoConfig, AlbireoSystem
         from repro.workloads import alexnet
 
         system = AlbireoSystem(AlbireoConfig(
@@ -221,12 +232,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "sweep":
         print(_run_sweep(args))
     elif args.command == "arch":
-        system = AlbireoSystem(AlbireoConfig(
-            scenario=scenario_by_name(args.scenario)))
+        system = _scenario_system(args)
         print(system.describe())
     elif args.command == "area":
-        system = AlbireoSystem(AlbireoConfig(
-            scenario=scenario_by_name(args.scenario)))
+        system = _scenario_system(args)
         areas = system.area_summary_um2()
         total = sum(areas.values())
         rows = [(name, f"{area / 1e6:.3f}", f"{area / total:.1%}")

@@ -229,10 +229,11 @@ class SystemStore:
     """Adapter giving a system object cached mapper searches and layer
     evaluations.
 
-    :class:`~repro.systems.albireo.AlbireoSystem` accepts one of these as
-    its ``store`` argument and calls the four duck-typed methods below with
-    structural keys (tuples of scalars); the store scopes them under the
-    system's configuration hash so different configurations never collide.
+    Every :class:`~repro.systems.base.PhotonicSystem` accepts one of these
+    as its ``store`` argument and calls the four duck-typed methods below
+    with structural keys (tuples of scalars); the store scopes them under
+    the system's configuration hash so different configurations never
+    collide.
     """
 
     def __init__(self, cache: EvaluationCache, system_key: str) -> None:

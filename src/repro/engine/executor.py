@@ -98,12 +98,12 @@ def _compute_job(job: EvaluationJob,
     computed when a cache needs keys — and is memoized on the job itself —
     so uncached runs skip it entirely and cached runs pay for it once.
     """
-    registry = system_registry()[job.system]
-    if cache is not None and registry["supports_store"]:
+    entry = system_registry()[job.system]
+    if cache is not None and entry.supports_store:
         store = SystemStore(cache, _system_key(job.to_dict()))
-        system = registry["system_type"](job.config, store=store)
+        system = entry.system_type(job.config, store=store)
     else:
-        system = registry["system_type"](job.config)
+        system = entry.system_type(job.config)
     evaluation = system.evaluate_network(
         job.network, fused=job.fused, use_mapper=job.use_mapper)
     if not job.include_dram:

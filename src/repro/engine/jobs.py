@@ -27,47 +27,19 @@ from repro.engine.codec import config_to_dict, content_hash, network_to_dict
 from repro.exceptions import SpecError
 from repro.workloads.network import Network
 
-#: Registry of evaluatable systems.  Each entry maps the job's ``system``
-#: tag to lazily imported (config type, system type, architecture builder,
-#: supports the engine's store seam) — lazy so importing the engine never
-#: drags in (or cycles with) :mod:`repro.systems`.  Must stay in sync
-#: with :func:`system_registry`'s keys (validated without importing
-#: :mod:`repro.systems`, so it is a separate literal).
-_SYSTEM_TAGS = ("albireo", "crossbar")
 
+def system_registry() -> Dict[str, Any]:
+    """The supported systems: name -> :class:`repro.systems.registry.
+    SystemEntry`, resolved on first use.
 
-def system_registry() -> Dict[str, Dict[str, Any]]:
-    """The supported systems, resolved on first use.
-
-    ``supports_store`` marks systems whose constructor accepts the engine's
-    mapper/layer store (see :class:`repro.engine.cache.SystemStore`);
-    others still get whole-job result caching.
+    A thin delegate to the single registry in
+    :mod:`repro.systems.registry` (where both built-in and user systems
+    register) — imported lazily, so importing the engine never drags in
+    (or cycles with) :mod:`repro.systems`.
     """
-    from repro.systems.albireo import (
-        AlbireoConfig,
-        AlbireoSystem,
-        build_albireo_architecture,
-    )
-    from repro.systems.crossbar import (
-        CrossbarConfig,
-        CrossbarSystem,
-        build_crossbar_architecture,
-    )
+    from repro.systems.registry import system_entries
 
-    return {
-        "albireo": {
-            "config_type": AlbireoConfig,
-            "system_type": AlbireoSystem,
-            "build_architecture": build_albireo_architecture,
-            "supports_store": True,
-        },
-        "crossbar": {
-            "config_type": CrossbarConfig,
-            "system_type": CrossbarSystem,
-            "build_architecture": build_crossbar_architecture,
-            "supports_store": False,
-        },
-    }
+    return system_entries()
 
 
 @dataclass(frozen=True)
@@ -91,10 +63,11 @@ class EvaluationJob:
     tags: Tuple[Tuple[str, Any], ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
-        if self.system not in _SYSTEM_TAGS:
+        registry = system_registry()
+        if self.system not in registry:
             raise SpecError(
                 f"unknown system {self.system!r}; "
-                f"options: {sorted(_SYSTEM_TAGS)}")
+                f"options: {sorted(registry)}")
 
     # ------------------------------------------------------------------
     # Identity
@@ -110,15 +83,16 @@ class EvaluationJob:
         cached = self.__dict__.get("_dict_cache")
         if cached is not None:
             return cached
-        registry = system_registry()[self.system]
+        entry = system_registry()[self.system]
         from repro.arch.spec import architecture_to_dict
+        from repro.systems.base import build_cached
 
         cached = {
             "kind": "network-evaluation",
             "system": self.system,
             "config": config_to_dict(self.config),
             "architecture": architecture_to_dict(
-                registry["build_architecture"](self.config)),
+                build_cached(entry.build_architecture, self.config)),
             "network": network_to_dict(self.network),
             "options": {
                 "fused": self.fused,
@@ -171,11 +145,9 @@ class EvaluationJob:
 def make_job(network: Network, config: Any, **options: Any) -> EvaluationJob:
     """Build a job, inferring ``system`` from the config's type."""
     if "system" not in options:
-        system = next(
-            (tag for tag, entry in system_registry().items()
-             if isinstance(config, entry["config_type"])),
-            None,
-        )
+        from repro.systems.registry import infer_system
+
+        system = infer_system(config)
         if system is None:
             raise SpecError(
                 f"cannot infer system for config type "

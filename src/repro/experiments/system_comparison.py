@@ -1,35 +1,33 @@
-"""Cross-system comparison: Albireo vs a weight-stationary WDM crossbar.
+"""Cross-system comparison over every registered photonic accelerator.
 
-The paper's stated third use case for the modeling tool: "compare two
+The paper's stated third use case for the modeling tool: "compare
 photonic systems across a range of DNN workloads."  This experiment runs
-both modeled systems over the workload suite with one shared component
-library, so every difference traces to *architecture* — where the
-converters sit relative to the reuse structures — rather than device
-assumptions.
+the registered systems (resolved through
+:mod:`repro.systems.registry` — by default all of them) over the
+workload suite with one shared component library, so every difference
+traces to *architecture* — where the converters sit relative to the
+reuse structures — rather than device assumptions.
 
 The expected (and reproduced) contrasts:
 
-* the crossbar's analog weight banks all but eliminate weight-conversion
-  energy, where streamed-weight Albireo pays per MAC;
+* analog weight banks (crossbar, WDM delay-buffer) all but eliminate
+  weight-conversion energy, where streamed-weight Albireo pays per MAC;
 * Albireo's locally-connected window fabric wins utilization on unstrided
   3x3 convolutions; the crossbar wins on fully-connected layers, which
   leave 8 of 9 Albireo window sites dark;
-* both are at the mercy of DRAM for batch-1 FC weights — architecture
+* all are at the mercy of DRAM for batch-1 FC weights — architecture
   cannot amortize single-use data.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.energy.scaling import AGGRESSIVE, ScalingScenario
 from repro.model.results import NetworkEvaluation
 from repro.report.ascii import format_table
-from repro.systems.albireo import AlbireoConfig, AlbireoSystem, \
-    SYSTEM_BUCKETS
-from repro.systems.crossbar import CROSSBAR_BUCKETS, CrossbarConfig, \
-    CrossbarSystem
+from repro.systems.registry import get_system, system_names
 from repro.workloads.models import alexnet, resnet18, vgg16
 from repro.workloads.network import Network
 
@@ -67,14 +65,30 @@ class ComparisonResult:
         raise KeyError((system, network))
 
     @property
+    def systems(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.system not in seen:
+                seen.append(row.system)
+        return tuple(seen)
+
+    @property
     def expected_contrasts_hold(self) -> bool:
-        """The three architecture-level contrasts described above."""
+        """The architecture-level contrasts described above: every
+        weight-stationary system beats streamed-weight Albireo's
+        weight-conversion energy by at least 4x (checked for whichever
+        systems are present)."""
+        stationary = [name for name in self.systems
+                      if name in ("crossbar", "wdm_delay")]
+        if "albireo" not in self.systems or not stationary:
+            return True
         checks = []
         for network in {row.network for row in self.rows}:
             albireo = self.row("albireo", network)
-            crossbar = self.row("crossbar", network)
-            checks.append(crossbar.weight_conversion_pj_per_mac
-                          < 0.25 * albireo.weight_conversion_pj_per_mac)
+            for name in stationary:
+                other = self.row(name, network)
+                checks.append(other.weight_conversion_pj_per_mac
+                              < 0.25 * albireo.weight_conversion_pj_per_mac)
         return all(checks)
 
     def table(self) -> str:
@@ -102,15 +116,23 @@ def run(
     networks: Optional[Sequence[Network]] = None,
     scenario: ScalingScenario = AGGRESSIVE,
     use_mapper: bool = False,
+    systems: Optional[Sequence[str]] = None,
 ) -> ComparisonResult:
+    """Compare ``systems`` (registry names; default: every registered
+    system) over ``networks`` under one scaling scenario."""
     networks = networks or (resnet18(), vgg16(), alexnet())
-    albireo = AlbireoSystem(AlbireoConfig(scenario=scenario))
-    crossbar = CrossbarSystem(CrossbarConfig(scenario=scenario))
+    names = list(systems) if systems else system_names()
+    instances = []
+    for name in names:
+        entry = get_system(name)
+        instances.append((
+            name,
+            entry.system_type(entry.config_type(scenario=scenario)),
+            entry.buckets,
+        ))
     rows: List[SystemComparisonRow] = []
     for network in networks:
-        for name, system, buckets in (
-                ("albireo", albireo, SYSTEM_BUCKETS),
-                ("crossbar", crossbar, CROSSBAR_BUCKETS)):
+        for name, system, buckets in instances:
             evaluation = system.evaluate_network(network,
                                                  use_mapper=use_mapper)
             grouped = evaluation.total_energy.per_mac(

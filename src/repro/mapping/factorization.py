@@ -41,6 +41,27 @@ def divisors(n: int) -> Tuple[int, ...]:
     return tuple(small + large[::-1])
 
 
+@lru_cache(maxsize=4096)
+def largest_divisor_at_most(n: int, cap: int) -> int:
+    """Largest exact divisor of ``n`` that is <= ``cap`` (no padding).
+
+    The "exact split" counterpart of the mapper's padded
+    ``_largest_fitting_factor``: systems use it where idle iterations are
+    unacceptable (e.g. analog accumulation depths must divide evenly).
+
+    >>> largest_divisor_at_most(12, 5)
+    4
+    >>> largest_divisor_at_most(7, 5)
+    1
+    """
+    best = 1
+    for candidate in divisors(n):
+        if candidate > cap:
+            break
+        best = candidate
+    return best
+
+
 def factor_splits(n: int, parts: int) -> Iterator[Tuple[int, ...]]:
     """All ordered ``parts``-tuples of positive integers whose product is n.
 

@@ -30,8 +30,8 @@ determines how many conversions a mapping implies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.domains import Conversion, Domain
 from repro.arch.hierarchy import (
@@ -43,32 +43,30 @@ from repro.arch.hierarchy import (
     StorageLevel,
 )
 from repro.energy.estimator import ComponentSpec, build_table
-from repro.energy.scaling import CONSERVATIVE, ScalingScenario
+from repro.energy.scaling import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    ScalingScenario,
+)
 from repro.energy.table import EnergyTable
 from repro.exceptions import SpecError
-from repro.mapping.constraints import (
-    FanoutConstraint,
-    MappingConstraints,
-    StorageConstraint,
-)
-from repro.mapping.analysis import SearchContext
-from repro.mapping.factorization import ceil_div, divisors
-from repro.mapping.mapper import Mapper, MapperResult, _largest_fitting_factor
-from repro.mapping.mapping import (
-    FanoutMapping,
-    LevelMapping,
-    Mapping,
-    TemporalLoop,
-    problem_dims,
-)
-from repro.model.accelerator import AcceleratorModel, NetworkOptions
+from repro.mapping.constraints import MappingConstraints, StorageConstraint
+from repro.mapping.factorization import largest_divisor_at_most
+from repro.mapping.mapping import FanoutMapping, LevelMapping, Mapping
 from repro.model.buckets import BucketScheme, component_rule
-from repro.model.results import LayerEvaluation, NetworkEvaluation
+from repro.systems.base import PhotonicSystem
+from repro.systems.refmap import (
+    GB_ORDER,
+    FactorTaker,
+    dram_order_protecting,
+    shrink_to_fit,
+    temporal_loops,
+)
+from repro.systems.registry import SystemEntry, register_system
 from repro.units import KIBIBYTE
-from repro.workloads.dataspace import DataSpace, dataspace_tile_size
+from repro.workloads.dataspace import DataSpace
 from repro.workloads.dims import Dim
 from repro.workloads.layer import ConvLayer
-from repro.workloads.network import Network
 
 
 @dataclass(frozen=True)
@@ -128,12 +126,7 @@ class AlbireoConfig:
         The largest divisor of ``output_reuse`` that the window-site array
         can supply; the remainder is temporal integration depth.
         """
-        best = 1
-        for candidate in range(1, min(self.output_reuse,
-                                      self.window_sites) + 1):
-            if self.output_reuse % candidate == 0:
-                best = candidate
-        return best
+        return largest_divisor_at_most(self.output_reuse, self.window_sites)
 
     @property
     def or_temporal(self) -> int:
@@ -461,16 +454,6 @@ def albireo_analysis_layer(layer: ConvLayer) -> ConvLayer:
     )
 
 
-def _largest_divisor_at_most(size: int, cap: int) -> int:
-    """Largest exact divisor of ``size`` that is <= cap (no padding)."""
-    best = 1
-    for candidate in divisors(size):
-        if candidate > cap:
-            break
-        best = candidate
-    return best
-
-
 def albireo_reference_mapping(
     config: AlbireoConfig,
     layer: ConvLayer,
@@ -494,34 +477,17 @@ def albireo_reference_mapping(
     :func:`albireo_mapping_candidates` enumerates the sensible combinations
     so a system can keep whichever prices cheapest.
     """
-    dims = problem_dims(layer)
-    remaining = dict(dims)
-
-    def take(dim: Dim, cap: int, mode: str = "fill") -> int:
-        cap = min(remaining[dim], cap)
-        if mode == "divisor":
-            factor = _largest_divisor_at_most(remaining[dim], cap)
-        else:
-            factor = _largest_fitting_factor(remaining[dim], cap)
-        remaining[dim] = ceil_div(remaining[dim], factor)
-        return factor
+    taker = FactorTaker(layer)
 
     # --- Spatial assignment, inner fanouts first -----------------------
-    r_sp = take(Dim.R, config.window_sites_per_axis)
-    s_sp = take(Dim.S, config.window_sites_per_axis)
-    c_sp = take(Dim.C, config.wavelengths, mode=channel_mode)
-    m_star = take(Dim.M, config.star_ports)
-    q_lane = take(Dim.Q, config.weight_lanes)
+    r_sp = taker.take(Dim.R, config.window_sites_per_axis)
+    s_sp = taker.take(Dim.S, config.window_sites_per_axis)
+    c_sp = taker.take(Dim.C, config.wavelengths, mode=channel_mode)
+    m_star = taker.take(Dim.M, config.star_ports)
+    q_lane = taker.take(Dim.Q, config.weight_lanes)
 
-    cluster_budget = config.clusters
-    cluster_factors: Dict[Dim, int] = {}
-    for dim in (Dim.M, Dim.Q, Dim.P, Dim.N):
-        if cluster_budget <= 1:
-            break
-        factor = take(dim, cluster_budget)
-        if factor > 1:
-            cluster_factors[dim] = factor
-            cluster_budget //= factor
+    cluster_factors = taker.take_budgeted((Dim.M, Dim.Q, Dim.P, Dim.N),
+                                          config.clusters)
 
     spatials = (
         FanoutMapping("clusters", cluster_factors),
@@ -544,73 +510,29 @@ def albireo_reference_mapping(
     # --- AE integrator accumulation up to its budget --------------------
     integrator_factors: Dict[Dim, int] = {}
     if integrator_mode != "off":
-        budget = config.or_temporal
-        for dim in (Dim.C, Dim.R, Dim.S):
-            if budget <= 1:
-                break
-            factor = take(dim, budget, mode=integrator_mode)
-            if factor > 1:
-                integrator_factors[dim] = factor
-                budget //= factor
+        integrator_factors = taker.take_budgeted(
+            (Dim.C, Dim.R, Dim.S), config.or_temporal, mode=integrator_mode)
 
     # --- Global-buffer tile: shrink until it fits -----------------------
-    gb_factors = dict(remaining)
-    capacity = config.global_buffer_bits * 0.95
-
-    def occupancy(factors: Dict[Dim, int]) -> float:
-        bounds = {dim: factors.get(dim, 1) * spatial_cum.get(dim, 1)
-                  * integrator_factors.get(dim, 1) for dim in dims}
-        bits = 0.0
-        for dataspace in (_W, _I, _O):
-            width = (layer.bits_per_weight if dataspace is _W
-                     else layer.bits_per_activation)
-            bits += dataspace_tile_size(dataspace, bounds,
-                                        layer.strides) * width
-        return bits
-
-    shrink_order = (Dim.N, Dim.M, Dim.C, Dim.P, Dim.Q)
-    for _ in range(256):
-        if occupancy(gb_factors) <= capacity:
-            break
-        largest = max(shrink_order, key=lambda d: gb_factors.get(d, 1))
-        if gb_factors.get(largest, 1) <= 1:
-            break
-        gb_factors[largest] = ceil_div(gb_factors[largest], 2)
-
-    dram_factors = {
-        dim: ceil_div(remaining[dim], gb_factors.get(dim, 1))
-        for dim in dims
-    }
+    gb_factors = shrink_to_fit(
+        layer, taker.dims, dict(taker.remaining),
+        config.global_buffer_bits * 0.95,
+        spatial_cum, integrator_factors,
+    )
+    dram_factors = taker.residual_after(gb_factors)
 
     # --- Permutations ----------------------------------------------------
     # GB loops: reduction dims innermost so outputs finish accumulating
-    # before eviction (protect outputs).
-    gb_order = (Dim.N, Dim.M, Dim.P, Dim.Q, Dim.C, Dim.R, Dim.S)
-    # DRAM loops: keep the larger tensor resident across the other's sweep.
-    if dram_protects == "auto":
-        dram_protects = ("weights" if layer.weight_bits >= layer.input_bits
-                         else "inputs")
-    if dram_protects == "weights":
-        dram_order = (Dim.C, Dim.M, Dim.R, Dim.S, Dim.Q, Dim.P, Dim.N)
-    elif dram_protects == "outputs":
-        # Reduction dims innermost at DRAM: output tiles finish
-        # accumulating before eviction (no partial-sum spills), at the
-        # price of weight/input refetch across the outer pixel loops.
-        dram_order = (Dim.N, Dim.P, Dim.Q, Dim.M, Dim.C, Dim.R, Dim.S)
-    else:
-        dram_order = (Dim.R, Dim.S, Dim.C, Dim.Q, Dim.P, Dim.N, Dim.M)
-
-    def loops(factors: Dict[Dim, int],
-              order: Tuple[Dim, ...]) -> Tuple[TemporalLoop, ...]:
-        return tuple(TemporalLoop(dim, factors[dim])
-                     for dim in order if factors.get(dim, 1) > 1)
+    # before eviction (protect outputs); DRAM loops keep the protected
+    # tensor resident across the other's sweep.
+    dram_order = dram_order_protecting(layer, dram_protects)
 
     levels = (
-        LevelMapping("DRAM", loops(dram_factors, dram_order)),
-        LevelMapping("GlobalBuffer", loops(gb_factors, gb_order)),
+        LevelMapping("DRAM", temporal_loops(dram_factors, dram_order)),
+        LevelMapping("GlobalBuffer", temporal_loops(gb_factors, GB_ORDER)),
         LevelMapping("AEIntegrator",
-                     loops(integrator_factors,
-                           (Dim.C, Dim.R, Dim.S))),
+                     temporal_loops(integrator_factors,
+                                    (Dim.C, Dim.R, Dim.S))),
     )
     return Mapping(levels=levels, spatials=spatials)
 
@@ -665,7 +587,7 @@ def albireo_best_case_layer(config: Optional[AlbireoConfig] = None,
 # The bundled system
 # ---------------------------------------------------------------------------
 
-class AlbireoSystem:
+class AlbireoSystem(PhotonicSystem):
     """Albireo ready to evaluate: architecture + energy table + model.
 
     This is the main entry point users of the library interact with::
@@ -674,174 +596,67 @@ class AlbireoSystem:
         result = system.evaluate_layer(layer)
         print(result.energy.describe(SYSTEM_BUCKETS))
 
-    ``store`` is an optional persistence seam used by the sweep engine
-    (duck-typed; see :class:`repro.engine.cache.SystemStore`): when given,
-    mapper searches and default-mapping layer evaluations are looked up
-    from / saved to it, so repeat evaluations of the same (config, layer)
-    pair — across jobs, processes, or sessions — skip the expensive work.
+    All shared machinery — the reference-mapping candidate pricing, the
+    mapper-search and layer-evaluation ``store`` seam the sweep engine
+    memoizes through, fusion-aware network evaluation — lives in
+    :class:`~repro.systems.base.PhotonicSystem`; this class contributes
+    Albireo's structure and its strided-convolution window expansion.
     """
 
-    def __init__(self, config: Optional[AlbireoConfig] = None,
-                 store: Optional[object] = None) -> None:
-        self.config = config or AlbireoConfig()
-        self.store = store
-        self.architecture = build_albireo_architecture(self.config)
-        self.energy_table = build_albireo_energy_table(self.config)
-        self.model = AcceleratorModel(self.architecture, self.energy_table)
-        self._mapping_cache: Dict[Tuple, Mapping] = {}
+    name = "albireo"
+    config_type = AlbireoConfig
+    build_architecture = staticmethod(build_albireo_architecture)
+    build_energy_table = staticmethod(build_albireo_energy_table)
 
-    # ------------------------------------------------------------------
-    # Mapping
-    # ------------------------------------------------------------------
     def analysis_layer(self, layer: ConvLayer) -> ConvLayer:
         """The unit-stride workload Albireo physically executes."""
         return albireo_analysis_layer(layer)
 
-    def reference_mapping(self, layer: ConvLayer) -> Mapping:
-        """The cheapest of the reference-mapping candidates for this layer.
+    def constraints(self, layer: ConvLayer) -> MappingConstraints:
+        return albireo_constraints(self.config, layer)
 
-        Candidates (a handful of tiling/permutation variants) are priced
-        with the full model and the result is cached per layer shape.
-        """
-        target = self.analysis_layer(layer)
-        key = _layer_shape_key(target)
-        cached = self._mapping_cache.get(key)
-        if cached is not None:
-            return cached
-        best_mapping: Optional[Mapping] = None
-        best_cost = float("inf")
-        # One shared search context across the candidate pricing loop: the
-        # candidates differ only in tilings/permutations, so the memoized
-        # nest geometry (tile sizes, fill events) hits across them.
-        context = SearchContext.for_layer(self.architecture, target)
-        for mapping in albireo_mapping_candidates(self.config, target):
-            try:
-                cost = self.model.evaluate_layer(target, mapping,
-                                                 context=context).energy_pj
-            except Exception:  # invalid candidate (capacity, constraints)
-                continue
-            if cost < best_cost:
-                best_cost = cost
-                best_mapping = mapping
-        if best_mapping is None:
-            raise SpecError(
-                f"no valid reference mapping for layer {layer.name!r} on "
-                f"{self.config.describe()}"
-            )
-        self._mapping_cache[key] = best_mapping
-        return best_mapping
-
-    def search_mapping(self, layer: ConvLayer,
-                       max_evaluations: int = 1000,
-                       seed: int = 0) -> MapperResult:
-        """Mapper search (on the executed workload), seeded with the
-        reference mapping."""
-        target = self.analysis_layer(layer)
-        store_key = ("mapper", _layer_shape_key(target),
-                     max_evaluations, seed)
-        if self.store is not None:
-            cached = self.store.load_mapper_result(store_key)
-            if cached is not None:
-                return cached
-        mapper = Mapper(
-            self.architecture,
-            cost_fn=self.model.energy_cost_fn(target),
-            constraints=albireo_constraints(self.config, target),
-        )
-        result = mapper.search(
-            target, max_evaluations=max_evaluations, seed=seed,
-            extra_candidates=(self.reference_mapping(layer),),
-        )
-        if self.store is not None:
-            self.store.save_mapper_result(store_key, result)
-        return result
-
-    # ------------------------------------------------------------------
-    # Evaluation
-    # ------------------------------------------------------------------
-    def evaluate_layer(
-        self,
-        layer: ConvLayer,
-        mapping: Optional[Mapping] = None,
-        use_mapper: bool = False,
-        input_from_dram: bool = True,
-        output_to_dram: bool = True,
-    ) -> LayerEvaluation:
-        target = self.analysis_layer(layer)
-        store_key = None
-        if self.store is not None and mapping is None:
-            # Only the default-mapping path is cacheable: the key names the
-            # layer (shape and name, so cached results reconstruct exactly)
-            # and every flag that changes the result.
-            store_key = ("layer", layer.name, _layer_shape_key(layer),
-                         bool(use_mapper), bool(input_from_dram),
-                         bool(output_to_dram))
-            cached = self.store.load_layer(store_key)
-            if cached is not None:
-                return cached
-        if mapping is None:
-            if use_mapper:
-                mapping = self.search_mapping(layer).mapping
-            else:
-                mapping = self.reference_mapping(layer)
-        evaluation = self.model.evaluate_layer(
-            layer, mapping,
-            input_from_dram=input_from_dram, output_to_dram=output_to_dram,
-            analysis_layer=(target if target is not layer else None),
-        )
-        if store_key is not None:
-            self.store.save_layer(store_key, evaluation)
-        return evaluation
-
-    def evaluate_network(
-        self,
-        network: Network,
-        fused: bool = False,
-        use_mapper: bool = False,
-    ) -> NetworkEvaluation:
-        """Whole-network evaluation with Albireo's stride handling.
-
-        Mirrors :meth:`AcceleratorModel.evaluate_network`'s fusion policy
-        while routing each layer through :meth:`evaluate_layer` so strided
-        layers are expanded to the workload the hardware executes.
-        """
-        from repro.model.accelerator import fusion_blocks
-
-        if fused:
-            self.model._check_fusion_capacity(network,
-                                              NetworkOptions(fused=True))
-        evaluations = []
-        entries = network.entries
-        for index, entry in enumerate(entries):
-            is_last = index == len(entries) - 1
-            for input_dram, output_dram, count in fusion_blocks(
-                    entry, is_last, fused):
-                evaluation = self.evaluate_layer(
-                    entry.layer,
-                    use_mapper=use_mapper,
-                    input_from_dram=input_dram,
-                    output_to_dram=output_dram,
-                )
-                evaluations.append((evaluation, count))
-        return NetworkEvaluation(
-            name=network.name,
-            layers=tuple(evaluations),
-            clock_ghz=self.architecture.clock_ghz,
-            peak_parallelism=self.architecture.peak_parallelism,
-        )
-
-    # ------------------------------------------------------------------
-    # Reporting helpers
-    # ------------------------------------------------------------------
-    def area_summary_um2(self) -> Dict[str, float]:
-        return self.model.area_um2()
-
-    def describe(self) -> str:
-        return self.config.describe() + "\n" + self.architecture.describe()
+    def mapping_candidates(self, layer: ConvLayer) -> List[Mapping]:
+        return albireo_mapping_candidates(self.config, layer)
 
 
-def _layer_shape_key(layer: ConvLayer) -> Tuple:
-    """Cache key: everything that affects mapping choice except the name."""
-    return (layer.n, layer.m, layer.c, layer.p, layer.q, layer.r, layer.s,
-            layer.stride_h, layer.stride_w, layer.groups,
-            layer.bits_per_weight, layer.bits_per_activation)
+# ---------------------------------------------------------------------------
+# Registry entry
+# ---------------------------------------------------------------------------
+
+def albireo_default_sweep() -> List[AlbireoConfig]:
+    """The ``repro sweep --system albireo`` grid: 2 scenarios x 3 cluster
+    counts x 2 output-reuse x 2 input-reuse settings = 24 configurations."""
+    configs = []
+    for scenario in (CONSERVATIVE, AGGRESSIVE):
+        for clusters in (8, 16, 32):
+            for output_reuse in (3, 9):
+                for input_reuse in (9, 27):
+                    configs.append(replace(
+                        AlbireoConfig(scenario=scenario),
+                        clusters=clusters,
+                        output_reuse=output_reuse,
+                        star_ports=input_reuse,
+                    ))
+    return configs
+
+
+register_system(SystemEntry(
+    name="albireo",
+    config_type=AlbireoConfig,
+    system_type=AlbireoSystem,
+    build_architecture=build_albireo_architecture,
+    build_energy_table=build_albireo_energy_table,
+    buckets=SYSTEM_BUCKETS,
+    supports_store=True,
+    description=("Albireo silicon-photonic CNN accelerator "
+                 "(Shiflett et al., ISCA 2021): streamed weights, "
+                 "star-coupler input broadcast, locally-connected "
+                 "window-site array"),
+    default_sweep=albireo_default_sweep,
+    sweep_columns=(
+        ("scaling", lambda config: config.scenario.name),
+        ("clusters", lambda config: config.clusters),
+        ("OR", lambda config: config.output_reuse),
+        ("IR", lambda config: config.star_ports),
+    ),
+))

@@ -1,0 +1,313 @@
+"""The pluggable system framework: one base class, many accelerators.
+
+The paper's core claim is that a single architecture-level methodology —
+Timeloop-style loop nests priced by a photonic component library — models
+*many* photonic DNN accelerators.  :class:`PhotonicSystem` is that claim
+as code: it owns the entire config → architecture → energy table →
+reference mapping → evaluation pipeline once, and a concrete system
+(Albireo, the WDM crossbar, the WDM delay-buffer accelerator, or a user's
+own design) supplies only the parts that make it *that* system:
+
+* ``config_type`` — a frozen dataclass of its parameters;
+* :meth:`build_architecture` / :meth:`build_energy_table` — the node list
+  and component pricing (pure functions of the config);
+* :meth:`mapping_candidates` — the reference-mapping variants worth
+  pricing for a layer;
+* optionally :meth:`constraints` (mapper search limits) and
+  :meth:`analysis_layer` (the workload the hardware physically executes,
+  e.g. Albireo's strided-convolution window expansion).
+
+Everything else — per-shape reference-mapping caches, the mapper-search
+and layer-evaluation ``store`` seam the sweep engine memoizes through,
+shared-:class:`~repro.mapping.analysis.SearchContext` candidate pricing,
+fusion-aware network evaluation — is inherited, so every registered
+system gets warmed-cache parallel sweeps for free.
+
+Architecture and energy-table builds are memoized per (builder, config)
+in :func:`build_cached`: configs are frozen dataclasses, so equal configs
+(across system instances, sweep jobs, and the engine's job-identity
+hashing) share one immutable build instead of re-deriving it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, ClassVar, Dict, Optional, Sequence, Tuple
+
+from repro.arch.hierarchy import Architecture
+from repro.energy.table import EnergyTable
+from repro.exceptions import SpecError
+from repro.mapping.analysis import SearchContext
+from repro.mapping.constraints import MappingConstraints
+from repro.mapping.mapper import Mapper, MapperResult
+from repro.mapping.mapping import Mapping
+from repro.model.accelerator import (
+    AcceleratorModel,
+    NetworkOptions,
+    fusion_blocks,
+)
+from repro.model.results import LayerEvaluation, NetworkEvaluation
+from repro.workloads.layer import ConvLayer
+from repro.workloads.network import Network
+
+# ---------------------------------------------------------------------------
+# Build caching
+# ---------------------------------------------------------------------------
+
+#: Memoized (builder, config) -> architecture / energy table.  Bounded
+#: FIFO: sweeps revisit a small working set of configurations, and every
+#: cached value is immutable, so sharing across systems/jobs is safe.
+_BUILD_CACHE: Dict[Tuple[Any, ...], Any] = {}
+_BUILD_CACHE_LIMIT = 512
+
+
+def build_cached(builder: Callable[[Any], Any], config: Any) -> Any:
+    """``builder(config)``, memoized when the pair is hashable.
+
+    Used by :class:`PhotonicSystem` construction *and* the sweep engine's
+    job-identity hashing (:meth:`repro.engine.jobs.EvaluationJob.to_dict`
+    re-derives the architecture), so a cached sweep builds each distinct
+    architecture once per process instead of once per lookup.
+    """
+    try:
+        key = (builder, config)
+        hash(key)
+    except TypeError:  # unhashable custom config: build uncached
+        return builder(config)
+    value = _BUILD_CACHE.get(key)
+    if value is None:
+        value = builder(config)
+        if len(_BUILD_CACHE) >= _BUILD_CACHE_LIMIT:
+            _BUILD_CACHE.pop(next(iter(_BUILD_CACHE)))
+        _BUILD_CACHE[key] = value
+    return value
+
+
+def layer_shape_key(layer: ConvLayer) -> Tuple:
+    """Cache key: everything that affects mapping choice except the name."""
+    return (layer.n, layer.m, layer.c, layer.p, layer.q, layer.r, layer.s,
+            layer.stride_h, layer.stride_w, layer.groups,
+            layer.bits_per_weight, layer.bits_per_activation)
+
+
+# ---------------------------------------------------------------------------
+# The base system
+# ---------------------------------------------------------------------------
+
+
+class PhotonicSystem(abc.ABC):
+    """A photonic accelerator ready to evaluate: architecture + energy
+    table + model, behind the uniform interface every front-end (CLI,
+    sweep engine, experiments, DSE) programs against::
+
+        system = SomeSystem(SomeConfig(scenario=AGGRESSIVE))
+        result = system.evaluate_layer(layer)
+        print(result.energy.describe(buckets))
+
+    ``store`` is an optional persistence seam used by the sweep engine
+    (duck-typed; see :class:`repro.engine.cache.SystemStore`): when given,
+    mapper searches and default-mapping layer evaluations are looked up
+    from / saved to it, so repeat evaluations of the same (config, layer)
+    pair — across jobs, processes, or sessions — skip the expensive work.
+    Every subclass inherits the seam; registering a system (see
+    :mod:`repro.systems.registry`) is all it takes to join warmed-cache
+    parallel sweeps.
+    """
+
+    #: Registry tag; set by subclasses (matches the registry entry name).
+    name: ClassVar[str] = ""
+    #: The system's configuration dataclass; ``SystemType()`` constructs
+    #: the default instance.
+    config_type: ClassVar[type]
+
+    def __init__(self, config: Optional[Any] = None,
+                 store: Optional[object] = None) -> None:
+        self.config = self.config_type() if config is None else config
+        self.store = store
+        self.architecture: Architecture = build_cached(
+            type(self).build_architecture, self.config)
+        self.energy_table: EnergyTable = build_cached(
+            type(self).build_energy_table, self.config)
+        self.model = AcceleratorModel(self.architecture, self.energy_table)
+        self._mapping_cache: Dict[Tuple, Mapping] = {}
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @staticmethod
+    @abc.abstractmethod
+    def build_architecture(config: Any) -> Architecture:
+        """The system's node list for one configuration (pure function)."""
+
+    @staticmethod
+    @abc.abstractmethod
+    def build_energy_table(config: Any) -> EnergyTable:
+        """Component pricing for one configuration (pure function)."""
+
+    @abc.abstractmethod
+    def mapping_candidates(self, layer: ConvLayer) -> Sequence[Mapping]:
+        """Reference-mapping variants worth pricing for ``layer``.
+
+        Called with the *analysis* layer (post :meth:`analysis_layer`).
+        A single-element sequence short-circuits pricing; several elements
+        are priced with the full model and the cheapest wins.
+        """
+
+    def constraints(self, layer: ConvLayer) -> MappingConstraints:
+        """Mapping constraints for mapper searches (default: none)."""
+        return MappingConstraints()
+
+    def analysis_layer(self, layer: ConvLayer) -> ConvLayer:
+        """The workload the hardware physically executes for ``layer``
+        (default: the layer itself)."""
+        return layer
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def reference_mapping(self, layer: ConvLayer) -> Mapping:
+        """The cheapest of the reference-mapping candidates for this layer.
+
+        Candidates (a handful of tiling/permutation variants) are priced
+        with the full model and the result is cached per layer shape.
+        """
+        target = self.analysis_layer(layer)
+        key = layer_shape_key(target)
+        cached = self._mapping_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates = list(self.mapping_candidates(target))
+        if len(candidates) == 1:
+            # Deterministic single-variant systems skip pricing entirely.
+            best_mapping: Optional[Mapping] = candidates[0]
+        else:
+            best_mapping = None
+            best_cost = float("inf")
+            # One shared search context across the candidate pricing loop:
+            # the candidates differ only in tilings/permutations, so the
+            # memoized nest geometry (tile sizes, fill events) hits across
+            # them.
+            context = SearchContext.for_layer(self.architecture, target)
+            for mapping in candidates:
+                try:
+                    cost = self.model.evaluate_layer(
+                        target, mapping, context=context).energy_pj
+                except Exception:  # invalid candidate (capacity, constraints)
+                    continue
+                if cost < best_cost:
+                    best_cost = cost
+                    best_mapping = mapping
+        if best_mapping is None:
+            raise SpecError(
+                f"no valid reference mapping for layer {layer.name!r} on "
+                f"{self.config.describe()}"
+            )
+        self._mapping_cache[key] = best_mapping
+        return best_mapping
+
+    def search_mapping(self, layer: ConvLayer,
+                       max_evaluations: int = 1000,
+                       seed: int = 0) -> MapperResult:
+        """Mapper search (on the executed workload), seeded with the
+        reference mapping.  Memoized through the ``store`` seam."""
+        target = self.analysis_layer(layer)
+        store_key = ("mapper", layer_shape_key(target),
+                     max_evaluations, seed)
+        if self.store is not None:
+            cached = self.store.load_mapper_result(store_key)
+            if cached is not None:
+                return cached
+        mapper = Mapper(
+            self.architecture,
+            cost_fn=self.model.energy_cost_fn(target),
+            constraints=self.constraints(target),
+        )
+        result = mapper.search(
+            target, max_evaluations=max_evaluations, seed=seed,
+            extra_candidates=(self.reference_mapping(layer),),
+        )
+        if self.store is not None:
+            self.store.save_mapper_result(store_key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_layer(
+        self,
+        layer: ConvLayer,
+        mapping: Optional[Mapping] = None,
+        use_mapper: bool = False,
+        input_from_dram: bool = True,
+        output_to_dram: bool = True,
+    ) -> LayerEvaluation:
+        target = self.analysis_layer(layer)
+        store_key = None
+        if self.store is not None and mapping is None:
+            # Only the default-mapping path is cacheable: the key names the
+            # layer (shape and name, so cached results reconstruct exactly)
+            # and every flag that changes the result.
+            store_key = ("layer", layer.name, layer_shape_key(layer),
+                         bool(use_mapper), bool(input_from_dram),
+                         bool(output_to_dram))
+            cached = self.store.load_layer(store_key)
+            if cached is not None:
+                return cached
+        if mapping is None:
+            if use_mapper:
+                mapping = self.search_mapping(layer).mapping
+            else:
+                mapping = self.reference_mapping(layer)
+        evaluation = self.model.evaluate_layer(
+            layer, mapping,
+            input_from_dram=input_from_dram, output_to_dram=output_to_dram,
+            analysis_layer=(target if target is not layer else None),
+        )
+        if store_key is not None:
+            self.store.save_layer(store_key, evaluation)
+        return evaluation
+
+    def evaluate_network(
+        self,
+        network: Network,
+        fused: bool = False,
+        use_mapper: bool = False,
+    ) -> NetworkEvaluation:
+        """Whole-network evaluation with the system's workload handling.
+
+        Mirrors :meth:`AcceleratorModel.evaluate_network`'s fusion policy
+        while routing each layer through :meth:`evaluate_layer` so
+        executed-workload expansion (:meth:`analysis_layer`) and the store
+        seam apply per layer.
+        """
+        if fused:
+            self.model._check_fusion_capacity(network,
+                                              NetworkOptions(fused=True))
+        evaluations = []
+        entries = network.entries
+        for index, entry in enumerate(entries):
+            is_last = index == len(entries) - 1
+            for input_dram, output_dram, count in fusion_blocks(
+                    entry, is_last, fused):
+                evaluation = self.evaluate_layer(
+                    entry.layer,
+                    use_mapper=use_mapper,
+                    input_from_dram=input_dram,
+                    output_to_dram=output_dram,
+                )
+                evaluations.append((evaluation, count))
+        return NetworkEvaluation(
+            name=network.name,
+            layers=tuple(evaluations),
+            clock_ghz=self.architecture.clock_ghz,
+            peak_parallelism=self.architecture.peak_parallelism,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def area_summary_um2(self) -> Dict[str, float]:
+        return self.model.area_um2()
+
+    def describe(self) -> str:
+        return self.config.describe() + "\n" + self.architecture.describe()

@@ -31,7 +31,7 @@ locally-connected window reuse for convolutions.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List
 
 from repro.arch.domains import Conversion, Domain
 from repro.arch.hierarchy import (
@@ -43,27 +43,29 @@ from repro.arch.hierarchy import (
     StorageLevel,
 )
 from repro.energy.estimator import ComponentSpec, build_table
-from repro.energy.scaling import CONSERVATIVE, ScalingScenario
+from repro.energy.scaling import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    ScalingScenario,
+)
 from repro.energy.table import EnergyTable
 from repro.exceptions import SpecError
 from repro.mapping.constraints import MappingConstraints, StorageConstraint
-from repro.mapping.factorization import ceil_div
-from repro.mapping.mapper import Mapper, MapperResult, _largest_fitting_factor
-from repro.mapping.mapping import (
-    FanoutMapping,
-    LevelMapping,
-    Mapping,
-    TemporalLoop,
-    problem_dims,
-)
-from repro.model.accelerator import AcceleratorModel, fusion_blocks
+from repro.mapping.mapping import FanoutMapping, LevelMapping, Mapping
 from repro.model.buckets import BucketScheme, component_rule
-from repro.model.results import LayerEvaluation, NetworkEvaluation
+from repro.systems.base import PhotonicSystem
+from repro.systems.refmap import (
+    GB_ORDER,
+    FactorTaker,
+    dram_order_protecting,
+    shrink_to_fit,
+    temporal_loops,
+)
+from repro.systems.registry import SystemEntry, register_system
 from repro.units import KIBIBYTE
 from repro.workloads.dataspace import DataSpace
 from repro.workloads.dims import Dim
 from repro.workloads.layer import ConvLayer
-from repro.workloads.network import Network
 
 _W = DataSpace.WEIGHTS
 _I = DataSpace.INPUTS
@@ -285,33 +287,19 @@ def crossbar_reference_mapping(config: CrossbarConfig,
     integrator, a pixel sweep at the weight bank (weights resident),
     buffer tiles sized to capacity, remainder at DRAM protecting weights.
     """
-    dims = problem_dims(layer)
-    remaining = dict(dims)
-
-    def take(dim: Dim, cap: int) -> int:
-        factor = _largest_fitting_factor(remaining[dim],
-                                         min(remaining[dim], cap))
-        remaining[dim] = ceil_div(remaining[dim], factor)
-        return factor
+    taker = FactorTaker(layer)
 
     # Rows serve the reduction dims: kernel window first, channels after.
     row_budget = config.rows
-    r_sp = take(Dim.R, row_budget)
+    r_sp = taker.take(Dim.R, row_budget)
     row_budget //= r_sp
-    s_sp = take(Dim.S, row_budget)
+    s_sp = taker.take(Dim.S, row_budget)
     row_budget //= s_sp
-    c_sp = take(Dim.C, row_budget)
-    m_sp = take(Dim.M, config.cols)
+    c_sp = taker.take(Dim.C, row_budget)
+    m_sp = taker.take(Dim.M, config.cols)
 
-    tile_budget = config.tiles
-    tile_factors: Dict[Dim, int] = {}
-    for dim in (Dim.M, Dim.C, Dim.Q, Dim.P, Dim.N):
-        if tile_budget <= 1:
-            break
-        factor = take(dim, tile_budget)
-        if factor > 1:
-            tile_factors[dim] = factor
-            tile_budget //= factor
+    tile_factors = taker.take_budgeted((Dim.M, Dim.C, Dim.Q, Dim.P, Dim.N),
+                                       config.tiles)
 
     # No temporal loops at the integrator in the reference mapping: a
     # weight-stationary crossbar cannot accumulate C-chunks in analog
@@ -323,68 +311,31 @@ def crossbar_reference_mapping(config: CrossbarConfig,
     integrator_factors: Dict[Dim, int] = {}
 
     # Weight bank: weights stay put across the pixel/batch sweep.
-    bank_factors: Dict[Dim, int] = {}
-    hold = config.hold_cycles
-    for dim in (Dim.Q, Dim.P, Dim.N):
-        if hold <= 1:
-            break
-        factor = take(dim, hold)
-        if factor > 1:
-            bank_factors[dim] = factor
-            hold //= factor
-
-    # Global buffer: everything else that fits; shrink M/C first.
-    gb_factors = dict(remaining)
-    from repro.workloads.dataspace import dataspace_tile_size
+    bank_factors = taker.take_budgeted((Dim.Q, Dim.P, Dim.N),
+                                       config.hold_cycles)
 
     spatial_cum = {Dim.R: r_sp, Dim.S: s_sp, Dim.C: c_sp, Dim.M: m_sp}
     for dim, factor in tile_factors.items():
         spatial_cum[dim] = spatial_cum.get(dim, 1) * factor
 
-    def occupancy(factors: Dict[Dim, int]) -> float:
-        bounds = {}
-        for dim in dims:
-            bounds[dim] = (factors.get(dim, 1) * spatial_cum.get(dim, 1)
-                           * integrator_factors.get(dim, 1)
-                           * bank_factors.get(dim, 1))
-        bits = 0.0
-        for dataspace in (_W, _I, _O):
-            width = (layer.bits_per_weight if dataspace is _W
-                     else layer.bits_per_activation)
-            bits += dataspace_tile_size(dataspace, bounds,
-                                        layer.strides) * width
-        return bits
+    # Global buffer: everything else that fits; shrink M/C first.
+    gb_factors = shrink_to_fit(
+        layer, taker.dims, dict(taker.remaining),
+        config.global_buffer_bits * 0.95,
+        spatial_cum, integrator_factors, bank_factors,
+    )
+    dram_factors = taker.residual_after(gb_factors)
 
-    capacity = config.global_buffer_bits * 0.95
-    for _ in range(256):
-        if occupancy(gb_factors) <= capacity:
-            break
-        largest = max((Dim.N, Dim.M, Dim.C, Dim.P, Dim.Q),
-                      key=lambda d: gb_factors.get(d, 1))
-        if gb_factors.get(largest, 1) <= 1:
-            break
-        gb_factors[largest] = ceil_div(gb_factors[largest], 2)
-
-    dram_factors = {dim: ceil_div(remaining[dim], gb_factors.get(dim, 1))
-                    for dim in dims}
-
-    def loops(factors: Dict[Dim, int],
-              order: Tuple[Dim, ...]) -> Tuple[TemporalLoop, ...]:
-        return tuple(TemporalLoop(dim, factors[dim])
-                     for dim in order if factors.get(dim, 1) > 1)
-
-    gb_order = (Dim.N, Dim.M, Dim.P, Dim.Q, Dim.C, Dim.R, Dim.S)
-    dram_order = (Dim.C, Dim.M, Dim.R, Dim.S, Dim.Q, Dim.P, Dim.N) \
-        if layer.weight_bits >= layer.input_bits \
-        else (Dim.R, Dim.S, Dim.C, Dim.Q, Dim.P, Dim.N, Dim.M)
+    dram_order = dram_order_protecting(layer, "auto")
 
     levels = (
-        LevelMapping("DRAM", loops(dram_factors, dram_order)),
-        LevelMapping("GlobalBuffer", loops(gb_factors, gb_order)),
+        LevelMapping("DRAM", temporal_loops(dram_factors, dram_order)),
+        LevelMapping("GlobalBuffer", temporal_loops(gb_factors, GB_ORDER)),
         LevelMapping("WeightBank",
-                     loops(bank_factors, (Dim.N, Dim.P, Dim.Q))),
+                     temporal_loops(bank_factors, (Dim.N, Dim.P, Dim.Q))),
         LevelMapping("AEIntegrator",
-                     loops(integrator_factors, (Dim.C, Dim.R, Dim.S))),
+                     temporal_loops(integrator_factors,
+                                    (Dim.C, Dim.R, Dim.S))),
     )
     spatials = (
         FanoutMapping("tiles", tile_factors),
@@ -396,83 +347,64 @@ def crossbar_reference_mapping(config: CrossbarConfig,
     return Mapping(levels=levels, spatials=spatials)
 
 
-class CrossbarSystem:
-    """The WDM crossbar ready to evaluate (mirrors :class:`AlbireoSystem`)."""
+class CrossbarSystem(PhotonicSystem):
+    """The WDM crossbar ready to evaluate (mirrors :class:`AlbireoSystem`).
 
-    def __init__(self, config: Optional[CrossbarConfig] = None) -> None:
-        self.config = config or CrossbarConfig()
-        self.architecture = build_crossbar_architecture(self.config)
-        self.energy_table = build_crossbar_energy_table(self.config)
-        self.model = AcceleratorModel(self.architecture, self.energy_table)
-        self._mapping_cache: Dict[Tuple, Mapping] = {}
+    Built on :class:`~repro.systems.base.PhotonicSystem`, so it shares the
+    engine's ``store`` seam: warmed-cache parallel sweeps work exactly as
+    they do for Albireo.
+    """
 
-    # ------------------------------------------------------------------
-    # Mapping
-    # ------------------------------------------------------------------
-    def reference_mapping(self, layer: ConvLayer) -> Mapping:
-        key = (layer.n, layer.m, layer.c, layer.p, layer.q, layer.r,
-               layer.s, layer.stride_h, layer.stride_w, layer.groups)
-        cached = self._mapping_cache.get(key)
-        if cached is None:
-            cached = crossbar_reference_mapping(self.config, layer)
-            self._mapping_cache[key] = cached
-        return cached
+    name = "crossbar"
+    config_type = CrossbarConfig
+    build_architecture = staticmethod(build_crossbar_architecture)
+    build_energy_table = staticmethod(build_crossbar_energy_table)
 
-    def search_mapping(self, layer: ConvLayer,
-                       max_evaluations: int = 1000,
-                       seed: int = 0) -> MapperResult:
-        mapper = Mapper(
-            self.architecture,
-            cost_fn=self.model.energy_cost_fn(layer),
-            constraints=crossbar_constraints(self.config),
-        )
-        return mapper.search(
-            layer, max_evaluations=max_evaluations, seed=seed,
-            extra_candidates=(self.reference_mapping(layer),),
-        )
+    def constraints(self, layer: ConvLayer) -> MappingConstraints:
+        return crossbar_constraints(self.config)
 
-    # ------------------------------------------------------------------
-    # Evaluation
-    # ------------------------------------------------------------------
-    def evaluate_layer(
-        self,
-        layer: ConvLayer,
-        mapping: Optional[Mapping] = None,
-        use_mapper: bool = False,
-        input_from_dram: bool = True,
-        output_to_dram: bool = True,
-    ) -> LayerEvaluation:
-        if mapping is None:
-            if use_mapper:
-                mapping = self.search_mapping(layer).mapping
-            else:
-                mapping = self.reference_mapping(layer)
-        return self.model.evaluate_layer(
-            layer, mapping,
-            input_from_dram=input_from_dram, output_to_dram=output_to_dram,
-        )
+    def mapping_candidates(self, layer: ConvLayer) -> List[Mapping]:
+        return [crossbar_reference_mapping(self.config, layer)]
 
-    def evaluate_network(self, network: Network,
-                         fused: bool = False,
-                         use_mapper: bool = False) -> NetworkEvaluation:
-        evaluations = []
-        entries = network.entries
-        for index, entry in enumerate(entries):
-            is_last = index == len(entries) - 1
-            for input_dram, output_dram, count in fusion_blocks(
-                    entry, is_last, fused):
-                evaluation = self.evaluate_layer(
-                    entry.layer, use_mapper=use_mapper,
-                    input_from_dram=input_dram,
-                    output_to_dram=output_dram,
-                )
-                evaluations.append((evaluation, count))
-        return NetworkEvaluation(
-            name=network.name,
-            layers=tuple(evaluations),
-            clock_ghz=self.architecture.clock_ghz,
-            peak_parallelism=self.architecture.peak_parallelism,
-        )
 
-    def describe(self) -> str:
-        return self.config.describe() + "\n" + self.architecture.describe()
+# ---------------------------------------------------------------------------
+# Registry entry
+# ---------------------------------------------------------------------------
+
+def crossbar_default_sweep() -> List[CrossbarConfig]:
+    """The ``repro sweep --system crossbar`` grid: 2 scenarios x 3 tile
+    counts x 2 row counts x 2 integration depths = 24 configurations."""
+    configs = []
+    for scenario in (CONSERVATIVE, AGGRESSIVE):
+        for tiles in (8, 16, 32):
+            for rows in (8, 16):
+                for integration_depth in (2, 4):
+                    configs.append(CrossbarConfig(
+                        scenario=scenario,
+                        tiles=tiles,
+                        rows=rows,
+                        integration_depth=integration_depth,
+                    ))
+    return configs
+
+
+register_system(SystemEntry(
+    name="crossbar",
+    config_type=CrossbarConfig,
+    system_type=CrossbarSystem,
+    build_architecture=build_crossbar_architecture,
+    build_energy_table=build_crossbar_energy_table,
+    buckets=CROSSBAR_BUCKETS,
+    supports_store=True,
+    description=("Weight-stationary photonic WDM crossbar "
+                 "(ADEPT/PCNNA-class): analog sample-and-hold weight "
+                 "banks, per-row input streaming, optical column "
+                 "reduction"),
+    default_sweep=crossbar_default_sweep,
+    sweep_columns=(
+        ("scaling", lambda config: config.scenario.name),
+        ("tiles", lambda config: config.tiles),
+        ("rows", lambda config: config.rows),
+        ("depth", lambda config: config.integration_depth),
+    ),
+))

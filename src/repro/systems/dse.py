@@ -9,13 +9,17 @@ as declarative job lists by :mod:`repro.engine.sweeps` and executed by
 :func:`repro.engine.executor.run_jobs`, so every sweep gains ``workers``
 (process-pool parallelism) and ``cache`` (persistent memoization of
 mapper results and evaluations) for free while returning exactly the same
-points as the original serial loops.
+points as the original serial loops.  System resolution goes through the
+pluggable registry (:mod:`repro.systems.registry`, via
+:func:`repro.engine.jobs.make_job`'s config-type inference), so
+:func:`sweep_configurations` works for any registered system's configs —
+mix them freely in one sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.engine.executor import CacheLike, run_jobs
 from repro.engine.sweeps import (
@@ -158,12 +162,15 @@ def sweep_memory_options(
 
 def sweep_configurations(
     network: Network,
-    configs: Sequence[AlbireoConfig],
+    configs: Sequence[Any],
     use_mapper: bool = False,
     workers: int = 1,
     cache: CacheLike = None,
-) -> List[Tuple[AlbireoConfig, NetworkEvaluation]]:
-    """Evaluate ``network`` on every configuration (generic DSE driver)."""
+) -> List[Tuple[Any, NetworkEvaluation]]:
+    """Evaluate ``network`` on every configuration (generic DSE driver).
+
+    Configurations may belong to any registered system (the job builder
+    infers each one's system tag from its config type)."""
     jobs = config_sweep_jobs(network, configs, use_mapper=use_mapper)
     evaluations = run_jobs(jobs, workers=workers, cache=cache)
     return list(zip(configs, evaluations))

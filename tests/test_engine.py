@@ -107,10 +107,15 @@ class TestJobs:
         with pytest.raises(SpecError):
             make_job(small_network, AlbireoConfig(), system="tpu")
 
-    def test_system_tags_match_registry(self):
-        from repro.engine.jobs import _SYSTEM_TAGS, system_registry
+    def test_registry_delegates_to_systems_registry(self):
+        from repro.engine.jobs import system_registry
+        from repro.systems.registry import system_entries
 
-        assert set(_SYSTEM_TAGS) == set(system_registry())
+        entries = system_registry()
+        assert entries == system_entries()
+        assert {"albireo", "crossbar", "wdm_delay"} <= set(entries)
+        for tag, entry in entries.items():
+            assert entry.name == tag
 
     def test_make_job_infers_crossbar(self, small_network):
         from repro.systems import CrossbarConfig

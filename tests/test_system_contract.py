@@ -1,0 +1,185 @@
+"""System conformance suite: the contract every registered system obeys.
+
+Runs against every entry in :mod:`repro.systems.registry` — including
+systems added later — so a new accelerator is contract-tested by
+registering, with no new test code:
+
+* the registry bundle is well-formed (types, builders, buckets, sweep);
+* reference mappings validate for convolution, FC, strided, and awkward
+  shapes;
+* evaluations produce finite positive energy/latency and exact MAC
+  accounting;
+* the engine cache round-trips (warm second run is a pure hit with a
+  bit-identical result);
+* parallel execution matches serial bit-for-bit;
+* the duck-typed ``store`` seam memoizes mapper searches and layer
+  evaluations.
+"""
+
+import math
+
+import pytest
+
+from repro.engine import EvaluationCache, make_job, run_job, run_jobs
+from repro.engine.cache import SystemStore
+from repro.engine.codec import network_evaluation_to_dict
+from repro.mapping.mapping import Mapping
+from repro.model.results import NetworkEvaluation
+from repro.systems.base import PhotonicSystem
+from repro.systems.registry import system_entries
+from repro.workloads import ConvLayer, dense_layer, tiny_cnn
+
+ENTRIES = system_entries()
+
+LAYERS = (
+    ConvLayer(name="conv3x3", m=64, c=32, p=14, q=14, r=3, s=3),
+    dense_layer("fc", 256, 512),
+    ConvLayer(name="strided", m=32, c=16, p=16, q=16, r=5, s=5,
+              stride_h=2, stride_w=2),
+    ConvLayer(name="awkward", m=13, c=7, p=5, q=3, r=2, s=2),
+)
+
+
+@pytest.fixture(params=sorted(ENTRIES), ids=sorted(ENTRIES))
+def entry(request):
+    return ENTRIES[request.param]
+
+
+class TestRegistryBundle:
+    def test_entry_well_formed(self, entry):
+        assert issubclass(entry.system_type, PhotonicSystem)
+        assert entry.system_type.name == entry.name
+        assert entry.system_type.config_type is entry.config_type
+        assert entry.description
+        config = entry.config_type()  # default-constructible
+        assert entry.name.split("_")[0] in config.describe().lower()
+        assert config.peak_macs_per_cycle >= 1
+
+    def test_builders_are_the_system_hooks(self, entry):
+        # The registry's builders must be the very functions the system
+        # class uses — job-identity hashing and system construction must
+        # agree (and share the build cache).
+        assert entry.system_type.build_architecture \
+            is entry.build_architecture
+        assert entry.system_type.build_energy_table \
+            is entry.build_energy_table
+
+    def test_energy_table_prices_every_component(self, entry):
+        config = entry.config_type()
+        architecture = entry.build_architecture(config)
+        table = entry.build_energy_table(config)
+        for component in architecture.component_names():
+            assert component in table, (
+                f"{entry.name}: component {component!r} unpriced")
+
+    def test_buckets_align_for_cross_system_figures(self, entry):
+        assert "DRAM" in entry.buckets.order
+        assert "Weight DE/AE, AE/AO" in entry.buckets.order
+
+    def test_default_sweep_builds_own_configs(self, entry):
+        configs = list(entry.default_sweep())
+        assert configs
+        assert all(isinstance(config, entry.config_type)
+                   for config in configs)
+        for header, getter in entry.sweep_columns:
+            assert header
+            getter(configs[0])  # resolvable on every grid point
+
+    def test_store_flag_matches_constructor(self, entry):
+        if entry.supports_store:
+            system = entry.system_type(entry.config_type(), store=None)
+            assert system.store is None
+
+
+class TestReferenceMappings:
+    @pytest.mark.parametrize("layer", LAYERS, ids=[l.name for l in LAYERS])
+    def test_valid_for_shape(self, entry, layer):
+        system = entry.system_type()
+        mapping = system.reference_mapping(layer)
+        assert isinstance(mapping, Mapping)
+        target = system.analysis_layer(layer)
+        mapping.validate(system.architecture, target)
+
+    def test_candidates_priced_deterministically(self, entry):
+        layer = LAYERS[0]
+        first = entry.system_type().reference_mapping(layer)
+        second = entry.system_type().reference_mapping(layer)
+        assert repr(first) == repr(second)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("layer", LAYERS, ids=[l.name for l in LAYERS])
+    def test_layer_energy_and_latency_finite(self, entry, layer):
+        evaluation = entry.system_type().evaluate_layer(layer)
+        assert math.isfinite(evaluation.energy_pj)
+        assert evaluation.energy_pj > 0
+        assert evaluation.cycles >= 1
+        assert 0 < evaluation.utilization <= 1.0
+
+    def test_network_mac_accounting_exact(self, entry):
+        network = tiny_cnn()
+        evaluation = entry.system_type().evaluate_network(network)
+        assert evaluation.total_macs == network.total_macs
+        assert math.isfinite(evaluation.energy_pj)
+
+    def test_mapper_search_not_worse_than_reference(self, entry):
+        system = entry.system_type()
+        layer = LAYERS[0]
+        reference = system.evaluate_layer(layer).energy_pj
+        result = system.search_mapping(layer, max_evaluations=80, seed=1)
+        assert result.cost <= reference * (1 + 1e-9)
+
+
+class TestEngineIntegration:
+    def test_cache_round_trip_bit_identical(self, entry, tmp_path):
+        cache = EvaluationCache(str(tmp_path))
+        job = make_job(tiny_cnn(), entry.config_type())
+        assert job.system == entry.name
+        cold = run_job(job, cache=cache)
+        cache.save()
+        warm_cache = EvaluationCache(str(tmp_path))
+        warm = run_job(job, cache=warm_cache)
+        assert warm_cache.stats["results"].hits == 1
+        assert warm_cache.stats["results"].misses == 0
+        assert network_evaluation_to_dict(warm) \
+            == network_evaluation_to_dict(cold)
+
+    def test_serial_equals_parallel(self, entry):
+        configs = list(entry.default_sweep())[:2]
+        jobs = [make_job(tiny_cnn(), config) for config in configs]
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=2)
+        assert [network_evaluation_to_dict(e) for e in serial] \
+            == [network_evaluation_to_dict(e) for e in parallel]
+
+    def test_store_seam_memoizes(self, entry):
+        if not entry.supports_store:
+            pytest.skip(f"{entry.name} registers supports_store=False")
+        cache = EvaluationCache()
+        store = SystemStore(cache, "contract-" + entry.name)
+        system = entry.system_type(entry.config_type(), store=store)
+        layer = LAYERS[0]
+
+        first = system.search_mapping(layer, max_evaluations=60, seed=3)
+        hits_before = cache.stats["mappings"].hits
+        second = system.search_mapping(layer, max_evaluations=60, seed=3)
+        assert cache.stats["mappings"].hits == hits_before + 1
+        assert repr(second.mapping) == repr(first.mapping)
+        assert second.cost == first.cost
+
+        eval_first = system.evaluate_layer(layer)
+        layer_hits = cache.stats["layers"].hits
+        eval_second = system.evaluate_layer(layer)
+        assert cache.stats["layers"].hits == layer_hits + 1
+        assert eval_second.energy_pj == eval_first.energy_pj
+
+    def test_every_system_reaches_full_cache_reuse(self, entry, tmp_path):
+        """The satellite claim: warmed-cache sweeps for *every* system."""
+        cache_dir = str(tmp_path / "sweep")
+        configs = list(entry.default_sweep())[:3]
+        jobs = [make_job(tiny_cnn(), config) for config in configs]
+        run_jobs(jobs, cache=cache_dir)
+        warm = EvaluationCache(cache_dir)
+        run_jobs(jobs, cache=warm)
+        assert warm.stats["results"].hits == len(jobs)
+        assert warm.stats["results"].misses == 0
