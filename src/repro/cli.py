@@ -22,7 +22,10 @@ comma-separated ``--system`` list (default: all registered systems).
 Sweep-shaped commands (``fig4``, ``fig5``, ``sweep``, ``all``) accept
 ``--workers N`` to evaluate over a process pool and ``--cache DIR`` to
 memoize mapper results and evaluations across invocations — warmed-cache
-sweeps work for every registered system.
+sweeps work for every registered system.  Parallel sweeps are scheduled
+at sub-task granularity by the engine's planner (dedup counters appear
+in the cache-stats line); ``--no-plan`` restores whole-job dispatch as
+an A/B baseline.
 """
 
 from __future__ import annotations
@@ -81,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "(reused and extended by later runs)",
     )
     parser.add_argument(
+        "--no-plan", action="store_true",
+        help="disable the two-phase sweep scheduler and dispatch whole "
+             "jobs to workers (A/B baseline; results are identical)",
+    )
+    parser.add_argument(
         "--network", default="resnet18",
         choices=("tiny", "lenet5", "alexnet", "resnet18", "vgg16",
                  "mobilenet"),
@@ -130,7 +138,8 @@ def _run_sweep(args) -> str:
               end="", file=sys.stderr, flush=True)
 
     results = run_jobs(jobs, workers=args.workers, cache=cache,
-                       progress=progress)
+                       progress=progress,
+                       plan=False if args.no_plan else None)
     print(file=sys.stderr)
 
     points = list(zip(configs, results))
@@ -195,19 +204,20 @@ def _scenario_system(args):
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    plan = False if args.no_plan else None
     if args.command == "fig2":
         print(fig2_validation.run().table())
     elif args.command == "fig3":
         print(fig3_throughput.run(use_mapper=args.mapper).table())
     elif args.command == "fig4":
         print(fig4_memory.run(use_mapper=args.mapper, workers=args.workers,
-                              cache=args.cache).table())
+                              cache=args.cache, plan=plan).table())
     elif args.command == "fig5":
         print(fig5_reuse.run(use_mapper=args.mapper, workers=args.workers,
-                             cache=args.cache).table())
+                             cache=args.cache, plan=plan).table())
     elif args.command == "all":
         print(run_all(use_mapper=args.mapper, workers=args.workers,
-                      cache=args.cache).report())
+                      cache=args.cache, plan=plan).report())
     elif args.command == "compare":
         from repro.experiments import system_comparison
 

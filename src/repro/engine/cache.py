@@ -41,6 +41,16 @@ NAMESPACES: Tuple[str, ...] = ("results", "mappings", "layers")
 _CACHE_FORMAT_VERSION = 1
 
 
+def store_entry_key(system_key: str, store_key: Iterable[Any]) -> str:
+    """The cache-entry key a :class:`SystemStore` lookup resolves to.
+
+    The single source of truth for the composition — the store uses it
+    for every load/save and the sweep planner for dedup and parent-side
+    assembly, so the two can never diverge.
+    """
+    return system_key + "/" + canonical_json(list(store_key))
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one namespace."""
@@ -59,6 +69,44 @@ class CacheStats:
     def describe(self) -> str:
         return f"{self.hits}/{self.lookups} hits ({self.hit_rate:.1%})"
 
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class PlannerStats:
+    """Counters of the sweep planner's cross-job work elimination.
+
+    Filled by :func:`repro.engine.planner.build_plan` in the parent
+    process: of ``planned`` sub-tasks expanded from a job batch,
+    ``deduplicated`` were dropped as duplicates of another task in the
+    same batch (including same-geometry layers under different names) and
+    ``cache_hits`` because the cache already held them; ``phase1_tasks``
+    is the unique remainder actually executed, shipped as ``batches``
+    pool dispatch payloads.
+    """
+
+    planned: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    phase1_tasks: int = 0
+    batches: int = 0
+
+    def describe(self) -> str:
+        return (f"planner: {self.planned} sub-tasks planned, "
+                f"{self.deduplicated} deduplicated, "
+                f"{self.cache_hits} already cached, "
+                f"{self.phase1_tasks} executed in phase 1 "
+                f"({self.batches} batches)")
+
+    def reset(self) -> None:
+        self.planned = 0
+        self.deduplicated = 0
+        self.cache_hits = 0
+        self.phase1_tasks = 0
+        self.batches = 0
+
 
 class EvaluationCache:
     """In-memory + on-disk cache for sweep-engine evaluations.
@@ -75,6 +123,7 @@ class EvaluationCache:
         self._added: Dict[str, Dict[str, Any]] = {ns: {} for ns in NAMESPACES}
         self.stats: Dict[str, CacheStats] = {ns: CacheStats()
                                              for ns in NAMESPACES}
+        self.planner = PlannerStats()
         if directory is not None:
             self._load()
 
@@ -94,6 +143,16 @@ class EvaluationCache:
     def put(self, namespace: str, key: str, value: Any) -> None:
         self._data[namespace][key] = value
         self._added[namespace][key] = value
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """Membership probe that counts neither a hit nor a miss (the
+        planner's dedup-against-the-cache check, which must not distort
+        the hit-rate report of the evaluation that follows)."""
+        return key in self._data[namespace]
+
+    def peek(self, namespace: str, key: str) -> Optional[Any]:
+        """Uncounted lookup (see :meth:`contains`)."""
+        return self._data[namespace].get(key)
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._data.values())
@@ -147,6 +206,17 @@ class EvaluationCache:
         return {ns: {"hits": s.hits, "misses": s.misses}
                 for ns, s in self.stats.items()}
 
+    def reset_stats(self) -> None:
+        """Zero every hit/miss counter and the planner counters.
+
+        Workers call this between payloads so each ships deltas only;
+        tests use it to scope assertions to one run.  Entries are
+        untouched — only the statistics reset.
+        """
+        for stats in self.stats.values():
+            stats.reset()
+        self.planner.reset()
+
     def absorb_stats(self, snapshot: Dict[str, Dict[str, int]]) -> None:
         """Fold worker-side hit/miss counts into this cache's statistics."""
         for namespace, counts in snapshot.items():
@@ -157,7 +227,10 @@ class EvaluationCache:
     def describe_stats(self) -> str:
         parts = [f"{ns} {self.stats[ns].describe()}"
                  for ns in NAMESPACES if self.stats[ns].lookups]
-        return "cache: " + (" | ".join(parts) if parts else "no lookups")
+        line = "cache: " + (" | ".join(parts) if parts else "no lookups")
+        if self.planner.planned:
+            line += "\n" + self.planner.describe()
+        return line
 
     def mapper_search_stats(self) -> Dict[str, int]:
         """Aggregated search-efficiency counters over cached mapper results.
@@ -241,7 +314,7 @@ class SystemStore:
         self.system_key = system_key
 
     def _key(self, key: Iterable[Any]) -> str:
-        return self.system_key + "/" + canonical_json(list(key))
+        return store_entry_key(self.system_key, key)
 
     # ------------------------------------------------------------------
     # Mapper results

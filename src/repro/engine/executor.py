@@ -5,37 +5,52 @@ the sweep builders or hand-assembled), consults the cache for finished
 results, computes the misses — serially or across a process pool — and
 returns evaluations in input order.  Parallel execution is verified (see
 ``tests/test_engine.py``) to produce bit-identical results to serial
-execution: jobs are independent, workers ship results back as JSON dicts
-whose floats round-trip exactly, and ordering is restored by index.
+execution: sub-results ship as JSON dicts whose floats round-trip
+exactly, and ordering is restored by index.
+
+Parallel batches run in two phases by default.  A planner
+(:mod:`repro.engine.planner`) expands the miss jobs into their unique
+mapper-search and layer-evaluation sub-tasks — deduplicated across the
+whole batch and against the cache — and phase 1 executes those over the
+pool in configuration-affine chunks (one system build per chunk, one
+result message per chunk).  Phase 2 then assembles every
+:class:`~repro.model.results.NetworkEvaluation` in the parent from the
+now-warm cache, which is pure lookups.  ``plan=False`` forces the
+pre-planner behavior: each miss job evaluated whole by one worker.
 
 Worker processes are seeded with a snapshot of the parent's cache, so
 mapper results already on disk are reused everywhere; entries a worker
 computes are shipped back and merged into the parent's cache (and saved,
 when the cache has a directory).  Workers do not see entries produced by
 *other* workers within the same run — the parent is the only writer,
-which keeps the on-disk image race-free.
+which keeps the on-disk image race-free; the planner's cross-batch dedup
+is what removes the duplicate work whole-job workers used to repeat.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.engine.cache import EvaluationCache, SystemStore
+from repro.engine.cache import EvaluationCache, SystemStore, store_entry_key
 from repro.engine.codec import (
-    content_hash,
     network_evaluation_from_dict,
     network_evaluation_to_dict,
 )
-from repro.engine.jobs import EvaluationJob, system_registry
+from repro.engine.jobs import EvaluationJob, job_system_key, system_registry
+from repro.engine.planner import SweepPlan, build_plan
 from repro.model.results import (
     EnergyBreakdown,
-    LayerEvaluation,
     NetworkEvaluation,
 )
 
-#: Progress callback: (jobs finished, total jobs, job just finished).
+#: Progress callback: (jobs finished, total jobs, job just worked on).
+#: Under planned parallel execution, phase-1 batch completions also tick
+#: the callback — with the finished count unchanged and a job of the
+#: batch's configuration — so long sweeps show liveness before any
+#: whole job is assembled.
 ProgressFn = Callable[[int, int, EvaluationJob], None]
 
 CacheLike = Union[None, str, EvaluationCache]
@@ -48,7 +63,13 @@ def _as_cache(cache: CacheLike) -> Optional[EvaluationCache]:
 
 
 def strip_dram(evaluation: NetworkEvaluation) -> NetworkEvaluation:
-    """Drop DRAM entries (the accelerator-only view of Figs. 2 and 5)."""
+    """Drop DRAM entries (the accelerator-only view of Figs. 2 and 5).
+
+    Only the ``energy`` field is rewritten — ``dataclasses.replace``
+    carries every other field through unchanged, so a field added to
+    :class:`~repro.model.results.LayerEvaluation` later cannot be
+    silently dropped here (regression-tested in ``tests/test_engine.py``).
+    """
     stripped = []
     for layer_eval, count in evaluation.layers:
         entries = {
@@ -57,37 +78,15 @@ def strip_dram(evaluation: NetworkEvaluation) -> NetworkEvaluation:
             if key[0] != "DRAM"
         }
         stripped.append((
-            LayerEvaluation(
-                layer=layer_eval.layer,
-                energy=EnergyBreakdown(entries),
-                cycles=layer_eval.cycles,
-                real_macs=layer_eval.real_macs,
-                padded_macs=layer_eval.padded_macs,
-                peak_parallelism=layer_eval.peak_parallelism,
-                clock_ghz=layer_eval.clock_ghz,
-                occupancy_bits=layer_eval.occupancy_bits,
-                compute_cycles=layer_eval.compute_cycles,
-                bandwidth_bound_level=layer_eval.bandwidth_bound_level,
-            ),
+            dataclasses.replace(layer_eval, energy=EnergyBreakdown(entries)),
             count,
         ))
-    return NetworkEvaluation(
-        name=evaluation.name,
-        layers=tuple(stripped),
-        clock_ghz=evaluation.clock_ghz,
-        peak_parallelism=evaluation.peak_parallelism,
-    )
+    return dataclasses.replace(evaluation, layers=tuple(stripped))
 
 
 # ---------------------------------------------------------------------------
 # Single-job execution
 # ---------------------------------------------------------------------------
-
-
-def _system_key(job_dict: Dict[str, Any]) -> str:
-    """Configuration-scoped hash for mapper/layer cache entries."""
-    return content_hash({key: job_dict[key]
-                         for key in ("system", "config", "architecture")})
 
 
 def _compute_job(job: EvaluationJob,
@@ -100,7 +99,7 @@ def _compute_job(job: EvaluationJob,
     """
     entry = system_registry()[job.system]
     if cache is not None and entry.supports_store:
-        store = SystemStore(cache, _system_key(job.to_dict()))
+        store = SystemStore(cache, job_system_key(job))
         system = entry.system_type(job.config, store=store)
     else:
         system = entry.system_type(job.config)
@@ -147,12 +146,34 @@ def _run_job_in_worker(payload):
         added = cache.pop_added()
         stats = cache.stats_snapshot()
         # Reset so the next job on this worker reports deltas only.
-        for namespace_stats in cache.stats.values():
-            namespace_stats.hits = 0
-            namespace_stats.misses = 0
+        cache.reset_stats()
     else:
         added, stats = {}, {}
     return index, network_evaluation_to_dict(evaluation), added, stats
+
+
+def _run_batch_in_worker(payload):
+    """Execute one planner batch; ship its new cache entries back batched.
+
+    A batch is a list of config-affine segments: each segment's tasks
+    share one system instance (one memoized architecture/energy-table
+    build, one store scope), and the whole batch's results travel back
+    in a single message — that, plus the planner's dedup, is where the
+    two-phase path beats one-job-per-message execution.
+    """
+    index, segments = payload
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else EvaluationCache()
+    registry = system_registry()
+    for system_name, config, system_key, tasks in segments:
+        entry = registry[system_name]
+        system = entry.system_type(config,
+                                   store=SystemStore(cache, system_key))
+        for task in tasks:
+            system.compute_sub_task(task)
+    added = cache.pop_added()
+    stats = cache.stats_snapshot()
+    cache.reset_stats()
+    return index, added, stats
 
 
 def _pool_context():
@@ -175,6 +196,7 @@ def run_jobs(
     workers: int = 1,
     cache: CacheLike = None,
     progress: Optional[ProgressFn] = None,
+    plan: Optional[bool] = None,
 ) -> List[NetworkEvaluation]:
     """Evaluate ``jobs``; results come back in input order.
 
@@ -183,6 +205,13 @@ def run_jobs(
     serial path.  ``cache`` may be an :class:`EvaluationCache`, a
     directory path (the cache loads from and saves to ``cache.json``
     inside it), or ``None``.
+
+    ``plan`` controls the parallel strategy: the default (``None`` or
+    ``True``) schedules the batch through the two-phase planner whenever
+    every miss job's system supports it (see module docstring), falling
+    back to whole-job dispatch otherwise; ``plan=False`` forces whole-job
+    dispatch.  Serial execution ignores ``plan`` — the in-process cache
+    already shares sub-results as it goes.
     """
     cache = _as_cache(cache)
     jobs = list(jobs)
@@ -207,39 +236,192 @@ def run_jobs(
             if progress is not None:
                 progress(done, total, job)
 
-    if misses:
-        if workers > 1 and len(misses) > 1:
-            context = _pool_context()
-            # Workers only read the mapper/layer namespaces (the parent
-            # already resolved whole-job hits), so don't ship them the
-            # possibly large results namespace.
-            snapshot = None
-            if cache is not None:
-                snapshot = cache.snapshot()
-                snapshot["results"] = {}
-            pool_size = min(workers, len(misses))
-            with context.Pool(pool_size, initializer=_init_worker,
-                              initargs=(snapshot,)) as pool:
-                payloads = [(index, jobs[index]) for index in misses]
-                for index, result_dict, added, stats in pool.imap_unordered(
-                        _run_job_in_worker, payloads, chunksize=1):
-                    results[index] = network_evaluation_from_dict(result_dict)
-                    if cache is not None:
-                        # ``added`` already contains the job's result entry
-                        # (workers put it before shipping), plus any new
-                        # mapper/layer entries.
-                        cache.merge(added)
-                        cache.absorb_stats(stats)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, jobs[index])
-        else:
+    if misses and workers > 1 and len(misses) > 1:
+        sweep_plan = None
+        work_cache = cache
+        if plan is not False:
+            # The planner needs a cache to dedup against and assemble
+            # from; a cache-less parallel run plans through a run-local
+            # one (discarded afterwards — results are what matters).
+            work_cache = cache if cache is not None else EvaluationCache()
+            sweep_plan = build_plan([jobs[index] for index in misses],
+                                    work_cache, workers)
+        if sweep_plan is not None:
+            on_batch = None
+            if progress is not None:
+                representatives: Dict[str, EvaluationJob] = {}
+                for index in misses:
+                    representatives.setdefault(job_system_key(jobs[index]),
+                                               jobs[index])
+                hits_done = done
+
+                def on_batch(batch):
+                    job = representatives.get(batch[0].system_key,
+                                              jobs[misses[0]])
+                    progress(hits_done, total, job)
+
+            _execute_phase1(sweep_plan, work_cache, workers,
+                            on_batch=on_batch)
+            # Phase 2: every sub-result is now warm — assembling the
+            # network evaluations is pure cache lookups, done in the
+            # parent so nothing is shipped twice.
             for index in misses:
-                results[index] = _compute_job(jobs[index], cache)
+                job = jobs[index]
+                result_dict = _assemble_job(job, work_cache)
+                if result_dict is not None:
+                    work_cache.put_result(job.key, result_dict)
+                    results[index] = network_evaluation_from_dict(result_dict)
+                else:  # an entry is missing: evaluate the ordinary way
+                    results[index] = _compute_job(job, work_cache)
                 done += 1
                 if progress is not None:
-                    progress(done, total, jobs[index])
+                    progress(done, total, job)
+        else:
+            done = _run_whole_jobs(jobs, misses, results, cache,
+                                   workers, progress, done, total)
+    elif misses:
+        for index in misses:
+            results[index] = _compute_job(jobs[index], cache)
+            done += 1
+            if progress is not None:
+                progress(done, total, jobs[index])
 
     if cache is not None and cache.directory is not None and cache.dirty:
         cache.save()
     return results  # type: ignore[return-value]
+
+
+def _assemble_job(job: EvaluationJob,
+                  cache: EvaluationCache) -> Optional[Dict[str, Any]]:
+    """Build a job's result dict straight from warm layer entries.
+
+    The dict form of what :meth:`~repro.systems.base.PhotonicSystem.
+    evaluate_network` would return: the cached per-layer dicts are the
+    exact serializations the object path would decode and re-encode, so
+    embedding them verbatim is bit-identical and skips both conversions.
+    Returns ``None`` when any entry is missing — the caller then falls
+    back to ordinary evaluation.
+    """
+    from repro.model.accelerator import NetworkOptions, fusion_blocks
+
+    entry = system_registry()[job.system]
+    if not entry.supports_store \
+            or not hasattr(entry.system_type, "_layer_store_key"):
+        return None
+    system = entry.system_type(job.config)
+    if job.fused:
+        # Same validation (and failure) the evaluation path applies.
+        system.model._check_fusion_capacity(job.network,
+                                            NetworkOptions(fused=True))
+    system_key = job_system_key(job)
+    network_entries = job.network.entries
+    layers = []
+    for index, network_entry in enumerate(network_entries):
+        is_last = index == len(network_entries) - 1
+        for input_dram, output_dram, count in fusion_blocks(
+                network_entry, is_last, job.fused):
+            key = store_entry_key(system_key, system._layer_store_key(
+                network_entry.layer, job.use_mapper,
+                input_dram, output_dram))
+            layer_dict = cache.peek("layers", key)
+            if layer_dict is None:
+                return None
+            if not job.include_dram:
+                layer_dict = dict(layer_dict)
+                layer_dict["energy"] = [
+                    row for row in layer_dict["energy"] if row[0] != "DRAM"
+                ]
+            layers.append([layer_dict, count])
+    return {
+        "name": job.network.name,
+        "layers": layers,
+        "clock_ghz": system.architecture.clock_ghz,
+        "peak_parallelism": system.architecture.peak_parallelism,
+    }
+
+
+def _execute_phase1(
+    sweep_plan: SweepPlan,
+    cache: EvaluationCache,
+    workers: int,
+    on_batch: Optional[Callable[[Any], None]] = None,
+) -> None:
+    """Run the plan's unique sub-tasks over a pool; merge results.
+
+    ``on_batch`` (if given) is invoked with each batch as its results
+    are merged — the liveness hook behind the progress callback.
+    """
+    if sweep_plan.batches:
+        context = _pool_context()
+        # Workers only read the mapper/layer namespaces, so don't ship
+        # them the possibly large results namespace.
+        snapshot = cache.snapshot()
+        snapshot["results"] = {}
+        # Phase-1 workers are CPU-bound; oversubscribing the machine's
+        # cores only adds context switching, so the pool is sized to the
+        # smallest of the request, the work, and the hardware.
+        pool_size = min(workers, len(sweep_plan.batches),
+                        multiprocessing.cpu_count() or workers)
+        with context.Pool(pool_size, initializer=_init_worker,
+                          initargs=(snapshot,)) as pool:
+            payloads = [
+                (index, [(chunk.system, chunk.config, chunk.system_key,
+                          chunk.tasks) for chunk in batch])
+                for index, batch in enumerate(sweep_plan.batches)
+            ]
+            for index, added, stats in pool.imap_unordered(
+                    _run_batch_in_worker, payloads, chunksize=1):
+                cache.merge(added)
+                cache.absorb_stats(stats)
+                if on_batch is not None:
+                    on_batch(sweep_plan.batches[index])
+    # Entries the planner collapsed across layer names: copy the
+    # representative and rename.  A representative that is somehow
+    # missing (its chunk raised before computing it) is simply skipped —
+    # phase 2 computes the alias the ordinary way.
+    for alias in sweep_plan.aliases:
+        entry = cache.peek("layers", alias.representative_key)
+        if entry is None:
+            continue
+        derived = dict(entry)
+        derived["layer"] = dict(entry["layer"])
+        derived["layer"]["name"] = alias.layer_name
+        cache.put("layers", alias.alias_key, derived)
+
+
+def _run_whole_jobs(
+    jobs: List[EvaluationJob],
+    misses: List[int],
+    results: List[Optional[NetworkEvaluation]],
+    cache: Optional[EvaluationCache],
+    workers: int,
+    progress: Optional[ProgressFn],
+    done: int,
+    total: int,
+) -> int:
+    """The pre-planner parallel path: one whole job per worker message."""
+    context = _pool_context()
+    # Workers only read the mapper/layer namespaces (the parent already
+    # resolved whole-job hits), so don't ship them the possibly large
+    # results namespace.
+    snapshot = None
+    if cache is not None:
+        snapshot = cache.snapshot()
+        snapshot["results"] = {}
+    pool_size = min(workers, len(misses))
+    with context.Pool(pool_size, initializer=_init_worker,
+                      initargs=(snapshot,)) as pool:
+        payloads = [(index, jobs[index]) for index in misses]
+        for index, result_dict, added, stats in pool.imap_unordered(
+                _run_job_in_worker, payloads, chunksize=1):
+            results[index] = network_evaluation_from_dict(result_dict)
+            if cache is not None:
+                # ``added`` already contains the job's result entry
+                # (workers put it before shipping), plus any new
+                # mapper/layer entries.
+                cache.merge(added)
+                cache.absorb_stats(stats)
+            done += 1
+            if progress is not None:
+                progress(done, total, jobs[index])
+    return done

@@ -117,6 +117,7 @@ class EvaluationJob:
         state = dict(self.__dict__)
         state.pop("_dict_cache", None)
         state.pop("_key_cache", None)
+        state.pop("_system_key_cache", None)
         return state
 
     # ------------------------------------------------------------------
@@ -140,6 +141,26 @@ class EvaluationJob:
         suffix = f" [{','.join(options)}]" if options else ""
         body = self.label or (f"{self.system}:{self.network.name}")
         return body + suffix
+
+
+def job_system_key(job: EvaluationJob) -> str:
+    """Configuration-scoped hash under which a job's mapper and layer
+    store entries live (see :class:`repro.engine.cache.SystemStore`).
+
+    Hashes the (system, config, architecture) slice of the job identity —
+    deliberately excluding the network and evaluation options, so every
+    job evaluating the same configuration shares one store scope.
+    Memoized per job instance (and dropped from pickles, like the other
+    identity caches).
+    """
+    cached = job.__dict__.get("_system_key_cache")
+    if cached is None:
+        job_dict = job.to_dict()
+        cached = content_hash({key: job_dict[key]
+                               for key in ("system", "config",
+                                           "architecture")})
+        object.__setattr__(job, "_system_key_cache", cached)
+    return cached
 
 
 def make_job(network: Network, config: Any, **options: Any) -> EvaluationJob:

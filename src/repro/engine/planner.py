@@ -1,0 +1,271 @@
+"""Layer-grain sweep planning: jobs in, deduplicated task chunks out.
+
+:func:`run_jobs` parallelizes a batch of whole-network jobs; this module
+turns that batch into a two-phase *work plan* first.  Each job is
+expanded into the sub-tasks its evaluation would memoize through the
+``store`` seam — mapper searches and per-layer evaluations, enumerated
+by :meth:`repro.systems.base.PhotonicSystem.enumerate_sub_tasks` — and
+the expansion is deduplicated three ways:
+
+* **within a job** by store key (repeated fusion-block flag pairs);
+* **across the batch** by :meth:`~repro.systems.base.PhotonicSystem.
+  sub_task_dedup_key`, a name-free identity under which same-geometry
+  layers (ResNet18's repeated block shapes, jobs sharing a
+  configuration) compute once and the siblings are derived by renaming;
+* **against the cache**, so warm entries are never re-planned.
+
+The unique remainder is grouped into :class:`TaskChunk` payloads with
+configuration affinity: every task of one ``system_key`` travels in one
+chunk (split at mapper-dependency boundaries only when oversized), so a
+worker builds each architecture/energy table once, shares one system
+instance across the chunk's tasks, and ships all results back in a
+single message.  Phase 2 — reassembling whole-network evaluations from
+the warmed cache — is cheap and runs in the parent
+(:func:`repro.engine.executor.run_jobs`).
+
+Planning never changes what is computed, only where and how often:
+results are bit-identical to the serial path, and whole-job cache keys
+are untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import EvaluationCache, store_entry_key
+from repro.engine.jobs import EvaluationJob, job_system_key, system_registry
+
+#: Namespace a sub-task kind persists into.
+_TASK_NAMESPACE = {"mapper": "mappings", "layer": "layers"}
+
+
+@dataclass(frozen=True)
+class LayerAlias:
+    """A layer entry derivable from a same-geometry representative by
+    renaming (``entry["layer"]["name"]`` is the only difference)."""
+
+    representative_key: str
+    alias_key: str
+    layer_name: str
+
+
+@dataclass
+class TaskChunk:
+    """One phase-1 worker payload: a run of sub-tasks sharing a system.
+
+    Tasks are ordered mapper-first, so a chunk's layer evaluations find
+    their searches already in the worker-local store.  ``clusters``
+    (parallel to ``tasks``, planner-internal) tags each task with the
+    mapper search it produces or consumes, so splitting never separates
+    a layer task from the search it depends on.
+    """
+
+    system: str
+    config: Any
+    system_key: str
+    tasks: List[Any] = field(default_factory=list)
+    clusters: List[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class SweepPlan:
+    """The planner's output: what phase 1 runs and what it skipped.
+
+    ``batches`` are the pool dispatch units: each is a list of
+    :class:`TaskChunk` segments executed back to back by one worker,
+    which ships all their results in a single message.  A chunk (one
+    ``system_key``'s tasks) is never divided across batches unless it
+    was itself oversized, so configuration affinity survives packing.
+    """
+
+    batches: List[List[TaskChunk]]
+    aliases: List[LayerAlias]
+    planned: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+
+    @property
+    def chunks(self) -> List[TaskChunk]:
+        return [chunk for batch in self.batches for chunk in batch]
+
+    @property
+    def phase1_tasks(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks)
+
+
+#: Everything the two-phase path calls on a system: enumeration and
+#: execution for phase 1, store-key derivation and result assembly
+#: (which also reaches the fused-capacity check through ``.model``) for
+#: phase 2.  The gate and the assembler test the same set, so a batch
+#: that cannot be assembled parent-side never pays for planning.
+_PLANNER_SEAMS = ("enumerate_sub_tasks", "compute_sub_task",
+                  "sub_task_store_key", "sub_task_dedup_key",
+                  "_layer_store_key", "_mapper_store_key")
+
+
+def plannable(jobs: Sequence[EvaluationJob]) -> bool:
+    """Whether every job's system exposes the planner seams (store +
+    sub-task enumeration + parent-side assembly).  All
+    :class:`~repro.systems.base.PhotonicSystem` subclasses do; a batch
+    containing any hand-rolled system falls back to whole-job
+    execution."""
+    registry = system_registry()
+    for job in jobs:
+        entry = registry[job.system]
+        if not entry.supports_store:
+            return False
+        if not all(hasattr(entry.system_type, seam)
+                   for seam in _PLANNER_SEAMS):
+            return False
+    return True
+
+
+def build_plan(jobs: Sequence[EvaluationJob],
+               cache: EvaluationCache,
+               workers: int = 1) -> Optional[SweepPlan]:
+    """Expand ``jobs`` into deduplicated, config-affine task chunks.
+
+    Returns ``None`` when the batch is not plannable.  Dedup counters are
+    folded into ``cache.planner`` so front-ends report them alongside the
+    hit/miss statistics.
+    """
+    if not plannable(jobs):
+        return None
+    registry = system_registry()
+    groups: Dict[str, TaskChunk] = {}
+    # dedup-key -> (namespace, representative entry key); layer
+    # representatives also remember their store key string so siblings
+    # can be derived by renaming.
+    representatives: Dict[Tuple[str, Tuple], str] = {}
+    aliases: List[LayerAlias] = []
+    alias_keys = set()
+    planned = deduplicated = cache_hits = 0
+    systems: Dict[str, Any] = {}
+
+    for job in jobs:
+        system_key = job_system_key(job)
+        system = systems.get(system_key)
+        if system is None:
+            entry = registry[job.system]
+            system = entry.system_type(job.config)
+            systems[system_key] = system
+        group = groups.get(system_key)
+        if group is None:
+            group = TaskChunk(system=job.system, config=job.config,
+                              system_key=system_key)
+            groups[system_key] = group
+        for task in system.enumerate_sub_tasks(
+                job.network, fused=job.fused, use_mapper=job.use_mapper):
+            planned += 1
+            namespace = _TASK_NAMESPACE[task.kind]
+            entry_key = store_entry_key(system_key,
+                                        system.sub_task_store_key(task))
+            dedup_key = (system_key, system.sub_task_dedup_key(task))
+            known = representatives.get(dedup_key)
+            if known is not None:
+                deduplicated += 1
+                if (task.kind == "layer" and known != entry_key
+                        and entry_key not in alias_keys
+                        and not cache.contains(namespace, entry_key)):
+                    # Same geometry under another name: derive after
+                    # phase 1 instead of recomputing.
+                    alias_keys.add(entry_key)
+                    aliases.append(LayerAlias(
+                        representative_key=known,
+                        alias_key=entry_key,
+                        layer_name=task.layer.name))
+                continue
+            representatives[dedup_key] = entry_key
+            if cache.contains(namespace, entry_key):
+                cache_hits += 1
+                continue
+            if task.kind == "mapper" or task.use_mapper:
+                cluster = ("search", system._mapper_store_key(task.layer))
+            else:
+                cluster = ("solo", len(group.tasks))
+            group.tasks.append(task)
+            group.clusters.append(cluster)
+
+    batches = _balance([group for group in groups.values() if group.tasks],
+                       workers)
+    plan = SweepPlan(batches=batches, aliases=aliases, planned=planned,
+                     deduplicated=deduplicated, cache_hits=cache_hits)
+    stats = cache.planner
+    stats.planned += plan.planned
+    stats.deduplicated += plan.deduplicated
+    stats.cache_hits += plan.cache_hits
+    stats.phase1_tasks += plan.phase1_tasks
+    stats.batches += len(plan.batches)
+    return plan
+
+
+def _balance(groups: List[TaskChunk],
+             workers: int) -> List[List[TaskChunk]]:
+    """Pack config-affine chunks into balanced dispatch batches.
+
+    A group much bigger than its peers (one slow network job idling the
+    other workers) is first split at mapper-dependency boundaries: a
+    layer task always stays in the same chunk as the search it consumes,
+    so a split never makes a worker redo another chunk's mapper work.
+    The chunks are then packed longest-first onto ``~ 2 x workers``
+    batches (always to the lightest batch), which keeps the pool tail
+    short while amortizing per-message IPC over many tasks.
+    """
+    if not groups:
+        return []
+    total = sum(len(group) for group in groups)
+    # Enough batches to keep every worker fed and rebalance around a
+    # slow one, but few enough that each ships a worthwhile amount of
+    # work per message.
+    target = max(4, math.ceil(total / max(workers * 2, 1)))
+    chunks: List[TaskChunk] = []
+    for group in groups:
+        if len(group) <= 2 * target:
+            chunks.append(group)
+            continue
+        chunks.extend(_split(group, target))
+    chunks.sort(key=lambda chunk: -len(chunk))
+    batch_count = min(len(chunks), max(workers * 2, 1))
+    batches: List[List[TaskChunk]] = [[] for _ in range(batch_count)]
+    loads = [0] * batch_count
+    for chunk in chunks:
+        lightest = loads.index(min(loads))
+        batches[lightest].append(chunk)
+        loads[lightest] += len(chunk)
+    return [batch for batch in batches if batch]
+
+
+def _split(group: TaskChunk, target: int) -> List[TaskChunk]:
+    """Split a group into ~target-sized chunks at cluster boundaries.
+
+    A cluster is a mapper task plus every layer task consuming its
+    search (matched by the ``clusters`` tags computed at plan time);
+    mapper-less layer tasks are singleton clusters.  Clusters are packed
+    in enumeration order, preserving the mapper-before-dependents
+    ordering within each chunk.
+    """
+    clusters: Dict[Any, List[Any]] = {}
+    order: List[Any] = []
+    for task, cluster in zip(group.tasks, group.clusters):
+        if cluster not in clusters:
+            clusters[cluster] = []
+            order.append(cluster)
+        clusters[cluster].append(task)
+    chunks: List[TaskChunk] = []
+    current: List[Any] = []
+    for cluster in order:
+        current.extend(clusters[cluster])
+        if len(current) >= target:
+            chunks.append(TaskChunk(system=group.system, config=group.config,
+                                    system_key=group.system_key,
+                                    tasks=current))
+            current = []
+    if current:
+        chunks.append(TaskChunk(system=group.system, config=group.config,
+                                system_key=group.system_key, tasks=current))
+    return chunks

@@ -185,6 +185,37 @@ def config_sweep_jobs(
     ]
 
 
+def default_grid_jobs(
+    network: Network,
+    systems: Optional[Sequence[str]] = None,
+    use_mapper: bool = False,
+) -> List[EvaluationJob]:
+    """One job per default-sweep grid point of each requested system.
+
+    ``systems=None`` takes every registered system that declares a
+    default sweep (the `repro sweep --system <name>` grids), producing
+    the multi-system batch the scheduler benchmark and cross-system
+    explorations evaluate in one :func:`~repro.engine.executor.run_jobs`
+    call.  Each job is tagged with its system name and grid index.
+    """
+    from repro.engine.jobs import system_registry
+
+    registry = system_registry()
+    names = list(systems) if systems is not None else list(registry)
+    jobs: List[EvaluationJob] = []
+    for name in names:
+        entry = registry[name]
+        if entry.default_sweep is None:
+            continue
+        for index, config in enumerate(entry.default_sweep()):
+            jobs.append(make_job(
+                network, config, system=name, use_mapper=use_mapper,
+                label=f"{name}[{index}]",
+                tags={"system": name, "index": index},
+            ))
+    return jobs
+
+
 def next_power_of_two_kib(bits: float) -> int:
     """Smallest power-of-two KiB capacity holding ``bits``.
 

@@ -132,6 +132,7 @@ def run(
     use_mapper: bool = False,
     workers: int = 1,
     cache=None,
+    plan=None,
 ) -> Fig4Result:
     network = network or resnet18()
     config = config or AlbireoConfig()
@@ -142,5 +143,6 @@ def run(
         use_mapper=use_mapper,
         workers=workers,
         cache=cache,
+        plan=plan,
     )
     return Fig4Result(points=tuple(points))

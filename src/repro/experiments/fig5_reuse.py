@@ -135,6 +135,7 @@ def run(
     use_mapper: bool = False,
     workers: int = 1,
     cache=None,
+    plan=None,
 ) -> Fig5Result:
     network = network or resnet18()
     config = (config or AlbireoConfig()).with_scenario(scenario)
@@ -147,5 +148,6 @@ def run(
         use_mapper=use_mapper,
         workers=workers,
         cache=cache,
+        plan=plan,
     )
     return Fig5Result(points=tuple(points))

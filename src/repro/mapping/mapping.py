@@ -234,6 +234,28 @@ class Mapping:
             ),
         )
 
+    def structure_key(self) -> Tuple:
+        """Hashable identity of the mapping's exact *structure*.
+
+        Unlike :meth:`canonical_key` nothing is normalized away: bound-1
+        loops, loop order, and fanout-factor insertion order all
+        distinguish — two mappings share a structure key iff they are
+        field-for-field identical (the discrimination ``repr`` gives,
+        built without rendering strings).  Reference-mapping builders use
+        this to deduplicate the variants they enumerate.
+        """
+        return (
+            tuple(
+                (level.storage,
+                 tuple((loop.dim, loop.bound) for loop in level.loops))
+                for level in self.levels
+            ),
+            tuple(
+                (spatial.fanout, tuple(spatial.factors.items()))
+                for spatial in self.spatials
+            ),
+        )
+
     def utilization_vs(self, layer: ConvLayer) -> float:
         """Fraction of scheduled iterations that are real work (<= 1)."""
         padded = self.padded_macs()

@@ -477,6 +477,24 @@ def albireo_reference_mapping(
     :func:`albireo_mapping_candidates` enumerates the sensible combinations
     so a system can keep whichever prices cheapest.
     """
+    return _albireo_assemble(
+        layer,
+        _albireo_mapping_pieces(config, layer, channel_mode,
+                                integrator_mode),
+        dram_protects)
+
+
+def _albireo_mapping_pieces(
+    config: AlbireoConfig,
+    layer: ConvLayer,
+    channel_mode: str,
+    integrator_mode: str,
+) -> Tuple:
+    """Everything about the reference mapping that does not depend on
+    ``dram_protects`` — the expensive factor allocation, computed once
+    and shared across the DRAM-permutation variants (the three protection
+    choices reorder the same DRAM loops; see
+    :func:`albireo_mapping_candidates`)."""
     taker = FactorTaker(layer)
 
     # --- Spatial assignment, inner fanouts first -----------------------
@@ -521,18 +539,26 @@ def albireo_reference_mapping(
     )
     dram_factors = taker.residual_after(gb_factors)
 
-    # --- Permutations ----------------------------------------------------
     # GB loops: reduction dims innermost so outputs finish accumulating
-    # before eviction (protect outputs); DRAM loops keep the protected
-    # tensor resident across the other's sweep.
-    dram_order = dram_order_protecting(layer, dram_protects)
+    # before eviction (protect outputs).
+    gb_level = LevelMapping("GlobalBuffer",
+                            temporal_loops(gb_factors, GB_ORDER))
+    integrator_level = LevelMapping(
+        "AEIntegrator",
+        temporal_loops(integrator_factors, (Dim.C, Dim.R, Dim.S)))
+    return spatials, dram_factors, gb_level, integrator_level
 
+
+def _albireo_assemble(layer: ConvLayer, pieces: Tuple,
+                      dram_protects: str) -> Mapping:
+    """Attach the DRAM permutation — the loops keep the protected tensor
+    resident across the other's sweep — to the shared mapping pieces."""
+    spatials, dram_factors, gb_level, integrator_level = pieces
+    dram_order = dram_order_protecting(layer, dram_protects)
     levels = (
         LevelMapping("DRAM", temporal_loops(dram_factors, dram_order)),
-        LevelMapping("GlobalBuffer", temporal_loops(gb_factors, GB_ORDER)),
-        LevelMapping("AEIntegrator",
-                     temporal_loops(integrator_factors,
-                                    (Dim.C, Dim.R, Dim.S))),
+        gb_level,
+        integrator_level,
     )
     return Mapping(levels=levels, spatials=spatials)
 
@@ -543,21 +569,20 @@ def albireo_mapping_candidates(config: AlbireoConfig,
 
     Covers the layer-dependent trade-offs: padded-vs-exact wavelength
     splits, analog integration depth on/exact/full, and which tensor the
-    DRAM loop order protects.  Deduplicated; typically 4-8 distinct
-    mappings.
+    DRAM loop order protects.  The factor allocation is computed once per
+    (channel, integrator) mode pair and shared by the three protection
+    variants, which differ only in DRAM loop order.  Deduplicated;
+    typically 4-8 distinct mappings.
     """
     candidates: List[Mapping] = []
     seen = set()
     for channel_mode in ("fill", "divisor"):
         for integrator_mode in ("divisor", "fill", "off"):
+            pieces = _albireo_mapping_pieces(config, layer, channel_mode,
+                                             integrator_mode)
             for dram_protects in ("weights", "inputs", "outputs"):
-                mapping = albireo_reference_mapping(
-                    config, layer,
-                    channel_mode=channel_mode,
-                    integrator_mode=integrator_mode,
-                    dram_protects=dram_protects,
-                )
-                key = repr(mapping)
+                mapping = _albireo_assemble(layer, pieces, dram_protects)
+                key = mapping.structure_key()
                 if key not in seen:
                     seen.add(key)
                     candidates.append(mapping)

@@ -32,7 +32,17 @@ hashing) share one immutable build instead of re-deriving it.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, ClassVar, Dict, Optional, Sequence, Tuple
+import dataclasses
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.arch.hierarchy import Architecture
 from repro.energy.table import EnergyTable
@@ -88,6 +98,31 @@ def layer_shape_key(layer: ConvLayer) -> Tuple:
     return (layer.n, layer.m, layer.c, layer.p, layer.q, layer.r, layer.s,
             layer.stride_h, layer.stride_w, layer.groups,
             layer.bits_per_weight, layer.bits_per_activation)
+
+
+# ---------------------------------------------------------------------------
+# Sub-tasks: the planner's unit of work
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SubTask:
+    """One cacheable unit of a network evaluation.
+
+    The sweep engine's planner (:mod:`repro.engine.planner`) expands each
+    whole-network job into these, deduplicates them across a batch, and
+    executes the unique remainder at task granularity.  A ``"mapper"``
+    task runs one mapper search; a ``"layer"`` task evaluates one layer
+    under one pair of DRAM-traffic flags.  Both are keyed and persisted
+    through the system's ``store`` seam, so computing a sub-task warms
+    exactly the entries the normal evaluation path would look up.
+    """
+
+    kind: str  # "mapper" | "layer"
+    layer: ConvLayer
+    use_mapper: bool = False
+    input_from_dram: bool = True
+    output_to_dram: bool = True
 
 
 # ---------------------------------------------------------------------------
@@ -205,14 +240,31 @@ class PhotonicSystem(abc.ABC):
         self._mapping_cache[key] = best_mapping
         return best_mapping
 
+    def _mapper_store_key(self, layer: ConvLayer,
+                          max_evaluations: int = 1000,
+                          seed: int = 0) -> Tuple:
+        """Structural ``store`` key of one mapper search (name-free: keyed
+        by the executed workload's shape, so same-geometry layers share)."""
+        return ("mapper", layer_shape_key(self.analysis_layer(layer)),
+                max_evaluations, seed)
+
+    def _layer_store_key(self, layer: ConvLayer, use_mapper: bool,
+                         input_from_dram: bool,
+                         output_to_dram: bool) -> Tuple:
+        """Structural ``store`` key of one default-mapping layer
+        evaluation: the layer (shape and name, so cached results
+        reconstruct exactly) plus every flag that changes the result."""
+        return ("layer", layer.name, layer_shape_key(layer),
+                bool(use_mapper), bool(input_from_dram),
+                bool(output_to_dram))
+
     def search_mapping(self, layer: ConvLayer,
                        max_evaluations: int = 1000,
                        seed: int = 0) -> MapperResult:
         """Mapper search (on the executed workload), seeded with the
         reference mapping.  Memoized through the ``store`` seam."""
         target = self.analysis_layer(layer)
-        store_key = ("mapper", layer_shape_key(target),
-                     max_evaluations, seed)
+        store_key = self._mapper_store_key(layer, max_evaluations, seed)
         if self.store is not None:
             cached = self.store.load_mapper_result(store_key)
             if cached is not None:
@@ -244,12 +296,9 @@ class PhotonicSystem(abc.ABC):
         target = self.analysis_layer(layer)
         store_key = None
         if self.store is not None and mapping is None:
-            # Only the default-mapping path is cacheable: the key names the
-            # layer (shape and name, so cached results reconstruct exactly)
-            # and every flag that changes the result.
-            store_key = ("layer", layer.name, layer_shape_key(layer),
-                         bool(use_mapper), bool(input_from_dram),
-                         bool(output_to_dram))
+            # Only the default-mapping path is cacheable.
+            store_key = self._layer_store_key(
+                layer, use_mapper, input_from_dram, output_to_dram)
             cached = self.store.load_layer(store_key)
             if cached is not None:
                 return cached
@@ -302,6 +351,86 @@ class PhotonicSystem(abc.ABC):
             clock_ghz=self.architecture.clock_ghz,
             peak_parallelism=self.architecture.peak_parallelism,
         )
+
+    # ------------------------------------------------------------------
+    # Sub-task seams (used by the sweep engine's planner)
+    # ------------------------------------------------------------------
+    def enumerate_sub_tasks(self, network: Network, fused: bool = False,
+                            use_mapper: bool = False) -> List[SubTask]:
+        """The unique sub-tasks :meth:`evaluate_network` would compute.
+
+        Mirrors the evaluation loop (same :func:`fusion_blocks` policy)
+        without evaluating anything: one ``"layer"`` task per distinct
+        (layer, DRAM flags) store key, preceded — when the mapper is on —
+        by one ``"mapper"`` task per distinct search key, so executing
+        the tasks in order warms every entry the evaluation will look up.
+        """
+        mapper_tasks: List[SubTask] = []
+        layer_tasks: List[SubTask] = []
+        seen = set()
+        entries = network.entries
+        for index, entry in enumerate(entries):
+            is_last = index == len(entries) - 1
+            if use_mapper:
+                task = SubTask(kind="mapper", layer=entry.layer,
+                               use_mapper=True)
+                key = self.sub_task_store_key(task)
+                if key not in seen:
+                    seen.add(key)
+                    mapper_tasks.append(task)
+            for input_dram, output_dram, _count in fusion_blocks(
+                    entry, is_last, fused):
+                task = SubTask(kind="layer", layer=entry.layer,
+                               use_mapper=use_mapper,
+                               input_from_dram=input_dram,
+                               output_to_dram=output_dram)
+                key = self.sub_task_store_key(task)
+                if key not in seen:
+                    seen.add(key)
+                    layer_tasks.append(task)
+        return mapper_tasks + layer_tasks
+
+    def sub_task_store_key(self, task: SubTask) -> Tuple:
+        """The ``store`` key :meth:`compute_sub_task` reads and writes —
+        exactly the key the normal evaluation path uses, so planner-warmed
+        entries are pure hits afterwards."""
+        if task.kind == "mapper":
+            return self._mapper_store_key(task.layer)
+        return self._layer_store_key(task.layer, task.use_mapper,
+                                     task.input_from_dram,
+                                     task.output_to_dram)
+
+    def sub_task_dedup_key(self, task: SubTask) -> Tuple:
+        """Identity under which a sub-task's *numbers* are shared.
+
+        Layer names are presentation: the whole evaluation pipeline is a
+        function of the layer's shape fields (reference mappings and
+        mapper searches are already keyed shape-only), so two layer tasks
+        differing only in ``layer.name`` produce evaluations identical in
+        everything but that name.  The planner computes one representative
+        per dedup key and derives the siblings by renaming — a system
+        whose evaluation *does* depend on the name must override this to
+        include it.
+        """
+        layer = task.layer
+        shape = tuple(getattr(layer, field.name)
+                      for field in dataclasses.fields(layer)
+                      if field.name != "name")
+        if task.kind == "mapper":
+            return ("mapper", shape)
+        return ("layer", shape, bool(task.use_mapper),
+                bool(task.input_from_dram), bool(task.output_to_dram))
+
+    def compute_sub_task(self, task: SubTask) -> None:
+        """Execute one sub-task; its result lands in the ``store`` seam."""
+        if task.kind == "mapper":
+            self.search_mapping(task.layer)
+        elif task.kind == "layer":
+            self.evaluate_layer(task.layer, use_mapper=task.use_mapper,
+                                input_from_dram=task.input_from_dram,
+                                output_to_dram=task.output_to_dram)
+        else:
+            raise SpecError(f"unknown sub-task kind {task.kind!r}")
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -71,6 +71,7 @@ def sweep_reuse_factors(
     use_mapper: bool = False,
     workers: int = 1,
     cache: CacheLike = None,
+    plan: Optional[bool] = None,
 ) -> List[ReuseExplorationPoint]:
     """Evaluate ``network`` across the paper's Fig. 5 reuse grid.
 
@@ -88,7 +89,8 @@ def sweep_reuse_factors(
         include_dram=include_dram,
         use_mapper=use_mapper,
     )
-    evaluations = run_jobs(jobs, workers=workers, cache=cache)
+    evaluations = run_jobs(jobs, workers=workers, cache=cache,
+                           plan=plan)
     return [
         ReuseExplorationPoint(
             output_reuse=job.tag("output_reuse"),
@@ -131,6 +133,7 @@ def sweep_memory_options(
     use_mapper: bool = False,
     workers: int = 1,
     cache: CacheLike = None,
+    plan: Optional[bool] = None,
 ) -> List[MemoryExplorationPoint]:
     """Evaluate ``network`` across the paper's Fig. 4 memory-system grid.
 
@@ -148,7 +151,8 @@ def sweep_memory_options(
         fused_buffer_kib=fused_buffer_kib,
         use_mapper=use_mapper,
     )
-    evaluations = run_jobs(jobs, workers=workers, cache=cache)
+    evaluations = run_jobs(jobs, workers=workers, cache=cache,
+                           plan=plan)
     return [
         MemoryExplorationPoint(
             scenario=job.config.scenario,
@@ -166,13 +170,15 @@ def sweep_configurations(
     use_mapper: bool = False,
     workers: int = 1,
     cache: CacheLike = None,
+    plan: Optional[bool] = None,
 ) -> List[Tuple[Any, NetworkEvaluation]]:
     """Evaluate ``network`` on every configuration (generic DSE driver).
 
     Configurations may belong to any registered system (the job builder
     infers each one's system tag from its config type)."""
     jobs = config_sweep_jobs(network, configs, use_mapper=use_mapper)
-    evaluations = run_jobs(jobs, workers=workers, cache=cache)
+    evaluations = run_jobs(jobs, workers=workers, cache=cache,
+                           plan=plan)
     return list(zip(configs, evaluations))
 
 

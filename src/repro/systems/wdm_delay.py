@@ -39,7 +39,7 @@ hold two chunks' weights at once).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import List, Tuple
 
 from repro.arch.domains import Conversion, Domain
 from repro.arch.hierarchy import (
@@ -395,6 +395,17 @@ def wdm_delay_reference_mapping(
     chunks' weights at once, so reduction leftovers merge digitally at
     the buffer.
     """
+    return _wdm_delay_assemble(
+        layer, _wdm_delay_mapping_pieces(config, layer, channel_mode),
+        dram_protects)
+
+
+def _wdm_delay_mapping_pieces(config: WdmDelayConfig, layer: ConvLayer,
+                              channel_mode: str) -> Tuple:
+    """Everything about the reference mapping that does not depend on
+    ``dram_protects`` — the capacity-retry factor allocation, computed
+    once and shared across the DRAM-permutation variants (see
+    :func:`wdm_delay_mapping_candidates`)."""
     capacity = config.global_buffer_bits * 0.95
 
     def build(q_cap: int, hold_budget: int):
@@ -458,11 +469,7 @@ def wdm_delay_reference_mapping(
             break
     dram_factors = taker.residual_after(gb_factors)
 
-    levels = (
-        LevelMapping("DRAM",
-                     temporal_loops(dram_factors,
-                                    dram_order_protecting(layer,
-                                                          dram_protects))),
+    inner_levels = (
         LevelMapping("GlobalBuffer", temporal_loops(gb_factors, GB_ORDER)),
         LevelMapping("RingBank",
                      temporal_loops(bank_factors, (Dim.N, Dim.P, Dim.Q))),
@@ -477,7 +484,18 @@ def wdm_delay_reference_mapping(
                        if f > 1}),
         FanoutMapping("wavelengths", {Dim.C: c_sp} if c_sp > 1 else {}),
     )
-    return Mapping(levels=levels, spatials=spatials)
+    return spatials, dram_factors, inner_levels
+
+
+def _wdm_delay_assemble(layer: ConvLayer, pieces: Tuple,
+                        dram_protects: str) -> Mapping:
+    """Attach the DRAM permutation to the shared mapping pieces."""
+    spatials, dram_factors, inner_levels = pieces
+    dram_level = LevelMapping(
+        "DRAM",
+        temporal_loops(dram_factors,
+                       dram_order_protecting(layer, dram_protects)))
+    return Mapping(levels=(dram_level,) + inner_levels, spatials=spatials)
 
 
 def wdm_delay_mapping_candidates(config: WdmDelayConfig,
@@ -488,13 +506,10 @@ def wdm_delay_mapping_candidates(config: WdmDelayConfig,
     candidates: List[Mapping] = []
     seen = set()
     for channel_mode in ("fill", "divisor"):
+        pieces = _wdm_delay_mapping_pieces(config, layer, channel_mode)
         for dram_protects in ("weights", "inputs", "outputs"):
-            mapping = wdm_delay_reference_mapping(
-                config, layer,
-                channel_mode=channel_mode,
-                dram_protects=dram_protects,
-            )
-            key = repr(mapping)
+            mapping = _wdm_delay_assemble(layer, pieces, dram_protects)
+            key = mapping.structure_key()
             if key not in seen:
                 seen.add(key)
                 candidates.append(mapping)

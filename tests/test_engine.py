@@ -1,5 +1,7 @@
-"""Tests for the parallel sweep engine (jobs, cache, executor, sweeps)."""
+"""Tests for the parallel sweep engine (jobs, cache, executor, planner,
+sweeps)."""
 
+import dataclasses
 import json
 import subprocess
 import sys
@@ -9,7 +11,10 @@ import pytest
 
 from repro.engine import (
     EvaluationCache,
+    build_plan,
     config_sweep_jobs,
+    default_grid_jobs,
+    job_system_key,
     make_job,
     memory_sweep_jobs,
     parameter_grid,
@@ -32,6 +37,30 @@ from repro.workloads import tiny_cnn
 @pytest.fixture(scope="module")
 def small_network():
     return tiny_cnn()
+
+
+def _repeated_geometry_network():
+    """A network whose layers repeat the same shape under several names
+    (the ResNet18 pattern the planner's rename-dedup targets).
+
+    Built from explicit entries: ``Network.from_layers`` would merge the
+    consecutive same-shape layers into one counted repetition, which is
+    exactly the collapse real model-zoo networks (distinct residual-block
+    layer names, non-consecutive repeats) don't get for free.
+    """
+    from repro.workloads import ConvLayer
+    from repro.workloads.network import LayerRepetition, Network
+
+    shape = dict(m=8, c=8, p=16, q=16, r=3, s=3)
+    entries = [LayerRepetition(
+        layer=ConvLayer(name="conv0", **shape),
+        consumes_previous_output=False)]
+    entries.extend(
+        LayerRepetition(layer=ConvLayer(name=f"conv{i}", **shape))
+        for i in range(1, 4))
+    entries.append(LayerRepetition(
+        layer=ConvLayer(name="odd", m=16, c=8, p=8, q=8, r=3, s=3)))
+    return Network(name="RepeatNet", entries=tuple(entries))
 
 
 def _small_configs(count=4):
@@ -311,6 +340,313 @@ class TestExecutor:
         entries = evaluation.total_energy.entries()
         assert entries
         assert all(component != "DRAM" for component, _ in entries)
+
+    def test_strip_dram_round_trips_every_field(self, small_network):
+        """``strip_dram`` must only touch the energy breakdown: every
+        other ``LayerEvaluation`` field — including ones added after this
+        test was written — survives byte-for-byte."""
+        from repro.engine import strip_dram
+        from repro.model.results import LayerEvaluation, NetworkEvaluation
+
+        evaluation = run_job(make_job(small_network, AlbireoConfig()))
+        # Make the optional fields non-default so silently dropping one
+        # cannot hide behind its default value.
+        tweaked = tuple(
+            (dataclasses.replace(layer_eval,
+                                 occupancy_bits={"GlobalBuffer": 17.5},
+                                 compute_cycles=layer_eval.cycles + 3,
+                                 bandwidth_bound_level="DRAM"),
+             count)
+            for layer_eval, count in evaluation.layers
+        )
+        evaluation = dataclasses.replace(evaluation, layers=tweaked)
+        stripped = strip_dram(evaluation)
+
+        for net_field in dataclasses.fields(NetworkEvaluation):
+            if net_field.name == "layers":
+                continue
+            assert getattr(stripped, net_field.name) \
+                == getattr(evaluation, net_field.name), net_field.name
+        assert len(stripped.layers) == len(evaluation.layers)
+        for (before, count_b), (after, count_a) in zip(evaluation.layers,
+                                                       stripped.layers):
+            assert count_b == count_a
+            for layer_field in dataclasses.fields(LayerEvaluation):
+                if layer_field.name == "energy":
+                    continue
+                assert getattr(after, layer_field.name) \
+                    == getattr(before, layer_field.name), layer_field.name
+            kept = after.energy.entries()
+            assert kept
+            assert all(component != "DRAM" for component, _ in kept)
+            expected = {key: value
+                        for key, value in before.energy.entries().items()
+                        if key[0] != "DRAM"}
+            assert kept == expected
+
+
+class TestPlanner:
+    def test_plan_dedups_repeated_geometry(self):
+        """Same-shape layers under different names plan one task each."""
+        network = _repeated_geometry_network()
+        jobs = [make_job(network, config)
+                for config in _small_configs(2)]
+        cache = EvaluationCache()
+        plan = build_plan(jobs, cache, workers=2)
+        assert plan is not None
+        # 5 entries per job but only 2 unique geometries per config.
+        assert plan.planned == 10
+        assert plan.deduplicated == 6
+        assert plan.phase1_tasks == 4
+        assert len(plan.aliases) == 6
+        assert cache.planner.planned == 10
+        assert cache.planner.phase1_tasks == 4
+
+    def test_plan_dedups_against_warm_cache(self, small_network):
+        jobs = config_sweep_jobs(small_network, _small_configs(2))
+        cache = EvaluationCache()
+        run_jobs(jobs, cache=cache)  # warm every layer entry serially
+        cache.reset_stats()
+        plan = build_plan(jobs, cache, workers=2)
+        assert plan.phase1_tasks == 0
+        assert plan.cache_hits > 0
+        assert not plan.batches
+
+    def test_planned_parallel_identical_and_aliases_cached(self):
+        """Rename-dedup still yields bit-identical results, and the
+        derived sibling entries land in the cache for later replay."""
+        network = _repeated_geometry_network()
+        jobs = [make_job(network, config, include_dram=include_dram)
+                for config in _small_configs(2)
+                for include_dram in (True, False)]
+        serial = run_jobs(jobs)
+        cache = EvaluationCache()
+        parallel = run_jobs(jobs, workers=2, cache=cache)
+        assert cache.planner.deduplicated > 0
+        for a, b in zip(serial, parallel):
+            assert _evaluations_identical(a, b)
+            assert a.energy_pj == b.energy_pj
+        # Every distinct layer name is individually cached (aliases were
+        # derived), so a warm run needs no evaluation at all.
+        warm = EvaluationCache.from_snapshot(cache.snapshot())
+        run_jobs(jobs, cache=warm)
+        assert warm.stats["results"].hits == len(jobs)
+        assert warm.stats["layers"].misses == 0
+
+    def test_fig4_fig5_grids_have_cross_job_dedup(self):
+        """The acceptance-criterion grids: planning them finds duplicate
+        sub-tasks to eliminate (repeated ResNet18 shapes, shared arms)."""
+        from repro.energy import AGGRESSIVE, CONSERVATIVE
+        from repro.workloads import resnet18
+
+        network = resnet18()
+        fig4 = memory_sweep_jobs(network, AlbireoConfig(),
+                                 scenarios=(CONSERVATIVE, AGGRESSIVE))
+        plan4 = build_plan(fig4, EvaluationCache(), workers=4)
+        assert plan4.deduplicated > 0
+        fig5 = reuse_sweep_jobs(network, AlbireoConfig())
+        plan5 = build_plan(fig5, EvaluationCache(), workers=4)
+        assert plan5.deduplicated > 0
+
+    def test_plan_false_forces_whole_job_path(self, small_network):
+        jobs = config_sweep_jobs(small_network, _small_configs(3))
+        cache = EvaluationCache()
+        results = run_jobs(jobs, workers=2, cache=cache, plan=False)
+        assert cache.planner.planned == 0
+        uncached = run_jobs(jobs)
+        for a, b in zip(results, uncached):
+            assert _evaluations_identical(a, b)
+
+    def test_batches_preserve_config_affinity(self, small_network):
+        """Every task of one system_key ships in one batch segment."""
+        jobs = config_sweep_jobs(small_network, _small_configs(4))
+        plan = build_plan(jobs, EvaluationCache(), workers=2)
+        seen_keys = set()
+        for batch in plan.batches:
+            for chunk in batch:
+                assert chunk.system_key not in seen_keys
+                seen_keys.add(chunk.system_key)
+        assert len(seen_keys) == len({job_system_key(job) for job in jobs})
+
+    def test_oversized_group_splits_at_cluster_boundaries(self):
+        """One giant job is split for load balancing, but a use_mapper
+        layer task always rides with the mapper search it consumes."""
+        from repro.workloads import ConvLayer
+        from repro.workloads.network import Network
+
+        layers = [ConvLayer(name=f"c{i}", m=4 + i, c=3, p=8, q=8, r=3, s=3)
+                  for i in range(24)]
+        network = Network.from_layers("WideNet", layers)
+        job = make_job(network, AlbireoConfig(), use_mapper=True)
+        plan = build_plan([job], EvaluationCache(), workers=4)
+        chunks = plan.chunks
+        assert len(chunks) > 1  # actually split
+        # Dependency closure: each chunk's use_mapper layer tasks only
+        # consume searches scheduled in the same chunk.  (Shapes are all
+        # distinct here, so matching by layer name is exact.)
+        for chunk in chunks:
+            produced = {task.layer.name for task in chunk.tasks
+                        if task.kind == "mapper"}
+            consumed = {task.layer.name for task in chunk.tasks
+                        if task.kind == "layer" and task.use_mapper}
+            assert consumed <= produced
+
+    def test_phase1_ticks_progress(self, small_network):
+        """A cold planned run shows liveness during phase 1 (finished
+        count unchanged) before the per-job assembly ticks."""
+        jobs = config_sweep_jobs(small_network, _small_configs(3))
+        calls = []
+        run_jobs(jobs, workers=2, cache=EvaluationCache(),
+                 progress=lambda done, total, job: calls.append(
+                     (done, total)))
+        phase1_ticks = [call for call in calls if call == (0, 3)]
+        assert phase1_ticks  # batches reported before any job finished
+        assert calls[-1] == (3, 3)
+        assert [call for call in calls if call[0] > 0] \
+            == [(1, 3), (2, 3), (3, 3)]
+
+    def test_reset_stats_clears_counters(self, small_network):
+        cache = EvaluationCache()
+        jobs = config_sweep_jobs(small_network, _small_configs(2))
+        run_jobs(jobs, workers=2, cache=cache)
+        assert cache.stats["layers"].lookups > 0
+        assert cache.planner.planned > 0
+        entries_before = len(cache)
+        cache.reset_stats()
+        assert len(cache) == entries_before  # entries untouched
+        assert cache.planner.planned == 0
+        assert cache.planner.phase1_tasks == 0
+        assert all(stats.hits == 0 and stats.misses == 0
+                   for stats in cache.stats.values())
+
+    def test_contains_and_peek_do_not_count(self, small_network):
+        cache = EvaluationCache()
+        run_job(make_job(small_network, AlbireoConfig()), cache)
+        cache.reset_stats()
+        key = next(iter(cache.snapshot()["layers"]))
+        assert cache.contains("layers", key)
+        assert cache.peek("layers", key) is not None
+        assert not cache.contains("layers", "missing")
+        assert cache.peek("layers", "missing") is None
+        assert cache.stats["layers"].lookups == 0
+
+    def test_default_grid_jobs_covers_registered_systems(self,
+                                                         small_network):
+        from repro.systems.registry import system_names
+
+        jobs = default_grid_jobs(small_network)
+        assert {job.system for job in jobs} == set(system_names())
+        assert all(job.tag("system") == job.system for job in jobs)
+        only = default_grid_jobs(small_network, systems=("albireo",))
+        assert {job.system for job in only} == {"albireo"}
+
+
+@dataclasses.dataclass(frozen=True)
+class _FailingConfig(AlbireoConfig):
+    """Config for the fault-injection system (module level: worker
+    payloads pickle it by reference)."""
+
+
+class _FailingSystem(AlbireoSystem):
+    """Raises on every layer evaluation — exercises worker error paths."""
+
+    name = "failing"
+    config_type = _FailingConfig
+
+    def evaluate_layer(self, *args, **kwargs):
+        raise ValueError("injected failure")
+
+
+@pytest.fixture
+def failing_system():
+    from repro.systems import registry
+    from repro.systems.albireo import SYSTEM_BUCKETS
+
+    entry = registry.SystemEntry(
+        name="failing",
+        config_type=_FailingConfig,
+        system_type=_FailingSystem,
+        build_architecture=_FailingSystem.build_architecture,
+        build_energy_table=_FailingSystem.build_energy_table,
+        buckets=SYSTEM_BUCKETS,
+        description="test-only fault-injection system",
+    )
+    registry.register_system(entry)
+    try:
+        yield entry
+    finally:
+        registry._REGISTRY.pop("failing", None)
+
+
+@pytest.mark.skipif(sys.platform == "win32",
+                    reason="fault injection relies on fork inheritance")
+class TestFailurePaths:
+    """Satellite: run_jobs must fail loudly and leave caches valid."""
+
+    def _failing_jobs(self, network, count=3):
+        return [make_job(network, _FailingConfig(), system="failing",
+                         label=f"fail{i}", tags={"i": i})
+                for i in range(count)]
+
+    def test_worker_error_propagates_in_planner_path(self, small_network,
+                                                     failing_system):
+        jobs = self._failing_jobs(small_network)
+        with pytest.raises(ValueError, match="injected failure"):
+            run_jobs(jobs, workers=2, cache=EvaluationCache())
+
+    def test_worker_error_propagates_in_whole_job_path(self, small_network,
+                                                       failing_system):
+        jobs = self._failing_jobs(small_network)
+        with pytest.raises(ValueError, match="injected failure"):
+            run_jobs(jobs, workers=2, cache=EvaluationCache(), plan=False)
+        with pytest.raises(ValueError, match="injected failure"):
+            run_jobs(jobs, workers=2, plan=False)  # cache-less path too
+
+    def test_serial_error_propagates(self, small_network, failing_system):
+        with pytest.raises(ValueError, match="injected failure"):
+            run_jobs(self._failing_jobs(small_network), workers=1)
+
+    def test_keyboard_interrupt_tears_down_pool(self, small_network):
+        import multiprocessing
+        import time
+
+        def interrupt(done, total, job):
+            raise KeyboardInterrupt
+
+        jobs = config_sweep_jobs(small_network, _small_configs(4))
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs(jobs, workers=2, plan=False, progress=interrupt)
+        # The ``with Pool`` exit terminates workers; give them a moment.
+        deadline = time.time() + 10
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_planner_phase_failure_leaves_disk_image_valid(
+            self, small_network, failing_system, tmp_path):
+        good_job = make_job(small_network, AlbireoConfig())
+        cache = EvaluationCache(str(tmp_path))
+        run_job(good_job, cache)
+        cache.save()
+        image_bytes = (tmp_path / "cache.json").read_bytes()
+
+        batch = [make_job(small_network, AlbireoConfig(clusters=32))] \
+            + self._failing_jobs(small_network)
+        with pytest.raises(ValueError, match="injected failure"):
+            run_jobs(batch, workers=2, cache=EvaluationCache(str(tmp_path)))
+        # Atomic persistence: the failed run never rewrote the image.
+        assert (tmp_path / "cache.json").read_bytes() == image_bytes
+        reloaded = EvaluationCache(str(tmp_path))
+        assert reloaded.get_result(good_job.key) is not None
+
+    def test_no_silent_none_on_partial_failure(self, small_network,
+                                               failing_system):
+        """A batch mixing good and failing jobs raises rather than
+        returning a results list with holes."""
+        batch = [make_job(small_network, AlbireoConfig())] \
+            + self._failing_jobs(small_network, count=2)
+        with pytest.raises(ValueError, match="injected failure"):
+            run_jobs(batch, workers=2, cache=EvaluationCache())
 
 
 class TestSweepBuilders:

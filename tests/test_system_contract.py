@@ -11,21 +11,29 @@ registering, with no new test code:
   accounting;
 * the engine cache round-trips (warm second run is a pure hit with a
   bit-identical result);
-* parallel execution matches serial bit-for-bit;
+* parallel execution matches serial bit-for-bit — through both the
+  whole-job path and the planner's two-phase path;
 * the duck-typed ``store`` seam memoizes mapper searches and layer
-  evaluations.
+  evaluations;
+* the sub-task seams agree with the evaluation path: enumerated tasks
+  warm exactly the entries ``evaluate_network`` looks up, and layer
+  names never change the numbers (the planner's rename-dedup contract).
 """
 
+import dataclasses
 import math
 
 import pytest
 
 from repro.engine import EvaluationCache, make_job, run_job, run_jobs
 from repro.engine.cache import SystemStore
-from repro.engine.codec import network_evaluation_to_dict
+from repro.engine.codec import (
+    layer_evaluation_to_dict,
+    network_evaluation_to_dict,
+)
 from repro.mapping.mapping import Mapping
 from repro.model.results import NetworkEvaluation
-from repro.systems.base import PhotonicSystem
+from repro.systems.base import PhotonicSystem, SubTask
 from repro.systems.registry import system_entries
 from repro.workloads import ConvLayer, dense_layer, tiny_cnn
 
@@ -152,6 +160,35 @@ class TestEngineIntegration:
         assert [network_evaluation_to_dict(e) for e in serial] \
             == [network_evaluation_to_dict(e) for e in parallel]
 
+    def test_serial_equals_planned_parallel(self, entry):
+        """The two-phase scheduler path is bit-identical to serial, both
+        with and without a cache, and actually plans (no fallback)."""
+        configs = list(entry.default_sweep())[:3]
+        jobs = [make_job(tiny_cnn(), config) for config in configs]
+        serial = run_jobs(jobs, workers=1)
+        cache = EvaluationCache()
+        planned = run_jobs(jobs, workers=2, cache=cache, plan=True)
+        assert cache.planner.planned > 0
+        assert cache.planner.phase1_tasks > 0
+        assert [network_evaluation_to_dict(e) for e in serial] \
+            == [network_evaluation_to_dict(e) for e in planned]
+        cacheless = run_jobs(jobs, workers=2, plan=True)
+        assert [network_evaluation_to_dict(e) for e in serial] \
+            == [network_evaluation_to_dict(e) for e in cacheless]
+
+    def test_planner_warm_cache_replays_without_tasks(self, entry, tmp_path):
+        """A warmed cache replays the planned sweep as pure hits: the
+        planner schedules zero phase-1 work the second time."""
+        cache_dir = str(tmp_path / "sweep")
+        configs = list(entry.default_sweep())[:3]
+        jobs = [make_job(tiny_cnn(), config) for config in configs]
+        run_jobs(jobs, workers=2, cache=cache_dir)
+        warm = EvaluationCache(cache_dir)
+        run_jobs(jobs, workers=2, cache=warm)
+        assert warm.stats["results"].hits == len(jobs)
+        assert warm.stats["results"].misses == 0
+        assert warm.planner.phase1_tasks == 0
+
     def test_store_seam_memoizes(self, entry):
         if not entry.supports_store:
             pytest.skip(f"{entry.name} registers supports_store=False")
@@ -183,3 +220,57 @@ class TestEngineIntegration:
         run_jobs(jobs, cache=warm)
         assert warm.stats["results"].hits == len(jobs)
         assert warm.stats["results"].misses == 0
+
+
+class TestSubTaskSeams:
+    """The planner's contract with every registered system."""
+
+    @pytest.mark.parametrize("fused", (False, True), ids=("plain", "fused"))
+    def test_enumerated_tasks_warm_exactly_what_evaluation_reads(
+            self, entry, fused):
+        """Computing the enumerated sub-tasks first makes the subsequent
+        network evaluation a pure store hit — proving the enumeration
+        and the evaluation path agree on coverage and on keys."""
+        network = tiny_cnn()
+        cache = EvaluationCache()
+        store = SystemStore(cache, "seam-" + entry.name)
+        system = entry.system_type(entry.config_type(), store=store)
+        tasks = system.enumerate_sub_tasks(network, fused=fused)
+        assert tasks
+        assert all(task.kind == "layer" for task in tasks)  # no mapper
+        keys = [system.sub_task_store_key(task) for task in tasks]
+        assert len(set(keys)) == len(keys)  # enumeration pre-deduplicated
+        for task in tasks:
+            system.compute_sub_task(task)
+        misses_before = cache.stats["layers"].misses
+        warmed = system.evaluate_network(network, fused=fused)
+        assert cache.stats["layers"].misses == misses_before
+        plain = entry.system_type(entry.config_type()).evaluate_network(
+            network, fused=fused)
+        assert network_evaluation_to_dict(warmed) \
+            == network_evaluation_to_dict(plain)
+
+    def test_mapper_tasks_precede_their_consumers(self, entry):
+        system = entry.system_type(entry.config_type())
+        tasks = system.enumerate_sub_tasks(tiny_cnn(), use_mapper=True)
+        kinds = [task.kind for task in tasks]
+        assert "mapper" in kinds
+        assert kinds.index("layer") > kinds.index("mapper")
+        last_mapper = max(i for i, kind in enumerate(kinds)
+                          if kind == "mapper")
+        assert all(kind == "layer" for kind in kinds[last_mapper + 1:])
+
+    def test_layer_name_does_not_affect_numbers(self, entry):
+        """The rename-dedup contract: two layers differing only in name
+        evaluate to dicts identical in everything but that name."""
+        layer_a = LAYERS[0]
+        layer_b = dataclasses.replace(layer_a, name="renamed")
+        system = entry.system_type(entry.config_type())
+        dict_a = layer_evaluation_to_dict(system.evaluate_layer(layer_a))
+        dict_b = layer_evaluation_to_dict(system.evaluate_layer(layer_b))
+        dict_b["layer"]["name"] = layer_a.name
+        assert dict_a == dict_b
+        assert system.sub_task_dedup_key(SubTask(kind="layer",
+                                                 layer=layer_a)) \
+            == system.sub_task_dedup_key(SubTask(kind="layer",
+                                                 layer=layer_b))
