@@ -11,7 +11,8 @@ Run:  python examples/full_system_memory_study.py
 """
 
 from repro import AGGRESSIVE, AlbireoConfig, CONSERVATIVE, SYSTEM_BUCKETS, \
-    resnet18, sweep_memory_options
+    resnet18
+from repro.api import memory_study
 from repro.report import format_table, stacked_bar_chart
 
 
@@ -20,30 +21,32 @@ def main() -> None:
     print(f"Workload: {network.name}, {network.total_macs / 1e9:.2f} GMACs, "
           f"{network.total_weight_bits / 8e6:.1f} MB of weights\n")
 
-    points = sweep_memory_options(
+    results = memory_study(
         network,
         AlbireoConfig(),
         scenarios=(CONSERVATIVE, AGGRESSIVE),
         batch_sizes=(1, 8),
         fusion_options=(False, True),
-    )
+    ).run()
 
     rows = []
     chart_rows = []
-    for point in points:
-        evaluation = point.evaluation
+    for record in results:
+        evaluation = record.evaluation
         grouped = evaluation.total_energy.per_mac(
             evaluation.total_macs).grouped(SYSTEM_BUCKETS)
         total = sum(grouped.values())
         rows.append((
-            point.scenario.name,
-            "fused" if point.fused else "-",
-            f"N={point.batch}",
+            record["scenario"],
+            "fused" if record["fused"] else "-",
+            f"N={record['batch']}",
             f"{total:.3f}",
             f"{grouped['DRAM'] / total:.0%}",
         ))
-        if point.scenario.name == "aggressive":
-            chart_rows.append((point.label.split("/", 1)[1], grouped))
+        if record["scenario"] == "aggressive":
+            fusion = "Fused" if record["fused"] else "Not Fused"
+            batching = "Batched" if record["batch"] > 1 else "Non-Batched"
+            chart_rows.append((f"{fusion}/{batching}", grouped))
 
     print(format_table(
         ("scaling", "fusion", "batch", "pJ/MAC", "DRAM share"), rows,
@@ -52,9 +55,9 @@ def main() -> None:
     print("\nAggressive-scaling breakdown (pJ/MAC):")
     print(stacked_bar_chart(chart_rows, width=48))
 
-    aggressive = [p for p in points if p.scenario.name == "aggressive"]
-    baseline = aggressive[0].energy_per_mac_pj
-    best = min(p.energy_per_mac_pj for p in aggressive)
+    aggressive = results.filter(scenario="aggressive")
+    baseline = aggressive[0]["energy_per_mac_pj"]
+    best = aggressive.best()["energy_per_mac_pj"]
     print(f"\nBatching + fusion reduce aggressive-system energy by "
           f"{1 - best / baseline:.0%} ({baseline / best:.1f}x) — the paper "
           f"reports 67% (3x).")

@@ -15,8 +15,8 @@ and the cure is *spatial reuse* — convert a value once and fan it out:
 Run:  python examples/reuse_exploration.py
 """
 
-from repro import AGGRESSIVE, AlbireoConfig, SYSTEM_BUCKETS, resnet18, \
-    sweep_reuse_factors
+from repro import AGGRESSIVE, AlbireoConfig, SYSTEM_BUCKETS, resnet18
+from repro.api import reuse_study
 from repro.report import format_table
 
 CONVERTER_BUCKETS = ("Weight DE/AE, AE/AO", "Input DE/AE, AE/AO",
@@ -25,41 +25,43 @@ CONVERTER_BUCKETS = ("Weight DE/AE, AE/AO", "Input DE/AE, AE/AO",
 
 def main() -> None:
     network = resnet18()
-    points = sweep_reuse_factors(
+    results = reuse_study(
         network,
         AlbireoConfig(scenario=AGGRESSIVE),
         output_reuse_values=(3, 9, 15),
         input_reuse_values=(9, 27, 45),
         weight_lane_variants=(("Original", 1), ("More Weight Reuse", 3)),
-    )
+    ).run()
 
     rows = []
-    for point in points:
-        evaluation = point.evaluation
+    for record in results:
+        evaluation = record.evaluation
         grouped = evaluation.total_energy.per_mac(
             evaluation.total_macs).grouped(SYSTEM_BUCKETS)
         converters = sum(grouped.get(bucket, 0.0)
                          for bucket in CONVERTER_BUCKETS)
         rows.append((
-            point.variant, point.output_reuse, point.input_reuse,
-            f"{point.energy_per_mac_pj:.4f}",
+            record["variant"], record["output_reuse"],
+            record["input_reuse"],
+            f"{record['energy_per_mac_pj']:.4f}",
             f"{converters:.4f}",
-            f"{converters / point.energy_per_mac_pj:.0%}",
+            f"{converters / record['energy_per_mac_pj']:.0%}",
         ))
     print(format_table(
         ("variant", "OR", "IR", "accel pJ/MAC", "converter pJ/MAC",
          "converter share"),
         rows, align_right=[False, True, True, True, True, True]))
 
-    baseline = points[0]
-    best = min(points, key=lambda p: p.energy_per_mac_pj)
-    print(f"\nbaseline : {baseline.variant} OR={baseline.output_reuse} "
-          f"IR={baseline.input_reuse} -> "
-          f"{baseline.energy_per_mac_pj:.4f} pJ/MAC")
-    print(f"best     : {best.variant} OR={best.output_reuse} "
-          f"IR={best.input_reuse} -> {best.energy_per_mac_pj:.4f} pJ/MAC")
+    baseline = results[0]
+    best = results.best("energy_per_mac_pj")
+    print(f"\nbaseline : {baseline['variant']} OR={baseline['output_reuse']} "
+          f"IR={baseline['input_reuse']} -> "
+          f"{baseline['energy_per_mac_pj']:.4f} pJ/MAC")
+    print(f"best     : {best['variant']} OR={best['output_reuse']} "
+          f"IR={best['input_reuse']} -> {best['energy_per_mac_pj']:.4f} "
+          f"pJ/MAC")
     print(f"accelerator energy reduction: "
-          f"{1 - best.energy_per_mac_pj / baseline.energy_per_mac_pj:.0%} "
+          f"{1 - best['energy_per_mac_pj'] / baseline['energy_per_mac_pj']:.0%} "
           f"(paper: 31%)")
     print("\nNote the diminishing return from IR=27 to IR=45: the wider "
           "star coupler's excess optical loss raises laser power against "

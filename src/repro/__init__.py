@@ -16,6 +16,18 @@ Quickstart::
     result = system.evaluate_network(resnet18())
     print(result.describe())
 
+Or declaratively, for anything from one evaluation to a cross-system
+design-space exploration (:class:`Study` / :class:`ResultSet`)::
+
+    from repro import Study
+
+    results = (Study()
+               .systems("albireo", "wdm_delay")
+               .networks("resnet18")
+               .scenarios("conservative", "aggressive")
+               .run(workers=4, cache="study-cache"))
+    print(results.report(mark_pareto=True))
+
 Layer cake (each importable on its own):
 
 * :mod:`repro.workloads` — DNN layer/network shapes (VGG16, AlexNet,
@@ -34,6 +46,8 @@ Layer cake (each importable on its own):
 * :mod:`repro.engine` — the parallel sweep engine: declarative evaluation
   jobs, a persistent mapping/evaluation cache, and a serial/multiprocess
   batch executor.
+* :mod:`repro.api` — the declarative :class:`Study`/:class:`ResultSet`
+  facade over everything below (and the ``repro run spec.json`` CLI).
 * :mod:`repro.experiments` — the paper's four evaluation experiments.
 """
 
@@ -116,6 +130,11 @@ from repro.systems import (
     system_entries,
     system_names,
 )
+from repro.api import (
+    Record,
+    ResultSet,
+    Study,
+)
 from repro.workloads import (
     ConvLayer,
     DataSpace,
@@ -125,6 +144,8 @@ from repro.workloads import (
     dense_layer,
     lenet5,
     mobilenet_v1,
+    network_by_name,
+    network_names,
     resnet18,
     tiny_cnn,
     vgg16,
@@ -179,7 +200,10 @@ __all__ = [
     "NetworkEvaluation",
     "NetworkOptions",
     "PhotonicSystem",
+    "Record",
     "ReproError",
+    "ResultSet",
+    "Study",
     "SYSTEM_BUCKETS",
     "SystemEntry",
     "WdmDelayConfig",
@@ -204,6 +228,8 @@ __all__ = [
     "lenet5",
     "make_job",
     "mobilenet_v1",
+    "network_by_name",
+    "network_names",
     "pareto_frontier",
     "resnet18",
     "run_job",

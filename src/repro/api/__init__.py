@@ -1,0 +1,42 @@
+"""repro.api — the declarative Study/ResultSet facade.
+
+One programmatic surface for every evaluation, sweep, and comparison the
+library can run: build a :class:`Study` (fluently or from a JSON spec),
+execute it through the parallel/cached sweep engine with
+:meth:`Study.run`, and slice the returned :class:`ResultSet`::
+
+    from repro.api import Study
+
+    results = (Study()
+               .systems("albireo", "wdm_delay")
+               .networks("resnet18")
+               .scenarios("conservative", "aggressive")
+               .run(workers=4, cache="study-cache"))
+    print(results.report(mark_pareto=True))
+    best = results.best("energy_per_mac_pj")
+
+The figure experiments, the ``repro.systems.dse`` drivers, and the CLI's
+``sweep``/``compare``/``run`` commands are all thin shells over this
+module; :mod:`repro.api.studies` holds the prebuilt lattices they use.
+"""
+
+from repro.api.results import METRIC_NAMES, Record, ResultSet
+from repro.api.studies import (
+    comparison_study,
+    config_study,
+    memory_study,
+    reuse_study,
+)
+from repro.api.study import Study, StudyPoint
+
+__all__ = [
+    "METRIC_NAMES",
+    "Record",
+    "ResultSet",
+    "Study",
+    "StudyPoint",
+    "comparison_study",
+    "config_study",
+    "memory_study",
+    "reuse_study",
+]

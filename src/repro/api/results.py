@@ -1,0 +1,358 @@
+"""Tagged result records and the :class:`ResultSet` container.
+
+Every evaluation a :class:`~repro.api.study.Study` runs comes back as a
+:class:`Record`: the point's coordinates (system, network, scenario,
+grid overrides, user tags) plus the scalar metrics of its
+:class:`~repro.model.results.NetworkEvaluation`.  A :class:`ResultSet`
+holds an ordered list of records and offers the relational verbs every
+sweep front-end used to reimplement ad hoc — ``filter``, ``group_by``,
+``pareto``, ``top_k`` — plus serialization (``to_records`` /
+``to_json`` / ``to_csv``) and ASCII-table rendering (``report``).
+
+Records built by a study keep the full :class:`NetworkEvaluation` (and
+the evaluated config) for deep inspection; records rebuilt from
+serialized rows carry tags and metrics only — every ResultSet verb works
+on both.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.engine.sweeps import pareto_frontier
+from repro.exceptions import SpecError
+from repro.model.results import NetworkEvaluation
+from repro.report.ascii import format_table
+
+#: Scalar metrics extracted from every evaluation, in presentation order.
+#: These names are the split line between ``tags`` and ``metrics`` when a
+#: record is rebuilt from a flat row (:meth:`ResultSet.from_records`).
+METRIC_NAMES: Tuple[str, ...] = (
+    "energy_per_mac_pj",
+    "energy_pj",
+    "latency_ns",
+    "macs_per_cycle",
+    "utilization",
+    "total_macs",
+    "total_cycles",
+)
+
+
+@dataclass(frozen=True)
+class Record:
+    """One evaluated study point: coordinates, metrics, and (when fresh)
+    the full evaluation object."""
+
+    tags: Dict[str, Any]
+    metrics: Dict[str, float]
+    evaluation: Optional[NetworkEvaluation] = field(default=None,
+                                                    compare=False)
+    config: Any = field(default=None, compare=False)
+
+    @classmethod
+    def from_evaluation(cls, tags: Mapping[str, Any],
+                        evaluation: NetworkEvaluation,
+                        config: Any = None) -> "Record":
+        metrics = {name: getattr(evaluation, name) for name in METRIC_NAMES}
+        return cls(tags=dict(tags), metrics=metrics,
+                   evaluation=evaluation, config=config)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """The tag or metric named ``key`` (tags shadow metrics)."""
+        if key in self.tags:
+            return self.tags[key]
+        return self.metrics.get(key, default)
+
+    def value(self, key: str) -> Any:
+        """Strict :meth:`get`: unknown keys raise with the options listed."""
+        if key in self.tags:
+            return self.tags[key]
+        if key in self.metrics:
+            return self.metrics[key]
+        raise SpecError(
+            f"record has no tag or metric {key!r}; "
+            f"tags: {sorted(self.tags)}, metrics: {sorted(self.metrics)}")
+
+    def __getitem__(self, key: str) -> Any:
+        return self.value(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.tags or key in self.metrics
+
+    def to_dict(self) -> Dict[str, Any]:
+        """One flat row: tags first, then metrics (tags shadow metrics)."""
+        row = dict(self.tags)
+        for name, value in self.metrics.items():
+            row.setdefault(name, value)
+        return row
+
+
+#: ``filter`` predicate signature.
+Predicate = Callable[[Record], bool]
+
+
+class ResultSet:
+    """An ordered, immutable collection of :class:`Record` objects."""
+
+    def __init__(self, records: Iterable[Record] = ()):
+        self._records: Tuple[Record, ...] = tuple(records)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._records[index])
+        return self._records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._records)} records)"
+
+    @property
+    def records(self) -> Tuple[Record, ...]:
+        return self._records
+
+    # ------------------------------------------------------------------
+    # Relational verbs
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Optional[Predicate] = None,
+               **equals: Any) -> "ResultSet":
+        """Records matching ``predicate`` and/or tag/metric equality.
+
+        >>> rs.filter(system="albireo", fused=True)      # doctest: +SKIP
+        >>> rs.filter(lambda r: r["utilization"] > 0.5)  # doctest: +SKIP
+        """
+        kept = []
+        for record in self._records:
+            if predicate is not None and not predicate(record):
+                continue
+            if any(record.get(key, _MISSING) != value
+                   for key, value in equals.items()):
+                continue
+            kept.append(record)
+        return ResultSet(kept)
+
+    def only(self, **equals: Any) -> Record:
+        """The single record matching the equality filter; raises unless
+        exactly one matches."""
+        matched = self.filter(**equals)
+        if len(matched) != 1:
+            raise SpecError(
+                f"expected exactly one record matching {equals!r}, "
+                f"found {len(matched)}")
+        return matched[0]
+
+    def group_by(self, key: str) -> "Dict[Any, ResultSet]":
+        """Partition by a tag/metric value, preserving record order.
+
+        Records without ``key`` group under ``None`` (so a missing tag is
+        visible as its own bucket rather than an error or a silent drop).
+        """
+        groups: Dict[Any, List[Record]] = {}
+        for record in self._records:
+            groups.setdefault(record.get(key), []).append(record)
+        return {value: ResultSet(records)
+                for value, records in groups.items()}
+
+    def pareto(self, *metrics: str) -> "ResultSet":
+        """The Pareto-optimal records (all metrics minimized), in input
+        order.  Defaults to the energy-vs-latency frontier; records with
+        duplicate cost tuples on the frontier all survive.
+        """
+        names = metrics or ("energy_per_mac_pj", "latency_ns")
+        return ResultSet(pareto_frontier(
+            self._records,
+            lambda record: tuple(record.value(name) for name in names)))
+
+    def top_k(self, k: int, metric: str = "energy_per_mac_pj",
+              largest: bool = False) -> "ResultSet":
+        """The ``k`` best records by one metric (smallest first by
+        default); ties keep input order (stable sort)."""
+        ranked = sorted(self._records,
+                        key=lambda record: record.value(metric),
+                        reverse=largest)
+        return ResultSet(ranked[:max(0, k)])
+
+    def best(self, metric: str = "energy_per_mac_pj") -> Record:
+        """The single minimal record by ``metric``."""
+        if not self._records:
+            raise SpecError("best() on an empty ResultSet")
+        return min(self._records, key=lambda record: record.value(metric))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Flat rows (tags + metrics), ready for JSON/CSV/dataframes."""
+        return [record.to_dict() for record in self._records]
+
+    @classmethod
+    def from_records(cls, rows: Iterable[Mapping[str, Any]]) -> "ResultSet":
+        """Rebuild from flat rows: :data:`METRIC_NAMES` keys become
+        metrics, everything else becomes tags.  The inverse of
+        :meth:`to_records` (evaluation objects are not round-tripped)."""
+        records = []
+        for row in rows:
+            tags = {key: value for key, value in row.items()
+                    if key not in METRIC_NAMES}
+            metrics = {key: value for key, value in row.items()
+                       if key in METRIC_NAMES}
+            records.append(Record(tags=tags, metrics=metrics))
+        return cls(records)
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """JSON array of the flat rows; also written to ``path`` if given."""
+        text = json.dumps(self.to_records(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Rebuild from :meth:`to_json` output."""
+        rows = json.loads(text)
+        if not isinstance(rows, list):
+            raise SpecError("ResultSet JSON must be an array of records")
+        return cls.from_records(rows)
+
+    def columns(self) -> Tuple[List[str], List[str]]:
+        """(tag keys, metric keys) in first-seen order across records."""
+        tag_keys: List[str] = []
+        metric_keys: List[str] = []
+        for record in self._records:
+            for key in record.tags:
+                if key not in tag_keys:
+                    tag_keys.append(key)
+            for key in record.metrics:
+                if key not in metric_keys:
+                    metric_keys.append(key)
+        return tag_keys, metric_keys
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """CSV text (tags then metrics, header row first); also written
+        to ``path`` if given.  An empty set renders as an empty string."""
+        tag_keys, metric_keys = self.columns()
+        header = tag_keys + metric_keys
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        if header:
+            writer.writerow(header)
+            for record in self._records:
+                writer.writerow([record.get(key, "") for key in header])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def report(self,
+               columns: Optional[Sequence[str]] = None,
+               metrics: Optional[Sequence[str]] = None,
+               title: Optional[str] = None,
+               mark_pareto: Union[bool, Sequence[str]] = False) -> str:
+        """An aligned ASCII table of the set.
+
+        ``columns`` defaults to every tag key (first-seen order) and
+        ``metrics`` to the headline three (pJ/MAC, latency, utilization).
+        ``mark_pareto`` adds a ``Pareto`` star column — pass ``True`` for
+        the default energy-vs-latency frontier or a metric-name sequence
+        for a custom one.
+        """
+        tag_keys, _ = self.columns()
+        columns = list(columns) if columns is not None else tag_keys
+        metrics = list(metrics) if metrics is not None else [
+            "energy_per_mac_pj", "latency_ns", "utilization"]
+        if not self._records:
+            body = "(no records)"
+            return f"{title}\n{body}" if title else body
+        frontier_ids = set()
+        if mark_pareto:
+            names = () if mark_pareto is True else tuple(mark_pareto)
+            frontier_ids = {id(record)
+                            for record in self.pareto(*names)}
+        rows = []
+        for record in self._records:
+            row = [_render(record.get(key, "")) for key in columns]
+            row.extend(_render_metric(name, record.value(name))
+                       for name in metrics)
+            if mark_pareto:
+                row.append("*" if id(record) in frontier_ids else "")
+            rows.append(tuple(row))
+        headers = tuple(columns) + tuple(_METRIC_HEADERS.get(name, name)
+                                         for name in metrics)
+        align = [False] * len(columns) + [True] * len(metrics)
+        if mark_pareto:
+            headers += ("Pareto",)
+            align += [False]
+        table = format_table(headers, rows, align_right=align)
+        return f"{title}\n{table}" if title else table
+
+
+_MISSING = object()
+
+_METRIC_HEADERS = {
+    "energy_per_mac_pj": "pJ/MAC",
+    "energy_pj": "energy pJ",
+    "latency_ns": "latency ms",
+    "macs_per_cycle": "MACs/cycle",
+    "utilization": "util",
+    "total_macs": "MACs",
+    "total_cycles": "cycles",
+}
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_metric(name: str, value: Any) -> str:
+    if name == "energy_per_mac_pj":
+        return f"{value:.4f}"
+    if name == "latency_ns":
+        return f"{value / 1e6:.3f}"
+    if name == "utilization":
+        return f"{value:.1%}"
+    if name in ("total_macs", "total_cycles", "macs_per_cycle"):
+        return f"{value:.0f}"
+    return _render(value)

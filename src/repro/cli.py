@@ -1,7 +1,7 @@
 """Command-line interface: ``repro <command>`` or ``python -m repro``.
 
 Commands mirror the paper's evaluation section plus the library's own
-analyses::
+analyses, each with its own ``--help``::
 
     repro fig2         # energy-breakdown validation
     repro fig3         # VGG16 / AlexNet throughput
@@ -12,71 +12,78 @@ analyses::
     repro sensitivity  # per-device energy sensitivity analysis
     repro roofline     # bandwidth roofline of AlexNet on Albireo
     repro sweep        # parallel/cached configuration sweep (DSE engine)
+    repro run          # execute a declarative study spec (repro.api)
     repro arch         # print a modeled system's hierarchy
     repro area         # per-component area summary
 
-Modeled systems are resolved through the pluggable registry
-(:mod:`repro.systems.registry`); ``sweep``, ``arch``, and ``area`` take
-``--system <name>`` (default ``albireo``) and ``compare`` takes a
-comma-separated ``--system`` list (default: all registered systems).
-Sweep-shaped commands (``fig4``, ``fig5``, ``sweep``, ``all``) accept
-``--workers N`` to evaluate over a process pool and ``--cache DIR`` to
-memoize mapper results and evaluations across invocations — warmed-cache
-sweeps work for every registered system.  Parallel sweeps are scheduled
-at sub-task granularity by the engine's planner (dedup counters appear
-in the cache-stats line); ``--no-plan`` restores whole-job dispatch as
-an A/B baseline.
+The parser is built generically from the library's registries: ``--system``
+choices come from :mod:`repro.systems.registry`, ``--network`` choices
+from :func:`repro.workloads.network_names`, and ``--scenario`` choices
+from :data:`repro.energy.scaling.SCENARIOS`.  Sweep-shaped commands
+(``fig4``, ``fig5``, ``sweep``, ``run``, ``compare``, ``all``) accept
+``--workers N`` (process-pool evaluation), ``--cache DIR`` (persistent
+memoization across invocations), and ``--no-plan`` (whole-job dispatch as
+an A/B baseline for the two-phase scheduler).  ``sweep``, ``compare``,
+and ``run`` accept ``--json PATH`` to dump their tagged result records
+for downstream tooling.
+
+``repro run spec.json`` executes any study expressible as data — systems
+x networks x scenarios x grid overrides x batching x fusion — through
+:meth:`repro.api.Study.from_json`, so one-off explorations need no code.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence
 
-from repro.energy.scaling import scenario_by_name
-from repro.experiments import (
-    fig2_validation,
-    fig3_throughput,
-    fig4_memory,
-    fig5_reuse,
-    run_all,
-)
+from repro.energy.scaling import SCENARIOS, scenario_by_name
 from repro.report.ascii import format_table
 from repro.systems.registry import create_system, get_system, system_names
+from repro.workloads.models import network_by_name, network_names
+
+# ---------------------------------------------------------------------------
+# Shared flag groups (added to subparsers by name)
+# ---------------------------------------------------------------------------
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Architecture-level modeling of photonic DNN accelerators "
-            "(ISPASS 2024 reproduction)"
-        ),
-    )
-    parser.add_argument(
-        "command",
-        choices=("fig2", "fig3", "fig4", "fig5", "all", "compare",
-                 "sensitivity", "roofline", "sweep", "arch", "area"),
-        help="experiment or report to run",
-    )
+def _flag_scenario(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scenario", default="conservative",
-        help="scaling scenario for arch/area commands "
-             "(conservative|moderate|aggressive)",
+        choices=[scenario.name for scenario in SCENARIOS],
+        help="optical-device scaling scenario (default conservative)",
     )
+
+
+def _flag_system(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--system", default=None, metavar="NAME",
-        help="registered system for sweep/arch/area (default albireo); "
-             "comma-separated list for compare (default: all registered)",
+        "--system", default="albireo", choices=system_names(),
+        metavar="NAME",
+        help=f"registered system (default albireo; "
+             f"options: {', '.join(system_names())})",
     )
+
+
+def _flag_systems_list(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system", default=None, metavar="NAMES",
+        help="comma-separated registered systems "
+             "(default: all registered)",
+    )
+
+
+def _flag_mapper(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mapper", action="store_true",
         help="use mapper search instead of reference mappings (slower)",
     )
+
+
+def _flag_pool(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="evaluate sweep points over N worker processes (default 1)",
+        help="evaluate over N worker processes (default 1)",
     )
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -88,79 +95,195 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the two-phase sweep scheduler and dispatch whole "
              "jobs to workers (A/B baseline; results are identical)",
     )
+
+
+def _flag_network(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--network", default="resnet18",
-        choices=("tiny", "lenet5", "alexnet", "resnet18", "vgg16",
-                 "mobilenet"),
-        help="workload for the sweep command (default resnet18)",
-    )
-    return parser
-
-
-def _sweep_network(name: str):
-    from repro.workloads import (
-        alexnet, lenet5, mobilenet_v1, resnet18, tiny_cnn, vgg16,
+        "--network", default="resnet18", choices=network_names(),
+        help="workload to evaluate (default resnet18)",
     )
 
-    return {
-        "tiny": tiny_cnn,
-        "lenet5": lenet5,
-        "alexnet": alexnet,
-        "resnet18": resnet18,
-        "vgg16": vgg16,
-        "mobilenet": mobilenet_v1,
-    }[name]()
 
-
-def _run_sweep(args) -> str:
-    """The ``repro sweep`` command: a registered system's default grid
-    through the engine."""
-    from repro.engine import (
-        EvaluationCache,
-        config_sweep_jobs,
-        pareto_frontier,
-        run_jobs,
+def _flag_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="also dump the tagged result records as JSON to PATH "
+             "('-' writes JSON to stdout and the table to stderr, so "
+             "stdout stays machine-parseable)",
     )
 
-    entry = get_system(args.system or "albireo")
-    if entry.default_sweep is None:
-        raise SystemExit(
-            f"system {entry.name!r} registers no default sweep grid")
-    network = _sweep_network(args.network)
-    configs = list(entry.default_sweep())
-    jobs = config_sweep_jobs(network, configs, use_mapper=args.mapper)
+
+_FLAG_GROUPS = {
+    "scenario": _flag_scenario,
+    "system": _flag_system,
+    "systems-list": _flag_systems_list,
+    "mapper": _flag_mapper,
+    "pool": _flag_pool,
+    "network": _flag_network,
+    "json": _flag_json,
+}
+
+
+def _plan(args: argparse.Namespace) -> Optional[bool]:
+    return False if getattr(args, "no_plan", False) else None
+
+
+def _table_stream(args: argparse.Namespace):
+    """Where human-readable output goes: stderr when ``--json -`` claims
+    stdout for the record dump, stdout otherwise."""
+    return (sys.stderr if getattr(args, "json_path", None) == "-"
+            else sys.stdout)
+
+
+def _dump_json(args: argparse.Namespace, records: List[dict]) -> None:
+    import json
+
+    if not getattr(args, "json_path", None):
+        return
+    text = json.dumps(records, indent=2, sort_keys=True)
+    if args.json_path == "-":
+        print(text)
+    else:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(records)} records to {args.json_path}",
+              file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Command handlers
+# ---------------------------------------------------------------------------
+
+
+def _cmd_fig2(args) -> None:
+    from repro.experiments import fig2_validation
+
+    print(fig2_validation.run().table())
+
+
+def _cmd_fig3(args) -> None:
+    from repro.experiments import fig3_throughput
+
+    print(fig3_throughput.run(use_mapper=args.mapper).table())
+
+
+def _cmd_fig4(args) -> None:
+    from repro.experiments import fig4_memory
+
+    print(fig4_memory.run(use_mapper=args.mapper, workers=args.workers,
+                          cache=args.cache, plan=_plan(args)).table())
+
+
+def _cmd_fig5(args) -> None:
+    from repro.experiments import fig5_reuse
+
+    print(fig5_reuse.run(use_mapper=args.mapper, workers=args.workers,
+                         cache=args.cache, plan=_plan(args)).table())
+
+
+def _cmd_all(args) -> None:
+    from repro.experiments import run_all
+
+    print(run_all(use_mapper=args.mapper, workers=args.workers,
+                  cache=args.cache, plan=_plan(args)).report())
+
+
+def _cmd_compare(args) -> None:
+    from repro.experiments import system_comparison
+
+    systems = ([name.strip() for name in args.system.split(",")
+                if name.strip()] if args.system else system_names())
+    result = system_comparison.run(
+        use_mapper=args.mapper, systems=systems,
+        workers=args.workers, cache=args.cache, plan=_plan(args))
+    print(result.table(), file=_table_stream(args))
+    _dump_json(args, result.to_records())
+
+
+def _cmd_sensitivity(args) -> None:
+    from repro.experiments import sensitivity
+
+    print(sensitivity.run(scenario_by_name(args.scenario)).table())
+
+
+def _cmd_roofline(args) -> None:
+    from repro.model.roofline import network_roofline
+    from repro.systems.albireo import AlbireoConfig, AlbireoSystem
+    from repro.workloads import alexnet
+
+    system = AlbireoSystem(AlbireoConfig(
+        scenario=scenario_by_name(args.scenario),
+        dram_bandwidth_gbps=25.6))
+    print(network_roofline(system, alexnet()).table())
+
+
+def _progress_printer(finished: int, total: int, job) -> None:
+    print(f"\r  [{finished}/{total}] {job.describe():<60s}",
+          end="", file=sys.stderr, flush=True)
+
+
+def _run_study(study, args):
+    """Execute a study with the shared pool flags; returns (ResultSet,
+    cache, mapper-stats-before) and finishes the progress line."""
+    from repro.engine import EvaluationCache
+
     cache = EvaluationCache(args.cache) if args.cache else None
     mapper_stats_before = (cache.mapper_search_stats()
                            if cache is not None else None)
-
-    def progress(finished: int, total: int, job) -> None:
-        print(f"\r  [{finished}/{total}] {job.describe():<60s}",
-              end="", file=sys.stderr, flush=True)
-
-    results = run_jobs(jobs, workers=args.workers, cache=cache,
-                       progress=progress,
-                       plan=False if args.no_plan else None)
+    results = study.run(workers=args.workers, cache=cache,
+                        plan=_plan(args), progress=_progress_printer)
     print(file=sys.stderr)
+    return results, cache, mapper_stats_before
 
-    points = list(zip(configs, results))
-    frontier = {
-        id(point) for point in pareto_frontier(
-            points,
-            lambda item: (item[1].energy_per_mac_pj, item[1].latency_ns))
+
+def _stats_lines(cache, mapper_stats_before) -> List[str]:
+    """Cache and fresh-search statistics lines for sweep-shaped output."""
+    if cache is None:
+        return []
+    lines = [cache.describe_stats()]
+    # Report only this run's fresh searches: entries already in the
+    # cache before the run (warm hits, prior runs) are subtracted out.
+    mapper_stats = {
+        counter: count - mapper_stats_before[counter]
+        for counter, count in cache.mapper_search_stats().items()
     }
+    if mapper_stats["searches"]:
+        lines.append(
+            f"mapper: {mapper_stats['searches']} searches, "
+            f"{mapper_stats['evaluated']} candidates evaluated "
+            f"({mapper_stats['valid']} valid), "
+            f"{mapper_stats['deduplicated']} duplicates skipped, "
+            f"{mapper_stats['pruned_early']} pruned early"
+        )
+    return lines
+
+
+def _cmd_sweep(args) -> None:
+    """A registered system's default grid through the Study facade."""
+    from repro.api.studies import config_study
+
+    entry = get_system(args.system)
+    if entry.default_sweep is None:
+        raise SystemExit(
+            f"system {entry.name!r} registers no default sweep grid")
+    network = network_by_name(args.network)
+    configs = list(entry.default_sweep())
+    study = config_study(network, configs, use_mapper=args.mapper)
+    results, cache, mapper_stats_before = _run_study(study, args)
+
+    frontier = {id(record) for record in results.pareto()}
     columns = entry.sweep_columns or (
         ("configuration", lambda config: config.describe()
          if hasattr(config, "describe") else repr(config)),
     )
     rows = []
-    for point in points:
-        config, evaluation = point
+    for record in results:
         rows.append(
-            tuple(getter(config) for _, getter in columns) + (
-                f"{evaluation.energy_per_mac_pj:.4f}",
-                f"{evaluation.latency_ns / 1e6:.3f}",
-                f"{evaluation.utilization:.1%}",
-                "*" if id(point) in frontier else "",
+            tuple(getter(record.config) for _, getter in columns) + (
+                f"{record.value('energy_per_mac_pj'):.4f}",
+                f"{record.value('latency_ns') / 1e6:.3f}",
+                f"{record.value('utilization'):.1%}",
+                "*" if id(record) in frontier else "",
             ))
     headers = tuple(header for header, _ in columns) + (
         "pJ/MAC", "latency ms", "util", "Pareto")
@@ -174,86 +297,115 @@ def _run_sweep(args) -> str:
         f"{len(frontier)} Pareto-optimal points "
         f"(energy/MAC vs request latency)",
     ]
-    if cache is not None:
-        lines.append(cache.describe_stats())
-        # Report only this run's fresh searches: entries already in the
-        # cache before the run (warm hits, prior runs) are subtracted out.
-        mapper_stats = {
-            counter: count - mapper_stats_before[counter]
-            for counter, count in cache.mapper_search_stats().items()
-        }
-        if mapper_stats["searches"]:
-            lines.append(
-                f"mapper: {mapper_stats['searches']} searches, "
-                f"{mapper_stats['evaluated']} candidates evaluated "
-                f"({mapper_stats['valid']} valid), "
-                f"{mapper_stats['deduplicated']} duplicates skipped, "
-                f"{mapper_stats['pruned_early']} pruned early"
-            )
-    return "\n".join(lines)
+    lines.extend(_stats_lines(cache, mapper_stats_before))
+    print("\n".join(lines), file=_table_stream(args))
+    _dump_json(args, results.to_records())
+
+
+def _cmd_run(args) -> None:
+    """Execute a declarative study spec file (``repro run spec.json``)."""
+    from repro.api import Study
+
+    study = Study.from_json(args.spec)
+    results, cache, mapper_stats_before = _run_study(study, args)
+    lines = [
+        f"Study {study.name!r} — {len(results)} evaluations "
+        f"(workers={args.workers})",
+        results.report(mark_pareto=True),
+    ]
+    lines.extend(_stats_lines(cache, mapper_stats_before))
+    print("\n".join(lines), file=_table_stream(args))
+    _dump_json(args, results.to_records())
 
 
 def _scenario_system(args):
     """A registered system instance under the requested scenario (for the
     arch/area commands)."""
-    entry = get_system(args.system or "albireo")
+    entry = get_system(args.system)
     return create_system(
         entry.name,
         entry.config_type(scenario=scenario_by_name(args.scenario)))
 
 
+def _cmd_arch(args) -> None:
+    print(_scenario_system(args).describe())
+
+
+def _cmd_area(args) -> None:
+    system = _scenario_system(args)
+    areas = system.area_summary_um2()
+    total = sum(areas.values())
+    rows = [(name, f"{area / 1e6:.3f}", f"{area / total:.1%}")
+            for name, area in sorted(areas.items(),
+                                     key=lambda item: -item[1])]
+    rows.append(("TOTAL", f"{total / 1e6:.3f}", "100%"))
+    print(format_table(("component", "area mm^2", "share"), rows,
+                       align_right=[False, True, True]))
+
+
+# ---------------------------------------------------------------------------
+# Generic parser construction
+# ---------------------------------------------------------------------------
+
+#: (name, help, flag-group names, handler).  Subparsers are generated
+#: from this table, so adding a command is one row + one handler.
+_COMMANDS: Sequence = (
+    ("fig2", "energy-breakdown validation (paper Fig. 2)",
+     (), _cmd_fig2),
+    ("fig3", "VGG16 / AlexNet throughput (paper Fig. 3)",
+     ("mapper",), _cmd_fig3),
+    ("fig4", "full-system memory exploration (paper Fig. 4)",
+     ("mapper", "pool"), _cmd_fig4),
+    ("fig5", "reuse-factor exploration (paper Fig. 5)",
+     ("mapper", "pool"), _cmd_fig5),
+    ("all", "every experiment + claim summary",
+     ("mapper", "pool"), _cmd_all),
+    ("compare", "cross-system comparison over the workload suite",
+     ("systems-list", "mapper", "pool", "json"), _cmd_compare),
+    ("sensitivity", "per-device energy sensitivity analysis",
+     ("scenario",), _cmd_sensitivity),
+    ("roofline", "bandwidth roofline of AlexNet on Albireo",
+     ("scenario",), _cmd_roofline),
+    ("sweep", "parallel/cached default-grid sweep of one system",
+     ("system", "network", "mapper", "pool", "json"), _cmd_sweep),
+    ("run", "execute a declarative study spec (JSON) via repro.api",
+     ("pool", "json"), _cmd_run),
+    ("arch", "print a modeled system's hierarchy",
+     ("system", "scenario"), _cmd_arch),
+    ("area", "per-component area summary",
+     ("system", "scenario"), _cmd_area),
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Architecture-level modeling of photonic DNN accelerators "
+            "(ISPASS 2024 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="command",
+                                       required=True)
+    for name, help_text, groups, handler in _COMMANDS:
+        sub = subparsers.add_parser(name, help=help_text,
+                                    description=help_text)
+        for group in groups:
+            _FLAG_GROUPS[group](sub)
+        if name == "run":
+            sub.add_argument(
+                "spec", metavar="spec.json",
+                help="study spec file (see Study.from_json): systems x "
+                     "networks x scenarios x grid x batches x fusion",
+            )
+        sub.set_defaults(handler=handler)
+    return parser
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    plan = False if args.no_plan else None
-    if args.command == "fig2":
-        print(fig2_validation.run().table())
-    elif args.command == "fig3":
-        print(fig3_throughput.run(use_mapper=args.mapper).table())
-    elif args.command == "fig4":
-        print(fig4_memory.run(use_mapper=args.mapper, workers=args.workers,
-                              cache=args.cache, plan=plan).table())
-    elif args.command == "fig5":
-        print(fig5_reuse.run(use_mapper=args.mapper, workers=args.workers,
-                             cache=args.cache, plan=plan).table())
-    elif args.command == "all":
-        print(run_all(use_mapper=args.mapper, workers=args.workers,
-                      cache=args.cache, plan=plan).report())
-    elif args.command == "compare":
-        from repro.experiments import system_comparison
-
-        systems = ([name.strip() for name in args.system.split(",")
-                    if name.strip()] if args.system else system_names())
-        print(system_comparison.run(use_mapper=args.mapper,
-                                    systems=systems).table())
-    elif args.command == "sensitivity":
-        from repro.experiments import sensitivity
-
-        print(sensitivity.run(
-            scenario_by_name(args.scenario)).table())
-    elif args.command == "roofline":
-        from repro.model.roofline import network_roofline
-        from repro.systems.albireo import AlbireoConfig, AlbireoSystem
-        from repro.workloads import alexnet
-
-        system = AlbireoSystem(AlbireoConfig(
-            scenario=scenario_by_name(args.scenario),
-            dram_bandwidth_gbps=25.6))
-        print(network_roofline(system, alexnet()).table())
-    elif args.command == "sweep":
-        print(_run_sweep(args))
-    elif args.command == "arch":
-        system = _scenario_system(args)
-        print(system.describe())
-    elif args.command == "area":
-        system = _scenario_system(args)
-        areas = system.area_summary_um2()
-        total = sum(areas.values())
-        rows = [(name, f"{area / 1e6:.3f}", f"{area / total:.1%}")
-                for name, area in sorted(areas.items(),
-                                         key=lambda item: -item[1])]
-        rows.append(("TOTAL", f"{total / 1e6:.3f}", "100%"))
-        print(format_table(("component", "area mm^2", "share"), rows,
-                           align_right=[False, True, True]))
+    handler: Callable[[argparse.Namespace], None] = args.handler
+    handler(args)
     return 0
 
 

@@ -14,11 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.studies import memory_study
 from repro.energy.scaling import AGGRESSIVE, CONSERVATIVE, ScalingScenario
 from repro.experiments.reported import FIG4_CLAIMS
 from repro.report.ascii import format_table, stacked_bar_chart
 from repro.systems.albireo import AlbireoConfig, SYSTEM_BUCKETS
-from repro.systems.dse import MemoryExplorationPoint, sweep_memory_options
+from repro.systems.dse import MemoryExplorationPoint, memory_points
 from repro.workloads.models import resnet18
 from repro.workloads.network import Network
 
@@ -136,13 +137,11 @@ def run(
 ) -> Fig4Result:
     network = network or resnet18()
     config = config or AlbireoConfig()
-    points = sweep_memory_options(
+    study = memory_study(
         network, config, scenarios,
         batch_sizes=batch_sizes,
         fusion_options=(False, True),
         use_mapper=use_mapper,
-        workers=workers,
-        cache=cache,
-        plan=plan,
     )
-    return Fig4Result(points=tuple(points))
+    results = study.run(workers=workers, cache=cache, plan=plan)
+    return Fig4Result(points=tuple(memory_points(results)))

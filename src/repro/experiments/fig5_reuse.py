@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.studies import reuse_study
 from repro.energy.scaling import AGGRESSIVE, ScalingScenario
 from repro.experiments.reported import (
     FIG5_CLAIMS,
@@ -21,7 +22,7 @@ from repro.experiments.reported import (
 )
 from repro.report.ascii import format_table, stacked_bar_chart
 from repro.systems.albireo import AlbireoConfig, SYSTEM_BUCKETS
-from repro.systems.dse import ReuseExplorationPoint, sweep_reuse_factors
+from repro.systems.dse import ReuseExplorationPoint, reuse_points
 from repro.workloads.models import resnet18
 from repro.workloads.network import Network
 
@@ -139,15 +140,13 @@ def run(
 ) -> Fig5Result:
     network = network or resnet18()
     config = (config or AlbireoConfig()).with_scenario(scenario)
-    points = sweep_reuse_factors(
+    study = reuse_study(
         network, config,
         output_reuse_values=output_reuse_values,
         input_reuse_values=input_reuse_values,
         weight_lane_variants=FIG5_VARIANTS,
         include_dram=False,
         use_mapper=use_mapper,
-        workers=workers,
-        cache=cache,
-        plan=plan,
     )
-    return Fig5Result(points=tuple(points))
+    results = study.run(workers=workers, cache=cache, plan=plan)
+    return Fig5Result(points=tuple(reuse_points(results)))

@@ -22,8 +22,9 @@ The expected (and reproduced) contrasts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.studies import comparison_study
 from repro.energy.scaling import AGGRESSIVE, ScalingScenario
 from repro.model.results import NetworkEvaluation
 from repro.report.ascii import format_table
@@ -91,6 +92,21 @@ class ComparisonResult:
                               < 0.25 * albireo.weight_conversion_pj_per_mac)
         return all(checks)
 
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Flat rows (for ``repro compare --json`` and downstream tools)."""
+        return [
+            {
+                "system": row.system,
+                "network": row.network,
+                "energy_per_mac_pj": row.energy_per_mac_pj,
+                "weight_conversion_pj_per_mac":
+                    row.weight_conversion_pj_per_mac,
+                "macs_per_cycle": row.macs_per_cycle,
+                "utilization": row.utilization,
+            }
+            for row in self.rows
+        ]
+
     def table(self) -> str:
         rows = []
         for row in self.rows:
@@ -117,26 +133,35 @@ def run(
     scenario: ScalingScenario = AGGRESSIVE,
     use_mapper: bool = False,
     systems: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    cache=None,
+    plan: Optional[bool] = None,
 ) -> ComparisonResult:
     """Compare ``systems`` (registry names; default: every registered
-    system) over ``networks`` under one scaling scenario."""
+    system) over ``networks`` under one scaling scenario.
+
+    A thin shell over :func:`repro.api.studies.comparison_study`, so the
+    comparison gains ``workers``/``cache``/``plan`` (the engine's pool,
+    persistent memoization, and two-phase scheduler) for free; rows keep
+    the historical network-major order.
+    """
     networks = networks or (resnet18(), vgg16(), alexnet())
     names = list(systems) if systems else system_names()
-    instances = []
-    for name in names:
-        entry = get_system(name)
-        instances.append((
-            name,
-            entry.system_type(entry.config_type(scenario=scenario)),
-            entry.buckets,
-        ))
+    study = comparison_study(networks, names, scenario,
+                             use_mapper=use_mapper)
+    results = study.run(workers=workers, cache=cache, plan=plan)
+    # Records arrive in the study's lattice order — system-major,
+    # network-inner — while rows keep the historical network-major order.
+    # Positional indexing (rather than tag lookup) pairs every record
+    # with its (system, network) even when names repeat in either list.
     rows: List[SystemComparisonRow] = []
-    for network in networks:
-        for name, system, buckets in instances:
-            evaluation = system.evaluate_network(network,
-                                                 use_mapper=use_mapper)
+    for network_index, network in enumerate(networks):
+        for system_index, name in enumerate(names):
+            record = results[system_index * len(networks) + network_index]
+            assert record.tags["system"] == name, record.tags
+            evaluation = record.evaluation
             grouped = evaluation.total_energy.per_mac(
-                evaluation.total_macs).grouped(buckets)
+                evaluation.total_macs).grouped(get_system(name).buckets)
             rows.append(SystemComparisonRow(
                 system=name,
                 network=network.name,

@@ -1,34 +1,31 @@
 """Design-space exploration drivers for the paper's Figs. 4 and 5.
 
-These functions sweep Albireo configurations and return structured points;
-the experiment modules format them into the paper's figures and the
-benchmarks regenerate them.
+.. deprecated::
+    The ``sweep_*`` functions are thin, deprecated shells over the
+    declarative Study facade (:mod:`repro.api`) — new code should build
+    a :class:`repro.api.Study` (or use the prebuilt lattices in
+    :mod:`repro.api.studies`) and slice the returned
+    :class:`~repro.api.ResultSet` directly.  The shims keep their exact
+    historical signatures and return the same structured point lists,
+    byte-identical to the pre-facade implementations, so existing
+    callers keep working while emitting a :class:`DeprecationWarning`.
 
-Since the sweep-engine refactor they are thin shells: the grids are built
-as declarative job lists by :mod:`repro.engine.sweeps` and executed by
-:func:`repro.engine.executor.run_jobs`, so every sweep gains ``workers``
-(process-pool parallelism) and ``cache`` (persistent memoization of
-mapper results and evaluations) for free while returning exactly the same
-points as the original serial loops.  System resolution goes through the
-pluggable registry (:mod:`repro.systems.registry`, via
-:func:`repro.engine.jobs.make_job`'s config-type inference), so
-:func:`sweep_configurations` works for any registered system's configs —
-mix them freely in one sweep.
+This module also remains the home of the figure-point dataclasses
+(:class:`MemoryExplorationPoint`, :class:`ReuseExplorationPoint`) and
+their ResultSet assemblers, which the Fig. 4/5 experiments use without
+deprecation.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.engine.executor import CacheLike, run_jobs
-from repro.engine.sweeps import (
-    config_sweep_jobs,
-    memory_sweep_jobs,
-    next_power_of_two_kib,
-    pareto_frontier,
-    reuse_sweep_jobs,
-)
+from repro.api.results import ResultSet
+from repro.api.studies import config_study, memory_study, reuse_study
+from repro.engine.executor import CacheLike
+from repro.engine.sweeps import next_power_of_two_kib, pareto_frontier
 from repro.energy.scaling import ScalingScenario
 from repro.model.results import NetworkEvaluation
 from repro.systems.albireo import AlbireoConfig
@@ -37,11 +34,20 @@ from repro.workloads.network import Network
 __all__ = [
     "MemoryExplorationPoint",
     "ReuseExplorationPoint",
+    "memory_points",
     "pareto_frontier",
+    "reuse_points",
     "sweep_configurations",
     "sweep_memory_options",
     "sweep_reuse_factors",
 ]
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.systems.dse.{name} is deprecated; build a repro.api.Study "
+        f"(see repro.api.studies) and use ResultSet instead",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,20 @@ class ReuseExplorationPoint:
     @property
     def energy_per_mac_pj(self) -> float:
         return self.evaluation.energy_per_mac_pj
+
+
+def reuse_points(results: ResultSet) -> List[ReuseExplorationPoint]:
+    """Figure-point view of a :func:`repro.api.studies.reuse_study` run."""
+    return [
+        ReuseExplorationPoint(
+            output_reuse=record.tags["output_reuse"],
+            input_reuse=record.tags["input_reuse"],
+            weight_lanes=record.tags["weight_lanes"],
+            variant=record.tags["variant"],
+            evaluation=record.evaluation,
+        )
+        for record in results
+    ]
 
 
 def sweep_reuse_factors(
@@ -75,13 +95,10 @@ def sweep_reuse_factors(
 ) -> List[ReuseExplorationPoint]:
     """Evaluate ``network`` across the paper's Fig. 5 reuse grid.
 
-    Increasing ``star_ports`` (IR) multiplies the broadcast width, so the
-    cluster count is scaled down to hold the total MAC count approximately
-    constant — the paper explores reuse re-wirings of the same silicon
-    budget, not larger chips.  ``include_dram=False`` reproduces the
-    figure's accelerator-energy view.
+    .. deprecated:: use :func:`repro.api.studies.reuse_study`.
     """
-    jobs = reuse_sweep_jobs(
+    _deprecated("sweep_reuse_factors")
+    study = reuse_study(
         network, base_config,
         output_reuse_values=output_reuse_values,
         input_reuse_values=input_reuse_values,
@@ -89,18 +106,7 @@ def sweep_reuse_factors(
         include_dram=include_dram,
         use_mapper=use_mapper,
     )
-    evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                           plan=plan)
-    return [
-        ReuseExplorationPoint(
-            output_reuse=job.tag("output_reuse"),
-            input_reuse=job.tag("input_reuse"),
-            weight_lanes=job.tag("weight_lanes"),
-            variant=job.tag("variant"),
-            evaluation=evaluation,
-        )
-        for job, evaluation in zip(jobs, evaluations)
-    ]
+    return reuse_points(study.run(workers=workers, cache=cache, plan=plan))
 
 
 @dataclass(frozen=True)
@@ -123,6 +129,20 @@ class MemoryExplorationPoint:
         return self.evaluation.energy_per_mac_pj
 
 
+def memory_points(results: ResultSet) -> List[MemoryExplorationPoint]:
+    """Figure-point view of a :func:`repro.api.studies.memory_study`
+    run (the scenario object is read back off each record's config)."""
+    return [
+        MemoryExplorationPoint(
+            scenario=record.config.scenario,
+            batch=record.tags["batch"],
+            fused=record.tags["fused"],
+            evaluation=record.evaluation,
+        )
+        for record in results
+    ]
+
+
 def sweep_memory_options(
     network: Network,
     base_config: AlbireoConfig,
@@ -137,31 +157,17 @@ def sweep_memory_options(
 ) -> List[MemoryExplorationPoint]:
     """Evaluate ``network`` across the paper's Fig. 4 memory-system grid.
 
-    Fusion keeps inter-layer activations on chip, which requires a global
-    buffer at least as large as the biggest resident footprint; unless
-    ``fused_buffer_kib`` overrides it, the fused configurations auto-size
-    the buffer to that footprint (rounded up to a power of two), paying the
-    higher per-access energy of the larger SRAM — the trade-off the paper
-    calls out.
+    .. deprecated:: use :func:`repro.api.studies.memory_study`.
     """
-    jobs = memory_sweep_jobs(
+    _deprecated("sweep_memory_options")
+    study = memory_study(
         network, base_config, scenarios,
         batch_sizes=batch_sizes,
         fusion_options=fusion_options,
         fused_buffer_kib=fused_buffer_kib,
         use_mapper=use_mapper,
     )
-    evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                           plan=plan)
-    return [
-        MemoryExplorationPoint(
-            scenario=job.config.scenario,
-            batch=job.tag("batch"),
-            fused=job.tag("fused"),
-            evaluation=evaluation,
-        )
-        for job, evaluation in zip(jobs, evaluations)
-    ]
+    return memory_points(study.run(workers=workers, cache=cache, plan=plan))
 
 
 def sweep_configurations(
@@ -174,12 +180,12 @@ def sweep_configurations(
 ) -> List[Tuple[Any, NetworkEvaluation]]:
     """Evaluate ``network`` on every configuration (generic DSE driver).
 
-    Configurations may belong to any registered system (the job builder
-    infers each one's system tag from its config type)."""
-    jobs = config_sweep_jobs(network, configs, use_mapper=use_mapper)
-    evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                           plan=plan)
-    return list(zip(configs, evaluations))
+    .. deprecated:: use :func:`repro.api.studies.config_study`.
+    """
+    _deprecated("sweep_configurations")
+    study = config_study(network, configs, use_mapper=use_mapper)
+    results = study.run(workers=workers, cache=cache, plan=plan)
+    return [(record.config, record.evaluation) for record in results]
 
 
 def _next_power_of_two_kib(bits: float) -> int:

@@ -28,9 +28,12 @@ from repro.workloads.dataspace import (
 from repro.workloads.dims import ALL_DIMS, Dim
 from repro.workloads.layer import ConvLayer, dense_layer, depthwise_layer
 from repro.workloads.models import (
+    NETWORK_BUILDERS,
     alexnet,
     lenet5,
     mobilenet_v1,
+    network_by_name,
+    network_names,
     resnet18,
     tiny_cnn,
     vgg16,
@@ -61,6 +64,9 @@ __all__ = [
     "depthwise_layer",
     "lenet5",
     "mobilenet_v1",
+    "NETWORK_BUILDERS",
+    "network_by_name",
+    "network_names",
     "reduction_dims",
     "relevant_dims",
     "resnet18",

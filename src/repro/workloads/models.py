@@ -202,3 +202,30 @@ def tiny_cnn(batch: int = 1) -> Network:
         dense_layer("fc", 16 * 8 * 8, 10, batch=batch),
     ]
     return Network.from_layers("TinyCNN", layers)
+
+
+#: Workload builders by CLI/spec name, in the order front-ends list them.
+NETWORK_BUILDERS = {
+    "tiny": tiny_cnn,
+    "lenet5": lenet5,
+    "alexnet": alexnet,
+    "resnet18": resnet18,
+    "vgg16": vgg16,
+    "mobilenet": mobilenet_v1,
+}
+
+
+def network_names() -> List[str]:
+    """The workload names resolvable by :func:`network_by_name`."""
+    return list(NETWORK_BUILDERS)
+
+
+def network_by_name(name: str, batch: int = 1) -> Network:
+    """Build the named workload (the CLI's and study specs' resolver)."""
+    from repro.exceptions import WorkloadError
+
+    builder = NETWORK_BUILDERS.get(name)
+    if builder is None:
+        raise WorkloadError(
+            f"unknown network {name!r}; options: {sorted(NETWORK_BUILDERS)}")
+    return builder(batch=batch)

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _COMMANDS, main
 
 
 class TestCli:
@@ -34,8 +36,85 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["warp"])
 
-    def test_bad_scenario_raises(self):
-        from repro.exceptions import CalibrationError
-
-        with pytest.raises(CalibrationError):
+    def test_bad_scenario_rejected_at_parse(self, capsys):
+        """--scenario choices come from the scaling registry, so an
+        unknown name fails argparse validation with the options listed."""
+        with pytest.raises(SystemExit):
             main(["arch", "--scenario", "optimistic"])
+        err = capsys.readouterr().err
+        assert "conservative" in err and "aggressive" in err
+
+
+class TestSubcommands:
+    def test_every_subcommand_has_help(self, capsys):
+        """`repro <cmd> --help` exits 0 and prints usage for every
+        registered subcommand (the satellite CI smoke, run in-process)."""
+        for name, _, _, _ in _COMMANDS:
+            with pytest.raises(SystemExit) as exit_info:
+                main([name, "--help"])
+            assert exit_info.value.code == 0
+            out = capsys.readouterr().out
+            assert f"repro {name}" in out
+
+    def test_command_table_covers_legacy_commands(self):
+        names = {name for name, _, _, _ in _COMMANDS}
+        assert {"fig2", "fig3", "fig4", "fig5", "all", "compare",
+                "sensitivity", "roofline", "sweep", "arch", "area",
+                "run"} <= names
+
+    def test_sweep_json_dump(self, capsys, tmp_path):
+        out_path = tmp_path / "records.json"
+        assert main(["sweep", "--system", "crossbar", "--network", "tiny",
+                     "--json", str(out_path)]) == 0
+        capsys.readouterr()
+        records = json.loads(out_path.read_text())
+        assert records and all("energy_per_mac_pj" in row
+                               for row in records)
+        assert {row["system"] for row in records} == {"crossbar"}
+
+    def test_compare_json_dump(self, capsys, tmp_path):
+        out_path = tmp_path / "compare.json"
+        assert main(["compare", "--system", "albireo", "--json",
+                     str(out_path)]) == 0
+        capsys.readouterr()
+        records = json.loads(out_path.read_text())
+        assert {row["system"] for row in records} == {"albireo"}
+        assert all("weight_conversion_pj_per_mac" in row
+                   for row in records)
+
+    def test_run_spec_command(self, capsys, tmp_path):
+        spec = {
+            "name": "cli-spec",
+            "systems": ["crossbar"],
+            "networks": ["tiny"],
+            "scenarios": ["conservative"],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        json_path = tmp_path / "out.json"
+        assert main(["run", str(spec_path), "--json",
+                     str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-spec" in out and "pJ/MAC" in out
+        records = json.loads(json_path.read_text())
+        assert len(records) == 1
+        assert records[0]["system"] == "crossbar"
+
+    def test_json_dash_keeps_stdout_parseable(self, capsys):
+        """--json - claims stdout for the records; the table moves to
+        stderr so piping into a JSON consumer works."""
+        assert main(["sweep", "--system", "crossbar", "--network", "tiny",
+                     "--json", "-"]) == 0
+        captured = capsys.readouterr()
+        records = json.loads(captured.out)
+        assert len(records) == 24
+        assert "pJ/MAC" in captured.err  # table still shown, on stderr
+
+    def test_run_spec_unknown_system_lists_options(self, tmp_path):
+        from repro.exceptions import SpecError
+
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps({"systems": ["warpdrive"],
+                                         "networks": ["tiny"]}))
+        with pytest.raises(SpecError, match="albireo"):
+            main(["run", str(spec_path)])

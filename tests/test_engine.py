@@ -665,6 +665,7 @@ class TestSweepBuilders:
         assert (by_fused[True].config.global_buffer_kib
                 >= by_fused[False].config.global_buffer_kib)
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_reuse_jobs_match_dse_points(self, small_network):
         """The engine path returns the same grid the legacy loop produced."""
         from repro.systems import sweep_reuse_factors

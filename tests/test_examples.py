@@ -17,6 +17,7 @@ _CASES = [
     ("custom_photonic_accelerator.py", "wdm-crossbar"),
     ("pareto_exploration.py", "Pareto"),
     ("roofline_study.py", "memory-bound"),
+    ("study_api.py", "Pareto-optimal"),
 ]
 
 

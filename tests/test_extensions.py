@@ -136,6 +136,7 @@ class TestParetoFrontier:
         points = [(1, 1), (1, 1)]
         assert len(pareto_frontier(points, lambda p: p)) == 2
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_configuration_sweep_pareto(self):
         network = tiny_cnn()
         configs = [AlbireoConfig(clusters=c) for c in (4, 8, 16)]

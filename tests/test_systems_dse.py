@@ -1,6 +1,13 @@
-"""Tests for the design-space exploration drivers."""
+"""Tests for the (deprecated) design-space exploration drivers.
+
+The ``sweep_*`` shims intentionally warn — these tests pin their legacy
+behavior, so the deprecation noise is silenced module-wide (the warning
+itself is asserted in ``tests/test_api_study.py``).
+"""
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.energy import AGGRESSIVE, CONSERVATIVE
 from repro.systems import AlbireoConfig, sweep_memory_options, \
