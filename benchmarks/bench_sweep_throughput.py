@@ -16,14 +16,22 @@ serial results bit-for-bit.  The planner's dedup counters are recorded,
 plus plan-only statistics for the paper's Fig. 4 / Fig. 5 grids (where
 cross-job and repeated-geometry dedup must be non-zero).
 
-Writes ``BENCH_sweep_throughput.json`` at the repository root and prints
-a summary table.  Runnable directly (``PYTHONPATH=src python
-benchmarks/bench_sweep_throughput.py``) or via pytest.
+A final :mod:`repro.obs`-traced planner run attributes the parallel
+path's overhead by phase — pool spawn vs dispatch (pickle/submit/wait)
+vs worker-side system rebuild vs actual compute vs parent-side assembly
+— answering *why* the parallel sweep wins or loses on a given grid
+(ROADMAP item 2).  The timed modes themselves run with tracing disabled,
+so the medians are untouched by instrumentation.
+
+Writes ``BENCH_sweep_throughput.json`` (with provenance metadata) at the
+repository root and prints a summary table.  Runnable directly
+(``PYTHONPATH=src python benchmarks/bench_sweep_throughput.py``) or via
+pytest.
 """
 
 from __future__ import annotations
 
-import json
+import importlib.util
 import pathlib
 import statistics
 import time
@@ -33,6 +41,16 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_sweep_throughput.json"
 
 WORKERS = 4
 REPEATS = 4
+
+
+def _conftest():
+    """The shared benchmark helpers, loaded by path: ``conftest`` is not
+    an importable module name (pytest owns it, and tests/ has its own)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", pathlib.Path(__file__).parent / "conftest.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def _fresh_jobs(network):
@@ -76,6 +94,51 @@ def _plan_only_stats(jobs):
     }
 
 
+def _traced_breakdown(network, reference) -> dict:
+    """One extra planner run under an active tracer: where the parallel
+    path's wall-clock goes, by phase.
+
+    ``dispatch_self_s`` is the parent blocked on pickle/submit/result
+    wait; ``worker_system_build_s`` is per-worker architecture/energy
+    table rebuild (the cost whole-job dispatch pays per job and the
+    planner amortizes per chunk); ``coverage`` is the share of the main
+    lane's extent attributed to named spans.
+    """
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        seconds, _results, _cache = _timed_run(network, reference,
+                                               workers=WORKERS)
+    trace = tracer.trace()
+    summary = trace.summary()
+    spans = summary["spans"]
+
+    def total(name):
+        return round(spans.get(name, {}).get("total_s", 0.0), 4)
+
+    def self_time(name):
+        return round(spans.get(name, {}).get("self_s", 0.0), 4)
+
+    return {
+        "traced_run_s": round(seconds, 4),
+        "coverage": round(trace.main_lane_coverage(), 4),
+        "plan_s": total("planner.build_plan"),
+        "pool_spawn_s": total("executor.pool_spawn"),
+        "dispatch_self_s": self_time("executor.dispatch"),
+        "merge_s": total("executor.merge"),
+        "assemble_s": total("run_jobs.assemble"),
+        "worker_system_build_s": total("system.build"),
+        "worker_compute_s": round(
+            total("layer.evaluate") + total("mapper.search"), 4),
+        "spans": {
+            name: {"count": int(row["count"]),
+                   "total_s": round(row["total_s"], 4),
+                   "self_s": round(row["self_s"], 4)}
+            for name, row in sorted(spans.items())
+        },
+    }
+
+
 def run_benchmark(repeats: int = REPEATS) -> dict:
     from repro.energy import AGGRESSIVE, CONSERVATIVE
     from repro.engine import memory_sweep_jobs, reuse_sweep_jobs
@@ -107,13 +170,7 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
             "min_s": round(min(samples), 4),
         }
         if mode == "planner_workers4":
-            planner_stats = {
-                "planned": cache.planner.planned,
-                "deduplicated": cache.planner.deduplicated,
-                "cache_hits": cache.planner.cache_hits,
-                "phase1_tasks": cache.planner.phase1_tasks,
-                "batches": cache.planner.batches,
-            }
+            planner_stats = cache.planner.to_dict()
 
     speedup = (timings["wholejob_workers4"]["min_s"]
                / timings["planner_workers4"]["min_s"])
@@ -125,6 +182,7 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
         "timings": timings,
         "planner": planner_stats,
         "speedup_planner_vs_wholejob": round(speedup, 2),
+        "overhead_breakdown": _traced_breakdown(network, reference),
         "grids": {
             "fig4_memory": _plan_only_stats(memory_sweep_jobs(
                 network, AlbireoConfig(),
@@ -151,6 +209,15 @@ def _print_report(report: dict) -> None:
           f"({planner['batches']} batches)")
     print(f"speedup (planner vs whole-job, workers={report['workers']}): "
           f"{report['speedup_planner_vs_wholejob']:.2f}x")
+    breakdown = report["overhead_breakdown"]
+    print(f"overhead (traced {breakdown['traced_run_s']:.2f}s run, "
+          f"{breakdown['coverage']:.0%} attributed): "
+          f"spawn {breakdown['pool_spawn_s']:.3f}s, "
+          f"plan {breakdown['plan_s']:.3f}s, "
+          f"dispatch {breakdown['dispatch_self_s']:.3f}s, "
+          f"assemble {breakdown['assemble_s']:.3f}s | workers: "
+          f"rebuild {breakdown['worker_system_build_s']:.3f}s, "
+          f"compute {breakdown['worker_compute_s']:.3f}s")
     for grid, stats in report["grids"].items():
         print(f"{grid}: {stats['jobs']} jobs -> {stats['phase1_tasks']} "
               f"unique tasks ({stats['deduplicated']} deduplicated)")
@@ -158,7 +225,7 @@ def _print_report(report: dict) -> None:
 
 def main() -> dict:
     report = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    _conftest().write_bench_json(OUTPUT_PATH, report)
     _print_report(report)
     print(f"wrote {OUTPUT_PATH}")
     return report
@@ -166,7 +233,8 @@ def main() -> dict:
 
 def test_sweep_throughput_benchmark():
     """Pytest entry: the planner path must not lose to whole-job
-    dispatch, and the acceptance grids must show dedup."""
+    dispatch, the acceptance grids must show dedup, and the traced run
+    must attribute (nearly) all of the main lane's wall-clock."""
     report = main()
     assert report["planner"]["deduplicated"] > 0
     assert report["grids"]["fig4_memory"]["deduplicated"] > 0
@@ -174,6 +242,7 @@ def test_sweep_throughput_benchmark():
     # Wall-clock ratios vary by machine/core count; the planner must at
     # least not regress the parallel path.
     assert report["speedup_planner_vs_wholejob"] >= 1.0
+    assert report["overhead_breakdown"]["coverage"] >= 0.9
 
 
 if __name__ == "__main__":

@@ -48,6 +48,8 @@ Layer cake (each importable on its own):
   batch executor.
 * :mod:`repro.api` — the declarative :class:`Study`/:class:`ResultSet`
   facade over everything below (and the ``repro run spec.json`` CLI).
+* :mod:`repro.obs` — tracing and metrics: hierarchical spans over the
+  engine hot path, worker-safe collection, Chrome-trace export.
 * :mod:`repro.experiments` — the paper's four evaluation experiments.
 """
 
@@ -135,6 +137,7 @@ from repro.api import (
     ResultSet,
     Study,
 )
+from repro.obs import Trace, Tracer, tracing
 from repro.workloads import (
     ConvLayer,
     DataSpace,
@@ -206,6 +209,8 @@ __all__ = [
     "Study",
     "SYSTEM_BUCKETS",
     "SystemEntry",
+    "Trace",
+    "Tracer",
     "WdmDelayConfig",
     "WdmDelaySystem",
     "create_system",
@@ -238,5 +243,6 @@ __all__ = [
     "sweep_memory_options",
     "sweep_reuse_factors",
     "tiny_cnn",
+    "tracing",
     "vgg16",
 ]

@@ -111,10 +111,17 @@ Predicate = Callable[[Record], bool]
 
 
 class ResultSet:
-    """An ordered, immutable collection of :class:`Record` objects."""
+    """An ordered, immutable collection of :class:`Record` objects.
 
-    def __init__(self, records: Iterable[Record] = ()):
+    ``trace`` carries the :class:`~repro.obs.Trace` collected when the
+    producing run had tracing on (``Study.run(trace=...)``); it is
+    metadata, not identity — two result sets with equal records compare
+    equal regardless of their traces.
+    """
+
+    def __init__(self, records: Iterable[Record] = (), trace: Any = None):
         self._records: Tuple[Record, ...] = tuple(records)
+        self.trace = trace
 
     # ------------------------------------------------------------------
     # Container protocol

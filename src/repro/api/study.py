@@ -57,6 +57,7 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.api.results import Record, ResultSet
 from repro.energy.scaling import ScalingScenario, scenario_by_name
 from repro.engine.executor import CacheLike, ProgressFn, run_jobs
@@ -394,21 +395,44 @@ class Study:
 
     def run(self, workers: int = 1, cache: CacheLike = None,
             plan: Optional[bool] = None,
-            progress: Optional[ProgressFn] = None) -> ResultSet:
+            progress: Optional[ProgressFn] = None,
+            trace: Union[bool, str, "obs.Tracer", None] = None) -> ResultSet:
         """Compile and execute through the engine; returns a
         :class:`~repro.api.results.ResultSet` in lattice order.
 
         ``workers``/``cache``/``plan`` are the engine's knobs: process
         pool size, persistent :class:`~repro.engine.cache.EvaluationCache`
         (or directory path), and the two-phase planner toggle.
+
+        ``trace`` turns on :mod:`repro.obs` span collection for this run:
+        ``True`` collects, a string path additionally writes the Chrome
+        trace JSON there, and an existing :class:`~repro.obs.Tracer`
+        records into the caller's tracer.  The collected
+        :class:`~repro.obs.Trace` is exposed as ``ResultSet.trace``
+        (``None`` when tracing was off).
         """
-        jobs = self.compile()
-        evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                               progress=progress, plan=plan)
+        if trace is None or trace is False:
+            jobs = self.compile()
+            evaluations = run_jobs(jobs, workers=workers, cache=cache,
+                                   progress=progress, plan=plan)
+            return ResultSet(
+                Record.from_evaluation(job.tags_dict, evaluation,
+                                       config=job.config)
+                for job, evaluation in zip(jobs, evaluations))
+        tracer = trace if isinstance(trace, obs.Tracer) else obs.Tracer()
+        with obs.tracing(tracer):
+            with obs.span("study.compile", study=self.name):
+                jobs = self.compile()
+            evaluations = run_jobs(jobs, workers=workers, cache=cache,
+                                   progress=progress, plan=plan)
+        collected = tracer.trace()
+        if isinstance(trace, str):
+            collected.save(trace)
         return ResultSet(
-            Record.from_evaluation(job.tags_dict, evaluation,
-                                   config=job.config)
-            for job, evaluation in zip(jobs, evaluations))
+            (Record.from_evaluation(job.tags_dict, evaluation,
+                                    config=job.config)
+             for job, evaluation in zip(jobs, evaluations)),
+            trace=collected)
 
     def __repr__(self) -> str:
         return (f"Study({self.name!r}: {len(self._sources)} sources, "

@@ -30,6 +30,12 @@ for downstream tooling.
 ``repro run spec.json`` executes any study expressible as data — systems
 x networks x scenarios x grid overrides x batching x fusion — through
 :meth:`repro.api.Study.from_json`, so one-off explorations need no code.
+
+Observability: sweep-shaped commands accept ``--trace PATH`` (write a
+Chrome/Perfetto span timeline of the run, worker lanes included) and
+``--trace-summary`` (per-phase wall-clock attribution table);
+``sweep``/``run`` additionally accept ``--progress`` (per-job done/total
+lines on stderr).  See :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -107,9 +113,30 @@ def _flag_network(parser: argparse.ArgumentParser) -> None:
 def _flag_json(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json", default=None, metavar="PATH", dest="json_path",
-        help="also dump the tagged result records as JSON to PATH "
-             "('-' writes JSON to stdout and the table to stderr, so "
-             "stdout stays machine-parseable)",
+        help="also dump the tagged result records (plus cache/planner "
+             "statistics) as JSON to PATH ('-' writes JSON to stdout and "
+             "the table to stderr, so stdout stays machine-parseable)",
+    )
+
+
+def _flag_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_path",
+        help="record a span timeline of the run and write it to PATH as "
+             "Chrome trace JSON (open via ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-summary", action="store_true", dest="trace_summary",
+        help="print a per-phase wall-clock attribution table after the "
+             "run (implies span collection)",
+    )
+
+
+def _flag_progress(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-job done/total progress lines to stderr "
+             "(stdout stays machine-parseable)",
     )
 
 
@@ -121,6 +148,8 @@ _FLAG_GROUPS = {
     "pool": _flag_pool,
     "network": _flag_network,
     "json": _flag_json,
+    "trace": _flag_trace,
+    "progress": _flag_progress,
 }
 
 
@@ -135,12 +164,17 @@ def _table_stream(args: argparse.Namespace):
             else sys.stdout)
 
 
-def _dump_json(args: argparse.Namespace, records: List[dict]) -> None:
+def _dump_json(args: argparse.Namespace, records: List[dict],
+               stats: Optional[dict] = None) -> None:
+    """Write the ``--json`` payload: ``{"records": [...], "stats": {...}}``
+    (``stats`` carries cache/planner/mapper counters, or ``None`` for
+    commands that run without an engine cache)."""
     import json
 
     if not getattr(args, "json_path", None):
         return
-    text = json.dumps(records, indent=2, sort_keys=True)
+    payload = {"records": records, "stats": stats}
+    text = json.dumps(payload, indent=2, sort_keys=True)
     if args.json_path == "-":
         print(text)
     else:
@@ -189,15 +223,19 @@ def _cmd_all(args) -> None:
 
 
 def _cmd_compare(args) -> None:
+    from repro.engine import EvaluationCache
     from repro.experiments import system_comparison
 
     systems = ([name.strip() for name in args.system.split(",")
                 if name.strip()] if args.system else system_names())
+    cache = EvaluationCache(args.cache)
+    mapper_stats_before = cache.mapper_search_stats()
     result = system_comparison.run(
         use_mapper=args.mapper, systems=systems,
-        workers=args.workers, cache=args.cache, plan=_plan(args))
+        workers=args.workers, cache=cache, plan=_plan(args))
     print(result.table(), file=_table_stream(args))
-    _dump_json(args, result.to_records())
+    _dump_json(args, result.to_records(),
+               stats=_stats_dict(cache, mapper_stats_before))
 
 
 def _cmd_sensitivity(args) -> None:
@@ -218,21 +256,27 @@ def _cmd_roofline(args) -> None:
 
 
 def _progress_printer(finished: int, total: int, job) -> None:
-    print(f"\r  [{finished}/{total}] {job.describe():<60s}",
-          end="", file=sys.stderr, flush=True)
+    print(f"[{finished}/{total}] {job.describe()}",
+          file=sys.stderr, flush=True)
 
 
 def _run_study(study, args):
     """Execute a study with the shared pool flags; returns (ResultSet,
-    cache, mapper-stats-before) and finishes the progress line."""
+    cache, mapper-stats-before).
+
+    Always runs with an :class:`EvaluationCache` (in-memory when no
+    ``--cache DIR``) so cache/planner statistics are available for the
+    table and the ``--json`` stats record.  Progress lines are opt-in
+    (``--progress``) and go to stderr.
+    """
     from repro.engine import EvaluationCache
 
-    cache = EvaluationCache(args.cache) if args.cache else None
-    mapper_stats_before = (cache.mapper_search_stats()
-                           if cache is not None else None)
+    cache = EvaluationCache(args.cache)
+    mapper_stats_before = cache.mapper_search_stats()
+    progress = (_progress_printer if getattr(args, "progress", False)
+                else None)
     results = study.run(workers=args.workers, cache=cache,
-                        plan=_plan(args), progress=_progress_printer)
-    print(file=sys.stderr)
+                        plan=_plan(args), progress=progress)
     return results, cache, mapper_stats_before
 
 
@@ -256,6 +300,22 @@ def _stats_lines(cache, mapper_stats_before) -> List[str]:
             f"{mapper_stats['pruned_early']} pruned early"
         )
     return lines
+
+
+def _stats_dict(cache, mapper_stats_before) -> Optional[dict]:
+    """The ``--json`` stats record: per-namespace cache hits/misses,
+    planner dedup counters, and this run's fresh mapper-search totals."""
+    if cache is None:
+        return None
+    mapper_stats = {
+        counter: count - mapper_stats_before[counter]
+        for counter, count in cache.mapper_search_stats().items()
+    }
+    return {
+        "cache": cache.stats_snapshot(),
+        "planner": cache.planner.to_dict(),
+        "mapper": mapper_stats,
+    }
 
 
 def _cmd_sweep(args) -> None:
@@ -299,7 +359,8 @@ def _cmd_sweep(args) -> None:
     ]
     lines.extend(_stats_lines(cache, mapper_stats_before))
     print("\n".join(lines), file=_table_stream(args))
-    _dump_json(args, results.to_records())
+    _dump_json(args, results.to_records(),
+               stats=_stats_dict(cache, mapper_stats_before))
 
 
 def _cmd_run(args) -> None:
@@ -315,7 +376,8 @@ def _cmd_run(args) -> None:
     ]
     lines.extend(_stats_lines(cache, mapper_stats_before))
     print("\n".join(lines), file=_table_stream(args))
-    _dump_json(args, results.to_records())
+    _dump_json(args, results.to_records(),
+               stats=_stats_dict(cache, mapper_stats_before))
 
 
 def _scenario_system(args):
@@ -355,21 +417,22 @@ _COMMANDS: Sequence = (
     ("fig3", "VGG16 / AlexNet throughput (paper Fig. 3)",
      ("mapper",), _cmd_fig3),
     ("fig4", "full-system memory exploration (paper Fig. 4)",
-     ("mapper", "pool"), _cmd_fig4),
+     ("mapper", "pool", "trace"), _cmd_fig4),
     ("fig5", "reuse-factor exploration (paper Fig. 5)",
-     ("mapper", "pool"), _cmd_fig5),
+     ("mapper", "pool", "trace"), _cmd_fig5),
     ("all", "every experiment + claim summary",
-     ("mapper", "pool"), _cmd_all),
+     ("mapper", "pool", "trace"), _cmd_all),
     ("compare", "cross-system comparison over the workload suite",
-     ("systems-list", "mapper", "pool", "json"), _cmd_compare),
+     ("systems-list", "mapper", "pool", "json", "trace"), _cmd_compare),
     ("sensitivity", "per-device energy sensitivity analysis",
      ("scenario",), _cmd_sensitivity),
     ("roofline", "bandwidth roofline of AlexNet on Albireo",
      ("scenario",), _cmd_roofline),
     ("sweep", "parallel/cached default-grid sweep of one system",
-     ("system", "network", "mapper", "pool", "json"), _cmd_sweep),
+     ("system", "network", "mapper", "pool", "json", "trace", "progress"),
+     _cmd_sweep),
     ("run", "execute a declarative study spec (JSON) via repro.api",
-     ("pool", "json"), _cmd_run),
+     ("pool", "json", "trace", "progress"), _cmd_run),
     ("arch", "print a modeled system's hierarchy",
      ("system", "scenario"), _cmd_arch),
     ("area", "per-component area summary",
@@ -405,7 +468,27 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler: Callable[[argparse.Namespace], None] = args.handler
-    handler(args)
+    trace_path = getattr(args, "trace_path", None)
+    trace_summary = getattr(args, "trace_summary", False)
+    if not (trace_path or trace_summary):
+        handler(args)
+        return 0
+    # --trace / --trace-summary: run the whole command under an active
+    # tracer (span collection reaches the engine, workers included), then
+    # export and/or summarize the timeline.
+    from repro import obs
+    from repro.report import format_trace_summary
+
+    with obs.tracing() as tracer:
+        with obs.span(f"repro.{args.command}"):
+            handler(args)
+    trace = tracer.trace()
+    if trace_path:
+        trace.save(trace_path)
+        print(f"wrote trace ({len(trace)} events) to {trace_path}",
+              file=sys.stderr)
+    if trace_summary:
+        print(format_trace_summary(trace), file=_table_stream(args))
     return 0
 
 

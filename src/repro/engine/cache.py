@@ -27,6 +27,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.engine.codec import (
     canonical_json,
     layer_evaluation_from_dict,
@@ -99,6 +100,16 @@ class PlannerStats:
                 f"{self.cache_hits} already cached, "
                 f"{self.phase1_tasks} executed in phase 1 "
                 f"({self.batches} batches)")
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready counter dict (the ``--json`` stats record)."""
+        return {
+            "planned": self.planned,
+            "deduplicated": self.deduplicated,
+            "cache_hits": self.cache_hits,
+            "phase1_tasks": self.phase1_tasks,
+            "batches": self.batches,
+        }
 
     def reset(self) -> None:
         self.planned = 0
@@ -262,39 +273,42 @@ class EvaluationCache:
         path = self.path
         if path is None or not os.path.exists(path):
             return
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                image = json.load(handle)
-        except (OSError, ValueError):
-            return  # unreadable/corrupt image: start fresh, not crash
-        if not isinstance(image, dict) \
-                or image.get("version") != _CACHE_FORMAT_VERSION:
-            return  # stale format: start fresh rather than misread entries
-        for namespace in NAMESPACES:
-            self._data[namespace].update(image.get("entries", {})
-                                         .get(namespace, {}))
+        with obs.span("cache.load", path=path) as load_span:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    image = json.load(handle)
+            except (OSError, ValueError):
+                return  # unreadable/corrupt image: start fresh, not crash
+            if not isinstance(image, dict) \
+                    or image.get("version") != _CACHE_FORMAT_VERSION:
+                return  # stale format: start fresh, not misread entries
+            for namespace in NAMESPACES:
+                self._data[namespace].update(image.get("entries", {})
+                                             .get(namespace, {}))
+            load_span.set("entries", len(self))
 
     def save(self) -> Optional[str]:
         """Atomically write the cache image; returns the path written."""
         path = self.path
         if path is None:
             return None
-        os.makedirs(self.directory, exist_ok=True)
-        image = {
-            "version": _CACHE_FORMAT_VERSION,
-            "entries": self._data,
-        }
-        fd, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".cache-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(image, handle)
-            os.replace(temp_path, path)
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
-        self._added = {ns: {} for ns in NAMESPACES}
+        with obs.span("cache.save", path=path, entries=len(self)):
+            os.makedirs(self.directory, exist_ok=True)
+            image = {
+                "version": _CACHE_FORMAT_VERSION,
+                "entries": self._data,
+            }
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".cache-", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(image, handle)
+                os.replace(temp_path, path)
+            except BaseException:
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
+                raise
+            self._added = {ns: {} for ns in NAMESPACES}
         return path
 
 

@@ -25,6 +25,13 @@ when the cache has a directory).  Workers do not see entries produced by
 *other* workers within the same run — the parent is the only writer,
 which keeps the on-disk image race-free; the planner's cross-batch dedup
 is what removes the duplicate work whole-job workers used to repeat.
+
+When a tracer is active (:mod:`repro.obs`), every phase of this module
+records spans — lookup, planning, snapshot, pool spawn, dispatch, merge,
+assembly — and workers record their own lanes against the parent's clock
+epoch, shipping events back piggybacked on the existing result messages.
+With tracing disabled (the default) the span calls hit the shared no-op
+tracer and the worker messages carry no extra payload.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import multiprocessing
 import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.engine.cache import EvaluationCache, SystemStore, store_entry_key
 from repro.engine.codec import (
     network_evaluation_from_dict,
@@ -98,17 +106,19 @@ def _compute_job(job: EvaluationJob,
     so uncached runs skip it entirely and cached runs pay for it once.
     """
     entry = system_registry()[job.system]
-    if cache is not None and entry.supports_store:
-        store = SystemStore(cache, job_system_key(job))
-        system = entry.system_type(job.config, store=store)
-    else:
-        system = entry.system_type(job.config)
-    evaluation = system.evaluate_network(
-        job.network, fused=job.fused, use_mapper=job.use_mapper)
-    if not job.include_dram:
-        evaluation = strip_dram(evaluation)
-    if cache is not None:
-        cache.put_result(job.key, network_evaluation_to_dict(evaluation))
+    with obs.span("job.compute", job=job.describe(), system=job.system):
+        with obs.span("system.build", system=job.system):
+            if cache is not None and entry.supports_store:
+                store = SystemStore(cache, job_system_key(job))
+                system = entry.system_type(job.config, store=store)
+            else:
+                system = entry.system_type(job.config)
+        evaluation = system.evaluate_network(
+            job.network, fused=job.fused, use_mapper=job.use_mapper)
+        if not job.include_dram:
+            evaluation = strip_dram(evaluation)
+        if cache is not None:
+            cache.put_result(job.key, network_evaluation_to_dict(evaluation))
     return evaluation
 
 
@@ -131,10 +141,31 @@ def run_job(job: EvaluationJob,
 _WORKER_CACHE: Optional[EvaluationCache] = None
 
 
-def _init_worker(snapshot: Optional[Dict[str, Dict[str, Any]]]) -> None:
+def _init_worker(snapshot: Optional[Dict[str, Dict[str, Any]]],
+                 obs_config=None) -> None:
+    """Pool initializer: seed the worker cache and (when the parent is
+    tracing) open a trace lane on the parent's timeline.
+
+    With the fork start method the worker inherits the parent's active
+    tracer object — including already-recorded events — so tracing is
+    always re-initialized here: a fresh worker-lane tracer when the
+    parent shipped its clock config, the null tracer otherwise (never
+    the inherited copy, which would double-report the parent's events).
+    """
     global _WORKER_CACHE
     _WORKER_CACHE = (EvaluationCache.from_snapshot(snapshot)
                      if snapshot is not None else None)
+    if obs_config is not None:
+        obs.activate(obs.Tracer.for_worker(obs_config))
+    else:
+        obs.deactivate()
+
+
+def _drain_worker_trace() -> Optional[Dict[str, Any]]:
+    """The worker's trace events since the last message (None when
+    tracing is off, so untraced messages stay exactly as lean)."""
+    tracer = obs.current_tracer()
+    return tracer.drain() if tracer.enabled else None
 
 
 def _run_job_in_worker(payload):
@@ -149,7 +180,8 @@ def _run_job_in_worker(payload):
         cache.reset_stats()
     else:
         added, stats = {}, {}
-    return index, network_evaluation_to_dict(evaluation), added, stats
+    return (index, network_evaluation_to_dict(evaluation), added, stats,
+            _drain_worker_trace())
 
 
 def _run_batch_in_worker(payload):
@@ -164,16 +196,19 @@ def _run_batch_in_worker(payload):
     index, segments = payload
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else EvaluationCache()
     registry = system_registry()
-    for system_name, config, system_key, tasks in segments:
-        entry = registry[system_name]
-        system = entry.system_type(config,
-                                   store=SystemStore(cache, system_key))
-        for task in tasks:
-            system.compute_sub_task(task)
+    with obs.span("worker.batch", segments=len(segments),
+                  tasks=sum(len(tasks) for *_rest, tasks in segments)):
+        for system_name, config, system_key, tasks in segments:
+            entry = registry[system_name]
+            with obs.span("system.build", system=system_name):
+                system = entry.system_type(
+                    config, store=SystemStore(cache, system_key))
+            for task in tasks:
+                system.compute_sub_task(task)
     added = cache.pop_added()
     stats = cache.stats_snapshot()
     cache.reset_stats()
-    return index, added, stats
+    return index, added, stats, _drain_worker_trace()
 
 
 def _pool_context():
@@ -219,75 +254,84 @@ def run_jobs(
     results: List[Optional[NetworkEvaluation]] = [None] * total
     done = 0
 
-    # Resolve whole-job cache hits up front (counts the hits/misses).
-    # Job identity dicts/keys are memoized on the jobs themselves, so the
-    # serial path below never rebuilds the architecture serialization.
-    misses: List[int] = []
-    for index, job in enumerate(jobs):
-        if cache is None:
-            misses.append(index)
-            continue
-        cached = cache.get_result(job.key)
-        if cached is None:
-            misses.append(index)
-        else:
-            results[index] = network_evaluation_from_dict(cached)
-            done += 1
-            if progress is not None:
-                progress(done, total, job)
+    with obs.span("run_jobs", jobs=total, workers=workers) as run_span:
+        # Resolve whole-job cache hits up front (counts the hits/misses).
+        # Job identity dicts/keys are memoized on the jobs themselves, so
+        # the serial path below never rebuilds the architecture
+        # serialization.
+        misses: List[int] = []
+        with obs.span("run_jobs.lookup", jobs=total):
+            for index, job in enumerate(jobs):
+                if cache is None:
+                    misses.append(index)
+                    continue
+                cached = cache.get_result(job.key)
+                if cached is None:
+                    misses.append(index)
+                else:
+                    results[index] = network_evaluation_from_dict(cached)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, job)
+        run_span.set("misses", len(misses))
 
-    if misses and workers > 1 and len(misses) > 1:
-        sweep_plan = None
-        work_cache = cache
-        if plan is not False:
-            # The planner needs a cache to dedup against and assemble
-            # from; a cache-less parallel run plans through a run-local
-            # one (discarded afterwards — results are what matters).
-            work_cache = cache if cache is not None else EvaluationCache()
-            sweep_plan = build_plan([jobs[index] for index in misses],
-                                    work_cache, workers)
-        if sweep_plan is not None:
-            on_batch = None
-            if progress is not None:
-                representatives: Dict[str, EvaluationJob] = {}
-                for index in misses:
-                    representatives.setdefault(job_system_key(jobs[index]),
-                                               jobs[index])
-                hits_done = done
-
-                def on_batch(batch):
-                    job = representatives.get(batch[0].system_key,
-                                              jobs[misses[0]])
-                    progress(hits_done, total, job)
-
-            _execute_phase1(sweep_plan, work_cache, workers,
-                            on_batch=on_batch)
-            # Phase 2: every sub-result is now warm — assembling the
-            # network evaluations is pure cache lookups, done in the
-            # parent so nothing is shipped twice.
-            for index in misses:
-                job = jobs[index]
-                result_dict = _assemble_job(job, work_cache)
-                if result_dict is not None:
-                    work_cache.put_result(job.key, result_dict)
-                    results[index] = network_evaluation_from_dict(result_dict)
-                else:  # an entry is missing: evaluate the ordinary way
-                    results[index] = _compute_job(job, work_cache)
-                done += 1
+        if misses and workers > 1 and len(misses) > 1:
+            sweep_plan = None
+            work_cache = cache
+            if plan is not False:
+                # The planner needs a cache to dedup against and assemble
+                # from; a cache-less parallel run plans through a
+                # run-local one (discarded afterwards — results are what
+                # matters).
+                work_cache = (cache if cache is not None
+                              else EvaluationCache())
+                sweep_plan = build_plan([jobs[index] for index in misses],
+                                        work_cache, workers)
+            if sweep_plan is not None:
+                on_batch = None
                 if progress is not None:
-                    progress(done, total, job)
-        else:
-            done = _run_whole_jobs(jobs, misses, results, cache,
-                                   workers, progress, done, total)
-    elif misses:
-        for index in misses:
-            results[index] = _compute_job(jobs[index], cache)
-            done += 1
-            if progress is not None:
-                progress(done, total, jobs[index])
+                    representatives: Dict[str, EvaluationJob] = {}
+                    for index in misses:
+                        representatives.setdefault(
+                            job_system_key(jobs[index]), jobs[index])
+                    hits_done = done
 
-    if cache is not None and cache.directory is not None and cache.dirty:
-        cache.save()
+                    def on_batch(batch):
+                        job = representatives.get(batch[0].system_key,
+                                                  jobs[misses[0]])
+                        progress(hits_done, total, job)
+
+                _execute_phase1(sweep_plan, work_cache, workers,
+                                on_batch=on_batch)
+                # Phase 2: every sub-result is now warm — assembling the
+                # network evaluations is pure cache lookups, done in the
+                # parent so nothing is shipped twice.
+                with obs.span("run_jobs.assemble", jobs=len(misses)):
+                    for index in misses:
+                        job = jobs[index]
+                        result_dict = _assemble_job(job, work_cache)
+                        if result_dict is not None:
+                            work_cache.put_result(job.key, result_dict)
+                            results[index] = \
+                                network_evaluation_from_dict(result_dict)
+                        else:  # an entry is missing: evaluate normally
+                            results[index] = _compute_job(job, work_cache)
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, job)
+            else:
+                done = _run_whole_jobs(jobs, misses, results, cache,
+                                       workers, progress, done, total)
+        elif misses:
+            with obs.span("run_jobs.serial", jobs=len(misses)):
+                for index in misses:
+                    results[index] = _compute_job(jobs[index], cache)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs[index])
+
+        if cache is not None and cache.directory is not None and cache.dirty:
+            cache.save()
     return results  # type: ignore[return-value]
 
 
@@ -351,42 +395,64 @@ def _execute_phase1(
     ``on_batch`` (if given) is invoked with each batch as its results
     are merged — the liveness hook behind the progress callback.
     """
+    tracer = obs.current_tracer()
     if sweep_plan.batches:
-        context = _pool_context()
-        # Workers only read the mapper/layer namespaces, so don't ship
-        # them the possibly large results namespace.
-        snapshot = cache.snapshot()
-        snapshot["results"] = {}
-        # Phase-1 workers are CPU-bound; oversubscribing the machine's
-        # cores only adds context switching, so the pool is sized to the
-        # smallest of the request, the work, and the hardware.
-        pool_size = min(workers, len(sweep_plan.batches),
-                        multiprocessing.cpu_count() or workers)
-        with context.Pool(pool_size, initializer=_init_worker,
-                          initargs=(snapshot,)) as pool:
-            payloads = [
-                (index, [(chunk.system, chunk.config, chunk.system_key,
-                          chunk.tasks) for chunk in batch])
-                for index, batch in enumerate(sweep_plan.batches)
-            ]
-            for index, added, stats in pool.imap_unordered(
-                    _run_batch_in_worker, payloads, chunksize=1):
-                cache.merge(added)
-                cache.absorb_stats(stats)
-                if on_batch is not None:
-                    on_batch(sweep_plan.batches[index])
+        with obs.span("executor.phase1", batches=len(sweep_plan.batches),
+                      tasks=sweep_plan.phase1_tasks):
+            context = _pool_context()
+            # Workers only read the mapper/layer namespaces, so don't
+            # ship them the possibly large results namespace.
+            with obs.span("executor.snapshot"):
+                snapshot = cache.snapshot()
+                snapshot["results"] = {}
+            # Phase-1 workers are CPU-bound; oversubscribing the
+            # machine's cores only adds context switching, so the pool is
+            # sized to the smallest of the request, the work, and the
+            # hardware.
+            pool_size = min(workers, len(sweep_plan.batches),
+                            multiprocessing.cpu_count() or workers)
+            obs_config = (tracer.worker_config() if tracer.enabled
+                          else None)
+            with obs.span("executor.pool_spawn", workers=pool_size):
+                pool = context.Pool(pool_size, initializer=_init_worker,
+                                    initargs=(snapshot, obs_config))
+            try:
+                payloads = [
+                    (index, [(chunk.system, chunk.config, chunk.system_key,
+                              chunk.tasks) for chunk in batch])
+                    for index, batch in enumerate(sweep_plan.batches)
+                ]
+                # The dispatch span's *self* time is the parent-side
+                # pickle/submit/wait overhead (worker compute shows up on
+                # the worker lanes, merges in the child span below).
+                with obs.span("executor.dispatch",
+                              batches=len(payloads)) as dispatch:
+                    for index, added, stats, events in pool.imap_unordered(
+                            _run_batch_in_worker, payloads, chunksize=1):
+                        with obs.span("executor.merge"):
+                            cache.merge(added)
+                            cache.absorb_stats(stats)
+                            if events:
+                                tracer.absorb(events)
+                        dispatch.add("messages")
+                        if on_batch is not None:
+                            on_batch(sweep_plan.batches[index])
+            finally:
+                pool.terminate()
+                pool.join()
     # Entries the planner collapsed across layer names: copy the
     # representative and rename.  A representative that is somehow
     # missing (its chunk raised before computing it) is simply skipped —
     # phase 2 computes the alias the ordinary way.
-    for alias in sweep_plan.aliases:
-        entry = cache.peek("layers", alias.representative_key)
-        if entry is None:
-            continue
-        derived = dict(entry)
-        derived["layer"] = dict(entry["layer"])
-        derived["layer"]["name"] = alias.layer_name
-        cache.put("layers", alias.alias_key, derived)
+    with obs.span("executor.aliases", count=len(sweep_plan.aliases)):
+        for alias in sweep_plan.aliases:
+            entry = cache.peek("layers", alias.representative_key)
+            if entry is None:
+                continue
+            derived = dict(entry)
+            derived["layer"] = dict(entry["layer"])
+            derived["layer"]["name"] = alias.layer_name
+            cache.put("layers", alias.alias_key, derived)
 
 
 def _run_whole_jobs(
@@ -400,28 +466,43 @@ def _run_whole_jobs(
     total: int,
 ) -> int:
     """The pre-planner parallel path: one whole job per worker message."""
-    context = _pool_context()
-    # Workers only read the mapper/layer namespaces (the parent already
-    # resolved whole-job hits), so don't ship them the possibly large
-    # results namespace.
-    snapshot = None
-    if cache is not None:
-        snapshot = cache.snapshot()
-        snapshot["results"] = {}
-    pool_size = min(workers, len(misses))
-    with context.Pool(pool_size, initializer=_init_worker,
-                      initargs=(snapshot,)) as pool:
-        payloads = [(index, jobs[index]) for index in misses]
-        for index, result_dict, added, stats in pool.imap_unordered(
-                _run_job_in_worker, payloads, chunksize=1):
-            results[index] = network_evaluation_from_dict(result_dict)
-            if cache is not None:
-                # ``added`` already contains the job's result entry
-                # (workers put it before shipping), plus any new
-                # mapper/layer entries.
-                cache.merge(added)
-                cache.absorb_stats(stats)
-            done += 1
-            if progress is not None:
-                progress(done, total, jobs[index])
+    tracer = obs.current_tracer()
+    with obs.span("executor.wholejob", jobs=len(misses), workers=workers):
+        context = _pool_context()
+        # Workers only read the mapper/layer namespaces (the parent
+        # already resolved whole-job hits), so don't ship them the
+        # possibly large results namespace.
+        snapshot = None
+        if cache is not None:
+            with obs.span("executor.snapshot"):
+                snapshot = cache.snapshot()
+                snapshot["results"] = {}
+        pool_size = min(workers, len(misses))
+        obs_config = tracer.worker_config() if tracer.enabled else None
+        with obs.span("executor.pool_spawn", workers=pool_size):
+            pool = context.Pool(pool_size, initializer=_init_worker,
+                                initargs=(snapshot, obs_config))
+        try:
+            payloads = [(index, jobs[index]) for index in misses]
+            with obs.span("executor.dispatch", jobs=len(payloads)):
+                for index, result_dict, added, stats, events in \
+                        pool.imap_unordered(_run_job_in_worker, payloads,
+                                            chunksize=1):
+                    with obs.span("executor.merge"):
+                        results[index] = \
+                            network_evaluation_from_dict(result_dict)
+                        if cache is not None:
+                            # ``added`` already contains the job's result
+                            # entry (workers put it before shipping),
+                            # plus any new mapper/layer entries.
+                            cache.merge(added)
+                            cache.absorb_stats(stats)
+                        if events:
+                            tracer.absorb(events)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs[index])
+        finally:
+            pool.terminate()
+            pool.join()
     return done

@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engine.cache import EvaluationCache, store_entry_key
 from repro.engine.jobs import EvaluationJob, job_system_key, system_registry
 
@@ -136,71 +137,83 @@ def build_plan(jobs: Sequence[EvaluationJob],
     """
     if not plannable(jobs):
         return None
-    registry = system_registry()
-    groups: Dict[str, TaskChunk] = {}
-    # dedup-key -> (namespace, representative entry key); layer
-    # representatives also remember their store key string so siblings
-    # can be derived by renaming.
-    representatives: Dict[Tuple[str, Tuple], str] = {}
-    aliases: List[LayerAlias] = []
-    alias_keys = set()
-    planned = deduplicated = cache_hits = 0
-    systems: Dict[str, Any] = {}
+    with obs.span("planner.build_plan", jobs=len(jobs)) as plan_span:
+        registry = system_registry()
+        groups: Dict[str, TaskChunk] = {}
+        # dedup-key -> (namespace, representative entry key); layer
+        # representatives also remember their store key string so
+        # siblings can be derived by renaming.
+        representatives: Dict[Tuple[str, Tuple], str] = {}
+        aliases: List[LayerAlias] = []
+        alias_keys = set()
+        planned = deduplicated = cache_hits = 0
+        systems: Dict[str, Any] = {}
 
-    for job in jobs:
-        system_key = job_system_key(job)
-        system = systems.get(system_key)
-        if system is None:
-            entry = registry[job.system]
-            system = entry.system_type(job.config)
-            systems[system_key] = system
-        group = groups.get(system_key)
-        if group is None:
-            group = TaskChunk(system=job.system, config=job.config,
-                              system_key=system_key)
-            groups[system_key] = group
-        for task in system.enumerate_sub_tasks(
-                job.network, fused=job.fused, use_mapper=job.use_mapper):
-            planned += 1
-            namespace = _TASK_NAMESPACE[task.kind]
-            entry_key = store_entry_key(system_key,
-                                        system.sub_task_store_key(task))
-            dedup_key = (system_key, system.sub_task_dedup_key(task))
-            known = representatives.get(dedup_key)
-            if known is not None:
-                deduplicated += 1
-                if (task.kind == "layer" and known != entry_key
-                        and entry_key not in alias_keys
-                        and not cache.contains(namespace, entry_key)):
-                    # Same geometry under another name: derive after
-                    # phase 1 instead of recomputing.
-                    alias_keys.add(entry_key)
-                    aliases.append(LayerAlias(
-                        representative_key=known,
-                        alias_key=entry_key,
-                        layer_name=task.layer.name))
-                continue
-            representatives[dedup_key] = entry_key
-            if cache.contains(namespace, entry_key):
-                cache_hits += 1
-                continue
-            if task.kind == "mapper" or task.use_mapper:
-                cluster = ("search", system._mapper_store_key(task.layer))
-            else:
-                cluster = ("solo", len(group.tasks))
-            group.tasks.append(task)
-            group.clusters.append(cluster)
+        with obs.span("planner.expand"):
+            for job in jobs:
+                system_key = job_system_key(job)
+                system = systems.get(system_key)
+                if system is None:
+                    entry = registry[job.system]
+                    system = entry.system_type(job.config)
+                    systems[system_key] = system
+                group = groups.get(system_key)
+                if group is None:
+                    group = TaskChunk(system=job.system, config=job.config,
+                                      system_key=system_key)
+                    groups[system_key] = group
+                for task in system.enumerate_sub_tasks(
+                        job.network, fused=job.fused,
+                        use_mapper=job.use_mapper):
+                    planned += 1
+                    namespace = _TASK_NAMESPACE[task.kind]
+                    entry_key = store_entry_key(
+                        system_key, system.sub_task_store_key(task))
+                    dedup_key = (system_key,
+                                 system.sub_task_dedup_key(task))
+                    known = representatives.get(dedup_key)
+                    if known is not None:
+                        deduplicated += 1
+                        if (task.kind == "layer" and known != entry_key
+                                and entry_key not in alias_keys
+                                and not cache.contains(namespace,
+                                                       entry_key)):
+                            # Same geometry under another name: derive
+                            # after phase 1 instead of recomputing.
+                            alias_keys.add(entry_key)
+                            aliases.append(LayerAlias(
+                                representative_key=known,
+                                alias_key=entry_key,
+                                layer_name=task.layer.name))
+                        continue
+                    representatives[dedup_key] = entry_key
+                    if cache.contains(namespace, entry_key):
+                        cache_hits += 1
+                        continue
+                    if task.kind == "mapper" or task.use_mapper:
+                        cluster = ("search",
+                                   system._mapper_store_key(task.layer))
+                    else:
+                        cluster = ("solo", len(group.tasks))
+                    group.tasks.append(task)
+                    group.clusters.append(cluster)
 
-    batches = _balance([group for group in groups.values() if group.tasks],
-                       workers)
-    plan = SweepPlan(batches=batches, aliases=aliases, planned=planned,
-                     deduplicated=deduplicated, cache_hits=cache_hits)
-    stats = cache.planner
-    stats.planned += plan.planned
-    stats.deduplicated += plan.deduplicated
-    stats.cache_hits += plan.cache_hits
-    stats.phase1_tasks += plan.phase1_tasks
-    stats.batches += len(plan.batches)
+        with obs.span("planner.balance"):
+            batches = _balance(
+                [group for group in groups.values() if group.tasks],
+                workers)
+        plan = SweepPlan(batches=batches, aliases=aliases, planned=planned,
+                         deduplicated=deduplicated, cache_hits=cache_hits)
+        stats = cache.planner
+        stats.planned += plan.planned
+        stats.deduplicated += plan.deduplicated
+        stats.cache_hits += plan.cache_hits
+        stats.phase1_tasks += plan.phase1_tasks
+        stats.batches += len(plan.batches)
+        for counter in ("planned", "deduplicated", "cache_hits",
+                        "phase1_tasks"):
+            plan_span.set(counter, getattr(plan, counter))
+        plan_span.set("batches", len(plan.batches))
     return plan
 
 

@@ -70,6 +70,7 @@ the original formulation (see ``tests/test_analysis_equivalence.py``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
@@ -82,6 +83,7 @@ from repro.arch.hierarchy import (
 )
 from repro.exceptions import CapacityError, MappingError
 from repro.mapping.mapping import Mapping, TemporalLoop
+from repro.obs import current_tracer
 from repro.workloads.dataspace import (
     ALL_DATASPACES,
     DataSpace,
@@ -493,6 +495,19 @@ class NestAnalyzer:
     # Main walk
     # ------------------------------------------------------------------
     def analyze(self) -> AccessCounts:
+        # Far too hot for a per-call span (tens of microseconds, up to
+        # ~1e5 calls under a mapper search): enabled tracing folds the
+        # walk into one aggregate tick counter instead.
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._analyze()
+        start = time.perf_counter()
+        try:
+            return self._analyze()
+        finally:
+            tracer.tick("analyzer.analyze", time.perf_counter() - start)
+
+    def _analyze(self) -> AccessCounts:
         context = self._context
         mapping = self.mapping
         padded_macs = mapping.padded_macs()

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.arch.hierarchy import Architecture, SpatialFanout, StorageLevel
 from repro.exceptions import CapacityError, MappingError
 from repro.mapping.analysis import SearchContext
@@ -148,55 +149,61 @@ class Mapper:
         Generated candidates that duplicate an extra candidate's schedule
         (or each other's) are dropped, so no schedule is ever priced twice.
         """
-        rng = random.Random(seed)
-        seeded = list(extra_candidates)
-        seen = {mapping.canonical_key() for mapping in seeded}
-        budget = max(0, max_evaluations - len(seeded))
-        specs, deduplicated = self._generate_specs(layer, rng, seen, budget)
-        candidates = seeded + [_materialize(spec) for spec in specs]
+        with obs.span("mapper.search", layer=layer.name) as search_span:
+            rng = random.Random(seed)
+            seeded = list(extra_candidates)
+            seen = {mapping.canonical_key() for mapping in seeded}
+            budget = max(0, max_evaluations - len(seeded))
+            specs, deduplicated = self._generate_specs(layer, rng, seen,
+                                                       budget)
+            candidates = seeded + [_materialize(spec) for spec in specs]
 
-        context = SearchContext.for_layer(self.architecture, layer)
-        # The validate-once protocol only extends to cost functions that
-        # opt in: they receive the shared context, evaluate without
-        # re-validating, and check capacity — which also licenses the
-        # cheap occupancy pre-filter below.
-        supports_context = bool(getattr(self.cost_fn, "supports_context",
-                                        False))
+            context = SearchContext.for_layer(self.architecture, layer)
+            # The validate-once protocol only extends to cost functions
+            # that opt in: they receive the shared context, evaluate
+            # without re-validating, and check capacity — which also
+            # licenses the cheap occupancy pre-filter below.
+            supports_context = bool(getattr(self.cost_fn,
+                                            "supports_context", False))
 
-        best_mapping: Optional[Mapping] = None
-        best_cost = float("inf")
-        best_key = (float("inf"), float("inf"))
-        evaluated = 0
-        valid = 0
-        pruned_early = 0
-        for mapping in candidates:
-            evaluated += 1
-            try:
-                mapping.validate(self.architecture, layer)
-                self.constraints.check(mapping)
-                if supports_context:
-                    if context.capacity_violation(mapping) is not None:
-                        pruned_early += 1
-                        continue
-                    cost = self.cost_fn(mapping, context=context)
-                else:
-                    cost = self.cost_fn(mapping)
-            except (MappingError, CapacityError):
-                continue
-            valid += 1
-            # Tie-break equal-cost mappings by latency (fewer temporal
-            # steps = more spatial parallelism).
-            key = (cost, mapping.total_temporal_product)
-            if key < best_key:
-                best_key = key
-                best_cost = cost
-                best_mapping = mapping
-        if best_mapping is None:
-            raise MappingError(
-                f"mapper found no valid mapping for layer {layer.name!r} "
-                f"after {evaluated} candidates; check constraints and "
-                f"buffer capacities"
-            )
+            best_mapping: Optional[Mapping] = None
+            best_cost = float("inf")
+            best_key = (float("inf"), float("inf"))
+            evaluated = 0
+            valid = 0
+            pruned_early = 0
+            for mapping in candidates:
+                evaluated += 1
+                try:
+                    mapping.validate(self.architecture, layer)
+                    self.constraints.check(mapping)
+                    if supports_context:
+                        if context.capacity_violation(mapping) is not None:
+                            pruned_early += 1
+                            continue
+                        cost = self.cost_fn(mapping, context=context)
+                    else:
+                        cost = self.cost_fn(mapping)
+                except (MappingError, CapacityError):
+                    continue
+                valid += 1
+                # Tie-break equal-cost mappings by latency (fewer temporal
+                # steps = more spatial parallelism).
+                key = (cost, mapping.total_temporal_product)
+                if key < best_key:
+                    best_key = key
+                    best_cost = cost
+                    best_mapping = mapping
+            search_span.set("evaluated", evaluated)
+            search_span.set("valid", valid)
+            search_span.set("deduplicated", deduplicated)
+            search_span.set("pruned_early", pruned_early)
+            if best_mapping is None:
+                raise MappingError(
+                    f"mapper found no valid mapping for layer "
+                    f"{layer.name!r} after {evaluated} candidates; check "
+                    f"constraints and buffer capacities"
+                )
         return MapperResult(mapping=best_mapping, cost=best_cost,
                             evaluated=evaluated, valid=valid,
                             deduplicated=deduplicated,

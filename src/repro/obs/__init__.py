@@ -1,0 +1,66 @@
+"""repro.obs — tracing and metrics for the evaluation pipeline.
+
+A hierarchical span tracer with worker-safe collection, wired through
+the engine's hot path (``run_jobs`` phases, the sweep planner, pool
+dispatch, cache load/store, mapper search, layer evaluation).  Disabled
+— the default — it costs one global read per call site; enabled, it
+attributes wall-clock to phases and exports Chrome/Perfetto traces.
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        study.run(workers=4)
+    trace = tracer.trace()
+    print(trace.summary()["spans"]["run_jobs"])
+    trace.save("trace.json")          # open in ui.perfetto.dev
+
+Or from the CLI: ``repro sweep --trace trace.json --trace-summary``.
+
+Instrumenting your own code::
+
+    from repro import obs
+
+    with obs.span("my.phase", items=len(work)) as sp:
+        ...
+        sp.add("processed")
+"""
+
+from repro.obs.chrome import (
+    CHROME_REQUIRED_KEYS,
+    chrome_trace_dict,
+    validate_chrome_trace,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    span,
+    tick,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "CHROME_REQUIRED_KEYS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate",
+    "chrome_trace_dict",
+    "current_tracer",
+    "deactivate",
+    "span",
+    "tick",
+    "tracing",
+    "tracing_enabled",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,73 @@
+"""Chrome/Perfetto ``traceEvents`` export of a :class:`~repro.obs.Trace`.
+
+The Trace Event Format (the JSON chrome://tracing and ui.perfetto.dev
+load) wants a ``traceEvents`` array of objects each carrying ``name``,
+``ph`` (phase: ``"X"`` complete event, ``"i"`` instant, ``"M"``
+metadata), ``ts``/``dur`` in microseconds, and ``pid``/``tid`` lane
+coordinates.  Every event this module emits carries all five required
+keys (metadata included), so downstream validators can assert uniformly.
+
+Lanes: all events share the recording session's pid (one process group
+in the UI); each OS process records under its own ``tid``, named via
+``thread_name`` metadata — ``main`` for the parent, ``worker-<pid>`` for
+pool workers — and ordered main-first with ``thread_sort_index``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Keys every exported event carries (the format's required set).
+CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def chrome_trace_dict(trace) -> Dict[str, Any]:
+    """The JSON-ready dict form of a :class:`~repro.obs.Trace`."""
+    events: List[Dict[str, Any]] = []
+    for index, (pid, tid) in enumerate(trace.lanes()):
+        label = "main" if tid == trace.main_tid else f"worker-{tid}"
+        events.append({
+            "name": "thread_name", "ph": "M", "ts": 0.0,
+            "pid": pid, "tid": tid, "args": {"name": label},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "ts": 0.0,
+            "pid": pid, "tid": tid, "args": {"sort_index": index},
+        })
+    for event in trace.events:
+        exported = {
+            "name": event["name"],
+            "cat": "repro",
+            "ph": event["ph"],
+            "ts": round(event["ts"], 3),
+            "dur": round(event["dur"], 3),
+            "pid": event["pid"],
+            "tid": event["tid"],
+        }
+        if event["ph"] == "i":
+            exported["s"] = "t"  # instant scope: thread
+            del exported["dur"]
+        if event["args"]:
+            exported["args"] = event["args"]
+        events.append(exported)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(data: Any) -> List[Dict[str, Any]]:
+    """Check ``data`` is a loadable trace; returns its event list.
+
+    Raises :class:`ValueError` naming the first problem: used by the CI
+    trace smoke and the tracer tests, and handy for scripts consuming
+    ``--trace`` output.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace must be an object with a 'traceEvents' key")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    for event in events:
+        missing = [key for key in CHROME_REQUIRED_KEYS if key not in event]
+        if missing:
+            raise ValueError(
+                f"trace event {event!r} is missing required keys {missing}")
+    return events

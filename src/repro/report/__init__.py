@@ -12,6 +12,7 @@ from repro.report.ascii import (
     stacked_bar,
     stacked_bar_chart,
 )
+from repro.report.trace import format_trace_summary
 
-__all__ = ["bar", "format_table", "percent", "stacked_bar",
-           "stacked_bar_chart"]
+__all__ = ["bar", "format_table", "format_trace_summary", "percent",
+           "stacked_bar", "stacked_bar_chart"]

@@ -1,0 +1,54 @@
+"""ASCII rendering of a :class:`~repro.obs.Trace` summary.
+
+The table the CLI's ``--trace-summary`` flag prints: one row per span
+name with call count, total (inclusive) time, self time (total minus
+direct children — the wall-clock the phase itself owns), and self time
+as a share of the timeline extent; aggregate tick counters (regions too
+hot for per-call spans, like the analyzer inner pass) follow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from repro.report.ascii import format_table
+
+
+def format_trace_summary(trace_or_summary: Union[Dict[str, Any], Any],
+                         max_rows: int = 30) -> str:
+    """Render a trace (or a :meth:`~repro.obs.Trace.summary` dict) as an
+    aligned table, phases sorted by total time descending."""
+    summary = (trace_or_summary
+               if isinstance(trace_or_summary, dict)
+               else trace_or_summary.summary())
+    wall_s = summary["wall_s"]
+    lines = [
+        f"trace: {wall_s:.3f}s wall, {summary['lanes']} lane(s), "
+        f"{summary['events']} events"
+    ]
+    spans = sorted(summary["spans"].items(),
+                   key=lambda item: (-item[1]["total_s"], item[0]))
+    shown = spans[:max_rows]
+    if shown:
+        rows = [
+            (name,
+             f"{row['count']:d}",
+             f"{row['total_s']:.4f}",
+             f"{row['self_s']:.4f}",
+             f"{row['self_s'] / wall_s:.1%}" if wall_s > 0 else "-")
+            for name, row in shown
+        ]
+        lines.append(format_table(
+            ("span", "count", "total s", "self s", "% wall"), rows,
+            align_right=[False, True, True, True, True]))
+        if len(spans) > len(shown):
+            lines.append(f"... {len(spans) - len(shown)} more span names")
+    else:
+        lines.append("(no spans recorded)")
+    aggregates = summary.get("aggregates") or {}
+    if aggregates:
+        rows = [(name, f"{row['count']:d}", f"{row['total_s']:.4f}")
+                for name, row in aggregates.items()]
+        lines.append(format_table(("aggregate", "count", "total s"), rows,
+                                  align_right=[False, True, True]))
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.arch.hierarchy import Architecture
 from repro.energy.table import EnergyTable
 from repro.exceptions import SpecError
@@ -216,22 +217,24 @@ class PhotonicSystem(abc.ABC):
             # Deterministic single-variant systems skip pricing entirely.
             best_mapping: Optional[Mapping] = candidates[0]
         else:
-            best_mapping = None
-            best_cost = float("inf")
-            # One shared search context across the candidate pricing loop:
-            # the candidates differ only in tilings/permutations, so the
-            # memoized nest geometry (tile sizes, fill events) hits across
-            # them.
-            context = SearchContext.for_layer(self.architecture, target)
-            for mapping in candidates:
-                try:
-                    cost = self.model.evaluate_layer(
-                        target, mapping, context=context).energy_pj
-                except Exception:  # invalid candidate (capacity, constraints)
-                    continue
-                if cost < best_cost:
-                    best_cost = cost
-                    best_mapping = mapping
+            with obs.span("refmap.select", layer=target.name,
+                          candidates=len(candidates)):
+                best_mapping = None
+                best_cost = float("inf")
+                # One shared search context across the candidate pricing
+                # loop: the candidates differ only in
+                # tilings/permutations, so the memoized nest geometry
+                # (tile sizes, fill events) hits across them.
+                context = SearchContext.for_layer(self.architecture, target)
+                for mapping in candidates:
+                    try:
+                        cost = self.model.evaluate_layer(
+                            target, mapping, context=context).energy_pj
+                    except Exception:  # invalid candidate (capacity, ...)
+                        continue
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_mapping = mapping
         if best_mapping is None:
             raise SpecError(
                 f"no valid reference mapping for layer {layer.name!r} on "
@@ -302,16 +305,19 @@ class PhotonicSystem(abc.ABC):
             cached = self.store.load_layer(store_key)
             if cached is not None:
                 return cached
-        if mapping is None:
-            if use_mapper:
-                mapping = self.search_mapping(layer).mapping
-            else:
-                mapping = self.reference_mapping(layer)
-        evaluation = self.model.evaluate_layer(
-            layer, mapping,
-            input_from_dram=input_from_dram, output_to_dram=output_to_dram,
-            analysis_layer=(target if target is not layer else None),
-        )
+        with obs.span("layer.evaluate", layer=layer.name,
+                      use_mapper=use_mapper):
+            if mapping is None:
+                if use_mapper:
+                    mapping = self.search_mapping(layer).mapping
+                else:
+                    mapping = self.reference_mapping(layer)
+            evaluation = self.model.evaluate_layer(
+                layer, mapping,
+                input_from_dram=input_from_dram,
+                output_to_dram=output_to_dram,
+                analysis_layer=(target if target is not layer else None),
+            )
         if store_key is not None:
             self.store.save_layer(store_key, evaluation)
         return evaluation

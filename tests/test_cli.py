@@ -65,22 +65,33 @@ class TestSubcommands:
     def test_sweep_json_dump(self, capsys, tmp_path):
         out_path = tmp_path / "records.json"
         assert main(["sweep", "--system", "crossbar", "--network", "tiny",
-                     "--json", str(out_path)]) == 0
+                     "--workers", "2", "--json", str(out_path)]) == 0
         capsys.readouterr()
-        records = json.loads(out_path.read_text())
+        payload = json.loads(out_path.read_text())
+        records = payload["records"]
         assert records and all("energy_per_mac_pj" in row
                                for row in records)
         assert {row["system"] for row in records} == {"crossbar"}
+        # The stats record carries cache and planner counters (the
+        # planner runs only on the parallel path).
+        stats = payload["stats"]
+        assert set(stats) == {"cache", "planner", "mapper"}
+        assert stats["planner"]["planned"] > 0
+        assert stats["planner"]["batches"] >= 1
+        assert "results" in stats["cache"]
 
     def test_compare_json_dump(self, capsys, tmp_path):
         out_path = tmp_path / "compare.json"
         assert main(["compare", "--system", "albireo", "--json",
                      str(out_path)]) == 0
         capsys.readouterr()
-        records = json.loads(out_path.read_text())
+        payload = json.loads(out_path.read_text())
+        records = payload["records"]
         assert {row["system"] for row in records} == {"albireo"}
         assert all("weight_conversion_pj_per_mac" in row
                    for row in records)
+        # Serial comparison: no planner, but cache stats are live.
+        assert payload["stats"]["cache"]["results"]["misses"] > 0
 
     def test_run_spec_command(self, capsys, tmp_path):
         spec = {
@@ -96,9 +107,9 @@ class TestSubcommands:
                      str(json_path)]) == 0
         out = capsys.readouterr().out
         assert "cli-spec" in out and "pJ/MAC" in out
-        records = json.loads(json_path.read_text())
-        assert len(records) == 1
-        assert records[0]["system"] == "crossbar"
+        payload = json.loads(json_path.read_text())
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["system"] == "crossbar"
 
     def test_json_dash_keeps_stdout_parseable(self, capsys):
         """--json - claims stdout for the records; the table moves to
@@ -106,9 +117,39 @@ class TestSubcommands:
         assert main(["sweep", "--system", "crossbar", "--network", "tiny",
                      "--json", "-"]) == 0
         captured = capsys.readouterr()
-        records = json.loads(captured.out)
-        assert len(records) == 24
+        payload = json.loads(captured.out)
+        assert len(payload["records"]) == 24
         assert "pJ/MAC" in captured.err  # table still shown, on stderr
+
+    def test_sweep_progress_lines_on_stderr(self, capsys):
+        assert main(["sweep", "--system", "crossbar", "--network", "tiny",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[24/24]" in captured.err
+        assert "[" not in captured.out.split("Sweep")[0]
+
+    def test_no_progress_by_default(self, capsys):
+        assert main(["sweep", "--system", "crossbar",
+                     "--network", "tiny"]) == 0
+        assert "[24/24]" not in capsys.readouterr().err
+
+    def test_sweep_trace_flags(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["sweep", "--system", "crossbar", "--network", "tiny",
+                     "--workers", "2",
+                     "--trace", str(trace_path), "--trace-summary"]) == 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.out  # summary table on stdout
+        assert "run_jobs" in captured.out
+        events = validate_chrome_trace(json.loads(trace_path.read_text()))
+        names = {event["name"] for event in events}
+        assert "repro.sweep" in names
+        assert "planner.build_plan" in names
+        assert "worker.batch" in names
+        # Workers appear as lanes distinct from the parent.
+        assert len({event["tid"] for event in events}) >= 2
 
     def test_run_spec_unknown_system_lists_options(self, tmp_path):
         from repro.exceptions import SpecError
