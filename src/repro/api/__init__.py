@@ -28,6 +28,7 @@ from repro.api.studies import (
     reuse_study,
 )
 from repro.api.study import Study, StudyPoint
+from repro.engine.pool import WorkerPool
 
 __all__ = [
     "METRIC_NAMES",
@@ -35,6 +36,7 @@ __all__ = [
     "ResultSet",
     "Study",
     "StudyPoint",
+    "WorkerPool",
     "comparison_study",
     "config_study",
     "memory_study",

@@ -61,6 +61,7 @@ from repro import obs
 from repro.api.results import Record, ResultSet
 from repro.energy.scaling import ScalingScenario, scenario_by_name
 from repro.engine.executor import CacheLike, ProgressFn, run_jobs
+from repro.engine.pool import WorkerPool
 from repro.engine.jobs import EvaluationJob, make_job
 from repro.engine.sweeps import parameter_grid
 from repro.exceptions import SpecError
@@ -396,13 +397,21 @@ class Study:
     def run(self, workers: int = 1, cache: CacheLike = None,
             plan: Optional[bool] = None,
             progress: Optional[ProgressFn] = None,
-            trace: Union[bool, str, "obs.Tracer", None] = None) -> ResultSet:
+            trace: Union[bool, str, "obs.Tracer", None] = None,
+            pool: Optional[WorkerPool] = None) -> ResultSet:
         """Compile and execute through the engine; returns a
         :class:`~repro.api.results.ResultSet` in lattice order.
 
         ``workers``/``cache``/``plan`` are the engine's knobs: process
         pool size, persistent :class:`~repro.engine.cache.EvaluationCache`
         (or directory path), and the two-phase planner toggle.
+
+        ``pool`` reuses a caller-owned persistent
+        :class:`~repro.engine.pool.WorkerPool` across runs: its workers
+        stay warm between studies and receive only the cache entries they
+        have not seen yet (the delta-sync protocol), eliminating the
+        per-run spawn and snapshot cost.  The caller closes the pool
+        (or uses it as a context manager).
 
         ``trace`` turns on :mod:`repro.obs` span collection for this run:
         ``True`` collects, a string path additionally writes the Chrome
@@ -414,7 +423,7 @@ class Study:
         if trace is None or trace is False:
             jobs = self.compile()
             evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                                   progress=progress, plan=plan)
+                                   progress=progress, plan=plan, pool=pool)
             return ResultSet(
                 Record.from_evaluation(job.tags_dict, evaluation,
                                        config=job.config)
@@ -424,7 +433,7 @@ class Study:
             with obs.span("study.compile", study=self.name):
                 jobs = self.compile()
             evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                                   progress=progress, plan=plan)
+                                   progress=progress, plan=plan, pool=pool)
         collected = tracer.trace()
         if isinstance(trace, str):
             collected.save(trace)

@@ -101,6 +101,12 @@ def _flag_pool(parser: argparse.ArgumentParser) -> None:
         help="disable the two-phase sweep scheduler and dispatch whole "
              "jobs to workers (A/B baseline; results are identical)",
     )
+    parser.add_argument(
+        "--keep-pool", action="store_true", dest="keep_pool",
+        help="keep one persistent worker pool warm across the command's "
+             "runs (multi-spec `repro run`): workers are spawned once and "
+             "receive only cache entries they have not seen yet",
+    )
 
 
 def _flag_network(parser: argparse.ArgumentParser) -> None:
@@ -260,23 +266,26 @@ def _progress_printer(finished: int, total: int, job) -> None:
           file=sys.stderr, flush=True)
 
 
-def _run_study(study, args):
+def _run_study(study, args, cache=None, pool=None):
     """Execute a study with the shared pool flags; returns (ResultSet,
     cache, mapper-stats-before).
 
     Always runs with an :class:`EvaluationCache` (in-memory when no
     ``--cache DIR``) so cache/planner statistics are available for the
-    table and the ``--json`` stats record.  Progress lines are opt-in
-    (``--progress``) and go to stderr.
+    table and the ``--json`` stats record.  Multi-run commands pass a
+    shared ``cache`` (and optionally a persistent ``pool``) so later
+    runs stay warm.  Progress lines are opt-in (``--progress``) and go
+    to stderr.
     """
     from repro.engine import EvaluationCache
 
-    cache = EvaluationCache(args.cache)
+    if cache is None:
+        cache = EvaluationCache(args.cache)
     mapper_stats_before = cache.mapper_search_stats()
     progress = (_progress_printer if getattr(args, "progress", False)
                 else None)
     results = study.run(workers=args.workers, cache=cache,
-                        plan=_plan(args), progress=progress)
+                        plan=_plan(args), progress=progress, pool=pool)
     return results, cache, mapper_stats_before
 
 
@@ -302,20 +311,24 @@ def _stats_lines(cache, mapper_stats_before) -> List[str]:
     return lines
 
 
-def _stats_dict(cache, mapper_stats_before) -> Optional[dict]:
+def _stats_dict(cache, mapper_stats_before, pool=None) -> Optional[dict]:
     """The ``--json`` stats record: per-namespace cache hits/misses,
-    planner dedup counters, and this run's fresh mapper-search totals."""
+    planner dedup counters, this run's fresh mapper-search totals, and
+    (when a persistent pool was used) the pool's spawn/delta counters."""
     if cache is None:
         return None
     mapper_stats = {
         counter: count - mapper_stats_before[counter]
         for counter, count in cache.mapper_search_stats().items()
     }
-    return {
+    stats = {
         "cache": cache.stats_snapshot(),
         "planner": cache.planner.to_dict(),
         "mapper": mapper_stats,
     }
+    if pool is not None:
+        stats["pool"] = pool.stats.to_dict()
+    return stats
 
 
 def _cmd_sweep(args) -> None:
@@ -364,20 +377,44 @@ def _cmd_sweep(args) -> None:
 
 
 def _cmd_run(args) -> None:
-    """Execute a declarative study spec file (``repro run spec.json``)."""
-    from repro.api import Study
+    """Execute declarative study spec files (``repro run spec.json ...``).
 
-    study = Study.from_json(args.spec)
-    results, cache, mapper_stats_before = _run_study(study, args)
-    lines = [
-        f"Study {study.name!r} — {len(results)} evaluations "
-        f"(workers={args.workers})",
-        results.report(mark_pareto=True),
-    ]
+    Multiple specs share one evaluation cache; with ``--keep-pool`` they
+    also share one persistent worker pool, so later specs reuse warm
+    workers and ship only the cache entries those workers have not seen.
+    """
+    from repro.api import Study, WorkerPool
+    from repro.engine import EvaluationCache
+
+    cache = EvaluationCache(args.cache)
+    mapper_stats_before = cache.mapper_search_stats()
+    pool = (WorkerPool(args.workers) if getattr(args, "keep_pool", False)
+            else None)
+    lines: List[str] = []
+    records: List[dict] = []
+    try:
+        for spec in args.specs:
+            study = Study.from_json(spec)
+            results, _, _ = _run_study(study, args, cache=cache, pool=pool)
+            lines.append(
+                f"Study {study.name!r} — {len(results)} evaluations "
+                f"(workers={args.workers})")
+            lines.append(results.report(mark_pareto=True))
+            records.extend(results.to_records())
+    finally:
+        if pool is not None:
+            pool.close()
     lines.extend(_stats_lines(cache, mapper_stats_before))
+    if pool is not None:
+        stats = pool.stats
+        lines.append(
+            f"pool: {stats.spawns} spawns, {stats.dispatches} dispatches "
+            f"({stats.batches} batches), {stats.delta_syncs} delta syncs "
+            f"shipping {stats.delta_entries} warm entries, "
+            f"{stats.epoch_resets} epoch resets")
     print("\n".join(lines), file=_table_stream(args))
-    _dump_json(args, results.to_records(),
-               stats=_stats_dict(cache, mapper_stats_before))
+    _dump_json(args, records,
+               stats=_stats_dict(cache, mapper_stats_before, pool=pool))
 
 
 def _scenario_system(args):
@@ -457,9 +494,11 @@ def _build_parser() -> argparse.ArgumentParser:
             _FLAG_GROUPS[group](sub)
         if name == "run":
             sub.add_argument(
-                "spec", metavar="spec.json",
-                help="study spec file (see Study.from_json): systems x "
-                     "networks x scenarios x grid x batches x fusion",
+                "specs", metavar="spec.json", nargs="+",
+                help="study spec file(s) (see Study.from_json): systems x "
+                     "networks x scenarios x grid x batches x fusion; "
+                     "multiple specs share one cache (and, with "
+                     "--keep-pool, one warm worker pool)",
             )
         sub.set_defaults(handler=handler)
     return parser

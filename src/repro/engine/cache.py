@@ -21,6 +21,8 @@ are tracked per namespace and mergeable across worker processes.
 
 from __future__ import annotations
 
+import functools
+import itertools
 import json
 import os
 import tempfile
@@ -42,13 +44,27 @@ NAMESPACES: Tuple[str, ...] = ("results", "mappings", "layers")
 _CACHE_FORMAT_VERSION = 1
 
 
+@functools.lru_cache(maxsize=65536)
+def _store_key_json(store_key: Tuple) -> str:
+    return canonical_json(list(store_key))
+
+
 def store_entry_key(system_key: str, store_key: Iterable[Any]) -> str:
     """The cache-entry key a :class:`SystemStore` lookup resolves to.
 
     The single source of truth for the composition — the store uses it
     for every load/save and the sweep planner for dedup and parent-side
-    assembly, so the two can never diverge.
+    assembly, so the two can never diverge.  The JSON suffix depends
+    only on the store-key tuple (not the configuration), so it is
+    memoized on its own and the per-call work is a string concat: a
+    thousand-config sweep renders each layer's suffix once, not once
+    per configuration.
     """
+    if type(store_key) is tuple:
+        try:
+            return system_key + "/" + _store_key_json(store_key)
+        except TypeError:  # unhashable member: render directly
+            pass
     return system_key + "/" + canonical_json(list(store_key))
 
 
@@ -135,8 +151,33 @@ class EvaluationCache:
         self.stats: Dict[str, CacheStats] = {ns: CacheStats()
                                              for ns in NAMESPACES}
         self.planner = PlannerStats()
+        self._epoch = 0
         if directory is not None:
             self._load()
+
+    @property
+    def epoch(self) -> int:
+        """Generation counter, bumped whenever entries are dropped.
+
+        Entries are only ever *added* within one epoch, and dict
+        insertion order is stable, so ``(epoch, per-namespace length)``
+        identifies a prefix of the cache's contents exactly — the basis
+        of the :class:`~repro.engine.pool.WorkerPool` delta protocol.
+        A bump invalidates every marker minted under the old epoch.
+        """
+        return self._epoch
+
+    def clear(self) -> None:
+        """Drop every entry and bump the epoch.
+
+        Persistent-pool workers hold warm copies of this cache; the
+        epoch bump is what tells the pool those copies are stale (it
+        reseeds workers from scratch on the next dispatch instead of
+        shipping an additive delta that couldn't express the removal).
+        """
+        self._epoch += 1
+        self._data = {ns: {} for ns in NAMESPACES}
+        self._added = {ns: {} for ns in NAMESPACES}
 
     # ------------------------------------------------------------------
     # Generic namespace access
@@ -187,6 +228,39 @@ class EvaluationCache:
         """The full entry image, for seeding worker processes."""
         return {ns: dict(entries) for ns, entries in self._data.items()}
 
+    def sync_marker(self) -> Tuple[int, Tuple[int, ...]]:
+        """An epoch-stamped position marker: ``(epoch, lengths)``.
+
+        Within one epoch entries are append-only and dicts preserve
+        insertion order, so the marker pins down exactly which entries a
+        reader holding it has seen — :meth:`entries_since` replays the
+        remainder.  Markers from an older epoch are unusable (the data
+        they described was dropped); holders must resync from a full
+        snapshot.
+        """
+        return (self._epoch,
+                tuple(len(self._data[ns]) for ns in NAMESPACES))
+
+    def entries_since(
+            self, marker: Tuple[int, Tuple[int, ...]],
+    ) -> Dict[str, Dict[str, Any]]:
+        """Entries added after ``marker`` (same-epoch markers only).
+
+        O(delta) via :func:`itertools.islice` over the insertion-ordered
+        dicts — no per-reader bookkeeping is kept on the cache itself.
+        """
+        epoch, lengths = marker
+        if epoch != self._epoch:
+            raise ValueError(
+                f"stale cache marker: epoch {epoch} != {self._epoch}")
+        delta: Dict[str, Dict[str, Any]] = {}
+        for namespace, seen in zip(NAMESPACES, lengths):
+            entries = self._data[namespace]
+            if len(entries) > seen:
+                fresh = itertools.islice(entries.items(), seen, None)
+                delta[namespace] = dict(fresh)
+        return delta
+
     @classmethod
     def from_snapshot(
             cls, snapshot: Dict[str, Dict[str, Any]]) -> "EvaluationCache":
@@ -212,6 +286,16 @@ class EvaluationCache:
         for namespace, values in entries.items():
             for key, value in values.items():
                 self.put(namespace, key, value)
+
+    def adopt(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        """Merge entries *without* marking them added/dirty.
+
+        The worker side of the pool sync protocol: entries arriving from
+        the parent are already owned (and persisted) there, so a worker
+        adopting them must not re-ship them back with its own results.
+        """
+        for namespace, values in entries.items():
+            self._data[namespace].update(values)
 
     def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
         return {ns: {"hits": s.hits, "misses": s.misses}

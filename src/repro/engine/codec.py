@@ -100,8 +100,37 @@ def layer_to_dict(layer: ConvLayer) -> Dict[str, Any]:
     }
 
 
+#: Exactly the keys :func:`layer_to_dict` writes — specs matching this
+#: schema decode through the shared-instance memo below.
+_LAYER_SPEC_KEYS = (
+    "name", "n", "m", "c", "p", "q", "r", "s",
+    "stride_h", "stride_w", "groups",
+    "bits_per_weight", "bits_per_activation", "kind",
+)
+_LAYER_SPEC_KEY_SET = frozenset(_LAYER_SPEC_KEYS)
+
+#: Content-keyed decode memo.  A sweep decodes the same few distinct
+#: layer dicts thousands of times (every job of a grid shares one
+#: network); ConvLayer is frozen, so handing back one shared instance
+#: per distinct content is safe and skips re-validation.
+_LAYER_MEMO: Dict[tuple, ConvLayer] = {}
+_MEMO_LIMIT = 16384
+
+
 def layer_from_dict(spec: TMapping[str, Any]) -> ConvLayer:
     """Rebuild a layer from its dict form."""
+    if spec.keys() == _LAYER_SPEC_KEY_SET:
+        try:
+            key = tuple(map(spec.__getitem__, _LAYER_SPEC_KEYS))
+            cached = _LAYER_MEMO.get(key)
+        except TypeError:  # unhashable field value: decode directly
+            return ConvLayer(**dict(spec))
+        if cached is None:
+            cached = ConvLayer(**dict(spec))
+            if len(_LAYER_MEMO) >= _MEMO_LIMIT:
+                _LAYER_MEMO.clear()
+            _LAYER_MEMO[key] = cached
+        return cached
     return ConvLayer(**dict(spec))
 
 
@@ -156,13 +185,45 @@ def energy_to_list(energy: EnergyBreakdown) -> list:
     ]
 
 
-def energy_from_list(rows: list) -> EnergyBreakdown:
-    """Rebuild an energy breakdown from its triple list."""
+#: ``DataSpace(value)`` goes through the (slow) enum constructor; this
+#: map resolves the same lookup in one dict probe.
+_DATASPACE_BY_VALUE = {member.value: member for member in DataSpace}
+
+#: Content-keyed memo of decoded entry dicts.  The planner's alias
+#: derivation copies layer entries per name, so a big sweep decodes the
+#: same energy rows once per alias; memoizing the *entries dict* (not
+#: the breakdown) keeps every returned EnergyBreakdown an independent,
+#: mutable object — its constructor copies the dict.
+_ENERGY_MEMO: Dict[tuple, dict] = {}
+
+
+def _decode_energy_rows(rows: list) -> dict:
     entries = {}
     for component, dataspace, value in rows:
-        key = (str(component),
-               None if dataspace is None else DataSpace(dataspace))
+        if dataspace is not None:
+            member = _DATASPACE_BY_VALUE.get(dataspace)
+            dataspace = member if member is not None \
+                else DataSpace(dataspace)
+        key = (component if type(component) is str else str(component),
+               dataspace)
+        # ``0.0 +`` mirrors the pre-memo accumulator exactly (a -0.0
+        # value decodes to 0.0 either way).
         entries[key] = entries.get(key, 0.0) + float(value)
+    return entries
+
+
+def energy_from_list(rows: list) -> EnergyBreakdown:
+    """Rebuild an energy breakdown from its triple list."""
+    try:
+        memo_key = tuple(map(tuple, rows))
+        entries = _ENERGY_MEMO.get(memo_key)
+    except (TypeError, ValueError):  # unhashable/malformed: decode directly
+        return EnergyBreakdown(_decode_energy_rows(rows))
+    if entries is None:
+        entries = _decode_energy_rows(rows)
+        if len(_ENERGY_MEMO) >= _MEMO_LIMIT:
+            _ENERGY_MEMO.clear()
+        _ENERGY_MEMO[memo_key] = entries
     return EnergyBreakdown(entries)
 
 

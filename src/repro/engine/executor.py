@@ -39,7 +39,16 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import sys
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import obs
 from repro.engine.cache import EvaluationCache, SystemStore, store_entry_key
@@ -49,6 +58,7 @@ from repro.engine.codec import (
 )
 from repro.engine.jobs import EvaluationJob, job_system_key, system_registry
 from repro.engine.planner import SweepPlan, build_plan
+from repro.engine.pool import WorkerPool
 from repro.model.results import (
     EnergyBreakdown,
     NetworkEvaluation,
@@ -184,33 +194,6 @@ def _run_job_in_worker(payload):
             _drain_worker_trace())
 
 
-def _run_batch_in_worker(payload):
-    """Execute one planner batch; ship its new cache entries back batched.
-
-    A batch is a list of config-affine segments: each segment's tasks
-    share one system instance (one memoized architecture/energy-table
-    build, one store scope), and the whole batch's results travel back
-    in a single message — that, plus the planner's dedup, is where the
-    two-phase path beats one-job-per-message execution.
-    """
-    index, segments = payload
-    cache = _WORKER_CACHE if _WORKER_CACHE is not None else EvaluationCache()
-    registry = system_registry()
-    with obs.span("worker.batch", segments=len(segments),
-                  tasks=sum(len(tasks) for *_rest, tasks in segments)):
-        for system_name, config, system_key, tasks in segments:
-            entry = registry[system_name]
-            with obs.span("system.build", system=system_name):
-                system = entry.system_type(
-                    config, store=SystemStore(cache, system_key))
-            for task in tasks:
-                system.compute_sub_task(task)
-    added = cache.pop_added()
-    stats = cache.stats_snapshot()
-    cache.reset_stats()
-    return index, added, stats, _drain_worker_trace()
-
-
 def _pool_context():
     """Fork where available (cheap, inherits sys.path); spawn elsewhere."""
     if sys.platform != "win32":
@@ -232,6 +215,7 @@ def run_jobs(
     cache: CacheLike = None,
     progress: Optional[ProgressFn] = None,
     plan: Optional[bool] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[NetworkEvaluation]:
     """Evaluate ``jobs``; results come back in input order.
 
@@ -247,8 +231,15 @@ def run_jobs(
     back to whole-job dispatch otherwise; ``plan=False`` forces whole-job
     dispatch.  Serial execution ignores ``plan`` — the in-process cache
     already shares sub-results as it goes.
+
+    ``pool`` (a :class:`~repro.engine.pool.WorkerPool`) keeps the worker
+    processes — and their warm architecture builds and cache copies —
+    alive across calls; it implies the planner path at the pool's worker
+    count.  Without it each parallel call spins up an ephemeral pool.
     """
     cache = _as_cache(cache)
+    if pool is not None:
+        workers = max(workers, pool.workers)
     jobs = list(jobs)
     total = len(jobs)
     results: List[Optional[NetworkEvaluation]] = [None] * total
@@ -302,14 +293,16 @@ def run_jobs(
                         progress(hits_done, total, job)
 
                 _execute_phase1(sweep_plan, work_cache, workers,
-                                on_batch=on_batch)
+                                on_batch=on_batch, pool=pool)
                 # Phase 2: every sub-result is now warm — assembling the
                 # network evaluations is pure cache lookups, done in the
                 # parent so nothing is shipped twice.
                 with obs.span("run_jobs.assemble", jobs=len(misses)):
+                    recipes: Dict[Tuple, List[Tuple]] = {}
                     for index in misses:
                         job = jobs[index]
-                        result_dict = _assemble_job(job, work_cache)
+                        result_dict = _assemble_job(job, work_cache,
+                                                    recipes)
                         if result_dict is not None:
                             work_cache.put_result(job.key, result_dict)
                             results[index] = \
@@ -335,8 +328,28 @@ def run_jobs(
     return results  # type: ignore[return-value]
 
 
-def _assemble_job(job: EvaluationJob,
-                  cache: EvaluationCache) -> Optional[Dict[str, Any]]:
+def _assembly_recipe(system: Any, job: EvaluationJob) -> List[Tuple]:
+    """The (store key, count) sequence assembling ``job`` looks up —
+    the same fusion-block walk :meth:`evaluate_network` performs."""
+    from repro.model.accelerator import fusion_blocks
+
+    network_entries = job.network.entries
+    recipe = []
+    for index, network_entry in enumerate(network_entries):
+        is_last = index == len(network_entries) - 1
+        for input_dram, output_dram, count in fusion_blocks(
+                network_entry, is_last, job.fused):
+            recipe.append((system._layer_store_key(
+                network_entry.layer, job.use_mapper,
+                input_dram, output_dram), count))
+    return recipe
+
+
+def _assemble_job(
+    job: EvaluationJob,
+    cache: EvaluationCache,
+    recipes: Optional[Dict[Tuple, List[Tuple]]] = None,
+) -> Optional[Dict[str, Any]]:
     """Build a job's result dict straight from warm layer entries.
 
     The dict form of what :meth:`~repro.systems.base.PhotonicSystem.
@@ -345,8 +358,12 @@ def _assemble_job(job: EvaluationJob,
     embedding them verbatim is bit-identical and skips both conversions.
     Returns ``None`` when any entry is missing — the caller then falls
     back to ordinary evaluation.
+
+    ``recipes`` (optional, per-run) memoizes the store-key walk for
+    systems whose task keys are configuration-free, so a sweep of many
+    configurations over one network derives the keys once.
     """
-    from repro.model.accelerator import NetworkOptions, fusion_blocks
+    from repro.model.accelerator import NetworkOptions
 
     entry = system_registry()[job.system]
     if not entry.supports_store \
@@ -358,24 +375,29 @@ def _assemble_job(job: EvaluationJob,
         system.model._check_fusion_capacity(job.network,
                                             NetworkOptions(fused=True))
     system_key = job_system_key(job)
-    network_entries = job.network.entries
+    recipe = None
+    memo_key = None
+    if recipes is not None \
+            and getattr(system, "subtask_keys_config_free", False):
+        memo_key = (type(system), id(job.network), job.fused,
+                    job.use_mapper)
+        recipe = recipes.get(memo_key)
+    if recipe is None:
+        recipe = _assembly_recipe(system, job)
+        if memo_key is not None:
+            recipes[memo_key] = recipe
     layers = []
-    for index, network_entry in enumerate(network_entries):
-        is_last = index == len(network_entries) - 1
-        for input_dram, output_dram, count in fusion_blocks(
-                network_entry, is_last, job.fused):
-            key = store_entry_key(system_key, system._layer_store_key(
-                network_entry.layer, job.use_mapper,
-                input_dram, output_dram))
-            layer_dict = cache.peek("layers", key)
-            if layer_dict is None:
-                return None
-            if not job.include_dram:
-                layer_dict = dict(layer_dict)
-                layer_dict["energy"] = [
-                    row for row in layer_dict["energy"] if row[0] != "DRAM"
-                ]
-            layers.append([layer_dict, count])
+    for store_key, count in recipe:
+        key = store_entry_key(system_key, store_key)
+        layer_dict = cache.peek("layers", key)
+        if layer_dict is None:
+            return None
+        if not job.include_dram:
+            layer_dict = dict(layer_dict)
+            layer_dict["energy"] = [
+                row for row in layer_dict["energy"] if row[0] != "DRAM"
+            ]
+        layers.append([layer_dict, count])
     return {
         "name": job.network.name,
         "layers": layers,
@@ -389,46 +411,41 @@ def _execute_phase1(
     cache: EvaluationCache,
     workers: int,
     on_batch: Optional[Callable[[Any], None]] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> None:
     """Run the plan's unique sub-tasks over a pool; merge results.
 
     ``on_batch`` (if given) is invoked with each batch as its results
-    are merged — the liveness hook behind the progress callback.
+    are merged — the liveness hook behind the progress callback.  With a
+    caller-supplied :class:`WorkerPool` the workers (and their warm
+    state) survive this call; otherwise an ephemeral pool is spun up
+    and torn down here.
     """
     tracer = obs.current_tracer()
     if sweep_plan.batches:
         with obs.span("executor.phase1", batches=len(sweep_plan.batches),
                       tasks=sweep_plan.phase1_tasks):
-            context = _pool_context()
-            # Workers only read the mapper/layer namespaces, so don't
-            # ship them the possibly large results namespace.
-            with obs.span("executor.snapshot"):
-                snapshot = cache.snapshot()
-                snapshot["results"] = {}
-            # Phase-1 workers are CPU-bound; oversubscribing the
-            # machine's cores only adds context switching, so the pool is
-            # sized to the smallest of the request, the work, and the
-            # hardware.
-            pool_size = min(workers, len(sweep_plan.batches),
-                            multiprocessing.cpu_count() or workers)
             obs_config = (tracer.worker_config() if tracer.enabled
                           else None)
-            with obs.span("executor.pool_spawn", workers=pool_size):
-                pool = context.Pool(pool_size, initializer=_init_worker,
-                                    initargs=(snapshot, obs_config))
+            owned = pool is None
+            if owned:
+                pool = WorkerPool(workers)
             try:
-                payloads = [
-                    (index, [(chunk.system, chunk.config, chunk.system_key,
-                              chunk.tasks) for chunk in batch])
-                    for index, batch in enumerate(sweep_plan.batches)
-                ]
                 # The dispatch span's *self* time is the parent-side
-                # pickle/submit/wait overhead (worker compute shows up on
-                # the worker lanes, merges in the child span below).
+                # pickle/submit/decode overhead; the blocking receive is
+                # carved out into ``executor.wait`` child spans (that
+                # wall-clock is worker compute — it shows up on the
+                # worker lanes — not parent overhead).
                 with obs.span("executor.dispatch",
-                              batches=len(payloads)) as dispatch:
-                    for index, added, stats, events in pool.imap_unordered(
-                            _run_batch_in_worker, payloads, chunksize=1):
+                              batches=len(sweep_plan.batches)) as dispatch:
+                    stream = pool.run_batches(sweep_plan.batches, cache,
+                                              obs_config)
+                    while True:
+                        with obs.span("executor.wait"):
+                            item = next(stream, None)
+                        if item is None:
+                            break
+                        index, added, stats, events = item
                         with obs.span("executor.merge"):
                             cache.merge(added)
                             cache.absorb_stats(stats)
@@ -438,8 +455,8 @@ def _execute_phase1(
                         if on_batch is not None:
                             on_batch(sweep_plan.batches[index])
             finally:
-                pool.terminate()
-                pool.join()
+                if owned:
+                    pool.close()
     # Entries the planner collapsed across layer names: copy the
     # representative and rename.  A representative that is somehow
     # missing (its chunk raised before computing it) is simply skipped —

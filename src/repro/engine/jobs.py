@@ -20,12 +20,58 @@ deliberately excluded.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
-from repro.engine.codec import config_to_dict, content_hash, network_to_dict
+from repro.engine.codec import (
+    canonical_json,
+    config_to_dict,
+    network_to_dict,
+)
 from repro.exceptions import SpecError
 from repro.workloads.network import Network
+
+# ---------------------------------------------------------------------------
+# Identity-fragment memos
+#
+# A sweep hashes hundreds of jobs that share one network object and a
+# per-config architecture object.  Canonical JSON composes: a dict's
+# canonical text embeds its values' canonical texts verbatim (sorting is
+# per-object), so the job key can be hashed from cached fragments without
+# re-serializing the network for every job — producing byte-identical
+# text, and therefore identical keys, to hashing the full identity dict.
+# The memos key on object identity and hold a strong reference, so a
+# recycled id can never alias a dead object.
+# ---------------------------------------------------------------------------
+
+_FRAGMENT_MEMO_LIMIT = 4096
+_NETWORK_JSON_MEMO: Dict[int, Tuple[Any, str]] = {}
+_ARCH_JSON_MEMO: Dict[int, Tuple[Any, str]] = {}
+
+
+def _network_json(network: Network) -> str:
+    entry = _NETWORK_JSON_MEMO.get(id(network))
+    if entry is not None and entry[0] is network:
+        return entry[1]
+    text = canonical_json(network_to_dict(network))
+    if len(_NETWORK_JSON_MEMO) >= _FRAGMENT_MEMO_LIMIT:
+        _NETWORK_JSON_MEMO.clear()
+    _NETWORK_JSON_MEMO[id(network)] = (network, text)
+    return text
+
+
+def _architecture_json(architecture: Any) -> str:
+    from repro.arch.spec import architecture_to_dict
+
+    entry = _ARCH_JSON_MEMO.get(id(architecture))
+    if entry is not None and entry[0] is architecture:
+        return entry[1]
+    text = canonical_json(architecture_to_dict(architecture))
+    if len(_ARCH_JSON_MEMO) >= _FRAGMENT_MEMO_LIMIT:
+        _ARCH_JSON_MEMO.clear()
+    _ARCH_JSON_MEMO[id(architecture)] = (architecture, text)
+    return text
 
 
 def system_registry() -> Dict[str, Any]:
@@ -103,12 +149,42 @@ class EvaluationJob:
         object.__setattr__(self, "_dict_cache", cached)
         return cached
 
+    def _identity_fragments(self) -> Tuple[str, str]:
+        """Canonical JSON of the (architecture, config) identity slice —
+        memoized per architecture/config object, shared across the jobs
+        of a sweep."""
+        entry = system_registry()[self.system]
+        from repro.systems.base import build_cached
+
+        architecture = build_cached(entry.build_architecture, self.config)
+        return (_architecture_json(architecture),
+                canonical_json(config_to_dict(self.config)))
+
     @property
     def key(self) -> str:
-        """Stable content-hash cache key (identical across processes)."""
+        """Stable content-hash cache key (identical across processes).
+
+        Hashes exactly the canonical JSON of :meth:`to_dict`, composed
+        from memoized per-object fragments (see module comment) so a
+        thousand-job sweep serializes its shared network once, not a
+        thousand times.
+        """
         cached = self.__dict__.get("_key_cache")
         if cached is None:
-            cached = content_hash(self.to_dict())
+            arch_json, config_json = self._identity_fragments()
+            text = (
+                '{"architecture":' + arch_json
+                + ',"config":' + config_json
+                + ',"kind":"network-evaluation"'
+                + ',"network":' + _network_json(self.network)
+                + ',"options":' + canonical_json({
+                    "fused": self.fused,
+                    "use_mapper": self.use_mapper,
+                    "include_dram": self.include_dram,
+                })
+                + ',"system":' + canonical_json(self.system) + '}'
+            )
+            cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
             object.__setattr__(self, "_key_cache", cached)
         return cached
 
@@ -155,10 +231,11 @@ def job_system_key(job: EvaluationJob) -> str:
     """
     cached = job.__dict__.get("_system_key_cache")
     if cached is None:
-        job_dict = job.to_dict()
-        cached = content_hash({key: job_dict[key]
-                               for key in ("system", "config",
-                                           "architecture")})
+        arch_json, config_json = job._identity_fragments()
+        text = ('{"architecture":' + arch_json
+                + ',"config":' + config_json
+                + ',"system":' + canonical_json(job.system) + '}')
+        cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
         object.__setattr__(job, "_system_key_cache", cached)
     return cached
 

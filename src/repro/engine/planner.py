@@ -126,6 +126,15 @@ def plannable(jobs: Sequence[EvaluationJob]) -> bool:
     return True
 
 
+def _expand_tasks(system: Any,
+                  job: EvaluationJob) -> List[Tuple[Any, Tuple, Tuple]]:
+    """One job's sub-tasks with their store and dedup keys precomputed."""
+    return [(task, system.sub_task_store_key(task),
+             system.sub_task_dedup_key(task))
+            for task in system.enumerate_sub_tasks(
+                job.network, fused=job.fused, use_mapper=job.use_mapper)]
+
+
 def build_plan(jobs: Sequence[EvaluationJob],
                cache: EvaluationCache,
                workers: int = 1) -> Optional[SweepPlan]:
@@ -148,6 +157,12 @@ def build_plan(jobs: Sequence[EvaluationJob],
         alias_keys = set()
         planned = deduplicated = cache_hits = 0
         systems: Dict[str, Any] = {}
+        # (system class, network identity, fused, use_mapper) ->
+        # [(task, store key, dedup suffix), ...].  Systems declaring
+        # their task keys configuration-free (all built-ins) expand each
+        # network once per batch instead of once per job; the jobs keep
+        # their networks alive, so identity keying is stable here.
+        expansions: Dict[Tuple, List[Tuple[Any, Tuple, Tuple]]] = {}
 
         with obs.span("planner.expand"):
             for job in jobs:
@@ -162,15 +177,20 @@ def build_plan(jobs: Sequence[EvaluationJob],
                     group = TaskChunk(system=job.system, config=job.config,
                                       system_key=system_key)
                     groups[system_key] = group
-                for task in system.enumerate_sub_tasks(
-                        job.network, fused=job.fused,
-                        use_mapper=job.use_mapper):
+                if getattr(system, "subtask_keys_config_free", False):
+                    memo_key = (type(system), id(job.network), job.fused,
+                                job.use_mapper)
+                    expansion = expansions.get(memo_key)
+                    if expansion is None:
+                        expansion = _expand_tasks(system, job)
+                        expansions[memo_key] = expansion
+                else:
+                    expansion = _expand_tasks(system, job)
+                for task, store_key, dedup_suffix in expansion:
                     planned += 1
                     namespace = _TASK_NAMESPACE[task.kind]
-                    entry_key = store_entry_key(
-                        system_key, system.sub_task_store_key(task))
-                    dedup_key = (system_key,
-                                 system.sub_task_dedup_key(task))
+                    entry_key = store_entry_key(system_key, store_key)
+                    dedup_key = (system_key, dedup_suffix)
                     known = representatives.get(dedup_key)
                     if known is not None:
                         deduplicated += 1

@@ -1,0 +1,554 @@
+"""Persistent warm worker pool with an epoch-stamped cache delta protocol.
+
+:class:`WorkerPool` owns a ``multiprocessing`` pool that *survives across*
+``run_jobs`` calls.  That changes the economics of the parallel sweep
+path in three ways:
+
+* **Warm per-worker state.**  With the fork start method each worker
+  keeps its module-level caches between dispatches — the memoized
+  architecture/energy-table builds (``PhotonicSystem.build_cached``), the
+  ``SearchContext`` FIFO, and its copy of the evaluation cache — so a
+  second dispatch pays none of the first one's warm-up.
+
+* **Delta cache sync instead of full snapshots.**  The first dispatch
+  (at spawn) ships the cache image once, stamped with the cache's
+  ``(epoch, per-namespace length)`` marker.  Entries are append-only
+  within an epoch and dicts preserve insertion order, so every later
+  dispatch ships only the entries *beyond* the oldest marker any worker
+  could be holding — O(new entries), not O(cache).  ``cache.clear()``
+  bumps the epoch, and switching ``run_jobs`` to a different cache
+  object changes the timeline entirely; either way an additive delta
+  cannot express the change, so the pool ships a token-stamped
+  full-snapshot *reset* in-band with the next dispatch — the worker
+  processes themselves stay alive, keeping their warm module state.
+
+* **A slim wire format.**  Planner batches are re-encoded before
+  pickling: configurations and layers are interned into per-payload
+  tables referenced by index, sub-tasks travel as ``(kind, layer_index,
+  flags)`` triples, and result messages pack the homogeneous scalar
+  metrics of layer evaluations into typed :mod:`array` columns.  The
+  decoded entries are reconstructed field-for-field in the canonical
+  codec order, so cached values remain bit-identical to serially
+  computed ones.
+
+Interrupt safety: any exception while a dispatch is in flight — a
+``KeyboardInterrupt`` included — terminates and joins the workers before
+propagating, so no orphaned processes linger.  The :class:`WorkerPool`
+object itself stays usable; the next dispatch simply respawns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro import obs
+from repro.engine.cache import EvaluationCache, SystemStore
+from repro.workloads.layer import ConvLayer
+
+_Marker = Tuple[int, Tuple[int, ...]]
+
+# ---------------------------------------------------------------------------
+# Wire format: slim batch payloads
+# ---------------------------------------------------------------------------
+
+_KIND_CODES = {"mapper": 0, "layer": 1}
+_KIND_NAMES = ("mapper", "layer")
+
+# ConvLayer wire order — mirrors repro.engine.codec.layer_to_dict, the
+# canonical field order every serialized layer uses.
+_LAYER_FIELDS = ("name", "n", "m", "c", "p", "q", "r", "s",
+                 "stride_h", "stride_w", "groups",
+                 "bits_per_weight", "bits_per_activation", "kind")
+
+
+def _encode_batch(batch: Iterable[Any]) -> Tuple[list, list, list]:
+    """Re-encode one planner batch for the wire.
+
+    Chunks arrive as :class:`~repro.engine.planner.TaskChunk` objects
+    whose tasks each carry a full :class:`ConvLayer`; on a typical grid
+    every layer appears in several tasks (one mapper search plus each
+    DRAM-flag variant), so interning layers and configurations into
+    per-payload tables referenced by index cuts the pickled size several
+    fold.  Layers travel as bare field tuples, not dataclass pickles.
+    """
+    contexts: list = []
+    layer_specs: list = []
+    layer_index: Dict[int, int] = {}
+    segments: list = []
+    for chunk in batch:
+        context_index = len(contexts)
+        contexts.append((chunk.system, chunk.config, chunk.system_key))
+        codes = []
+        for task in chunk.tasks:
+            layer = task.layer
+            index = layer_index.get(id(layer))
+            if index is None:
+                index = len(layer_specs)
+                layer_index[id(layer)] = index
+                layer_specs.append(
+                    tuple(getattr(layer, name) for name in _LAYER_FIELDS))
+            flags = (task.use_mapper
+                     | task.input_from_dram << 1
+                     | task.output_to_dram << 2)
+            codes.append((_KIND_CODES[task.kind], index, flags))
+        segments.append((context_index, codes))
+    return contexts, layer_specs, segments
+
+
+def _decode_layers(layer_specs: list) -> List[ConvLayer]:
+    return [ConvLayer(**dict(zip(_LAYER_FIELDS, spec)))
+            for spec in layer_specs]
+
+
+# ---------------------------------------------------------------------------
+# Wire format: typed-column result packing
+# ---------------------------------------------------------------------------
+
+# Homogeneous scalars of every "layers" cache entry (one per evaluated
+# layer — by far the most numerous result objects on the wire).  The
+# remaining fields are heterogeneous (nested dicts, optionals) and ride
+# in a residual tuple.  _ENTRY_ORDER is the canonical codec field order
+# (repro.engine.codec.layer_evaluation_to_dict); decoding rebuilds each
+# dict in exactly that order so a pool-computed cache image is
+# indistinguishable from a serial one.
+_INT_COLUMNS = ("cycles", "real_macs", "padded_macs", "peak_parallelism")
+_RESIDUAL_FIELDS = ("layer", "energy", "occupancy_bits",
+                    "compute_cycles", "bandwidth_bound_level")
+_ENTRY_ORDER = ("layer", "energy", "cycles", "real_macs", "padded_macs",
+                "peak_parallelism", "clock_ghz", "occupancy_bits",
+                "compute_cycles", "bandwidth_bound_level")
+_ENTRY_FIELD_SET = frozenset(_ENTRY_ORDER)
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def _packable(entry: Any) -> bool:
+    if not isinstance(entry, dict) or entry.keys() != _ENTRY_FIELD_SET:
+        return False
+    for name in _INT_COLUMNS:
+        value = entry[name]
+        if type(value) is not int or not _INT64_MIN <= value <= _INT64_MAX:
+            return False
+    return type(entry["clock_ghz"]) is float
+
+
+def _pack_added(added: Dict[str, Dict[str, Any]]) -> Dict[str, tuple]:
+    """Pack a worker's new cache entries for the return trip.
+
+    Layer-evaluation entries become four parallel structures: the key
+    list, one ``array('q')`` holding the int columns row-major, one
+    ``array('d')`` of clocks, and a residual tuple per entry.  Typed
+    arrays pickle as flat byte buffers — no per-element object headers —
+    and round-trip int64/float64 values exactly.  Anything that doesn't
+    match the schema passes through raw.
+    """
+    packed: Dict[str, tuple] = {}
+    for namespace, entries in added.items():
+        if namespace != "layers" or not entries:
+            if entries:
+                packed[namespace] = ("raw", entries)
+            continue
+        keys, ints, clocks, residuals, raw = [], array("q"), array("d"), [], {}
+        for key, entry in entries.items():
+            if not _packable(entry):
+                raw[key] = entry
+                continue
+            keys.append(key)
+            for name in _INT_COLUMNS:
+                ints.append(entry[name])
+            clocks.append(entry["clock_ghz"])
+            residuals.append(tuple(entry[name] for name in _RESIDUAL_FIELDS))
+        packed[namespace] = ("cols", keys, ints, clocks, residuals, raw)
+    return packed
+
+
+def _unpack_added(packed: Dict[str, tuple]) -> Dict[str, Dict[str, Any]]:
+    added: Dict[str, Dict[str, Any]] = {}
+    for namespace, payload in packed.items():
+        if payload[0] == "raw":
+            added[namespace] = payload[1]
+            continue
+        _tag, keys, ints, clocks, residuals, raw = payload
+        entries: Dict[str, Any] = {}
+        width = len(_INT_COLUMNS)
+        for row, key in enumerate(keys):
+            layer, energy, occupancy, compute_cycles, bound = residuals[row]
+            base = row * width
+            entries[key] = {
+                "layer": layer,
+                "energy": energy,
+                "cycles": ints[base],
+                "real_macs": ints[base + 1],
+                "padded_macs": ints[base + 2],
+                "peak_parallelism": ints[base + 3],
+                "clock_ghz": clocks[row],
+                "occupancy_bits": occupancy,
+                "compute_cycles": compute_cycles,
+                "bandwidth_bound_level": bound,
+            }
+        entries.update(raw)
+        added[namespace] = entries
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+_WORKER_CACHE: Optional[EvaluationCache] = None
+_WORKER_MARK: Optional[_Marker] = None
+_WORKER_TOKEN: int = 0
+_WORKER_OBS: Optional[Tuple[float, int]] = None
+
+
+def _init_pool_worker(snapshot: Optional[Dict[str, Dict[str, Any]]],
+                      marker: Optional[_Marker], token: int) -> None:
+    """Pool initializer: seed the floor snapshot, silence inherited
+    tracing (payloads re-activate it per dispatch as needed)."""
+    global _WORKER_CACHE, _WORKER_MARK, _WORKER_TOKEN, _WORKER_OBS
+    _WORKER_CACHE = (EvaluationCache.from_snapshot(snapshot)
+                     if snapshot is not None else None)
+    _WORKER_MARK = marker
+    _WORKER_TOKEN = token
+    _WORKER_OBS = None
+    obs.deactivate()
+
+
+def _sync_tracing(config: Optional[Tuple[float, int]]) -> None:
+    """Match this worker's tracer to the dispatch's: a persistent pool
+    can serve traced and untraced dispatches back to back, so the lane
+    follows the payload, not the spawn."""
+    global _WORKER_OBS
+    if config == _WORKER_OBS:
+        return
+    if config is None:
+        obs.deactivate()
+    else:
+        obs.activate(obs.Tracer.for_worker(config))
+    _WORKER_OBS = config
+
+
+def _apply_sync(sync: Optional[tuple]) -> EvaluationCache:
+    """Fold the dispatch's cache sync into the warm worker cache.
+
+    Payloads are tagged: ``("reset", token, marker, snapshot)`` replaces
+    the cache wholesale (the parent switched caches or bumped the epoch
+    — the processes stay alive, only the cached data is swapped), while
+    ``("delta", token, marker, delta)`` folds in new entries.  The token
+    identifies the cache timeline: a reset is applied once per token (a
+    worker serving two payloads of one dispatch must not wipe its first
+    batch's entries), and a delta whose token doesn't match the worker's
+    falls back to an empty cache — strictly safe, since worker caches
+    only avoid recomputation and ``pop_added`` re-ships anything
+    computed fresh.
+    """
+    global _WORKER_CACHE, _WORKER_MARK, _WORKER_TOKEN
+    if sync is None:
+        return (_WORKER_CACHE if _WORKER_CACHE is not None
+                else EvaluationCache())
+    kind, token, target = sync[0], sync[1], sync[2]
+    if kind == "reset":
+        if token != _WORKER_TOKEN or _WORKER_CACHE is None:
+            _WORKER_CACHE = EvaluationCache.from_snapshot(sync[3])
+            _WORKER_TOKEN = token
+            _WORKER_MARK = target
+        return _WORKER_CACHE
+    delta = sync[3]
+    if token != _WORKER_TOKEN or _WORKER_CACHE is None:
+        # Missed a reset for this timeline (or never seeded): a delta
+        # alone can't reconstruct it, so start empty.
+        _WORKER_CACHE = EvaluationCache()
+        _WORKER_TOKEN = token
+    if delta:
+        # adopt(), not merge(): parent-owned entries must not be
+        # re-shipped back with this worker's own results.
+        _WORKER_CACHE.adopt(delta)
+    _WORKER_MARK = target
+    return _WORKER_CACHE
+
+
+def _run_wire_batch(payload):
+    """Execute one slim-encoded planner batch; ship packed results back.
+
+    The same contract as the legacy ``_run_batch_in_worker``: each
+    segment's tasks share one (memoized) system build and one store
+    scope, and the whole batch answers in a single message.
+    """
+    from repro.engine.jobs import system_registry
+    from repro.systems.base import SubTask
+
+    index, sync, obs_config, wire = payload
+    _sync_tracing(obs_config)
+    cache = _apply_sync(sync)
+    contexts, layer_specs, segments = wire
+    layers = _decode_layers(layer_specs)
+    registry = system_registry()
+    with obs.span("worker.batch", segments=len(segments),
+                  tasks=sum(len(codes) for _index, codes in segments)):
+        for context_index, codes in segments:
+            system_name, config, system_key = contexts[context_index]
+            entry = registry[system_name]
+            with obs.span("system.build", system=system_name):
+                system = entry.system_type(
+                    config, store=SystemStore(cache, system_key))
+            for kind_code, layer_id, flags in codes:
+                system.compute_sub_task(SubTask(
+                    kind=_KIND_NAMES[kind_code],
+                    layer=layers[layer_id],
+                    use_mapper=bool(flags & 1),
+                    input_from_dram=bool(flags & 2),
+                    output_to_dram=bool(flags & 4)))
+    added = cache.pop_added()
+    stats = cache.stats_snapshot()
+    cache.reset_stats()
+    tracer = obs.current_tracer()
+    events = tracer.drain() if tracer.enabled else None
+    return (index, _pack_added(added), stats, events,
+            os.getpid(), _WORKER_MARK)
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits warm module state)."""
+    if sys.platform != "win32":
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover
+            pass
+    return multiprocessing.get_context()  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Wire-traffic counters for one :class:`WorkerPool`.
+
+    ``snapshot_entries`` counts entries shipped via full snapshots (at
+    spawn or as in-band resets); ``delta_entries`` counts entries
+    shipped as warm deltas — on a healthy reused pool the latter stays
+    small while the former is paid once per cache timeline.
+    ``epoch_resets`` counts timeline changes (epoch bump or cache
+    switch) answered by an in-band reseed; the workers stay alive.
+    """
+
+    spawns: int = 0
+    dispatches: int = 0
+    batches: int = 0
+    snapshot_entries: int = 0
+    delta_syncs: int = 0
+    delta_entries: int = 0
+    epoch_resets: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "spawns": self.spawns,
+            "dispatches": self.dispatches,
+            "batches": self.batches,
+            "snapshot_entries": self.snapshot_entries,
+            "delta_syncs": self.delta_syncs,
+            "delta_entries": self.delta_entries,
+            "epoch_resets": self.epoch_resets,
+        }
+
+
+@dataclass
+class _CacheSync:
+    """What the pool knows about its workers' cache copies."""
+
+    cache_id: int
+    epoch: int
+    floor: _Marker                      # shipped to every worker at spawn
+    marks: Dict[int, _Marker]           # pid -> last acknowledged marker
+    token: int                          # cache-timeline id the workers hold
+    #: True while some worker may still hold the previous timeline:
+    #: dispatches ship full-snapshot resets until every pid has
+    #: acknowledged the new token.
+    resetting: bool = False
+
+
+class WorkerPool:
+    """A process pool that persists across ``run_jobs`` calls.
+
+    Use as a context manager (or call :meth:`close` yourself)::
+
+        with WorkerPool(workers=4) as pool:
+            first = run_jobs(jobs_a, cache=cache, pool=pool)
+            second = run_jobs(jobs_b, cache=cache, pool=pool)  # warm
+
+    Workers spawn lazily on the first dispatch and are seeded with the
+    cache's full image once; later dispatches ship only the entries
+    added since (see the module docstring for the marker protocol).
+    Results are bit-identical to serial execution — the pool only moves
+    cache entries, never recomputes them differently.
+    """
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.stats = PoolStats()
+        self._pool = None
+        self._pool_size = 0
+        self._sync: Optional[_CacheSync] = None
+        self._token = 0          # monotonic; never reused across resets
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while worker processes are alive."""
+        return self._pool is not None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate and join the workers (idempotent).
+
+        The pool object remains usable: the next dispatch respawns with
+        a fresh snapshot floor.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+            self._sync = None
+
+    def _ensure_workers(self, cache: Optional[EvaluationCache],
+                        pending: int) -> None:
+        if self._pool is not None and self._sync is not None:
+            stale = (cache is None
+                     or self._sync.cache_id != id(cache)
+                     or self._sync.epoch != cache.epoch)
+            if stale:
+                # The warm copies describe data that no longer exists
+                # (epoch bump) or a different cache object entirely; an
+                # additive delta can't fix either.  Keep the processes
+                # alive — their module-level memos (architecture builds,
+                # search contexts) are still good — and ship a
+                # full-snapshot reset in-band with the next dispatch.
+                self.stats.epoch_resets += 1
+                if cache is None:
+                    # Nothing to reseed from; drop the warm copies with
+                    # the processes.
+                    self.close()
+                else:
+                    self._token += 1
+                    self._sync = _CacheSync(
+                        cache_id=id(cache), epoch=cache.epoch,
+                        floor=cache.sync_marker(), marks={},
+                        token=self._token, resetting=True)
+        if self._pool is not None:
+            return
+        size = max(1, min(self.workers, pending,
+                          multiprocessing.cpu_count() or self.workers))
+        with obs.span("executor.snapshot"):
+            if cache is not None:
+                snapshot = cache.snapshot()
+                # Workers only read the mapper/layer namespaces; the
+                # possibly large whole-job results stay home.
+                snapshot["results"] = {}
+                marker = cache.sync_marker()
+            else:
+                snapshot, marker = None, None
+        with obs.span("executor.pool_spawn", workers=size):
+            self._pool = _pool_context().Pool(
+                size, initializer=_init_pool_worker,
+                initargs=(snapshot, marker, self._token))
+        self._pool_size = size
+        self.stats.spawns += 1
+        if cache is not None:
+            self.stats.snapshot_entries += sum(
+                len(snapshot[ns]) for ns in snapshot)
+            self._sync = _CacheSync(cache_id=id(cache), epoch=cache.epoch,
+                                    floor=marker, marks={},
+                                    token=self._token)
+        else:
+            self._sync = None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _sync_payload(self, cache: Optional[EvaluationCache]):
+        sync = self._sync
+        if cache is None or sync is None:
+            return None
+        current = cache.sync_marker()
+        if sync.resetting:
+            # Some worker may still hold the previous timeline: ship the
+            # full image (sans whole-job results) until every pid has
+            # acknowledged the new token.  The worker-side token check
+            # makes repeated resets idempotent within a dispatch.
+            with obs.span("executor.snapshot"):
+                snapshot = cache.snapshot()
+                snapshot["results"] = {}
+            sync.floor = current
+            self.stats.snapshot_entries += sum(
+                len(snapshot[ns]) for ns in snapshot)
+            return ("reset", sync.token, current, snapshot)
+        # The base is the oldest state any worker can be in: its last
+        # acknowledged marker, or the spawn floor if it has never
+        # answered.  Markers on one cache timeline are totally ordered,
+        # but take the per-namespace minimum anyway — it is correct even
+        # for incomparable markers.
+        known = list(sync.marks.values())
+        if len(sync.marks) < self._pool_size or not known:
+            known.append(sync.floor)
+        base = (sync.epoch,
+                tuple(min(lengths) for lengths
+                      in zip(*(mark[1] for mark in known))))
+        delta = cache.entries_since(base)
+        delta.pop("results", None)
+        self.stats.delta_syncs += 1
+        self.stats.delta_entries += sum(len(v) for v in delta.values())
+        return ("delta", sync.token, current, delta)
+
+    def run_batches(
+        self,
+        batches: List[Any],
+        cache: Optional[EvaluationCache],
+        obs_config: Optional[Tuple[float, int]] = None,
+    ) -> Iterator[Tuple[int, Dict[str, Dict[str, Any]],
+                        Dict[str, Dict[str, int]], Optional[dict]]]:
+        """Dispatch planner batches; yield ``(index, added, stats,
+        trace_events)`` as each answers (completion order).
+
+        Any exception raised while results are in flight — including a
+        ``KeyboardInterrupt`` or the consumer abandoning the iterator —
+        closes the pool before propagating, so no orphaned workers
+        survive a cancelled dispatch.  The pool respawns on next use.
+        """
+        wires = [_encode_batch(batch) for batch in batches]
+        self._ensure_workers(cache, len(wires))
+        sync = self._sync_payload(cache)
+        payloads = [(index, sync, obs_config, wire)
+                    for index, wire in enumerate(wires)]
+        self.stats.dispatches += 1
+        self.stats.batches += len(payloads)
+        try:
+            for reply in self._pool.imap_unordered(_run_wire_batch,
+                                                   payloads, chunksize=1):
+                index, packed, stats, events, pid, mark = reply
+                if self._sync is not None and mark is not None:
+                    self._sync.marks[pid] = mark
+                    if (self._sync.resetting
+                            and len(self._sync.marks) >= self._pool_size):
+                        self._sync.resetting = False
+                yield index, _unpack_added(packed), stats, events
+        except BaseException:
+            # A half-finished dispatch leaves workers in an unknown
+            # state; kill them rather than risk stale answers later.
+            self.close()
+            raise

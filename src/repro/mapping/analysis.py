@@ -74,6 +74,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
+try:  # numpy powers the batched candidate-axis analysis; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: True when the vectorized batch analyzer is available.  Callers fall
+#: back to per-candidate scalar evaluation when it is not.
+HAVE_NUMPY = _np is not None
+
 from repro.arch.hierarchy import (
     Architecture,
     ComputeLevel,
@@ -771,3 +780,310 @@ def analyze(
     return NestAnalyzer(architecture, layer, mapping,
                         check_capacity=check_capacity,
                         context=context).analyze()
+
+
+# ---------------------------------------------------------------------------
+# Batched (candidate-axis) analysis
+# ---------------------------------------------------------------------------
+
+
+class BatchAccessCounts:
+    """Access counts for a *block* of candidate mappings of one layer.
+
+    Column-major twin of :class:`AccessCounts`: every storage read/write,
+    conversion, and occupancy figure is a float64 array over the
+    candidate axis, in exactly the entry order the scalar walk would
+    have inserted — which is what lets the batched pricing in
+    :meth:`repro.model.accelerator.AcceleratorModel` reproduce scalar
+    energies bit for bit.  :meth:`counts_for` materializes one
+    candidate's ordinary :class:`AccessCounts` (raising the same
+    :class:`CapacityError` / :class:`MappingError` the scalar analyzer
+    would have raised for it).
+    """
+
+    def __init__(self, mappings, layer, context, check_capacity):
+        self.mappings = mappings
+        self.layer = layer
+        self.check_capacity = check_capacity
+        self._context = context
+        n = len(mappings)
+        self.n = n
+        #: First over-capacity level name per candidate (None = fits).
+        self.capacity_level: List[Optional[str]] = [None] * n
+        #: Structural-inconsistency mask (the conditions the scalar walk
+        #: turns into MappingError).
+        self.inconsistent = _np.zeros(n, dtype=bool)
+        self.padded_macs: List[int] = []
+        self.cycles: List[int] = []
+        self.real_macs = 0
+        #: level name -> ordered [(dataspace, float64 array)], in scalar
+        #: dict-insertion order; dict iteration order is the walk order.
+        self.reads_entries: Dict[str, list] = {}
+        self.writes_entries: Dict[str, list] = {}
+        self.conv_entries: Dict[str, list] = {
+            name: [] for name in context.converter_names}
+        #: (name, array / list) pairs in walk (innermost-first) order.
+        self.occupancy: List[Tuple[str, Any]] = []
+        self.instances: List[Tuple[str, List[int]]] = []
+
+    def ok(self, index: int) -> bool:
+        """True when the scalar path would have produced a result (no
+        capacity violation, no structural inconsistency)."""
+        return (self.capacity_level[index] is None
+                and not bool(self.inconsistent[index]))
+
+    def counts_for(self, index: int) -> AccessCounts:
+        """Materialize candidate ``index`` as a scalar AccessCounts.
+
+        Failure candidates delegate to the scalar analyzer so the
+        exception (type, message) is exactly what a scalar caller saw.
+        """
+        if (not self.ok(index)
+                and (self.check_capacity
+                     or bool(self.inconsistent[index]))):
+            return NestAnalyzer(
+                self._context.architecture, self.layer,
+                self.mappings[index], check_capacity=self.check_capacity,
+                context=self._context, validate=False).analyze()
+        storage = {name: StorageCounts()
+                   for name in self._context.storage_order}
+        for name, entries in self.reads_entries.items():
+            reads = storage[name].reads
+            for dataspace, values in entries:
+                reads[dataspace] = float(values[index])
+        for name, entries in self.writes_entries.items():
+            writes = storage[name].writes
+            for dataspace, values in entries:
+                writes[dataspace] = float(values[index])
+        conversions: Dict[str, Dict[DataSpace, float]] = {
+            name: {} for name in self._context.converter_names}
+        for name, entries in self.conv_entries.items():
+            bucket = conversions[name]
+            for dataspace, values in entries:
+                bucket[dataspace] = float(values[index])
+        occupancy = {name: float(values[index])
+                     for name, values in self.occupancy}
+        instances = {name: values[index]
+                     for name, values in self.instances}
+        traffic_bits, bandwidth_cycles = NestAnalyzer._traffic(
+            self._context, storage, instances)
+        padded = self.padded_macs[index]
+        return AccessCounts(
+            storage=storage,
+            conversions=conversions,
+            padded_macs=padded,
+            real_macs=self.real_macs,
+            cycles=self.cycles[index],
+            occupancy_bits=occupancy,
+            instances=instances,
+            padding_utilization=(self.real_macs / padded if padded else 0.0),
+            bandwidth_cycles=bandwidth_cycles,
+            traffic_bits=traffic_bits,
+        )
+
+
+class BatchNestAnalyzer:
+    """Vectorized :class:`NestAnalyzer` over a block of candidates.
+
+    One inner-to-outer walk evaluates *every* mapping of the block: the
+    per-candidate integer geometry (cumulative bounds, tile sizes, fill
+    events — exact Python ints through the shared context's memos) is
+    gathered once per plan record, and the floating-point pipeline (flow
+    division at fanouts, occupancy, output read-modify-write, per-level
+    fills) runs as numpy float64 array operations over the candidate
+    axis.
+
+    Bit-identity with the scalar walk rests on three facts: every
+    integer is converted to float64 exactly once (matching the scalar
+    ``float(int)``), ``x / 1.0 == x`` and ``0.0 + x == x`` hold bitwise
+    for the non-negative finite values involved (so unconditional array
+    ops match the scalar's skip-if-trivial branches), and arrays are
+    combined in exactly the scalar accumulation order.  The golden
+    master for all of this is ``tests/test_analysis_equivalence.py``.
+
+    Candidates that the scalar analyzer would reject are *flagged*, not
+    raised: ``capacity_level`` names the first over-capacity storage
+    level (the scalar ``CapacityError``), ``inconsistent`` marks
+    structural ``MappingError`` conditions.  Requires numpy
+    (:data:`HAVE_NUMPY`); callers gate on it and fall back to scalar
+    evaluation.
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        layer: ConvLayer,
+        mappings: Sequence[Mapping],
+        check_capacity: bool = True,
+        context: Optional[SearchContext] = None,
+        validate: bool = True,
+    ) -> None:
+        if _np is None:  # pragma: no cover - callers gate on HAVE_NUMPY
+            raise MappingError("batched analysis requires numpy")
+        if validate:
+            for mapping in mappings:
+                mapping.validate(architecture, layer)
+        if context is None:
+            context = SearchContext.for_layer(architecture, layer)
+        elif not context.compatible_with(architecture, layer):
+            raise MappingError(
+                "SearchContext was built for a different architecture or "
+                "layer geometry (strides / datatype widths)"
+            )
+        self.layer = layer
+        self.mappings = list(mappings)
+        self.check_capacity = check_capacity
+        self._context = context
+
+    def analyze(self) -> BatchAccessCounts:
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._analyze()
+        start = time.perf_counter()
+        try:
+            return self._analyze()
+        finally:
+            tracer.tick("analyzer.batch", time.perf_counter() - start)
+
+    def _analyze(self) -> BatchAccessCounts:
+        np = _np
+        context = self._context
+        mappings = self.mappings
+        n = len(mappings)
+        batch = BatchAccessCounts(mappings, self.layer, context,
+                                  self.check_capacity)
+        layer = self.layer
+        batch.real_macs = (layer.n * (layer.m // layer.groups)
+                          * (layer.c // layer.groups)
+                          * layer.p * layer.q * layer.r * layer.s)
+        if n == 0:
+            return batch
+
+        padded = [m.padded_macs() for m in mappings]
+        cycles = [m.total_temporal_product for m in mappings]
+        spatial = [m.total_spatial_product for m in mappings]
+        batch.padded_macs = padded
+        batch.cycles = cycles
+        for i in range(n):
+            if padded[i] != cycles[i] * spatial[i]:  # pragma: no cover
+                batch.inconsistent[i] = True
+
+        loops = [m.loops_by_storage() for m in mappings]
+        fanouts = [m.factors_by_fanout() for m in mappings]
+
+        # Loops-above signatures per (candidate, level), innermost first
+        # with transparent loops dropped — the scalar sweep, per row.
+        signatures: List[Dict[str, tuple]] = []
+        for i in range(n):
+            accumulated: tuple = ()
+            row: Dict[str, tuple] = {}
+            for name in context.storage_order:
+                row[name] = accumulated[::-1]
+                accumulated = accumulated + tuple(
+                    (loop.dim, loop.bound)
+                    for loop in loops[i][name] if loop.bound > 1)
+            signatures.append(row)
+
+        # float64 copy of each candidate's padded MACs, converted once —
+        # exactly the scalar ``flow = [float(padded_macs)] * 3``.
+        padded_f = np.array([float(p) for p in padded], dtype=np.float64)
+        flow = np.repeat(padded_f[:, None], len(ALL_DATASPACES), axis=1)
+
+        bounds = [[1] * len(ALL_DIMS) for _ in range(n)]
+        spatial_inside = [1] * n
+        dim_index = _DIM_INDEX
+        tile_elements = context.tile_elements
+        fill_events = context.fill_events
+        capacity_level = batch.capacity_level
+
+        def fills_array(record_name, dataspace, tiles, insts):
+            # fill * tile * instances as an exact Python int per
+            # candidate, converted to float64 once — the scalar's single
+            # ``float(fills)`` — so values beyond 2**53 round identically.
+            return np.array(
+                [float(fill_events(signatures[i][record_name], dataspace)
+                       * tiles[i] * insts[i]) for i in range(n)],
+                dtype=np.float64)
+
+        for kind, record in context.plan:
+            if kind == _KIND_FANOUT:
+                divisors = None
+                for i in range(n):
+                    factors = fanouts[i][record.name]
+                    if not factors:
+                        continue
+                    row_bounds = bounds[i]
+                    inside = spatial_inside[i]
+                    for dim, factor in factors.items():
+                        row_bounds[dim_index[dim]] *= factor
+                        inside *= factor
+                    spatial_inside[i] = inside
+                    row = context.amortizations(record, factors)
+                    if divisors is None:
+                        divisors = np.ones_like(flow)
+                    divisors[i, :] = row
+                if divisors is not None:
+                    flow /= divisors  # x / 1.0 == x bitwise
+                continue
+            if kind == _KIND_CONVERTER:
+                bucket = batch.conv_entries[record.name]
+                for dataspace, index in record.visits:
+                    bucket.append((dataspace, flow[:, index].copy()))
+                continue
+
+            # Storage level.
+            name = record.name
+            for i in range(n):
+                row_bounds = bounds[i]
+                for loop in loops[i][name]:
+                    row_bounds[dim_index[loop.dim]] *= loop.bound
+            bounds_keys = [tuple(bounds[i]) for i in range(n)]
+            insts = [spatial[i] // spatial_inside[i] for i in range(n)]
+            batch.instances.append((name, insts))
+
+            occupancy = np.zeros(n, dtype=np.float64)
+            tiles_by_ds: Dict[DataSpace, List[int]] = {}
+            for dataspace, width in record.ds_widths:
+                tiles = [tile_elements(dataspace, bounds_keys[i])
+                         for i in range(n)]
+                tiles_by_ds[dataspace] = tiles
+                occupancy = occupancy + np.array(
+                    [float(tile * width) for tile in tiles],
+                    dtype=np.float64)
+            batch.occupancy.append((name, occupancy))
+            if record.capacity_bits is not None:
+                violated = occupancy > record.capacity_bits
+                if violated.any():
+                    for i in np.nonzero(violated)[0]:
+                        i = int(i)
+                        if capacity_level[i] is None:
+                            capacity_level[i] = name
+
+            level_reads = batch.reads_entries.setdefault(name, [])
+            level_writes = batch.writes_entries.setdefault(name, [])
+            for dataspace, index, is_outputs, is_outermost in record.visits:
+                if is_outputs:
+                    updates = flow[:, index].copy()
+                    writebacks = fills_array(name, dataspace,
+                                             tiles_by_ds[dataspace], insts)
+                    depth = record.max_accumulation_depth
+                    if depth is not None:
+                        writebacks = np.maximum(writebacks, updates / depth)
+                    batch.inconsistent |= (updates + 1e-9) < writebacks
+                    level_writes.append((dataspace, updates))
+                    if is_outermost:
+                        level_reads.append((dataspace, updates - writebacks))
+                        flow[:, index] = 0.0
+                    else:
+                        level_reads.append((dataspace, updates.copy()))
+                        flow[:, index] = writebacks
+                elif is_outermost:
+                    level_reads.append((dataspace, flow[:, index].copy()))
+                    flow[:, index] = 0.0
+                else:
+                    fills = fills_array(name, dataspace,
+                                        tiles_by_ds[dataspace], insts)
+                    level_reads.append((dataspace, flow[:, index].copy()))
+                    level_writes.append((dataspace, fills))
+                    flow[:, index] = fills
+        return batch

@@ -172,6 +172,40 @@ class Mapper:
             evaluated = 0
             valid = 0
             pruned_early = 0
+            batch_fn = (getattr(self.cost_fn, "batch", None)
+                        if supports_context else None)
+            if batch_fn is not None:
+                # Vectorized block path: validate / constrain / pre-filter
+                # each candidate exactly as the scalar loop would, then
+                # price the survivors in one batched analyzer pass.
+                # Candidates the batch flags (the ones scalar pricing
+                # would reject) come back as None.  Winner selection is
+                # the same first-minimal scan in candidate order, so the
+                # result — mapping, cost, and every counter — is
+                # bit-identical to the scalar path.
+                survivors: List[Mapping] = []
+                for mapping in candidates:
+                    evaluated += 1
+                    try:
+                        mapping.validate(self.architecture, layer)
+                        self.constraints.check(mapping)
+                    except (MappingError, CapacityError):
+                        continue
+                    if context.capacity_violation(mapping) is not None:
+                        pruned_early += 1
+                        continue
+                    survivors.append(mapping)
+                for mapping, cost in zip(survivors,
+                                         batch_fn(survivors, context)):
+                    if cost is None:
+                        continue
+                    valid += 1
+                    key = (cost, mapping.total_temporal_product)
+                    if key < best_key:
+                        best_key = key
+                        best_cost = cost
+                        best_mapping = mapping
+                candidates = ()
             for mapping in candidates:
                 evaluated += 1
                 try:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import functools
 from typing import (
     Any,
     Callable,
@@ -48,7 +49,7 @@ from repro import obs
 from repro.arch.hierarchy import Architecture
 from repro.energy.table import EnergyTable
 from repro.exceptions import SpecError
-from repro.mapping.analysis import SearchContext
+from repro.mapping.analysis import HAVE_NUMPY, SearchContext
 from repro.mapping.constraints import MappingConstraints
 from repro.mapping.mapper import Mapper, MapperResult
 from repro.mapping.mapping import Mapping
@@ -66,10 +67,14 @@ from repro.workloads.network import Network
 # ---------------------------------------------------------------------------
 
 #: Memoized (builder, config) -> architecture / energy table.  Bounded
-#: FIFO: sweeps revisit a small working set of configurations, and every
+#: FIFO: sweeps revisit their configuration set repeatedly, and every
 #: cached value is immutable, so sharing across systems/jobs is safe.
+#: Sized above the largest plausible single-sweep config grid — an
+#: undersized cache thrashes here *and* breaks the identity-keyed
+#: architecture-JSON memo in :mod:`repro.engine.jobs` (each rebuild is
+#: a fresh object).
 _BUILD_CACHE: Dict[Tuple[Any, ...], Any] = {}
-_BUILD_CACHE_LIMIT = 512
+_BUILD_CACHE_LIMIT = 4096
 
 
 def build_cached(builder: Callable[[Any], Any], config: Any) -> Any:
@@ -99,6 +104,15 @@ def layer_shape_key(layer: ConvLayer) -> Tuple:
     return (layer.n, layer.m, layer.c, layer.p, layer.q, layer.r, layer.s,
             layer.stride_h, layer.stride_w, layer.groups,
             layer.bits_per_weight, layer.bits_per_activation)
+
+
+@functools.lru_cache(maxsize=None)
+def _dedup_field_names(layer_cls: type) -> Tuple[str, ...]:
+    """Every dataclass field of ``layer_cls`` except ``name`` — the slice
+    of the layer :meth:`PhotonicSystem.sub_task_dedup_key` shares numbers
+    under.  Per-class, so calling it per task costs one dict probe."""
+    return tuple(field.name for field in dataclasses.fields(layer_cls)
+                 if field.name != "name")
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +169,15 @@ class PhotonicSystem(abc.ABC):
     #: The system's configuration dataclass; ``SystemType()`` constructs
     #: the default instance.
     config_type: ClassVar[type]
+    #: Whether :meth:`enumerate_sub_tasks` and the sub-task key methods
+    #: are pure functions of (network, fused, use_mapper) — independent
+    #: of the instance's configuration.  True for the base implementation
+    #: (and every built-in system: :meth:`analysis_layer` overrides are
+    #: shape-only transforms).  The sweep planner shares one expansion
+    #: across all configurations of a batch when this holds; a subclass
+    #: whose task keys read ``self.config`` or ``self.architecture`` must
+    #: set this to False.
+    subtask_keys_config_free: ClassVar[bool] = True
 
     def __init__(self, config: Optional[Any] = None,
                  store: Optional[object] = None) -> None:
@@ -226,6 +249,26 @@ class PhotonicSystem(abc.ABC):
                 # tilings/permutations, so the memoized nest geometry
                 # (tile sizes, fill events) hits across them.
                 context = SearchContext.for_layer(self.architecture, target)
+                if HAVE_NUMPY:
+                    # Batched pricing over the candidate axis; invalid
+                    # candidates come back as None.  Bit-identical to the
+                    # scalar loop below (same first-minimal scan).
+                    survivors = []
+                    for mapping in candidates:
+                        try:
+                            mapping.validate(self.architecture, target)
+                        except Exception:  # invalid candidate
+                            continue
+                        survivors.append(mapping)
+                    costs = self.model.batch_energy_pj(target, survivors,
+                                                       context)
+                    candidates = []
+                    for mapping, cost in zip(survivors, costs):
+                        if cost is None:
+                            continue
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_mapping = mapping
                 for mapping in candidates:
                     try:
                         cost = self.model.evaluate_layer(
@@ -419,9 +462,8 @@ class PhotonicSystem(abc.ABC):
         include it.
         """
         layer = task.layer
-        shape = tuple(getattr(layer, field.name)
-                      for field in dataclasses.fields(layer)
-                      if field.name != "name")
+        shape = tuple(getattr(layer, name)
+                      for name in _dedup_field_names(type(layer)))
         if task.kind == "mapper":
             return ("mapper", shape)
         return ("layer", shape, bool(task.use_mapper),

@@ -25,7 +25,15 @@ from repro.arch.hierarchy import (
     StorageLevel,
 )
 from repro.exceptions import CapacityError, MappingError
-from repro.mapping.analysis import AccessCounts, analyze, compute_traffic
+from repro.mapping.analysis import (
+    HAVE_NUMPY,
+    AccessCounts,
+    BatchNestAnalyzer,
+    NestAnalyzer,
+    SearchContext,
+    analyze,
+    compute_traffic,
+)
 from repro.mapping.mapping import (
     FanoutMapping,
     LevelMapping,
@@ -458,3 +466,194 @@ class TestResNet18Equivalence:
             ),
         )
         _assert_equivalent(system.architecture, target, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Batched (candidate-axis) analyzer vs the scalar analyzer
+# ---------------------------------------------------------------------------
+
+def _assert_batch_equivalent(system, target, mappings):
+    """Batch-analyze ``mappings`` and compare every candidate — counts,
+    priced energy, and rejection behaviour — bitwise against the scalar
+    path."""
+    architecture = system.architecture
+    valid = []
+    for mapping in mappings:
+        try:
+            mapping.validate(architecture, target)
+        except MappingError:
+            continue
+        valid.append(mapping)
+    assert valid, "candidate family produced no structurally valid mapping"
+    context = SearchContext.for_layer(architecture, target)
+    batch = BatchNestAnalyzer(architecture, target, valid,
+                              context=context, validate=False).analyze()
+    costs = system.model.batch_energy_pj(target, valid, context)
+    assert len(costs) == len(valid)
+    for index, mapping in enumerate(valid):
+        try:
+            scalar = NestAnalyzer(architecture, target, mapping,
+                                  context=context,
+                                  validate=False).analyze()
+            scalar_error = None
+        except (MappingError, CapacityError) as error:
+            scalar, scalar_error = None, error
+        if scalar_error is not None:
+            assert not batch.ok(index), (
+                f"scalar raised {type(scalar_error).__name__} but the "
+                f"batch accepted candidate {index}")
+            assert costs[index] is None
+            with pytest.raises(type(scalar_error)) as caught:
+                batch.counts_for(index)
+            assert str(caught.value) == str(scalar_error)
+            continue
+        assert batch.ok(index), (
+            f"batch flagged candidate {index} "
+            f"(capacity={batch.capacity_level[index]!r}, "
+            f"inconsistent={bool(batch.inconsistent[index])}) but the "
+            f"scalar analyzer accepted it")
+        mismatches = _counts_equal(scalar, batch.counts_for(index))
+        assert not mismatches, "\n".join(mismatches)
+        expected = system.model.evaluate_layer(
+            target, mapping, context=context, validated=True).energy_pj
+        assert costs[index] == expected, (
+            f"candidate {index}: batch cost {costs[index]!r} != scalar "
+            f"energy {expected!r}")
+
+
+def _mapper_candidate_pool(system, target, budget=150, seed=0):
+    """Deduplicated materialized mapper candidates (the search's pool)."""
+    import random
+
+    from repro.mapping.mapper import Mapper, _materialize
+
+    mapper = Mapper(system.architecture,
+                    system.model.energy_cost_fn(target),
+                    constraints=system.constraints(target))
+    specs, _ = mapper._generate_specs(target, random.Random(seed), set(),
+                                      budget)
+    return [_materialize(spec) for spec in specs]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="batched analyzer needs numpy")
+class TestBatchedAnalyzerEquivalence:
+    """The vectorized candidate-axis analyzer is bit-identical to the
+    scalar analyzer over every mapping family the system exercises."""
+
+    @pytest.mark.parametrize(
+        "layer", RESNET_LAYERS[:6], ids=[l.name for l in RESNET_LAYERS[:6]])
+    def test_reference_candidates(self, system, layer):
+        target = system.analysis_layer(layer)
+        _assert_batch_equivalent(
+            system, target,
+            list(albireo_mapping_candidates(system.config, target)))
+
+    def test_mapper_candidate_pools(self, system):
+        for layer in RESNET_LAYERS[2:5]:
+            target = system.analysis_layer(layer)
+            _assert_batch_equivalent(
+                system, target, _mapper_candidate_pool(system, target))
+
+    def test_adversarial_padded_mappings(self, system):
+        layer = ConvLayer(name="awkward", m=127, c=63, p=13, q=13, r=3, s=3)
+        target = system.analysis_layer(layer)
+        mappings = [
+            Mapping(
+                levels=(
+                    LevelMapping("DRAM", (
+                        TemporalLoop(Dim.M, 128), TemporalLoop(Dim.C, 64),
+                        TemporalLoop(Dim.P, 13), TemporalLoop(Dim.Q, 13),
+                        TemporalLoop(Dim.R, 3), TemporalLoop(Dim.S, 3))),
+                    LevelMapping("GlobalBuffer", ()),
+                    LevelMapping("AEIntegrator", ()),
+                ),
+                spatials=(
+                    FanoutMapping("clusters", {}),
+                    FanoutMapping("weight_lanes", {}),
+                    FanoutMapping("star_coupler", {}),
+                    FanoutMapping("window_sites", {}),
+                    FanoutMapping("wavelengths", {}),
+                ),
+            ),
+            Mapping(
+                levels=(
+                    LevelMapping("DRAM", (
+                        TemporalLoop(Dim.C, 16), TemporalLoop(Dim.M, 8),
+                        TemporalLoop(Dim.N, 1), TemporalLoop(Dim.P, 13))),
+                    LevelMapping("GlobalBuffer", (
+                        TemporalLoop(Dim.Q, 13), TemporalLoop(Dim.C, 4),
+                        TemporalLoop(Dim.M, 2), TemporalLoop(Dim.R, 1))),
+                    LevelMapping("AEIntegrator", (TemporalLoop(Dim.R, 3),)),
+                ),
+                spatials=(
+                    FanoutMapping("clusters", {Dim.M: 8}),
+                    FanoutMapping("weight_lanes", {}),
+                    FanoutMapping("star_coupler", {Dim.M: 1}),
+                    FanoutMapping("window_sites", {Dim.S: 3}),
+                    FanoutMapping("wavelengths", {Dim.C: 1}),
+                ),
+            ),
+        ]
+        _assert_batch_equivalent(system, target, mappings)
+
+    def test_capacity_rejection_reproduced(self, system):
+        """Over-capacity candidates are flagged, priced as None, and
+        counts_for raises the scalar CapacityError verbatim."""
+        layer = ConvLayer(name="huge", m=512, c=512, p=56, q=56, r=3, s=3)
+        target = system.analysis_layer(layer)
+        mapping = Mapping(
+            levels=(
+                LevelMapping("DRAM", ()),
+                LevelMapping("GlobalBuffer", tuple(
+                    TemporalLoop(dim, bound) for dim, bound in (
+                        (Dim.M, 512), (Dim.C, 512), (Dim.P, 56),
+                        (Dim.Q, 56), (Dim.R, 3), (Dim.S, 3)))),
+                LevelMapping("AEIntegrator", ()),
+            ),
+            spatials=(
+                FanoutMapping("clusters", {}),
+                FanoutMapping("weight_lanes", {}),
+                FanoutMapping("star_coupler", {}),
+                FanoutMapping("window_sites", {}),
+                FanoutMapping("wavelengths", {}),
+            ),
+        )
+        _assert_batch_equivalent(system, target, [mapping])
+
+    def test_search_batched_equals_scalar(self, system):
+        """Full Mapper.search: block path vs per-candidate path produce
+        the same mapping, cost, and counters."""
+        from repro.mapping.mapper import Mapper
+
+        layer = RESNET_LAYERS[3]
+        target = system.analysis_layer(layer)
+        results = []
+        for strip_batch in (False, True):
+            cost_fn = system.model.energy_cost_fn(target)
+            if strip_batch:
+                assert hasattr(cost_fn, "batch")
+                del cost_fn.batch
+            mapper = Mapper(system.architecture, cost_fn,
+                            constraints=system.constraints(target))
+            results.append(mapper.search(target, max_evaluations=120))
+        batched, scalar = results
+        assert batched.cost == scalar.cost
+        assert batched.mapping.canonical_key() \
+            == scalar.mapping.canonical_key()
+        assert (batched.evaluated, batched.valid, batched.deduplicated,
+                batched.pruned_early) \
+            == (scalar.evaluated, scalar.valid, scalar.deduplicated,
+                scalar.pruned_early)
+
+    def test_reference_mapping_batched_equals_scalar(self, monkeypatch):
+        """System reference-mapping selection picks the same mapping with
+        the batched pricing path disabled."""
+        import repro.systems.base as systems_base
+
+        layer = RESNET_LAYERS[1]
+        picked = {}
+        for disabled in (False, True):
+            monkeypatch.setattr(systems_base, "HAVE_NUMPY", not disabled)
+            fresh = AlbireoSystem(AlbireoConfig())
+            picked[disabled] = fresh.reference_mapping(layer).canonical_key()
+        assert picked[False] == picked[True]

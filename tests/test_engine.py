@@ -107,6 +107,18 @@ class TestJobs:
         mapped = make_job(small_network, AlbireoConfig(), use_mapper=True)
         assert len({base.key, fused.key, mapped.key}) == 3
 
+    def test_key_matches_full_identity_hash(self, small_network):
+        """The composed-fragment hash (memoized architecture/network
+        JSON spliced into the identity text) must stay byte-identical
+        to hashing the full canonical dict."""
+        from repro.engine.codec import content_hash
+
+        for options in ({}, {"fused": True}, {"use_mapper": True},
+                        {"include_dram": False}):
+            job = make_job(small_network, AlbireoConfig(clusters=8),
+                           **options)
+            assert job.key == content_hash(job.to_dict()), options
+
     def test_key_stable_across_processes(self, small_network):
         """The content hash must not depend on PYTHONHASHSEED."""
         job = make_job(small_network, AlbireoConfig())

@@ -1,0 +1,263 @@
+"""Tests for the persistent warm worker pool (:mod:`repro.engine.pool`).
+
+Covers the delta-sync protocol (epoch bumps, warm-entry shipping), the
+slim wire codec (interned batch payloads, typed-column result packing),
+interrupt safety (a cancelled dispatch leaves no orphaned workers and
+the pool stays reusable), and bit-identity of pooled execution against
+serial execution.
+"""
+
+import multiprocessing
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import (
+    EvaluationCache,
+    WorkerPool,
+    build_plan,
+    config_sweep_jobs,
+    grid_jobs,
+    parameter_grid,
+    run_jobs,
+)
+from repro.engine.codec import network_evaluation_to_dict
+from repro.engine.pool import (
+    _decode_layers,
+    _encode_batch,
+    _pack_added,
+    _unpack_added,
+)
+from repro.systems import AlbireoConfig
+from repro.workloads import tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    return tiny_cnn()
+
+
+def _grid_a(network):
+    return grid_jobs(network, AlbireoConfig(),
+                     parameter_grid(clusters=(4, 8)))
+
+
+def _grid_b(network):
+    return grid_jobs(network, AlbireoConfig(),
+                     parameter_grid(clusters=(4, 8, 16),
+                                    output_reuse=(3, 9)))
+
+
+def _dicts(evaluations):
+    return [network_evaluation_to_dict(e) for e in evaluations]
+
+
+def _no_orphans():
+    """True when no worker processes linger (after a short grace)."""
+    for _ in range(50):
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return not multiprocessing.active_children()
+
+
+class TestPoolReuse:
+    def test_two_dispatches_one_spawn_bit_identical(self, small_network):
+        """A reused pool spawns once, delta-syncs later dispatches, and
+        stays bit-identical to serial execution."""
+        jobs_a, jobs_b = _grid_a(small_network), _grid_b(small_network)
+        serial_a = _dicts(run_jobs(jobs_a, workers=1))
+        serial_b = _dicts(run_jobs(jobs_b, workers=1))
+        cache = EvaluationCache()
+        with WorkerPool(workers=2) as pool:
+            warm_a = _dicts(run_jobs(jobs_a, workers=2, cache=cache,
+                                     pool=pool))
+            assert pool.stats.spawns == 1
+            warm_b = _dicts(run_jobs(jobs_b, workers=2, cache=cache,
+                                     pool=pool))
+        assert warm_a == serial_a
+        assert warm_b == serial_b
+        assert pool.stats.spawns == 1
+        assert pool.stats.dispatches == 2
+        assert pool.stats.delta_syncs == 2
+        assert pool.stats.epoch_resets == 0
+        # The second dispatch shipped the first run's warm entries as a
+        # delta instead of a fresh snapshot.
+        assert pool.stats.delta_entries > 0
+        assert _no_orphans()
+
+    def test_cache_epoch_bump_reseeds_workers(self, small_network):
+        """``cache.clear()`` bumps the epoch; the pool notices the stale
+        warm copies, reseeds them in-band — without respawning the
+        worker processes — and still computes correct results."""
+        jobs = _grid_a(small_network)
+        serial = _dicts(run_jobs(jobs, workers=1))
+        cache = EvaluationCache()
+        with WorkerPool(workers=2) as pool:
+            first = _dicts(run_jobs(jobs, workers=2, cache=cache,
+                                    pool=pool))
+            epoch_before = cache.epoch
+            cache.clear()
+            assert cache.epoch == epoch_before + 1
+            second = _dicts(run_jobs(jobs, workers=2, cache=cache,
+                                     pool=pool))
+        assert first == serial
+        assert second == serial
+        assert pool.stats.epoch_resets == 1
+        assert pool.stats.spawns == 1
+
+    def test_switching_caches_reseeds_workers(self, small_network):
+        """A different cache object also invalidates the warm copies;
+        the reseed likewise rides in-band on the next dispatch."""
+        jobs = _grid_a(small_network)
+        with WorkerPool(workers=2) as pool:
+            run_jobs(jobs, workers=2, cache=EvaluationCache(), pool=pool)
+            run_jobs(jobs, workers=2, cache=EvaluationCache(), pool=pool)
+        assert pool.stats.epoch_resets == 1
+        assert pool.stats.spawns == 1
+
+    def test_pool_worker_count_overrides_run_jobs_default(self,
+                                                          small_network):
+        """Passing a pool without ``workers=`` still runs parallel."""
+        jobs = _grid_a(small_network)
+        serial = _dicts(run_jobs(jobs, workers=1))
+        with WorkerPool(workers=2) as pool:
+            pooled = _dicts(run_jobs(jobs, cache=EvaluationCache(),
+                                     pool=pool))
+        assert pool.stats.spawns == 1
+        assert pooled == serial
+
+
+class TestInterruptSafety:
+    def test_interrupt_mid_dispatch_closes_cleanly(self, small_network):
+        """A KeyboardInterrupt while results are in flight terminates the
+        workers (no orphans) and the pool object remains reusable."""
+        jobs = _grid_b(small_network)
+        cache = EvaluationCache()
+        plan = build_plan(jobs, cache, workers=2)
+        assert plan is not None and plan.batches
+        pool = WorkerPool(workers=2)
+        try:
+            stream = pool.run_batches(plan.batches, cache)
+            next(stream)  # at least one batch answered; workers live
+            assert pool.active
+            with pytest.raises(KeyboardInterrupt):
+                stream.throw(KeyboardInterrupt)
+            assert not pool.active
+            assert _no_orphans()
+            # The pool respawns lazily and completes a full run.
+            fresh_cache = EvaluationCache()
+            results = _dicts(run_jobs(jobs, workers=2, cache=fresh_cache,
+                                      pool=pool))
+            assert results == _dicts(run_jobs(jobs, workers=1))
+            assert pool.stats.spawns == 2
+        finally:
+            pool.close()
+        assert _no_orphans()
+
+    def test_abandoning_iterator_closes_pool(self, small_network):
+        """Dropping the dispatch iterator (GeneratorExit) must not leak
+        workers either."""
+        jobs = _grid_b(small_network)
+        cache = EvaluationCache()
+        plan = build_plan(jobs, cache, workers=2)
+        pool = WorkerPool(workers=2)
+        try:
+            stream = pool.run_batches(plan.batches, cache)
+            next(stream)
+            stream.close()
+            assert not pool.active
+            assert _no_orphans()
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        pool = WorkerPool(workers=2)
+        pool.close()
+        pool.close()
+        with WorkerPool(workers=2) as ctx_pool:
+            assert not ctx_pool.active  # lazy: nothing dispatched yet
+        assert not ctx_pool.active
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0)
+
+
+class TestWireCodec:
+    def test_batch_encoding_round_trips_layers(self, small_network):
+        """Interned wire payloads decode to the exact same layers and
+        task structure the planner produced."""
+        cache = EvaluationCache()
+        plan = build_plan(_grid_b(small_network), cache, workers=2)
+        for batch in plan.batches:
+            contexts, layer_specs, segments = _encode_batch(batch)
+            layers = _decode_layers(layer_specs)
+            assert len(contexts) == len(batch) == len(segments)
+            for chunk, (ctx_index, codes) in zip(batch, segments):
+                system_name, config, system_key = contexts[ctx_index]
+                assert system_name == chunk.system
+                assert config == chunk.config
+                assert system_key == chunk.system_key
+                assert len(codes) == len(chunk.tasks)
+                for task, (kind_code, layer_id, flags) in zip(chunk.tasks,
+                                                              codes):
+                    assert layers[layer_id] == task.layer
+                    assert layers[layer_id].name == task.layer.name
+                    assert kind_code == {"mapper": 0, "layer": 1}[task.kind]
+                    assert bool(flags & 1) == task.use_mapper
+                    assert bool(flags & 2) == task.input_from_dram
+                    assert bool(flags & 4) == task.output_to_dram
+
+    def test_result_packing_round_trips_exactly(self):
+        """Typed-column packing reproduces layer entries key-for-key,
+        value-for-value, and in canonical field order."""
+        entry = {
+            "layer": {"name": "conv1", "m": 8},
+            "energy": [["DRAM", "W", 1.5]],
+            "cycles": 123456789,
+            "real_macs": 10**15,
+            "padded_macs": 10**15 + 7,
+            "peak_parallelism": 4096,
+            "clock_ghz": 5.0,
+            "occupancy_bits": {"GlobalBuffer": 2048.0},
+            "compute_cycles": 120000000,
+            "bandwidth_bound_level": None,
+        }
+        odd = {"weird": True}  # schema mismatch -> raw passthrough
+        added = {
+            "layers": {"k1": entry, "k2": odd},
+            "mappings": {"m1": {"mapping": {}, "cost": 1.0}},
+        }
+        unpacked = _unpack_added(_pack_added(added))
+        assert unpacked["layers"]["k1"] == entry
+        assert list(unpacked["layers"]["k1"]) == list(entry)
+        assert unpacked["layers"]["k2"] is odd
+        assert unpacked["mappings"] == added["mappings"]
+
+    def test_empty_namespaces_not_shipped(self):
+        assert _pack_added({"layers": {}, "results": {}}) == {}
+
+
+class TestStudyIntegration:
+    def test_study_run_accepts_pool(self, small_network):
+        from repro.api import Study
+
+        def build():
+            return (Study()
+                    .systems("albireo")
+                    .networks("tiny")
+                    .grid(clusters=[4, 8]))
+
+        baseline = build().run(workers=1)
+        cache = EvaluationCache()
+        with WorkerPool(workers=2) as pool:
+            first = build().run(workers=2, cache=cache, pool=pool)
+            second = build().run(workers=2, cache=cache, pool=pool)
+        assert pool.stats.spawns == 1
+        assert pool.stats.dispatches >= 1
+        assert [r.tags for r in first] == [r.tags for r in baseline]
+        for warm in (first, second):
+            for got, want in zip(warm, baseline):
+                assert got.metrics == want.metrics
