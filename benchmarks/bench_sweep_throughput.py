@@ -34,6 +34,12 @@ fork copies): serial vs planner@4 on synthetic config sweeps of
 the planner's advantage compounds with grid size (``BENCH_TIER=small``
 stops at 288 jobs for CI).
 
+A **cache-scaling** mode times persistence as the on-disk store grows
+1x / 4x / 16x while the per-run dirty delta stays fixed: the legacy
+single-image save/load scale with the total, while the sharded store's
+delta flush and lazy warm-start open must stay flat (O(dirty) — the
+asserted contract of ``repro.engine.store``).
+
 Writes ``BENCH_sweep_throughput.json`` (with provenance metadata) at the
 repository root and prints a summary table.  Runnable directly
 (``PYTHONPATH=src python benchmarks/bench_sweep_throughput.py``) or via
@@ -43,10 +49,13 @@ pytest.
 from __future__ import annotations
 
 import gc
+import hashlib
 import importlib.util
 import os
 import pathlib
+import shutil
 import statistics
+import tempfile
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -69,6 +78,14 @@ SCALING_SIZES_FULL = SCALING_SIZES_SMALL + (1008,)
 #: *named* entry (~200us) while the planner pays only alias derivation
 #: and assembly (~20us), so the ratio climbs with depth.
 SCALING_ENTRIES = 384
+
+#: Cache-scaling mode: persistence cost as the *store* grows while the
+#: per-run delta stays fixed.  The store holds ``factor x base`` warm
+#: entries; each timed flush adds the same ``CACHE_DIRTY`` new ones.
+CACHE_SCALING_FACTORS = (1, 4, 16)
+CACHE_BASE_ENTRIES = 200
+CACHE_DIRTY = 24
+CACHE_REPEATS = 3
 
 
 def _conftest():
@@ -230,6 +247,94 @@ def _scaling_curve(sizes) -> dict:
     }
 
 
+def _cache_key(tag) -> str:
+    return hashlib.sha256(str(tag).encode("utf-8")).hexdigest()
+
+
+def _cache_entry(index: int) -> dict:
+    """A result-sized synthetic entry (~300 bytes encoded)."""
+    return {"index": index, "energy_pj": index * 1.5,
+            "latency_ns": index * 2.0,
+            "pad": "p" * 240}
+
+
+def _seed_cache(directory: str, entries: int, backend: str) -> None:
+    from repro.engine import EvaluationCache
+
+    cache = EvaluationCache(directory, backend=backend)
+    for index in range(entries):
+        cache.put("results", _cache_key(("warm", index)),
+                  _cache_entry(index))
+    cache.save()
+
+
+def _cache_scaling_point(factor: int) -> dict:
+    """Persistence timings at ``factor x CACHE_BASE_ENTRIES`` warm
+    entries, fixed ``CACHE_DIRTY`` delta.
+
+    * ``legacy_save_s`` — full-image rewrite after the delta (the old
+      backend: O(total)).
+    * ``legacy_load_s`` — eager whole-image parse at open (O(total)).
+    * ``sharded_flush_s`` — delta append of the same dirty set
+      (O(dirty): must stay flat as the factor grows).
+    * ``sharded_open_s`` — warm-start open: index only, shards lazy
+      (must stay flat too).
+
+    Minimum of ``CACHE_REPEATS`` runs: wall-clock noise (and a stray
+    slow fsync) is additive, so min is the least-biased estimate.
+    """
+    from repro.engine import EvaluationCache
+
+    entries = factor * CACHE_BASE_ENTRIES
+    point = {"factor": factor, "entries": entries}
+    counter = [0]
+
+    def dirty_batch():
+        counter[0] += 1
+        return [(_cache_key(("dirty", counter[0], i)), _cache_entry(i))
+                for i in range(CACHE_DIRTY)]
+
+    for backend in ("legacy", "sharded"):
+        directory = tempfile.mkdtemp(prefix=f"bench-cache-{backend}-")
+        try:
+            _seed_cache(directory, entries, backend)
+            opens, saves = [], []
+            for _ in range(CACHE_REPEATS):
+                gc.collect()
+                start = time.perf_counter()
+                cache = EvaluationCache(directory, backend=backend)
+                opens.append(time.perf_counter() - start)
+                for key, value in dirty_batch():
+                    cache.put("results", key, value)
+                gc.collect()
+                start = time.perf_counter()
+                cache.save()
+                saves.append(time.perf_counter() - start)
+            if backend == "legacy":
+                point["legacy_load_s"] = round(min(opens), 4)
+                point["legacy_save_s"] = round(min(saves), 4)
+            else:
+                point["sharded_open_s"] = round(min(opens), 4)
+                point["sharded_flush_s"] = round(min(saves), 4)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return point
+
+
+def _cache_scaling() -> dict:
+    """Save/load wall time as the store grows 1x -> 4x -> 16x with a
+    fixed dirty delta: the legacy image scales with the total, the
+    sharded store's open and flush must stay flat."""
+    points = [_cache_scaling_point(factor)
+              for factor in CACHE_SCALING_FACTORS]
+    return {
+        "base_entries": CACHE_BASE_ENTRIES,
+        "dirty_entries": CACHE_DIRTY,
+        "repeats": CACHE_REPEATS,
+        "points": points,
+    }
+
+
 def _plan_only_stats(jobs):
     """Planner counters for a job list without executing anything."""
     from repro.engine import EvaluationCache, build_plan
@@ -381,6 +486,7 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
         "pool": pool_stats,
         "overhead_breakdown": _traced_breakdown(network, reference),
         "scaling": scaling,
+        "cache_scaling": _cache_scaling(),
         "grids": {
             "fig4_memory": _plan_only_stats(memory_sweep_jobs(
                 network, AlbireoConfig(),
@@ -434,6 +540,15 @@ def _print_report(report: dict) -> None:
         print(f"  {point['jobs']:>5} jobs: serial {point['serial_s']:.2f}s, "
               f"planner@{scaling['workers']} {point['planner4_s']:.2f}s "
               f"-> {point['speedup']:.2f}x")
+    cache_scaling = report["cache_scaling"]
+    print(f"cache scaling ({cache_scaling['dirty_entries']}-entry dirty "
+          f"delta):")
+    for point in cache_scaling["points"]:
+        print(f"  {point['entries']:>5} warm entries: legacy save "
+              f"{point['legacy_save_s'] * 1e3:.1f}ms / load "
+              f"{point['legacy_load_s'] * 1e3:.1f}ms | sharded flush "
+              f"{point['sharded_flush_s'] * 1e3:.1f}ms / open "
+              f"{point['sharded_open_s'] * 1e3:.1f}ms")
 
 
 def main() -> dict:
@@ -483,6 +598,19 @@ def test_sweep_throughput_benchmark():
     # bottleneck.
     assert (breakdown["dispatch_self_s"]
             < 0.3 * breakdown["traced_run_s"]), breakdown
+    # Cache persistence must be O(delta), not O(total): with a fixed
+    # dirty set, the sharded flush and the warm-start open at 16x the
+    # store size must stay within noise of the 1x cost (generous
+    # floors absorb scheduler jitter and a stray slow fsync on shared
+    # CI disks), while the legacy image's save/load grow with the
+    # total by construction.
+    points = {point["factor"]: point
+              for point in report["cache_scaling"]["points"]}
+    one, sixteen = points[1], points[16]
+    assert sixteen["sharded_flush_s"] < max(
+        0.05, 5.0 * max(one["sharded_flush_s"], 0.002)), points
+    assert sixteen["sharded_open_s"] < max(
+        0.05, 5.0 * max(one["sharded_open_s"], 0.002)), points
 
 
 if __name__ == "__main__":

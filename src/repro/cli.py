@@ -15,6 +15,7 @@ analyses, each with its own ``--help``::
     repro run          # execute a declarative study spec (repro.api)
     repro arch         # print a modeled system's hierarchy
     repro area         # per-component area summary
+    repro cache        # inspect / gc / migrate a persistent cache dir
 
 The parser is built generically from the library's registries: ``--system``
 choices come from :mod:`repro.systems.registry`, ``--network`` choices
@@ -30,6 +31,12 @@ for downstream tooling.
 ``repro run spec.json`` executes any study expressible as data — systems
 x networks x scenarios x grid overrides x batching x fusion — through
 :meth:`repro.api.Study.from_json`, so one-off explorations need no code.
+
+``repro cache {stats,gc,migrate} DIR`` maintains the sharded store
+behind ``--cache DIR``: exact per-namespace/per-shard inventory
+(``stats``), LRU eviction + log compaction under ``--max-entries`` /
+``--max-bytes`` budgets (``gc``), and explicit legacy ``cache.json``
+migration (``migrate`` — also happens automatically on first use).
 
 Observability: sweep-shaped commands accept ``--trace PATH`` (write a
 Chrome/Perfetto span timeline of the run, worker lanes included) and
@@ -430,6 +437,51 @@ def _cmd_arch(args) -> None:
     print(_scenario_system(args).describe())
 
 
+def _cmd_cache(args) -> None:
+    """Maintain a persistent cache directory (the sharded store behind
+    ``--cache DIR``): exact inventory, LRU gc + compaction, migration."""
+    import json
+
+    from repro.engine.cache import NAMESPACES
+    from repro.engine.store import ShardedStore
+
+    # Opening the store auto-migrates a legacy cache.json if present.
+    store = ShardedStore(args.directory, NAMESPACES)
+    info = {"action": args.action}
+    if args.action == "gc":
+        info["gc"] = store.gc(max_entries=args.max_entries,
+                              max_bytes=args.max_bytes)
+    elif args.action == "migrate":
+        info["migrated_entries"] = store.stats.migrated_entries
+    info.update(store.describe())
+    if args.json_stdout:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return
+    lines = [
+        f"cache at {info['directory']}: {info['total_entries']} entries, "
+        f"{info['bytes']} bytes across {len(info['shards'])} shards"
+    ]
+    if args.action == "migrate":
+        migrated = info["migrated_entries"]
+        lines.append(f"migrated {migrated} entries from cache.json"
+                     if migrated else
+                     "nothing to migrate (already sharded, or no legacy "
+                     "image)")
+    if args.action == "gc":
+        summary = info["gc"]
+        lines.append(f"gc: evicted {summary['evicted_entries']} entries "
+                     f"({summary['evicted_bytes']} bytes), compacted "
+                     f"shard logs")
+    counts = info["entries"]
+    lines.append("  " + " | ".join(f"{ns} {counts[ns]}" for ns in counts))
+    rows = [(shard, str(detail["entries"]), str(detail["bytes"]))
+            for shard, detail in sorted(info["shards"].items())]
+    if rows:
+        lines.append(format_table(("shard", "entries", "bytes"), rows,
+                                  align_right=[False, True, True]))
+    print("\n".join(lines))
+
+
 def _cmd_area(args) -> None:
     system = _scenario_system(args)
     areas = system.area_summary_um2()
@@ -474,7 +526,50 @@ _COMMANDS: Sequence = (
      ("system", "scenario"), _cmd_arch),
     ("area", "per-component area summary",
      ("system", "scenario"), _cmd_area),
+    ("cache", "inspect, gc, or migrate a persistent cache directory",
+     (), _cmd_cache),
 )
+
+
+def _args_run(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "specs", metavar="spec.json", nargs="+",
+        help="study spec file(s) (see Study.from_json): systems x "
+             "networks x scenarios x grid x batches x fusion; "
+             "multiple specs share one cache (and, with "
+             "--keep-pool, one warm worker pool)",
+    )
+
+
+def _args_cache(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "action", choices=("stats", "gc", "migrate"),
+        help="stats: exact per-namespace/per-shard inventory; gc: evict "
+             "LRU entries to budget and compact the shard logs; migrate: "
+             "fold a legacy cache.json into the sharded layout",
+    )
+    sub.add_argument("directory", metavar="DIR",
+                     help="cache directory (as passed to --cache)")
+    sub.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        dest="max_entries",
+        help="gc: keep at most N entries across all namespaces "
+             "(least recently used evicted first)",
+    )
+    sub.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        dest="max_bytes",
+        help="gc: shrink the shard logs to at most N bytes of entries",
+    )
+    sub.add_argument(
+        "--json", action="store_true", dest="json_stdout",
+        help="print the inventory (and gc/migration summary) as JSON",
+    )
+
+
+#: Commands with bespoke positionals/options beyond the shared flag
+#: groups; applied after the groups in ``_build_parser``.
+_EXTRA_ARGS = {"run": _args_run, "cache": _args_cache}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -492,14 +587,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                     description=help_text)
         for group in groups:
             _FLAG_GROUPS[group](sub)
-        if name == "run":
-            sub.add_argument(
-                "specs", metavar="spec.json", nargs="+",
-                help="study spec file(s) (see Study.from_json): systems x "
-                     "networks x scenarios x grid x batches x fusion; "
-                     "multiple specs share one cache (and, with "
-                     "--keep-pool, one warm worker pool)",
-            )
+        extra = _EXTRA_ARGS.get(name)
+        if extra is not None:
+            extra(sub)
         sub.set_defaults(handler=handler)
     return parser
 

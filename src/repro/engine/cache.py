@@ -1,5 +1,4 @@
-"""Persistent evaluation cache: in-memory dicts with an atomic JSON disk
-image.
+"""Persistent evaluation cache: in-memory dicts over a sharded disk store.
 
 The cache memoizes three namespaces, keyed by content hashes so entries
 are valid across processes and sessions:
@@ -13,10 +12,18 @@ are valid across processes and sessions:
   evaluate the same layer under the same configuration (e.g. the fused
   and non-fused arms of a memory sweep).
 
-Disk persistence is a single ``cache.json`` written atomically (temp file
-+ ``os.replace``), so a crashed or interrupted sweep never leaves a
-corrupt cache — at worst it leaves the previous image.  Hit/miss counts
-are tracked per namespace and mergeable across worker processes.
+Disk persistence (``backend="sharded"``, the default for a directory
+cache) goes through :class:`repro.engine.store.ShardedStore`: entries
+shard by key prefix into append-only logs, :meth:`EvaluationCache.save`
+flushes only the entries added since the last save (O(delta), never a
+full rewrite), shards fault into memory lazily on first lookup, and
+per-shard advisory locks make one cache directory safe to share between
+concurrent sweep processes.  A directory holding only a legacy
+single-image ``cache.json`` is migrated into the sharded layout on
+first open; ``backend="legacy"`` keeps the old whole-image behavior
+(written atomically and fsync'd, so a crash never corrupts it).
+Hit/miss counts are tracked per namespace and mergeable across worker
+processes.
 """
 
 from __future__ import annotations
@@ -25,9 +32,8 @@ import functools
 import itertools
 import json
 import os
-import tempfile
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
 
 from repro import obs
 from repro.engine.codec import (
@@ -35,6 +41,8 @@ from repro.engine.codec import (
     layer_evaluation_from_dict,
     layer_evaluation_to_dict,
 )
+from repro.engine.store import Budget, ShardedStore, atomic_write_json, \
+    shard_of
 from repro.mapping.mapper import MapperResult
 from repro.mapping.serialize import mapping_from_dict, mapping_to_dict
 from repro.model.results import LayerEvaluation
@@ -140,11 +148,29 @@ class EvaluationCache:
 
     ``directory=None`` gives a purely in-memory cache (still useful for
     sharing mapper results across the jobs of one sweep).  With a
-    directory, existing entries load eagerly on construction and
-    :meth:`save` writes the full image back atomically.
+    directory, the default ``backend="sharded"`` opens a
+    :class:`~repro.engine.store.ShardedStore`: only the compact index is
+    read up front, shards fault in lazily on first lookup, and
+    :meth:`save` appends just the entries added since the last save —
+    so neither warm-start nor persistence cost scales with the total
+    cache size, and multiple processes can share the directory (see
+    :mod:`repro.engine.store`).  ``backend="legacy"`` restores the old
+    behavior: the full ``cache.json`` image loads eagerly on
+    construction and :meth:`save` rewrites it whole (atomically).
+
+    ``max_entries``/``max_bytes`` (int = global, dict = per-namespace)
+    arm the sharded store's LRU eviction; evicted entries recompute on
+    the next miss.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(self, directory: Optional[str] = None,
+                 backend: str = "sharded",
+                 max_entries: Budget = None,
+                 max_bytes: Budget = None,
+                 load_namespaces: Optional[Iterable[str]] = None) -> None:
+        if backend not in ("sharded", "auto", "legacy"):
+            raise ValueError(f"unknown cache backend {backend!r}; "
+                             f"options: 'sharded', 'legacy'")
         self.directory = directory
         self._data: Dict[str, Dict[str, Any]] = {ns: {} for ns in NAMESPACES}
         self._added: Dict[str, Dict[str, Any]] = {ns: {} for ns in NAMESPACES}
@@ -152,8 +178,26 @@ class EvaluationCache:
                                              for ns in NAMESPACES}
         self.planner = PlannerStats()
         self._epoch = 0
+        self._store: Optional[ShardedStore] = None
+        self._loaded_shards: Set[str] = set()
+        self._touched: Dict[str, Set[str]] = {ns: set() for ns in NAMESPACES}
+        #: Mapper-entry keys that came from disk, not this session's
+        #: searches — excluded from :meth:`mapper_search_stats` so a
+        #: lazily faulted warm entry never counts as a fresh search.
+        self._disk_mappings: Set[str] = set()
         if directory is not None:
-            self._load()
+            if backend == "legacy":
+                self._load()
+            else:
+                self._store = ShardedStore(
+                    directory, NAMESPACES,
+                    load_namespaces=load_namespaces,
+                    max_entries=max_entries, max_bytes=max_bytes)
+
+    @property
+    def store(self) -> Optional[ShardedStore]:
+        """The sharded disk backend (``None`` for in-memory/legacy)."""
+        return self._store
 
     @property
     def epoch(self) -> int:
@@ -168,28 +212,64 @@ class EvaluationCache:
         return self._epoch
 
     def clear(self) -> None:
-        """Drop every entry and bump the epoch.
+        """Drop every in-memory entry and bump the epoch.
 
         Persistent-pool workers hold warm copies of this cache; the
         epoch bump is what tells the pool those copies are stale (it
         reseeds workers from scratch on the next dispatch instead of
         shipping an additive delta that couldn't express the removal).
+        On a sharded-store cache the disk entries are untouched (use
+        ``store.gc`` to shrink the disk) and become faultable again —
+        ``clear`` forgets unflushed additions and re-reads from disk.
         """
         self._epoch += 1
         self._data = {ns: {} for ns in NAMESPACES}
         self._added = {ns: {} for ns in NAMESPACES}
+        self._loaded_shards = set()
+        self._touched = {ns: set() for ns in NAMESPACES}
+        self._disk_mappings = set()
 
     # ------------------------------------------------------------------
     # Generic namespace access
     # ------------------------------------------------------------------
+    def _fault(self, key: str) -> None:
+        """Load the disk shard holding ``key`` into memory (idempotent).
+
+        In-memory values win over their disk copies: a key present in
+        both was put this session, and content-addressed keys make the
+        two interchangeable anyway.  Faulted entries join ``_data`` —
+        append-only, so live sync markers stay valid — but are never
+        marked added (they are already persisted).
+        """
+        store = self._store
+        if store is None:
+            return
+        shard = shard_of(key)
+        if shard in self._loaded_shards:
+            return
+        self._loaded_shards.add(shard)
+        for namespace, values in store.load_shard(shard).items():
+            data = self._data.get(namespace)
+            if data is None:
+                continue
+            fresh = {k: v for k, v in values.items() if k not in data}
+            data.update(fresh)
+            if namespace == "mappings":
+                self._disk_mappings.update(fresh)
+
     def get(self, namespace: str, key: str) -> Optional[Any]:
         """Look up ``key``, counting the hit or miss."""
         entry = self._data[namespace].get(key)
+        if entry is None and self._store is not None:
+            self._fault(key)
+            entry = self._data[namespace].get(key)
         stats = self.stats[namespace]
         if entry is None:
             stats.misses += 1
         else:
             stats.hits += 1
+            if self._store is not None:
+                self._touched[namespace].add(key)
         return entry
 
     def put(self, namespace: str, key: str, value: Any) -> None:
@@ -200,13 +280,26 @@ class EvaluationCache:
         """Membership probe that counts neither a hit nor a miss (the
         planner's dedup-against-the-cache check, which must not distort
         the hit-rate report of the evaluation that follows)."""
-        return key in self._data[namespace]
+        if key in self._data[namespace]:
+            return True
+        if self._store is not None:
+            self._fault(key)
+            return key in self._data[namespace]
+        return False
 
     def peek(self, namespace: str, key: str) -> Optional[Any]:
         """Uncounted lookup (see :meth:`contains`)."""
-        return self._data[namespace].get(key)
+        entry = self._data[namespace].get(key)
+        if entry is None and self._store is not None:
+            self._fault(key)
+            entry = self._data[namespace].get(key)
+        if entry is not None and self._store is not None:
+            self._touched[namespace].add(key)
+        return entry
 
     def __len__(self) -> int:
+        """In-memory entry count (on a sharded store, only the shards
+        faulted in so far — ``store.describe()`` has the disk totals)."""
         return sum(len(entries) for entries in self._data.values())
 
     def size(self, namespace: str) -> int:
@@ -269,11 +362,54 @@ class EvaluationCache:
             cache._data[namespace].update(snapshot.get(namespace, {}))
         return cache
 
+    def store_seed(self) -> Optional[Tuple[str, Dict[str, Dict[str, Any]]]]:
+        """The slim worker seed a sharded-store cache supports:
+        ``(directory, unflushed entries)``.
+
+        Everything already flushed is readable by the worker straight
+        from the shared store (lazily, shard by shard), so only the
+        entries added since the last save ride the wire — instead of
+        the full pickled image :meth:`snapshot` would ship.  Whole-job
+        ``results`` stay home either way (workers never read them).
+        Returns ``None`` when no sharded store is live.
+        """
+        if self._store is None:
+            return None
+        pending = {ns: dict(values)
+                   for ns, values in self._added.items()
+                   if ns != "results" and values}
+        return (self.directory, pending)
+
+    @classmethod
+    def from_store_seed(
+            cls, seed: Tuple[str, Dict[str, Dict[str, Any]]],
+    ) -> "EvaluationCache":
+        """Open a worker-side cache over the shared store directory.
+
+        Reads lazily from the same sharded store as the parent (skipping
+        the whole-job ``results`` namespace entirely) and adopts the
+        parent's unflushed entries; like every worker cache, it only
+        ever ships back what it computes itself (``pop_added``).
+        """
+        directory, pending = seed
+        cache = cls(directory, load_namespaces=("mappings", "layers"))
+        cache.adopt(pending)
+        return cache
+
     @property
     def dirty(self) -> bool:
         """True when entries were added since the last save/pop_added —
         a clean (100%-hit) run needn't rewrite the disk image."""
         return any(self._added.values())
+
+    @property
+    def needs_flush(self) -> bool:
+        """Whether :meth:`save` has anything to persist: added entries,
+        or (sharded store only) access touches that keep LRU recency
+        honest across warm runs."""
+        if self.dirty:
+            return True
+        return self._store is not None and any(self._touched.values())
 
     def pop_added(self) -> Dict[str, Dict[str, Any]]:
         """Entries added since the last call (worker -> parent shipping)."""
@@ -297,9 +433,17 @@ class EvaluationCache:
         for namespace, values in entries.items():
             self._data[namespace].update(values)
 
-    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
-        return {ns: {"hits": s.hits, "misses": s.misses}
-                for ns, s in self.stats.items()}
+    def stats_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-namespace hit/miss counters, plus (when a sharded store
+        is live) its ``store`` counters — shard loads, flushes, lock
+        waits, evictions — under the ``"store"`` key."""
+        snapshot: Dict[str, Dict[str, Any]] = {
+            ns: {"hits": s.hits, "misses": s.misses}
+            for ns, s in self.stats.items()
+        }
+        if self._store is not None:
+            snapshot["store"] = self._store.stats.to_dict()
+        return snapshot
 
     def reset_stats(self) -> None:
         """Zero every hit/miss counter and the planner counters.
@@ -311,10 +455,19 @@ class EvaluationCache:
         for stats in self.stats.values():
             stats.reset()
         self.planner.reset()
+        if self._store is not None:
+            self._store.stats.reset()
 
-    def absorb_stats(self, snapshot: Dict[str, Dict[str, int]]) -> None:
-        """Fold worker-side hit/miss counts into this cache's statistics."""
+    def absorb_stats(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold worker-side hit/miss (and store) counts into this
+        cache's statistics."""
         for namespace, counts in snapshot.items():
+            if namespace == "store":
+                # Worker shard faults / lock waits against the shared
+                # store roll up into the parent's store counters.
+                if self._store is not None:
+                    self._store.stats.absorb(counts)
+                continue
             stats = self.stats[namespace]
             stats.hits += counts.get("hits", 0)
             stats.misses += counts.get("misses", 0)
@@ -325,6 +478,14 @@ class EvaluationCache:
         line = "cache: " + (" | ".join(parts) if parts else "no lookups")
         if self.planner.planned:
             line += "\n" + self.planner.describe()
+        if self._store is not None:
+            store = self._store.stats
+            line += (f"\nstore: {store.shard_loads} shard loads "
+                     f"({store.loaded_entries} entries), "
+                     f"{store.flushes} flushes "
+                     f"({store.flushed_entries} entries), "
+                     f"{store.lock_waits} lock waits, "
+                     f"{store.evicted_entries} evicted")
         return line
 
     def mapper_search_stats(self) -> Dict[str, int]:
@@ -337,7 +498,11 @@ class EvaluationCache:
         """
         totals = {"searches": 0, "evaluated": 0, "valid": 0,
                   "deduplicated": 0, "pruned_early": 0}
-        for entry in self._data["mappings"].values():
+        for key, entry in self._data["mappings"].items():
+            if key in self._disk_mappings:
+                # Lazily faulted warm entries are prior sessions' work;
+                # counting them would misreport them as fresh searches.
+                continue
             totals["searches"] += 1
             for counter in ("evaluated", "valid", "deduplicated",
                             "pruned_early"):
@@ -349,6 +514,8 @@ class EvaluationCache:
     # ------------------------------------------------------------------
     @property
     def path(self) -> Optional[str]:
+        """Where the legacy single-JSON image lives (also the migration
+        source for the sharded backend)."""
         if self.directory is None:
             return None
         return os.path.join(self.directory, "cache.json")
@@ -372,26 +539,33 @@ class EvaluationCache:
             load_span.set("entries", len(self))
 
     def save(self) -> Optional[str]:
-        """Atomically write the cache image; returns the path written."""
+        """Persist to disk; returns the path written (``None`` in-memory).
+
+        Sharded backend: flushes only the entries added since the last
+        save, plus batched access touches for LRU recency — O(delta)
+        appends, never a rewrite.  Legacy backend: atomically rewrites
+        the whole ``cache.json`` image (temp file + fsync +
+        ``os.replace``, so a crash mid-save leaves the previous image
+        intact, never a truncated one).
+        """
+        if self._store is not None:
+            added = {ns: dict(values)
+                     for ns, values in self._added.items() if values}
+            touched = {ns: sorted(keys)
+                       for ns, keys in self._touched.items() if keys}
+            self._store.flush(added, touched)
+            self._added = {ns: {} for ns in NAMESPACES}
+            self._touched = {ns: set() for ns in NAMESPACES}
+            return self._store.root
         path = self.path
         if path is None:
             return None
         with obs.span("cache.save", path=path, entries=len(self)):
             os.makedirs(self.directory, exist_ok=True)
-            image = {
+            atomic_write_json(path, {
                 "version": _CACHE_FORMAT_VERSION,
                 "entries": self._data,
-            }
-            fd, temp_path = tempfile.mkstemp(
-                dir=self.directory, prefix=".cache-", suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(image, handle)
-                os.replace(temp_path, path)
-            except BaseException:
-                if os.path.exists(temp_path):
-                    os.unlink(temp_path)
-                raise
+            })
             self._added = {ns: {} for ns in NAMESPACES}
         return path
 

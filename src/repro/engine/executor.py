@@ -222,8 +222,9 @@ def run_jobs(
     ``workers=1`` runs in-process.  ``workers>1`` evaluates cache misses
     over a ``multiprocessing`` pool; results are bit-identical to the
     serial path.  ``cache`` may be an :class:`EvaluationCache`, a
-    directory path (the cache loads from and saves to ``cache.json``
-    inside it), or ``None``.
+    directory path (opened as a sharded store inside it — see
+    :mod:`repro.engine.store` — safe to share between concurrent
+    processes), or ``None``.
 
     ``plan`` controls the parallel strategy: the default (``None`` or
     ``True``) schedules the batch through the two-phase planner whenever
@@ -323,7 +324,8 @@ def run_jobs(
                     if progress is not None:
                         progress(done, total, jobs[index])
 
-        if cache is not None and cache.directory is not None and cache.dirty:
+        if cache is not None and cache.directory is not None \
+                and cache.needs_flush:
             cache.save()
     return results  # type: ignore[return-value]
 

@@ -12,7 +12,11 @@ path in three ways:
 
 * **Delta cache sync instead of full snapshots.**  The first dispatch
   (at spawn) ships the cache image once, stamped with the cache's
-  ``(epoch, per-namespace length)`` marker.  Entries are append-only
+  ``(epoch, per-namespace length)`` marker — or, when the cache sits on
+  a sharded directory store, just the store reference plus the parent's
+  unflushed additions: the workers fault warm entries in from the
+  shared store lazily, so seeding cost no longer scales with the total
+  cache size either.  Entries are append-only
   within an epoch and dicts preserve insertion order, so every later
   dispatch ships only the entries *beyond* the oldest marker any worker
   could be holding — O(new entries), not O(cache).  ``cache.clear()``
@@ -205,13 +209,29 @@ _WORKER_TOKEN: int = 0
 _WORKER_OBS: Optional[Tuple[float, int]] = None
 
 
-def _init_pool_worker(snapshot: Optional[Dict[str, Dict[str, Any]]],
+def _seed_cache(seed: Optional[tuple]) -> Optional[EvaluationCache]:
+    """Build a worker cache from a tagged seed payload.
+
+    ``("image", snapshot)`` is the classic full pickled image;
+    ``("store", (directory, pending))`` opens the shared sharded store
+    lazily — the worker reads warm entries shard-by-shard straight from
+    disk as it needs them and only the parent's unflushed additions
+    rode the wire.
+    """
+    if seed is None:
+        return None
+    kind, body = seed
+    if kind == "store":
+        return EvaluationCache.from_store_seed(body)
+    return EvaluationCache.from_snapshot(body)
+
+
+def _init_pool_worker(seed: Optional[tuple],
                       marker: Optional[_Marker], token: int) -> None:
     """Pool initializer: seed the floor snapshot, silence inherited
     tracing (payloads re-activate it per dispatch as needed)."""
     global _WORKER_CACHE, _WORKER_MARK, _WORKER_TOKEN, _WORKER_OBS
-    _WORKER_CACHE = (EvaluationCache.from_snapshot(snapshot)
-                     if snapshot is not None else None)
+    _WORKER_CACHE = _seed_cache(seed)
     _WORKER_MARK = marker
     _WORKER_TOKEN = token
     _WORKER_OBS = None
@@ -235,9 +255,10 @@ def _sync_tracing(config: Optional[Tuple[float, int]]) -> None:
 def _apply_sync(sync: Optional[tuple]) -> EvaluationCache:
     """Fold the dispatch's cache sync into the warm worker cache.
 
-    Payloads are tagged: ``("reset", token, marker, snapshot)`` replaces
+    Payloads are tagged: ``("reset", token, marker, seed)`` replaces
     the cache wholesale (the parent switched caches or bumped the epoch
-    — the processes stay alive, only the cached data is swapped), while
+    — the processes stay alive, only the cached data is swapped; the
+    seed is an image or store reference, see :func:`_seed_cache`), while
     ``("delta", token, marker, delta)`` folds in new entries.  The token
     identifies the cache timeline: a reset is applied once per token (a
     worker serving two payloads of one dispatch must not wipe its first
@@ -253,7 +274,7 @@ def _apply_sync(sync: Optional[tuple]) -> EvaluationCache:
     kind, token, target = sync[0], sync[1], sync[2]
     if kind == "reset":
         if token != _WORKER_TOKEN or _WORKER_CACHE is None:
-            _WORKER_CACHE = EvaluationCache.from_snapshot(sync[3])
+            _WORKER_CACHE = _seed_cache(sync[3]) or EvaluationCache()
             _WORKER_TOKEN = token
             _WORKER_MARK = target
         return _WORKER_CACHE
@@ -334,14 +355,19 @@ class PoolStats:
     spawn or as in-band resets); ``delta_entries`` counts entries
     shipped as warm deltas — on a healthy reused pool the latter stays
     small while the former is paid once per cache timeline.
-    ``epoch_resets`` counts timeline changes (epoch bump or cache
-    switch) answered by an in-band reseed; the workers stay alive.
+    ``store_seeds`` counts seeds that shipped a shared-store reference
+    instead of a pickled image (directory caches: workers read warm
+    entries from disk themselves, so ``snapshot_entries`` then counts
+    only the unflushed additions that rode along).  ``epoch_resets``
+    counts timeline changes (epoch bump or cache switch) answered by an
+    in-band reseed; the workers stay alive.
     """
 
     spawns: int = 0
     dispatches: int = 0
     batches: int = 0
     snapshot_entries: int = 0
+    store_seeds: int = 0
     delta_syncs: int = 0
     delta_entries: int = 0
     epoch_resets: int = 0
@@ -352,6 +378,7 @@ class PoolStats:
             "dispatches": self.dispatches,
             "batches": self.batches,
             "snapshot_entries": self.snapshot_entries,
+            "store_seeds": self.store_seeds,
             "delta_syncs": self.delta_syncs,
             "delta_entries": self.delta_entries,
             "epoch_resets": self.epoch_resets,
@@ -454,29 +481,45 @@ class WorkerPool:
             return
         size = max(1, min(self.workers, pending,
                           multiprocessing.cpu_count() or self.workers))
-        with obs.span("executor.snapshot"):
-            if cache is not None:
-                snapshot = cache.snapshot()
-                # Workers only read the mapper/layer namespaces; the
-                # possibly large whole-job results stay home.
-                snapshot["results"] = {}
-                marker = cache.sync_marker()
-            else:
-                snapshot, marker = None, None
+        if cache is not None:
+            seed = self._seed_payload(cache)
+            marker = cache.sync_marker()
+        else:
+            seed, marker = None, None
         with obs.span("executor.pool_spawn", workers=size):
             self._pool = _pool_context().Pool(
                 size, initializer=_init_pool_worker,
-                initargs=(snapshot, marker, self._token))
+                initargs=(seed, marker, self._token))
         self._pool_size = size
         self.stats.spawns += 1
         if cache is not None:
-            self.stats.snapshot_entries += sum(
-                len(snapshot[ns]) for ns in snapshot)
             self._sync = _CacheSync(cache_id=id(cache), epoch=cache.epoch,
                                     floor=marker, marks={},
                                     token=self._token)
         else:
             self._sync = None
+
+    def _seed_payload(self, cache: EvaluationCache) -> tuple:
+        """The tagged worker seed (see :func:`_seed_cache`).
+
+        Directory caches ship a store reference plus only the unflushed
+        additions — the workers fault warm entries in from the shared
+        sharded store themselves; everything else ships the full
+        in-memory image (sans the whole-job ``results`` namespace,
+        which workers never read).
+        """
+        store_seed = cache.store_seed()
+        if store_seed is not None:
+            self.stats.store_seeds += 1
+            self.stats.snapshot_entries += sum(
+                len(values) for values in store_seed[1].values())
+            return ("store", store_seed)
+        with obs.span("executor.snapshot"):
+            snapshot = cache.snapshot()
+            snapshot["results"] = {}
+        self.stats.snapshot_entries += sum(
+            len(snapshot[ns]) for ns in snapshot)
+        return ("image", snapshot)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -487,17 +530,14 @@ class WorkerPool:
             return None
         current = cache.sync_marker()
         if sync.resetting:
-            # Some worker may still hold the previous timeline: ship the
-            # full image (sans whole-job results) until every pid has
-            # acknowledged the new token.  The worker-side token check
-            # makes repeated resets idempotent within a dispatch.
-            with obs.span("executor.snapshot"):
-                snapshot = cache.snapshot()
-                snapshot["results"] = {}
+            # Some worker may still hold the previous timeline: ship a
+            # full seed (image, or store reference for directory caches)
+            # until every pid has acknowledged the new token.  The
+            # worker-side token check makes repeated resets idempotent
+            # within a dispatch.
             sync.floor = current
-            self.stats.snapshot_entries += sum(
-                len(snapshot[ns]) for ns in snapshot)
-            return ("reset", sync.token, current, snapshot)
+            return ("reset", sync.token, current,
+                    self._seed_payload(cache))
         # The base is the oldest state any worker can be in: its last
         # acknowledged marker, or the spawn floor if it has never
         # answered.  Markers on one cache timeline are totally ordered,

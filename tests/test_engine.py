@@ -197,7 +197,7 @@ class TestCache:
         cache = EvaluationCache(str(tmp_path))
         cold = run_jobs(jobs, cache=cache)
         assert cache.stats["results"].hits == 0
-        assert (tmp_path / "cache.json").exists()
+        assert (tmp_path / "store" / "index.json").exists()
 
         reloaded = EvaluationCache(str(tmp_path))
         warm = run_jobs(jobs, cache=reloaded)
@@ -265,13 +265,17 @@ class TestCache:
     def test_corrupt_or_foreign_image_starts_fresh(self, tmp_path):
         (tmp_path / "cache.json").write_text(
             json.dumps({"version": 999, "entries": {"results": {"x": 1}}}))
-        cache = EvaluationCache(str(tmp_path))
-        assert len(cache) == 0
+        for backend in ("legacy", "sharded"):
+            cache = EvaluationCache(str(tmp_path), backend=backend)
+            assert len(cache) == 0
+            assert cache.get("results", "x") is None
 
     def test_truncated_image_starts_fresh(self, tmp_path):
         (tmp_path / "cache.json").write_text('{"version": 1, "entries": {TR')
-        cache = EvaluationCache(str(tmp_path))
-        assert len(cache) == 0
+        for backend in ("legacy", "sharded"):
+            cache = EvaluationCache(str(tmp_path), backend=backend)
+            assert len(cache) == 0
+            assert cache.get("results", "x") is None
 
     def test_in_memory_cache_needs_no_disk(self, small_network):
         cache = EvaluationCache()
@@ -282,23 +286,51 @@ class TestCache:
         assert cache.save() is None
 
     def test_atomic_save_leaves_single_image(self, small_network, tmp_path):
-        cache = EvaluationCache(str(tmp_path))
+        cache = EvaluationCache(str(tmp_path), backend="legacy")
         run_job(make_job(small_network, AlbireoConfig()), cache)
         cache.save()
         cache.save()
         files = list(tmp_path.iterdir())
         assert [f.name for f in files] == ["cache.json"]
 
+    def test_atomic_save_leaves_no_temp_files(self, small_network, tmp_path):
+        cache = EvaluationCache(str(tmp_path))
+        run_job(make_job(small_network, AlbireoConfig()), cache)
+        cache.save()
+        cache.save()
+        names = [p.name for p in (tmp_path / "store").iterdir()]
+        assert "index.json" in names
+        assert all(n == "locks" or n == "index.json"
+                   or (n.startswith("shard-") and n.endswith(".jsonl"))
+                   for n in names)
+
     def test_clean_run_skips_disk_rewrite(self, small_network, tmp_path):
         jobs = config_sweep_jobs(small_network, _small_configs(2))
-        run_jobs(jobs, cache=EvaluationCache(str(tmp_path)))
+        run_jobs(jobs, cache=EvaluationCache(str(tmp_path),
+                                             backend="legacy"))
         image = tmp_path / "cache.json"
         before = image.stat().st_mtime_ns
 
-        warm = EvaluationCache(str(tmp_path))
+        warm = EvaluationCache(str(tmp_path), backend="legacy")
         run_jobs(jobs, cache=warm)  # 100% hits: nothing new to persist
         assert not warm.dirty
         assert image.stat().st_mtime_ns == before
+
+    def test_clean_sharded_run_appends_no_entries(self, small_network,
+                                                  tmp_path):
+        jobs = config_sweep_jobs(small_network, _small_configs(2))
+        run_jobs(jobs, cache=EvaluationCache(str(tmp_path)))
+        store_dir = tmp_path / "store"
+        counts_before = json.loads(
+            (store_dir / "index.json").read_text())["entries"]
+
+        warm = EvaluationCache(str(tmp_path))
+        run_jobs(jobs, cache=warm)  # 100% hits: only LRU touches persist
+        assert not warm.dirty
+        counts_after = json.loads(
+            (store_dir / "index.json").read_text())["entries"]
+        assert counts_after == counts_before
+        assert warm.store.stats.flushed_entries == 0
 
 
 class TestExecutor:
@@ -640,14 +672,18 @@ class TestFailurePaths:
         cache = EvaluationCache(str(tmp_path))
         run_job(good_job, cache)
         cache.save()
-        image_bytes = (tmp_path / "cache.json").read_bytes()
+        store_dir = tmp_path / "store"
+        snapshot = {p.name: p.read_bytes()
+                    for p in store_dir.iterdir() if p.is_file()}
 
         batch = [make_job(small_network, AlbireoConfig(clusters=32))] \
             + self._failing_jobs(small_network)
         with pytest.raises(ValueError, match="injected failure"):
             run_jobs(batch, workers=2, cache=EvaluationCache(str(tmp_path)))
-        # Atomic persistence: the failed run never rewrote the image.
-        assert (tmp_path / "cache.json").read_bytes() == image_bytes
+        # Atomic persistence: the failed run never touched the store.
+        after = {p.name: p.read_bytes()
+                 for p in store_dir.iterdir() if p.is_file()}
+        assert after == snapshot
         reloaded = EvaluationCache(str(tmp_path))
         assert reloaded.get_result(good_job.key) is not None
 
