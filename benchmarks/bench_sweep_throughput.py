@@ -14,6 +14,12 @@ every registered system's `repro sweep` configuration grid in one batch
   one persistent :class:`~repro.engine.pool.WorkerPool` that survives
   across runs (this PR's headline configuration): pool spawn and fork
   warmup amortize away while every run's caches stay cold.
+* **planner, 4 workers, warm pool, fault policy** — identical to the
+  warm-pool mode but with a retrying
+  :class:`~repro.engine.executor.FailurePolicy` (task watchdog armed,
+  failure capture on) and **no faults injected**: the no-fault overhead
+  of the supervision/retry machinery, gated within a few percent of the
+  unguarded warm-pool baseline by the pytest entry.
 
 Every mode starts from a fresh in-memory cache and must reproduce the
 serial results bit-for-bit.  The planner's dedup counters are recorded,
@@ -431,12 +437,22 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
         # configuration: pool spawn and fork warmup amortized away,
         # caches still cold per run.
         _timed_run(network, reference, workers=WORKERS, pool=pool)
+        from repro.engine import FailurePolicy
+
         modes = {
             "serial": {"workers": 1},
             "wholejob_workers4": {"workers": WORKERS, "plan": False},
             "planner_workers4": {"workers": WORKERS},
             "planner_workers4_warmpool": {"workers": WORKERS,
                                           "pool": pool},
+            # Supervision/retry machinery armed, zero faults injected:
+            # measures the no-fault overhead of fault tolerance (the
+            # per-sub-task watchdog + failure capture + quarantine
+            # lookups), still verified bit-identical to serial.
+            "planner_workers4_warmpool_faultpolicy": {
+                "workers": WORKERS, "pool": pool,
+                "failure_policy": FailurePolicy(
+                    on_error="retry", max_retries=2, task_timeout=120.0)},
         }
         samples = {mode: [] for mode in modes}
         planner_stats = None
@@ -483,6 +499,11 @@ def run_benchmark(repeats: int = REPEATS) -> dict:
         "speedup_warmpool_vs_serial": round(
             timings["serial"]["median_s"]
             / timings["planner_workers4_warmpool"]["median_s"], 2),
+        "fault_policy_overhead_pct": round(
+            100.0 * (timings["planner_workers4_warmpool_faultpolicy"]
+                     ["median_s"]
+                     / timings["planner_workers4_warmpool"]["median_s"]
+                     - 1.0), 2),
         "pool": pool_stats,
         "overhead_breakdown": _traced_breakdown(network, reference),
         "scaling": scaling,
@@ -520,6 +541,8 @@ def _print_report(report: dict) -> None:
           f"{report['speedup_warmpool_vs_serial']:.2f}x "
           f"(pool: {pool['spawns']} spawns, {pool['dispatches']} "
           f"dispatches, {pool['delta_syncs']} delta syncs)")
+    print(f"fault-policy overhead (no faults, warm pool, median): "
+          f"{report['fault_policy_overhead_pct']:+.1f}%")
     breakdown = report["overhead_breakdown"]
     print(f"overhead (traced {breakdown['traced_run_s']:.2f}s run, "
           f"{breakdown['coverage']:.0%} attributed): "
@@ -584,6 +607,17 @@ def test_sweep_throughput_benchmark():
     assert (timings["planner_workers4_warmpool"]["median_s"]
             < timings["serial"]["median_s"]), \
         "warm-pool planner@4 must strictly beat serial on the cold grid"
+    # Fault tolerance must be (nearly) free when nothing faults: the
+    # policy-armed warm-pool run — watchdog timers, failure capture,
+    # quarantine lookups, supervised result wait — stays within 3% of
+    # the unguarded warm-pool median (plus a small absolute floor for
+    # scheduler jitter on sub-second runs).
+    guarded = timings["planner_workers4_warmpool_faultpolicy"]["median_s"]
+    baseline = timings["planner_workers4_warmpool"]["median_s"]
+    assert guarded <= 1.03 * baseline + 0.05, \
+        (f"no-fault policy overhead too high: guarded {guarded:.3f}s vs "
+         f"baseline {baseline:.3f}s "
+         f"({report['fault_policy_overhead_pct']:+.1f}%)")
     # At 1000+ jobs the asymmetry compounds: geometry dedup plus slim
     # chunked dispatch must clear 5x over serial.
     for point in report["scaling"]["points"]:

@@ -133,6 +133,8 @@ from repro.systems import (
     system_names,
 )
 from repro.api import (
+    FailedRecord,
+    FailurePolicy,
     Record,
     ResultSet,
     Study,
@@ -203,6 +205,8 @@ __all__ = [
     "NetworkEvaluation",
     "NetworkOptions",
     "PhotonicSystem",
+    "FailedRecord",
+    "FailurePolicy",
     "Record",
     "ReproError",
     "ResultSet",

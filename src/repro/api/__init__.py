@@ -20,7 +20,13 @@ The figure experiments, the ``repro.systems.dse`` drivers, and the CLI's
 module; :mod:`repro.api.studies` holds the prebuilt lattices they use.
 """
 
-from repro.api.results import METRIC_NAMES, Record, ResultSet
+from repro.api.results import (
+    FAILURE_KEYS,
+    METRIC_NAMES,
+    FailedRecord,
+    Record,
+    ResultSet,
+)
 from repro.api.studies import (
     comparison_study,
     config_study,
@@ -28,10 +34,14 @@ from repro.api.studies import (
     reuse_study,
 )
 from repro.api.study import Study, StudyPoint
+from repro.engine.executor import FailurePolicy
 from repro.engine.pool import WorkerPool
 
 __all__ = [
+    "FAILURE_KEYS",
     "METRIC_NAMES",
+    "FailedRecord",
+    "FailurePolicy",
     "Record",
     "ResultSet",
     "Study",

@@ -13,6 +13,15 @@ Records built by a study keep the full :class:`NetworkEvaluation` (and
 the evaluated config) for deep inspection; records rebuilt from
 serialized rows carry tags and metrics only — every ResultSet verb works
 on both.
+
+A study run under a non-fail-stop
+:class:`~repro.engine.executor.FailurePolicy` can return *partial*
+results: coordinates that failed come back as :class:`FailedRecord`
+rows — same tags, no metrics, plus the error type/message and attempt
+count.  ``ResultSet.ok()`` / ``ResultSet.failures`` split the two;
+ranking verbs (``pareto``, ``top_k``, ``best``) quietly ignore failed
+rows, and serialization round-trips them (a row with an ``error`` key
+rebuilds as a :class:`FailedRecord`).
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    ClassVar,
     Dict,
     Iterable,
     Iterator,
@@ -65,6 +75,9 @@ class Record:
                                                     compare=False)
     config: Any = field(default=None, compare=False)
 
+    #: Discriminator for partial results (True on :class:`FailedRecord`).
+    failed: ClassVar[bool] = False
+
     @classmethod
     def from_evaluation(cls, tags: Mapping[str, Any],
                         evaluation: NetworkEvaluation,
@@ -103,6 +116,69 @@ class Record:
         row = dict(self.tags)
         for name, value in self.metrics.items():
             row.setdefault(name, value)
+        return row
+
+
+#: The extra flat-row keys a :class:`FailedRecord` carries in place of
+#: metrics; a serialized row holding ``"error"`` rebuilds as failed.
+FAILURE_KEYS: Tuple[str, ...] = ("error", "error_message", "attempts",
+                                 "quarantined")
+
+
+@dataclass(frozen=True)
+class FailedRecord(Record):
+    """A study point that failed under a non-fail-stop failure policy.
+
+    Carries the coordinates (``tags``) like any record, no metrics, and
+    the failure facts: the exception type name, its message, how many
+    times the job was attempted, and whether the cache quarantined it
+    as deterministically poisonous.
+    """
+
+    error: str = "ReproError"
+    error_message: str = ""
+    attempts: int = 1
+    quarantined: bool = False
+
+    failed: ClassVar[bool] = True
+
+    @classmethod
+    def from_failure(cls, tags: Mapping[str, Any], failure: Any,
+                     config: Any = None) -> "FailedRecord":
+        """Build from an executor :class:`~repro.engine.executor.
+        JobFailure` outcome slot."""
+        return cls(tags=dict(tags), metrics={}, config=config,
+                   error=failure.error,
+                   error_message=failure.message,
+                   attempts=failure.attempts,
+                   quarantined=failure.quarantined)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in self.tags:
+            return self.tags[key]
+        if key in FAILURE_KEYS:
+            return getattr(self, key)
+        return self.metrics.get(key, default)
+
+    def value(self, key: str) -> Any:
+        if key in self.tags or key in FAILURE_KEYS:
+            return self.get(key)
+        raise SpecError(
+            f"failed record has no tag {key!r} (and no metrics — it "
+            f"failed with {self.error}: {self.error_message}); "
+            f"tags: {sorted(self.tags)}, failure keys: "
+            f"{list(FAILURE_KEYS)}")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.tags or key in FAILURE_KEYS
+
+    def to_dict(self) -> Dict[str, Any]:
+        """One flat row: tags first, then the failure facts."""
+        row = dict(self.tags)
+        row.setdefault("error", self.error)
+        row.setdefault("error_message", self.error_message)
+        row.setdefault("attempts", self.attempts)
+        row.setdefault("quarantined", self.quarantined)
         return row
 
 
@@ -153,6 +229,20 @@ class ResultSet:
         return self._records
 
     # ------------------------------------------------------------------
+    # Partial results
+    # ------------------------------------------------------------------
+    def ok(self) -> "ResultSet":
+        """The successfully evaluated records only."""
+        return ResultSet(record for record in self._records
+                         if not record.failed)
+
+    @property
+    def failures(self) -> "ResultSet":
+        """The :class:`FailedRecord` rows (empty on a fully clean run)."""
+        return ResultSet(record for record in self._records
+                         if record.failed)
+
+    # ------------------------------------------------------------------
     # Relational verbs
     # ------------------------------------------------------------------
     def filter(self, predicate: Optional[Predicate] = None,
@@ -201,23 +291,28 @@ class ResultSet:
         """
         names = metrics or ("energy_per_mac_pj", "latency_ns")
         return ResultSet(pareto_frontier(
-            self._records,
+            self.ok().records,
             lambda record: tuple(record.value(name) for name in names)))
 
     def top_k(self, k: int, metric: str = "energy_per_mac_pj",
               largest: bool = False) -> "ResultSet":
         """The ``k`` best records by one metric (smallest first by
-        default); ties keep input order (stable sort)."""
-        ranked = sorted(self._records,
+        default); ties keep input order (stable sort).  Failed records
+        never rank."""
+        ranked = sorted(self.ok().records,
                         key=lambda record: record.value(metric),
                         reverse=largest)
         return ResultSet(ranked[:max(0, k)])
 
     def best(self, metric: str = "energy_per_mac_pj") -> Record:
-        """The single minimal record by ``metric``."""
-        if not self._records:
-            raise SpecError("best() on an empty ResultSet")
-        return min(self._records, key=lambda record: record.value(metric))
+        """The single minimal record by ``metric`` (among successes)."""
+        candidates = self.ok().records
+        if not candidates:
+            raise SpecError("best() on an empty ResultSet"
+                            if not self._records else
+                            "best() on a ResultSet with no successful "
+                            "records (all rows failed)")
+        return min(candidates, key=lambda record: record.value(metric))
 
     # ------------------------------------------------------------------
     # Serialization
@@ -229,10 +324,23 @@ class ResultSet:
     @classmethod
     def from_records(cls, rows: Iterable[Mapping[str, Any]]) -> "ResultSet":
         """Rebuild from flat rows: :data:`METRIC_NAMES` keys become
-        metrics, everything else becomes tags.  The inverse of
-        :meth:`to_records` (evaluation objects are not round-tripped)."""
-        records = []
+        metrics, everything else becomes tags.  A row carrying an
+        ``error`` key rebuilds as a :class:`FailedRecord`.  The inverse
+        of :meth:`to_records` (evaluation objects are not
+        round-tripped)."""
+        records: List[Record] = []
         for row in rows:
+            if "error" in row:
+                tags = {key: value for key, value in row.items()
+                        if key not in METRIC_NAMES
+                        and key not in FAILURE_KEYS}
+                records.append(FailedRecord(
+                    tags=tags, metrics={},
+                    error=str(row["error"]),
+                    error_message=str(row.get("error_message", "")),
+                    attempts=int(row.get("attempts", 1)),
+                    quarantined=bool(row.get("quarantined", False))))
+                continue
             tags = {key: value for key, value in row.items()
                     if key not in METRIC_NAMES}
             metrics = {key: value for key, value in row.items()
@@ -271,9 +379,13 @@ class ResultSet:
 
     def to_csv(self, path: Optional[str] = None) -> str:
         """CSV text (tags then metrics, header row first); also written
-        to ``path`` if given.  An empty set renders as an empty string."""
+        to ``path`` if given.  An empty set renders as an empty string.
+        When the set holds failed records the failure columns are
+        appended (blank on successful rows)."""
         tag_keys, metric_keys = self.columns()
         header = tag_keys + metric_keys
+        if any(record.failed for record in self._records):
+            header += [key for key in FAILURE_KEYS if key not in header]
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         if header:
@@ -317,8 +429,14 @@ class ResultSet:
         rows = []
         for record in self._records:
             row = [_render(record.get(key, "")) for key in columns]
-            row.extend(_render_metric(name, record.value(name))
-                       for name in metrics)
+            if record.failed and metrics:
+                # No metrics to show — surface the error type in the
+                # first metric column instead of a row of blanks.
+                row.extend([f"FAILED:{record.get('error')}"]
+                           + ["-"] * (len(metrics) - 1))
+            else:
+                row.extend(_render_metric(name, record.value(name))
+                           for name in metrics)
             if mark_pareto:
                 row.append("*" if id(record) in frontier_ids else "")
             rows.append(tuple(row))

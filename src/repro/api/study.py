@@ -58,9 +58,15 @@ from typing import (
 )
 
 from repro import obs
-from repro.api.results import Record, ResultSet
+from repro.api.results import FailedRecord, Record, ResultSet
 from repro.energy.scaling import ScalingScenario, scenario_by_name
-from repro.engine.executor import CacheLike, ProgressFn, run_jobs
+from repro.engine.executor import (
+    CacheLike,
+    FailurePolicy,
+    JobFailure,
+    ProgressFn,
+    run_jobs,
+)
 from repro.engine.pool import WorkerPool
 from repro.engine.jobs import EvaluationJob, make_job
 from repro.engine.sweeps import parameter_grid
@@ -398,7 +404,9 @@ class Study:
             plan: Optional[bool] = None,
             progress: Optional[ProgressFn] = None,
             trace: Union[bool, str, "obs.Tracer", None] = None,
-            pool: Optional[WorkerPool] = None) -> ResultSet:
+            pool: Optional[WorkerPool] = None,
+            failure_policy: Optional[FailurePolicy] = None,
+            inject: Any = None) -> ResultSet:
         """Compile and execute through the engine; returns a
         :class:`~repro.api.results.ResultSet` in lattice order.
 
@@ -419,29 +427,47 @@ class Study:
         records into the caller's tracer.  The collected
         :class:`~repro.obs.Trace` is exposed as ``ResultSet.trace``
         (``None`` when tracing was off).
+
+        ``failure_policy`` (a :class:`~repro.engine.executor.
+        FailurePolicy`) makes the run fault-tolerant: failing points
+        come back as :class:`~repro.api.results.FailedRecord` rows
+        (see ``ResultSet.ok()`` / ``.failures``) instead of aborting
+        the study.  ``inject`` threads a deterministic fault plan
+        (:mod:`repro.engine.faults`) through for testing.
         """
         if trace is None or trace is False:
             jobs = self.compile()
             evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                                   progress=progress, plan=plan, pool=pool)
+                                   progress=progress, plan=plan, pool=pool,
+                                   failure_policy=failure_policy,
+                                   inject=inject)
             return ResultSet(
-                Record.from_evaluation(job.tags_dict, evaluation,
-                                       config=job.config)
+                self._record(job, evaluation)
                 for job, evaluation in zip(jobs, evaluations))
         tracer = trace if isinstance(trace, obs.Tracer) else obs.Tracer()
         with obs.tracing(tracer):
             with obs.span("study.compile", study=self.name):
                 jobs = self.compile()
             evaluations = run_jobs(jobs, workers=workers, cache=cache,
-                                   progress=progress, plan=plan, pool=pool)
+                                   progress=progress, plan=plan, pool=pool,
+                                   failure_policy=failure_policy,
+                                   inject=inject)
         collected = tracer.trace()
         if isinstance(trace, str):
             collected.save(trace)
         return ResultSet(
-            (Record.from_evaluation(job.tags_dict, evaluation,
-                                    config=job.config)
+            (self._record(job, evaluation)
              for job, evaluation in zip(jobs, evaluations)),
             trace=collected)
+
+    @staticmethod
+    def _record(job: EvaluationJob, evaluation: Any) -> Record:
+        """One outcome slot -> one record (failures included)."""
+        if isinstance(evaluation, JobFailure):
+            return FailedRecord.from_failure(job.tags_dict, evaluation,
+                                             config=job.config)
+        return Record.from_evaluation(job.tags_dict, evaluation,
+                                      config=job.config)
 
     def __repr__(self) -> str:
         return (f"Study({self.name!r}: {len(self._sources)} sources, "

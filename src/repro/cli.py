@@ -43,6 +43,17 @@ Chrome/Perfetto span timeline of the run, worker lanes included) and
 ``--trace-summary`` (per-phase wall-clock attribution table);
 ``sweep``/``run`` additionally accept ``--progress`` (per-job done/total
 lines on stderr).  See :mod:`repro.obs`.
+
+Fault tolerance: ``sweep``/``run`` accept ``--on-error raise|skip|retry``
+(default raise — fail-stop), ``--retries N`` and ``--task-timeout S``
+(see :class:`repro.engine.executor.FailurePolicy`), and ``--inject
+faults.json`` (a deterministic fault plan, for testing the machinery —
+see :mod:`repro.engine.faults`).
+
+Exit codes: 0 success; 2 a library error surfaced as a one-line
+``error: ...`` message (pass ``repro --debug <command>`` for the full
+traceback); 3 the run completed but some points failed under
+``--on-error skip``/``retry`` (the partial results were still written).
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ import sys
 from typing import Callable, List, Optional, Sequence
 
 from repro.energy.scaling import SCENARIOS, scenario_by_name
+from repro.exceptions import ReproError
 from repro.report.ascii import format_table
 from repro.systems.registry import create_system, get_system, system_names
 from repro.workloads.models import network_by_name, network_names
@@ -153,6 +165,35 @@ def _flag_progress(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _flag_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error", default="raise", dest="on_error",
+        choices=("raise", "skip", "retry"),
+        help="what a failing point does to the run: abort it (raise — "
+             "the default), become a failed record while the rest "
+             "completes (skip), or be retried with backoff and "
+             "quarantined in the cache if it keeps failing (retry); "
+             "skip/retry exit with code 3 when failures remain",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max re-attempts per failing job under --on-error retry "
+             "(default 2)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        dest="task_timeout",
+        help="per-task wall-clock deadline; a task over it raises "
+             "TaskTimeoutError and follows the --on-error route",
+    )
+    parser.add_argument(
+        "--inject", default=None, metavar="PATH",
+        help="debug: load a deterministic fault-injection plan (JSON "
+             "list of {match, action, attempt} specs) and fire it "
+             "inside the run — see repro.engine.faults",
+    )
+
+
 _FLAG_GROUPS = {
     "scenario": _flag_scenario,
     "system": _flag_system,
@@ -163,11 +204,27 @@ _FLAG_GROUPS = {
     "json": _flag_json,
     "trace": _flag_trace,
     "progress": _flag_progress,
+    "faults": _flag_faults,
 }
 
 
 def _plan(args: argparse.Namespace) -> Optional[bool]:
     return False if getattr(args, "no_plan", False) else None
+
+
+def _failure_policy(args: argparse.Namespace):
+    """The ``--on-error``/``--retries``/``--task-timeout`` flags as a
+    :class:`~repro.engine.executor.FailurePolicy` — or ``None`` when
+    they are all defaults, preserving fail-stop exactly."""
+    from repro.engine import FailurePolicy
+
+    on_error = getattr(args, "on_error", "raise")
+    task_timeout = getattr(args, "task_timeout", None)
+    if on_error == "raise" and task_timeout is None:
+        return None
+    return FailurePolicy(on_error=on_error,
+                         max_retries=getattr(args, "retries", 2),
+                         task_timeout=task_timeout)
 
 
 def _table_stream(args: argparse.Namespace):
@@ -292,8 +349,22 @@ def _run_study(study, args, cache=None, pool=None):
     progress = (_progress_printer if getattr(args, "progress", False)
                 else None)
     results = study.run(workers=args.workers, cache=cache,
-                        plan=_plan(args), progress=progress, pool=pool)
+                        plan=_plan(args), progress=progress, pool=pool,
+                        failure_policy=_failure_policy(args),
+                        inject=getattr(args, "inject", None))
     return results, cache, mapper_stats_before
+
+
+def _failure_lines(results) -> List[str]:
+    """A one-line partial-results summary (empty on a clean run)."""
+    failures = results.failures
+    if not failures:
+        return []
+    quarantined = sum(1 for record in failures
+                      if record.get("quarantined"))
+    line = (f"failures: {len(failures)} of {len(results)} points failed"
+            + (f" ({quarantined} quarantined)" if quarantined else ""))
+    return [line]
 
 
 def _stats_lines(cache, mapper_stats_before) -> List[str]:
@@ -358,8 +429,12 @@ def _cmd_sweep(args) -> None:
     )
     rows = []
     for record in results:
-        rows.append(
-            tuple(getter(record.config) for _, getter in columns) + (
+        base = tuple(getter(record.config) for _, getter in columns)
+        if record.failed:
+            rows.append(base + (f"FAILED:{record.get('error')}",
+                                "-", "-", ""))
+        else:
+            rows.append(base + (
                 f"{record.value('energy_per_mac_pj'):.4f}",
                 f"{record.value('latency_ns') / 1e6:.3f}",
                 f"{record.value('utilization'):.1%}",
@@ -377,10 +452,12 @@ def _cmd_sweep(args) -> None:
         f"{len(frontier)} Pareto-optimal points "
         f"(energy/MAC vs request latency)",
     ]
+    lines.extend(_failure_lines(results))
     lines.extend(_stats_lines(cache, mapper_stats_before))
     print("\n".join(lines), file=_table_stream(args))
     _dump_json(args, results.to_records(),
                stats=_stats_dict(cache, mapper_stats_before))
+    return 3 if results.failures else 0
 
 
 def _cmd_run(args) -> None:
@@ -399,6 +476,7 @@ def _cmd_run(args) -> None:
             else None)
     lines: List[str] = []
     records: List[dict] = []
+    failed_points = 0
     try:
         for spec in args.specs:
             study = Study.from_json(spec)
@@ -407,6 +485,8 @@ def _cmd_run(args) -> None:
                 f"Study {study.name!r} — {len(results)} evaluations "
                 f"(workers={args.workers})")
             lines.append(results.report(mark_pareto=True))
+            lines.extend(_failure_lines(results))
+            failed_points += len(results.failures)
             records.extend(results.to_records())
     finally:
         if pool is not None:
@@ -422,6 +502,7 @@ def _cmd_run(args) -> None:
     print("\n".join(lines), file=_table_stream(args))
     _dump_json(args, records,
                stats=_stats_dict(cache, mapper_stats_before, pool=pool))
+    return 3 if failed_points else 0
 
 
 def _scenario_system(args):
@@ -518,10 +599,11 @@ _COMMANDS: Sequence = (
     ("roofline", "bandwidth roofline of AlexNet on Albireo",
      ("scenario",), _cmd_roofline),
     ("sweep", "parallel/cached default-grid sweep of one system",
-     ("system", "network", "mapper", "pool", "json", "trace", "progress"),
+     ("system", "network", "mapper", "pool", "json", "trace", "progress",
+      "faults"),
      _cmd_sweep),
     ("run", "execute a declarative study spec (JSON) via repro.api",
-     ("pool", "json", "trace", "progress"), _cmd_run),
+     ("pool", "json", "trace", "progress", "faults"), _cmd_run),
     ("arch", "print a modeled system's hierarchy",
      ("system", "scenario"), _cmd_arch),
     ("area", "per-component area summary",
@@ -580,6 +662,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "(ISPASS 2024 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="show full tracebacks instead of one-line error messages "
+             "(goes before the command: repro --debug run ...)",
+    )
     subparsers = parser.add_subparsers(dest="command", metavar="command",
                                        required=True)
     for name, help_text, groups, handler in _COMMANDS:
@@ -594,14 +681,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    handler: Callable[[argparse.Namespace], None] = args.handler
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the command's handler (under a tracer when asked); a handler
+    returning ``None`` means exit code 0 (3 = partial failures)."""
+    handler: Callable[[argparse.Namespace], Optional[int]] = args.handler
     trace_path = getattr(args, "trace_path", None)
     trace_summary = getattr(args, "trace_summary", False)
     if not (trace_path or trace_summary):
-        handler(args)
-        return 0
+        return handler(args) or 0
     # --trace / --trace-summary: run the whole command under an active
     # tracer (span collection reaches the engine, workers included), then
     # export and/or summarize the timeline.
@@ -610,7 +697,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     with obs.tracing() as tracer:
         with obs.span(f"repro.{args.command}"):
-            handler(args)
+            code = handler(args) or 0
     trace = tracer.trace()
     if trace_path:
         trace.save(trace_path)
@@ -618,7 +705,20 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
     if trace_summary:
         print(format_trace_summary(trace), file=_table_stream(args))
-    return 0
+    return code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        # Library errors are user-facing: one line, no traceback (the
+        # traceback is for bugs; --debug re-raises to get it).
+        if getattr(args, "debug", False):
+            raise
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

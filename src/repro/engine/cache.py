@@ -1,6 +1,6 @@
 """Persistent evaluation cache: in-memory dicts over a sharded disk store.
 
-The cache memoizes three namespaces, keyed by content hashes so entries
+The cache memoizes four namespaces, keyed by content hashes so entries
 are valid across processes and sessions:
 
 * ``results``  — whole-job :class:`~repro.model.results.NetworkEvaluation`
@@ -10,7 +10,12 @@ are valid across processes and sessions:
   budget, seed);
 * ``layers``   — individual layer evaluations, shared between jobs that
   evaluate the same layer under the same configuration (e.g. the fused
-  and non-fused arms of a memory sweep).
+  and non-fused arms of a memory sweep);
+* ``failures`` — poison-job quarantine records, keyed like ``results``:
+  jobs that failed deterministically through a retrying
+  :class:`~repro.engine.executor.FailurePolicy` land here (error type,
+  message, attempt count) so a rerun skips them instead of re-failing
+  — surfaced via :meth:`EvaluationCache.peek` and ``repro cache stats``.
 
 Disk persistence (``backend="sharded"``, the default for a directory
 cache) goes through :class:`repro.engine.store.ShardedStore`: entries
@@ -47,7 +52,7 @@ from repro.mapping.mapper import MapperResult
 from repro.mapping.serialize import mapping_from_dict, mapping_to_dict
 from repro.model.results import LayerEvaluation
 
-NAMESPACES: Tuple[str, ...] = ("results", "mappings", "layers")
+NAMESPACES: Tuple[str, ...] = ("results", "mappings", "layers", "failures")
 
 _CACHE_FORMAT_VERSION = 1
 
@@ -143,6 +148,53 @@ class PlannerStats:
         self.batches = 0
 
 
+@dataclass
+class ResilienceStats:
+    """Counters of the fault-tolerance machinery, filled by the executor.
+
+    ``retries`` counts job re-attempts under a retrying
+    :class:`~repro.engine.executor.FailurePolicy`, ``timeouts`` tasks
+    that tripped the worker-side watchdog, ``quarantines`` jobs written
+    to the ``failures`` namespace after exhausting their retries, and
+    ``respawns`` worker-pool recoveries from dead worker processes.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    quarantines: int = 0
+    respawns: int = 0
+
+    def any(self) -> bool:
+        return bool(self.retries or self.timeouts
+                    or self.quarantines or self.respawns)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantines": self.quarantines,
+            "respawns": self.respawns,
+        }
+
+    def absorb(self, counts: Dict[str, Any]) -> None:
+        self.retries += int(counts.get("retries", 0))
+        self.timeouts += int(counts.get("timeouts", 0))
+        self.quarantines += int(counts.get("quarantines", 0))
+        self.respawns += int(counts.get("respawns", 0))
+
+    def describe(self) -> str:
+        return (f"resilience: {self.retries} retries, "
+                f"{self.timeouts} timeouts, "
+                f"{self.quarantines} quarantined, "
+                f"{self.respawns} worker respawns")
+
+    def reset(self) -> None:
+        self.retries = 0
+        self.timeouts = 0
+        self.quarantines = 0
+        self.respawns = 0
+
+
 class EvaluationCache:
     """In-memory + on-disk cache for sweep-engine evaluations.
 
@@ -177,6 +229,7 @@ class EvaluationCache:
         self.stats: Dict[str, CacheStats] = {ns: CacheStats()
                                              for ns in NAMESPACES}
         self.planner = PlannerStats()
+        self.resilience = ResilienceStats()
         self._epoch = 0
         self._store: Optional[ShardedStore] = None
         self._loaded_shards: Set[str] = set()
@@ -443,6 +496,8 @@ class EvaluationCache:
         }
         if self._store is not None:
             snapshot["store"] = self._store.stats.to_dict()
+        if self.resilience.any():
+            snapshot["resilience"] = self.resilience.to_dict()
         return snapshot
 
     def reset_stats(self) -> None:
@@ -455,6 +510,7 @@ class EvaluationCache:
         for stats in self.stats.values():
             stats.reset()
         self.planner.reset()
+        self.resilience.reset()
         if self._store is not None:
             self._store.stats.reset()
 
@@ -468,6 +524,9 @@ class EvaluationCache:
                 if self._store is not None:
                     self._store.stats.absorb(counts)
                 continue
+            if namespace == "resilience":
+                self.resilience.absorb(counts)
+                continue
             stats = self.stats[namespace]
             stats.hits += counts.get("hits", 0)
             stats.misses += counts.get("misses", 0)
@@ -478,6 +537,13 @@ class EvaluationCache:
         line = "cache: " + (" | ".join(parts) if parts else "no lookups")
         if self.planner.planned:
             line += "\n" + self.planner.describe()
+        if self.resilience.any():
+            line += "\n" + self.resilience.describe()
+        quarantined = len(self._data["failures"])
+        if quarantined:
+            line += (f"\nquarantine: {quarantined} poison "
+                     f"job{'s' if quarantined != 1 else ''} on file "
+                     f"(skipped under --on-error skip/retry)")
         if self._store is not None:
             store = self._store.stats
             line += (f"\nstore: {store.shard_loads} shard loads "

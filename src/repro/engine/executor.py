@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import sys
+import time
 from typing import (
     Any,
     Callable,
@@ -51,6 +52,7 @@ from typing import (
 )
 
 from repro import obs
+from repro.engine import faults
 from repro.engine.cache import EvaluationCache, SystemStore, store_entry_key
 from repro.engine.codec import (
     network_evaluation_from_dict,
@@ -78,6 +80,79 @@ def _as_cache(cache: CacheLike) -> Optional[EvaluationCache]:
     if cache is None or isinstance(cache, EvaluationCache):
         return cache
     return EvaluationCache(str(cache))
+
+
+# ---------------------------------------------------------------------------
+# Failure policy
+# ---------------------------------------------------------------------------
+
+_ON_ERROR = ("raise", "skip", "retry")
+
+
+@dataclasses.dataclass(frozen=True)
+class FailurePolicy:
+    """How :func:`run_jobs` treats a job that raises (or times out).
+
+    * ``on_error="raise"`` (the default) is fail-stop: the first error
+      aborts the run, exactly as before this policy existed.
+    * ``"skip"`` converts each failing job into a :class:`JobFailure`
+      in the result list and lets the rest of the sweep finish.
+    * ``"retry"`` re-attempts failing jobs up to ``max_retries`` times
+      with exponential backoff (``backoff * 2**attempt`` seconds
+      between rounds); a job that fails every attempt is *quarantined*
+      — recorded in the cache's ``failures`` namespace so later runs
+      skip it immediately — and surfaced as a :class:`JobFailure`.
+
+    ``task_timeout`` (seconds, any mode) arms a per-task watchdog
+    (:func:`repro.engine.faults.task_deadline`) around every job and
+    planner sub-task; a task over the deadline raises
+    :class:`~repro.exceptions.TaskTimeoutError`, which then follows the
+    ``on_error`` route like any other failure.
+    """
+
+    on_error: str = "raise"
+    max_retries: int = 2
+    backoff: float = 0.5
+    task_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.on_error not in _ON_ERROR:
+            raise ValueError(
+                f"unknown on_error {self.on_error!r}; "
+                f"options: {', '.join(_ON_ERROR)}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+
+    @property
+    def captures(self) -> bool:
+        """Whether failures become data instead of propagating."""
+        return self.on_error != "raise"
+
+
+@dataclasses.dataclass(frozen=True)
+class JobFailure:
+    """The per-job outcome slot a failed coordinate gets under a
+    non-fail-stop :class:`FailurePolicy` (in place of its
+    :class:`~repro.model.results.NetworkEvaluation`)."""
+
+    error: str          # exception type name, e.g. "TaskTimeoutError"
+    message: str
+    attempts: int       # how many times the job was tried this run
+    quarantined: bool = False
+
+
+class _SubTaskFailed(Exception):
+    """Internal: phase-2 assembly hit an entry whose worker-side
+    computation failed under the guard (carries the original error)."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+        self.message = message
 
 
 def strip_dram(evaluation: NetworkEvaluation) -> NetworkEvaluation:
@@ -178,11 +253,36 @@ def _drain_worker_trace() -> Optional[Dict[str, Any]]:
     return tracer.drain() if tracer.enabled else None
 
 
+def _guarded_compute(job: EvaluationJob,
+                     cache: Optional[EvaluationCache],
+                     guard, attempt: int) -> NetworkEvaluation:
+    """:func:`_compute_job` under the failure-policy guard: arm the
+    task-deadline watchdog and consult the fault-injection plan.  With
+    ``guard=None`` this is exactly ``_compute_job`` (zero overhead)."""
+    if guard is None:
+        return _compute_job(job, cache)
+    timeout, _capture, plan_wire = guard
+    plan = faults.FaultPlan.from_wire(plan_wire)
+    with faults.task_deadline(timeout):
+        if plan is not None:
+            plan.check(faults.job_task_key(job), attempt)
+        return _compute_job(job, cache)
+
+
 def _run_job_in_worker(payload):
-    """Execute one (index, job) pair; ship result + new cache entries back."""
-    index, job = payload
+    """Execute one (index, job, guard, attempt) payload; ship the result
+    (or, under a capturing guard, the failure) + new cache entries back."""
+    index, job, guard, attempt = payload
     cache = _WORKER_CACHE
-    evaluation = _compute_job(job, cache)
+    failure = None
+    result_dict = None
+    try:
+        result_dict = network_evaluation_to_dict(
+            _guarded_compute(job, cache, guard, attempt))
+    except Exception as error:
+        if guard is None or not guard[1]:  # not capturing: fail-stop
+            raise
+        failure = (type(error).__name__, str(error))
     if cache is not None:
         added = cache.pop_added()
         stats = cache.stats_snapshot()
@@ -190,8 +290,8 @@ def _run_job_in_worker(payload):
         cache.reset_stats()
     else:
         added, stats = {}, {}
-    return (index, network_evaluation_to_dict(evaluation), added, stats,
-            _drain_worker_trace())
+    return (index, result_dict, added, stats, _drain_worker_trace(),
+            failure)
 
 
 def _pool_context():
@@ -216,7 +316,9 @@ def run_jobs(
     progress: Optional[ProgressFn] = None,
     plan: Optional[bool] = None,
     pool: Optional[WorkerPool] = None,
-) -> List[NetworkEvaluation]:
+    failure_policy: Optional[FailurePolicy] = None,
+    inject: Any = None,
+) -> List[Union[NetworkEvaluation, JobFailure]]:
     """Evaluate ``jobs``; results come back in input order.
 
     ``workers=1`` runs in-process.  ``workers>1`` evaluates cache misses
@@ -237,14 +339,35 @@ def run_jobs(
     processes — and their warm architecture builds and cache copies —
     alive across calls; it implies the planner path at the pool's worker
     count.  Without it each parallel call spins up an ephemeral pool.
+
+    ``failure_policy`` (a :class:`FailurePolicy`) decides what happens
+    when a job raises or exceeds its deadline; under ``"skip"`` or
+    ``"retry"`` the returned list holds a :class:`JobFailure` at each
+    failed coordinate instead of an evaluation, and jobs the cache has
+    quarantined as poison are skipped up front.  The default (``None``)
+    is fail-stop, identical to the pre-policy behavior.  ``inject``
+    feeds a deterministic fault plan (:mod:`repro.engine.faults` —
+    a :class:`~repro.engine.faults.FaultPlan`, JSON path, or decoded
+    data; ``None`` falls back to the ``REPRO_INJECT`` variable) to
+    every execution path, for testing the machinery above.
     """
     cache = _as_cache(cache)
     if pool is not None:
         workers = max(workers, pool.workers)
     jobs = list(jobs)
     total = len(jobs)
-    results: List[Optional[NetworkEvaluation]] = [None] * total
+    results: List[Optional[Union[NetworkEvaluation, JobFailure]]] = \
+        [None] * total
     done = 0
+
+    policy = failure_policy
+    fault_plan = faults.resolve_plan(inject)
+    capture = policy is not None and policy.captures
+    timeout = policy.task_timeout if policy is not None else None
+    guard = None
+    if capture or timeout or fault_plan:
+        guard = (timeout, capture,
+                 fault_plan.to_wire() if fault_plan else None)
 
     with obs.span("run_jobs", jobs=total, workers=workers) as run_span:
         # Resolve whole-job cache hits up front (counts the hits/misses).
@@ -267,67 +390,199 @@ def run_jobs(
                         progress(done, total, job)
         run_span.set("misses", len(misses))
 
-        if misses and workers > 1 and len(misses) > 1:
-            sweep_plan = None
-            work_cache = cache
-            if plan is not False:
-                # The planner needs a cache to dedup against and assemble
-                # from; a cache-less parallel run plans through a
-                # run-local one (discarded afterwards — results are what
-                # matters).
-                work_cache = (cache if cache is not None
-                              else EvaluationCache())
-                sweep_plan = build_plan([jobs[index] for index in misses],
-                                        work_cache, workers)
-            if sweep_plan is not None:
-                on_batch = None
+        # Coordinates the cache has quarantined as poison are answered
+        # up front (as failures) instead of being re-attempted — a rerun
+        # over a half-failed sweep only pays for the undecided jobs.
+        if capture and cache is not None and misses:
+            screened: List[int] = []
+            for index in misses:
+                poison = cache.peek("failures", jobs[index].key)
+                if poison is None:
+                    screened.append(index)
+                    continue
+                results[index] = JobFailure(
+                    error="JobQuarantinedError",
+                    message=(f"quarantined after "
+                             f"{poison.get('attempts', '?')} failed "
+                             f"attempts ({poison.get('error')}: "
+                             f"{poison.get('message')})"),
+                    attempts=0, quarantined=True)
+                done += 1
                 if progress is not None:
-                    representatives: Dict[str, EvaluationJob] = {}
-                    for index in misses:
-                        representatives.setdefault(
-                            job_system_key(jobs[index]), jobs[index])
-                    hits_done = done
+                    progress(done, total, jobs[index])
+            misses = screened
 
-                    def on_batch(batch):
-                        job = representatives.get(batch[0].system_key,
-                                                  jobs[misses[0]])
-                        progress(hits_done, total, job)
-
-                _execute_phase1(sweep_plan, work_cache, workers,
-                                on_batch=on_batch, pool=pool)
-                # Phase 2: every sub-result is now warm — assembling the
-                # network evaluations is pure cache lookups, done in the
-                # parent so nothing is shipped twice.
-                with obs.span("run_jobs.assemble", jobs=len(misses)):
-                    recipes: Dict[Tuple, List[Tuple]] = {}
-                    for index in misses:
-                        job = jobs[index]
-                        result_dict = _assemble_job(job, work_cache,
-                                                    recipes)
-                        if result_dict is not None:
-                            work_cache.put_result(job.key, result_dict)
-                            results[index] = \
-                                network_evaluation_from_dict(result_dict)
-                        else:  # an entry is missing: evaluate normally
-                            results[index] = _compute_job(job, work_cache)
-                        done += 1
-                        if progress is not None:
-                            progress(done, total, job)
-            else:
-                done = _run_whole_jobs(jobs, misses, results, cache,
-                                       workers, progress, done, total)
-        elif misses:
-            with obs.span("run_jobs.serial", jobs=len(misses)):
-                for index in misses:
-                    results[index] = _compute_job(jobs[index], cache)
+        remaining = misses
+        attempt = 0
+        while remaining:
+            round_failures: Dict[int, Tuple[str, str]] = {}
+            done = _execute_round(jobs, remaining, results, cache,
+                                  workers, progress, plan, pool, done,
+                                  total, guard, attempt, round_failures)
+            if not round_failures:
+                break
+            if cache is not None:
+                for etype, _message in round_failures.values():
+                    if etype == "TaskTimeoutError":
+                        cache.resilience.timeouts += 1
+            retrying = (policy.on_error == "retry"
+                        and attempt < policy.max_retries)
+            if not retrying:
+                # Out of attempts (or skip mode): finalize the failures.
+                # Retry-mode exhaustion additionally quarantines — the
+                # job failed identically on every attempt, so reruns
+                # should not pay for it again.
+                for index in sorted(round_failures):
+                    etype, message = round_failures[index]
+                    quarantined = False
+                    if policy.on_error == "retry" and cache is not None:
+                        cache.put("failures", jobs[index].key, {
+                            "error": etype,
+                            "message": message,
+                            "attempts": attempt + 1,
+                            "label": jobs[index].describe(),
+                        })
+                        cache.resilience.quarantines += 1
+                        quarantined = True
+                    results[index] = JobFailure(
+                        error=etype, message=message,
+                        attempts=attempt + 1, quarantined=quarantined)
                     done += 1
                     if progress is not None:
                         progress(done, total, jobs[index])
+                break
+            delay = policy.backoff * (2 ** attempt)
+            if cache is not None:
+                cache.resilience.retries += len(round_failures)
+            remaining = sorted(round_failures)
+            attempt += 1
+            with obs.span("executor.retry", jobs=len(remaining),
+                          attempt=attempt, delay=delay):
+                if delay > 0:
+                    time.sleep(delay)
 
         if cache is not None and cache.directory is not None \
                 and cache.needs_flush:
             cache.save()
     return results  # type: ignore[return-value]
+
+
+def _execute_round(
+    jobs: List[EvaluationJob],
+    misses: List[int],
+    results: List[Optional[Union[NetworkEvaluation, JobFailure]]],
+    cache: Optional[EvaluationCache],
+    workers: int,
+    progress: Optional[ProgressFn],
+    plan: Optional[bool],
+    pool: Optional[WorkerPool],
+    done: int,
+    total: int,
+    guard,
+    attempt: int,
+    round_failures: Dict[int, Tuple[str, str]],
+) -> int:
+    """One (re)attempt at the given miss indices (see :func:`run_jobs`).
+
+    Picks the same planner / whole-job / serial strategy the pre-policy
+    executor did.  Under a capturing guard, a failing job lands in
+    ``round_failures`` as ``index -> (error type, message)`` instead of
+    raising; successful jobs fill ``results`` and tick ``done``.
+    """
+    capture = guard is not None and guard[1]
+    if workers > 1 and len(misses) > 1:
+        sweep_plan = None
+        work_cache = cache
+        if plan is not False:
+            # The planner needs a cache to dedup against and assemble
+            # from; a cache-less parallel run plans through a
+            # run-local one (discarded afterwards — results are what
+            # matters).
+            work_cache = (cache if cache is not None
+                          else EvaluationCache())
+            sweep_plan = build_plan([jobs[index] for index in misses],
+                                    work_cache, workers)
+        if sweep_plan is not None:
+            on_batch = None
+            if progress is not None:
+                representatives: Dict[str, EvaluationJob] = {}
+                for index in misses:
+                    representatives.setdefault(
+                        job_system_key(jobs[index]), jobs[index])
+                hits_done = done
+
+                def on_batch(batch):
+                    job = representatives.get(batch[0].system_key,
+                                              jobs[misses[0]])
+                    progress(hits_done, total, job)
+
+            failed_entries = _execute_phase1(
+                sweep_plan, work_cache, workers, on_batch=on_batch,
+                pool=pool, guard=guard, attempt=attempt)
+            # Phase 2: every sub-result is now warm — assembling the
+            # network evaluations is pure cache lookups, done in the
+            # parent so nothing is shipped twice.
+            fault_plan = (faults.FaultPlan.from_wire(guard[2])
+                          if guard is not None else None)
+            with obs.span("run_jobs.assemble", jobs=len(misses)):
+                recipes: Dict[Tuple, List[Tuple]] = {}
+                for index in misses:
+                    job = jobs[index]
+                    try:
+                        # Job-level injected faults (``...:job`` keys)
+                        # fire on every execution path — here, before
+                        # assembly short-circuits the work.
+                        if fault_plan is not None:
+                            fault_plan.check(faults.job_task_key(job),
+                                             attempt)
+                        result_dict = _assemble_job(job, work_cache,
+                                                    recipes,
+                                                    failed_entries)
+                        if result_dict is not None:
+                            work_cache.put_result(job.key, result_dict)
+                            results[index] = \
+                                network_evaluation_from_dict(result_dict)
+                        else:  # an entry is missing: evaluate normally
+                            results[index] = _guarded_compute(
+                                job, work_cache, guard, attempt)
+                    except _SubTaskFailed as failed:
+                        # A sub-task this job needs failed under the
+                        # guard.  Do NOT fall back to parent-side
+                        # compute — a timed-out task would just be
+                        # recomputed without its budget; route it
+                        # through the policy instead.
+                        round_failures[index] = (failed.error,
+                                                 failed.message)
+                        continue
+                    except Exception as error:
+                        if not capture:
+                            raise
+                        round_failures[index] = \
+                            (type(error).__name__, str(error))
+                        continue
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, job)
+        else:
+            done = _run_whole_jobs(jobs, misses, results, cache,
+                                   workers, progress, done, total,
+                                   guard, attempt, round_failures)
+    else:
+        with obs.span("run_jobs.serial", jobs=len(misses)):
+            for index in misses:
+                try:
+                    results[index] = _guarded_compute(
+                        jobs[index], cache, guard, attempt)
+                except Exception as error:
+                    if not capture:
+                        raise
+                    round_failures[index] = (type(error).__name__,
+                                             str(error))
+                    continue
+                done += 1
+                if progress is not None:
+                    progress(done, total, jobs[index])
+    return done
 
 
 def _assembly_recipe(system: Any, job: EvaluationJob) -> List[Tuple]:
@@ -351,6 +606,7 @@ def _assemble_job(
     job: EvaluationJob,
     cache: EvaluationCache,
     recipes: Optional[Dict[Tuple, List[Tuple]]] = None,
+    failed_entries: Optional[Dict[str, Tuple[str, str]]] = None,
 ) -> Optional[Dict[str, Any]]:
     """Build a job's result dict straight from warm layer entries.
 
@@ -359,7 +615,11 @@ def _assemble_job(
     exact serializations the object path would decode and re-encode, so
     embedding them verbatim is bit-identical and skips both conversions.
     Returns ``None`` when any entry is missing — the caller then falls
-    back to ordinary evaluation.
+    back to ordinary evaluation.  When the missing entry is listed in
+    ``failed_entries`` (its phase-1 computation failed under the
+    failure-policy guard), :class:`_SubTaskFailed` is raised instead so
+    the caller routes the job through the policy rather than silently
+    recomputing a known-failing task.
 
     ``recipes`` (optional, per-run) memoizes the store-key walk for
     systems whose task keys are configuration-free, so a sweep of many
@@ -393,6 +653,8 @@ def _assemble_job(
         key = store_entry_key(system_key, store_key)
         layer_dict = cache.peek("layers", key)
         if layer_dict is None:
+            if failed_entries and key in failed_entries:
+                raise _SubTaskFailed(*failed_entries[key])
             return None
         if not job.include_dram:
             layer_dict = dict(layer_dict)
@@ -414,7 +676,9 @@ def _execute_phase1(
     workers: int,
     on_batch: Optional[Callable[[Any], None]] = None,
     pool: Optional[WorkerPool] = None,
-) -> None:
+    guard=None,
+    attempt: int = 0,
+) -> Dict[str, Tuple[str, str]]:
     """Run the plan's unique sub-tasks over a pool; merge results.
 
     ``on_batch`` (if given) is invoked with each batch as its results
@@ -422,8 +686,16 @@ def _execute_phase1(
     caller-supplied :class:`WorkerPool` the workers (and their warm
     state) survive this call; otherwise an ephemeral pool is spun up
     and torn down here.
+
+    ``guard``/``attempt`` ship the failure-policy/fault-injection
+    context to the workers.  Returns the failed-entry map (store entry
+    key -> ``(error type, message)``) collected from the workers —
+    empty when nothing failed or the guard isn't capturing.  Worker
+    respawns the pool performed during this dispatch are folded into
+    the cache's resilience counters.
     """
     tracer = obs.current_tracer()
+    failed_entries: Dict[str, Tuple[str, str]] = {}
     if sweep_plan.batches:
         with obs.span("executor.phase1", batches=len(sweep_plan.batches),
                       tasks=sweep_plan.phase1_tasks):
@@ -432,6 +704,7 @@ def _execute_phase1(
             owned = pool is None
             if owned:
                 pool = WorkerPool(workers)
+            respawns_before = pool.stats.respawns
             try:
                 # The dispatch span's *self* time is the parent-side
                 # pickle/submit/decode overhead; the blocking receive is
@@ -441,30 +714,40 @@ def _execute_phase1(
                 with obs.span("executor.dispatch",
                               batches=len(sweep_plan.batches)) as dispatch:
                     stream = pool.run_batches(sweep_plan.batches, cache,
-                                              obs_config)
+                                              obs_config, guard=guard,
+                                              attempt=attempt)
                     while True:
                         with obs.span("executor.wait"):
                             item = next(stream, None)
                         if item is None:
                             break
-                        index, added, stats, events = item
+                        index, added, stats, events, failed = item
                         with obs.span("executor.merge"):
                             cache.merge(added)
                             cache.absorb_stats(stats)
                             if events:
                                 tracer.absorb(events)
+                            if failed:
+                                failed_entries.update(failed)
                         dispatch.add("messages")
                         if on_batch is not None:
                             on_batch(sweep_plan.batches[index])
             finally:
+                cache.resilience.respawns += (pool.stats.respawns
+                                              - respawns_before)
                 if owned:
                     pool.close()
     # Entries the planner collapsed across layer names: copy the
     # representative and rename.  A representative that is somehow
     # missing (its chunk raised before computing it) is simply skipped —
-    # phase 2 computes the alias the ordinary way.
+    # phase 2 computes the alias the ordinary way; if the representative
+    # outright *failed*, its aliases failed with it.
     with obs.span("executor.aliases", count=len(sweep_plan.aliases)):
         for alias in sweep_plan.aliases:
+            if alias.representative_key in failed_entries:
+                failed_entries[alias.alias_key] = \
+                    failed_entries[alias.representative_key]
+                continue
             entry = cache.peek("layers", alias.representative_key)
             if entry is None:
                 continue
@@ -472,17 +755,21 @@ def _execute_phase1(
             derived["layer"] = dict(entry["layer"])
             derived["layer"]["name"] = alias.layer_name
             cache.put("layers", alias.alias_key, derived)
+    return failed_entries
 
 
 def _run_whole_jobs(
     jobs: List[EvaluationJob],
     misses: List[int],
-    results: List[Optional[NetworkEvaluation]],
+    results: List[Optional[Union[NetworkEvaluation, JobFailure]]],
     cache: Optional[EvaluationCache],
     workers: int,
     progress: Optional[ProgressFn],
     done: int,
     total: int,
+    guard=None,
+    attempt: int = 0,
+    round_failures: Optional[Dict[int, Tuple[str, str]]] = None,
 ) -> int:
     """The pre-planner parallel path: one whole job per worker message."""
     tracer = obs.current_tracer()
@@ -502,26 +789,42 @@ def _run_whole_jobs(
             pool = context.Pool(pool_size, initializer=_init_worker,
                                 initargs=(snapshot, obs_config))
         try:
-            payloads = [(index, jobs[index]) for index in misses]
+            payloads = [(index, jobs[index], guard, attempt)
+                        for index in misses]
             with obs.span("executor.dispatch", jobs=len(payloads)):
-                for index, result_dict, added, stats, events in \
+                for index, result_dict, added, stats, events, failure in \
                         pool.imap_unordered(_run_job_in_worker, payloads,
                                             chunksize=1):
                     with obs.span("executor.merge"):
-                        results[index] = \
-                            network_evaluation_from_dict(result_dict)
                         if cache is not None:
                             # ``added`` already contains the job's result
                             # entry (workers put it before shipping),
-                            # plus any new mapper/layer entries.
+                            # plus any new mapper/layer entries — or, on
+                            # a failure, whatever partial sub-results
+                            # the job computed before dying (kept: a
+                            # retry resumes from them).
                             cache.merge(added)
                             cache.absorb_stats(stats)
                         if events:
                             tracer.absorb(events)
+                        if failure is None:
+                            results[index] = \
+                                network_evaluation_from_dict(result_dict)
+                    if failure is not None:
+                        round_failures[index] = failure
+                        continue
                     done += 1
                     if progress is not None:
                         progress(done, total, jobs[index])
-        finally:
+        except BaseException:
+            # A half-finished dispatch leaves workers in an unknown
+            # state; kill them rather than let close() wait on them.
             pool.terminate()
+            pool.join()
+            raise
+        else:
+            # Clean finish: let the workers exit normally instead of
+            # SIGTERMing processes that are quietly idle.
+            pool.close()
             pool.join()
     return done

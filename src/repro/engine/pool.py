@@ -39,6 +39,22 @@ Interrupt safety: any exception while a dispatch is in flight — a
 ``KeyboardInterrupt`` included — terminates and joins the workers before
 propagating, so no orphaned processes linger.  The :class:`WorkerPool`
 object itself stays usable; the next dispatch simply respawns.
+
+Worker supervision: while blocked waiting for results the pool polls
+the dispatch with a short timeout and checks its worker processes'
+liveness (``Process.is_alive`` plus a pid-set comparison against the
+dispatch-time roster, which also catches workers the ``multiprocessing``
+machinery already silently replaced).  A worker that died — SIGKILL,
+``os._exit``, OOM — costs one batch retry, not a hung sweep: the pool
+tears the process group down, respawns workers re-seeded from the
+current cache (shared store or snapshot — including everything already
+merged from answered batches), and re-dispatches only the unanswered
+payloads with a bumped attempt number.  Marker bookkeeping forgets dead
+pids (``_sync_payload`` prunes the ack map to live workers each
+dispatch), so deltas never grow unboundedly waiting for acks that can't
+come.  Repeated crashes on the same payloads raise
+:class:`~repro.exceptions.WorkerCrashError` after ``max_respawns``
+recoveries.
 """
 
 from __future__ import annotations
@@ -51,10 +67,17 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import obs
-from repro.engine.cache import EvaluationCache, SystemStore
+from repro.engine import faults
+from repro.engine.cache import EvaluationCache, SystemStore, store_entry_key
+from repro.exceptions import WorkerCrashError
 from repro.workloads.layer import ConvLayer
 
 _Marker = Tuple[int, Tuple[int, ...]]
+
+#: Per-task guard shipped inside dispatch payloads:
+#: ``(task_timeout_seconds, capture_errors, fault_plan_wire)`` — or
+#: ``None`` for the unguarded fast path (no try/except per task at all).
+_Guard = Optional[Tuple[Optional[float], bool, Optional[list]]]
 
 # ---------------------------------------------------------------------------
 # Wire format: slim batch payloads
@@ -298,16 +321,29 @@ def _run_wire_batch(payload):
     The same contract as the legacy ``_run_batch_in_worker``: each
     segment's tasks share one (memoized) system build and one store
     scope, and the whole batch answers in a single message.
+
+    ``guard`` (see :data:`_Guard`) arms the failure-policy machinery:
+    each task runs under the watchdog deadline and the fault-injection
+    hook, and — when ``capture`` is set — a task exception is recorded
+    against its store-entry key in the reply's ``failed`` map instead of
+    aborting the dispatch, so the surviving tasks of the batch still
+    land in the cache.  ``guard=None`` is the zero-overhead fast path.
     """
     from repro.engine.jobs import system_registry
     from repro.systems.base import SubTask
 
-    index, sync, obs_config, wire = payload
+    index, sync, obs_config, wire, guard, attempt = payload
     _sync_tracing(obs_config)
     cache = _apply_sync(sync)
     contexts, layer_specs, segments = wire
     layers = _decode_layers(layer_specs)
     registry = system_registry()
+    failed: Dict[str, Tuple[str, str]] = {}
+    if guard is None:
+        timeout, capture, plan = None, False, None
+    else:
+        timeout, capture, plan_wire = guard
+        plan = faults.FaultPlan.from_wire(plan_wire)
     with obs.span("worker.batch", segments=len(segments),
                   tasks=sum(len(codes) for _index, codes in segments)):
         for context_index, codes in segments:
@@ -317,19 +353,34 @@ def _run_wire_batch(payload):
                 system = entry.system_type(
                     config, store=SystemStore(cache, system_key))
             for kind_code, layer_id, flags in codes:
-                system.compute_sub_task(SubTask(
+                task = SubTask(
                     kind=_KIND_NAMES[kind_code],
                     layer=layers[layer_id],
                     use_mapper=bool(flags & 1),
                     input_from_dram=bool(flags & 2),
-                    output_to_dram=bool(flags & 4)))
+                    output_to_dram=bool(flags & 4))
+                if guard is None:
+                    system.compute_sub_task(task)
+                    continue
+                try:
+                    with faults.task_deadline(timeout):
+                        if plan is not None:
+                            plan.check(faults.sub_task_key(system_name,
+                                                           task), attempt)
+                        system.compute_sub_task(task)
+                except Exception as error:
+                    if not capture:
+                        raise
+                    key = store_entry_key(system_key,
+                                          system.sub_task_store_key(task))
+                    failed[key] = (type(error).__name__, str(error))
     added = cache.pop_added()
     stats = cache.stats_snapshot()
     cache.reset_stats()
     tracer = obs.current_tracer()
     events = tracer.drain() if tracer.enabled else None
     return (index, _pack_added(added), stats, events,
-            os.getpid(), _WORKER_MARK)
+            os.getpid(), _WORKER_MARK, failed)
 
 
 def _pool_context():
@@ -371,6 +422,9 @@ class PoolStats:
     delta_syncs: int = 0
     delta_entries: int = 0
     epoch_resets: int = 0
+    #: Supervision recoveries: a worker process died mid-dispatch and
+    #: the pool respawned + re-dispatched the unanswered batches.
+    respawns: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -382,6 +436,7 @@ class PoolStats:
             "delta_syncs": self.delta_syncs,
             "delta_entries": self.delta_entries,
             "epoch_resets": self.epoch_resets,
+            "respawns": self.respawns,
         }
 
 
@@ -421,6 +476,14 @@ class WorkerPool:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.stats = PoolStats()
+        #: Result-wait poll interval (seconds): how often the
+        #: supervision loop wakes to check worker liveness while
+        #: blocked on a dispatch.
+        self.supervision_interval = 0.25
+        #: Crash-recovery budget *per dispatch*: more worker deaths than
+        #: this on one batch set raises WorkerCrashError instead of
+        #: respawning forever (a deterministic crasher would loop).
+        self.max_respawns = 3
         self._pool = None
         self._pool_size = 0
         self._sync: Optional[_CacheSync] = None
@@ -522,12 +585,54 @@ class WorkerPool:
         return ("image", snapshot)
 
     # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _worker_pids(self) -> Optional[set]:
+        """The live pool's worker pids (None when nothing is spawned).
+
+        Reads the ``multiprocessing.Pool`` internals — stable across
+        every CPython this repo supports — because the public API offers
+        no roster; the supervision loop needs one to tell a lost result
+        from a slow one.
+        """
+        if self._pool is None:
+            return None
+        processes = getattr(self._pool, "_pool", None)
+        if processes is None:  # pragma: no cover - interpreter variance
+            return None
+        return {process.pid for process in processes}
+
+    def _roster_changed(self, roster: set) -> bool:
+        """True when any dispatch-time worker died or was replaced.
+
+        ``multiprocessing.Pool`` silently repopulates dead workers, so a
+        pid-set comparison catches deaths the ``is_alive`` sweep would
+        miss (the corpse is already reaped and replaced); the in-flight
+        task of a replaced worker is lost either way.
+        """
+        processes = getattr(self._pool, "_pool", None) \
+            if self._pool is not None else None
+        if processes is None:  # pragma: no cover - interpreter variance
+            return True
+        if {process.pid for process in processes} != roster:
+            return True
+        return any(not process.is_alive() for process in processes)
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _sync_payload(self, cache: Optional[EvaluationCache]):
         sync = self._sync
         if cache is None or sync is None:
             return None
+        # Forget dead pids: a mark held for a worker that no longer
+        # exists would pin the delta base at its last ack forever (the
+        # ack that moves it past can never come), growing every later
+        # delta unboundedly.
+        alive = self._worker_pids()
+        if alive is not None:
+            for pid in [pid for pid in sync.marks if pid not in alive]:
+                del sync.marks[pid]
         current = cache.sync_marker()
         if sync.resetting:
             # Some worker may still hold the previous timeline: ship a
@@ -560,33 +665,86 @@ class WorkerPool:
         batches: List[Any],
         cache: Optional[EvaluationCache],
         obs_config: Optional[Tuple[float, int]] = None,
+        guard: _Guard = None,
+        attempt: int = 0,
     ) -> Iterator[Tuple[int, Dict[str, Dict[str, Any]],
-                        Dict[str, Dict[str, int]], Optional[dict]]]:
+                        Dict[str, Dict[str, int]], Optional[dict],
+                        Dict[str, Tuple[str, str]]]]:
         """Dispatch planner batches; yield ``(index, added, stats,
-        trace_events)`` as each answers (completion order).
+        trace_events, failed_keys)`` as each answers (completion order).
+
+        The result wait is supervised: a worker process that dies
+        mid-dispatch (see the module docstring) is detected within
+        ``supervision_interval``, the pool respawns re-seeded from the
+        *current* cache — answered batches included — and only the
+        unanswered payloads are re-dispatched, with the attempt number
+        bumped so deterministic fault-injection plans don't re-fire.
+
+        ``guard``/``attempt`` ship the failure-policy watchdog and
+        fault-injection context to the workers (see :data:`_Guard`);
+        ``failed_keys`` maps a failed task's store-entry key to its
+        ``(error type, message)`` when the guard captures errors, and is
+        empty otherwise.
 
         Any exception raised while results are in flight — including a
         ``KeyboardInterrupt`` or the consumer abandoning the iterator —
         closes the pool before propagating, so no orphaned workers
         survive a cancelled dispatch.  The pool respawns on next use.
         """
-        wires = [_encode_batch(batch) for batch in batches]
-        self._ensure_workers(cache, len(wires))
-        sync = self._sync_payload(cache)
-        payloads = [(index, sync, obs_config, wire)
-                    for index, wire in enumerate(wires)]
+        pending = {index: _encode_batch(batch)
+                   for index, batch in enumerate(batches)}
         self.stats.dispatches += 1
-        self.stats.batches += len(payloads)
+        self.stats.batches += len(pending)
+        respawns = 0
         try:
-            for reply in self._pool.imap_unordered(_run_wire_batch,
-                                                   payloads, chunksize=1):
-                index, packed, stats, events, pid, mark = reply
-                if self._sync is not None and mark is not None:
-                    self._sync.marks[pid] = mark
-                    if (self._sync.resetting
-                            and len(self._sync.marks) >= self._pool_size):
-                        self._sync.resetting = False
-                yield index, _unpack_added(packed), stats, events
+            while pending:
+                self._ensure_workers(cache, len(pending))
+                sync = self._sync_payload(cache)
+                payloads = [(index, sync, obs_config, wire, guard,
+                             attempt + respawns)
+                            for index, wire in pending.items()]
+                roster = self._worker_pids() or set()
+                replies = self._pool.imap_unordered(_run_wire_batch,
+                                                    payloads, chunksize=1)
+                while True:
+                    try:
+                        reply = replies.next(
+                            timeout=self.supervision_interval)
+                    except multiprocessing.TimeoutError:
+                        if self._roster_changed(roster):
+                            break  # a worker died: recover below
+                        continue
+                    except StopIteration:
+                        break
+                    index, packed, stats, events, pid, mark, failed = reply
+                    if self._sync is not None and mark is not None:
+                        self._sync.marks[pid] = mark
+                        if (self._sync.resetting
+                                and len(self._sync.marks)
+                                >= self._pool_size):
+                            self._sync.resetting = False
+                    pending.pop(index, None)
+                    yield index, _unpack_added(packed), stats, events, \
+                        failed
+                if not pending:
+                    break
+                # Batches went unanswered: a worker crashed (or the
+                # dispatch drained short, which re-dispatching also
+                # fixes).  Kill the survivors — their sibling's death
+                # may have wedged the shared result queue — respawn
+                # re-seeded from the current cache, and retry what's
+                # left.  One SIGKILL costs one batch retry, not a hang.
+                respawns += 1
+                self.stats.respawns += 1
+                if respawns > self.max_respawns:
+                    raise WorkerCrashError(
+                        f"worker processes died {respawns} times on one "
+                        f"dispatch ({len(pending)} batches unanswered); "
+                        f"giving up — inspect the batch for a "
+                        f"crash-inducing task")
+                with obs.span("pool.respawn", round=respawns,
+                              pending=len(pending)):
+                    self.close()
         except BaseException:
             # A half-finished dispatch leaves workers in an unknown
             # state; kill them rather than risk stale answers later.

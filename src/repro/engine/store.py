@@ -55,6 +55,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import obs
+from repro.exceptions import StoreLockTimeout
 
 try:  # advisory file locks: POSIX everywhere this repo targets
     import fcntl
@@ -160,11 +161,20 @@ class FileLock:
     dies); a create-exclusive spinlock elsewhere.  Contended
     acquisitions are recorded on ``stats`` and traced as
     ``cache.lock_wait`` spans.
+
+    ``timeout`` bounds the acquisition wait: a contender holding the
+    lock past the deadline raises
+    :class:`~repro.exceptions.StoreLockTimeout` instead of blocking the
+    caller forever (store operations hold locks for milliseconds, so a
+    deadline measured in seconds only ever fires on a wedged holder).
+    ``timeout=None`` preserves the unbounded wait.
     """
 
-    def __init__(self, path: str, stats: Optional[StoreStats] = None) -> None:
+    def __init__(self, path: str, stats: Optional[StoreStats] = None,
+                 timeout: Optional[float] = None) -> None:
         self.path = path
         self.stats = stats
+        self.timeout = timeout
         self._fd: Optional[int] = None
 
     def __enter__(self) -> "FileLock":
@@ -175,7 +185,7 @@ class FileLock:
             except OSError:
                 with obs.span("cache.lock_wait", path=self.path):
                     started = time.perf_counter()
-                    fcntl.flock(self._fd, fcntl.LOCK_EX)
+                    self._blocking_acquire()
                     if self.stats is not None:
                         self.stats.lock_waits += 1
                         self.stats.lock_wait_s += (time.perf_counter()
@@ -183,6 +193,26 @@ class FileLock:
         else:  # pragma: no cover - exercised only off-POSIX
             self._spin_acquire()
         return self
+
+    def _blocking_acquire(self) -> None:
+        """Wait for the flock — unbounded, or polling under a deadline."""
+        if self.timeout is None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+            return
+        deadline = time.perf_counter() + self.timeout
+        while True:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError:
+                if time.perf_counter() >= deadline:
+                    os.close(self._fd)
+                    self._fd = None
+                    raise StoreLockTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout:g}s — another process is holding "
+                        f"it (wedged writer?)") from None
+                time.sleep(0.005)
 
     def _spin_acquire(self) -> None:  # pragma: no cover - non-POSIX only
         sentinel = self.path + ".held"
@@ -249,6 +279,7 @@ class ShardedStore:
         load_namespaces: Optional[Iterable[str]] = None,
         max_entries: Budget = None,
         max_bytes: Budget = None,
+        lock_timeout: Optional[float] = 30.0,
     ) -> None:
         self.directory = directory
         self.namespaces = tuple(namespaces)
@@ -257,6 +288,10 @@ class ShardedStore:
                                 else frozenset(self.namespaces))
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        #: Per-acquisition deadline on shard/index locks — store
+        #: operations hold them for milliseconds, so hitting it means a
+        #: wedged contender; raise StoreLockTimeout, don't hang a sweep.
+        self.lock_timeout = lock_timeout
         self.root = os.path.join(directory, "store")
         self.stats = StoreStats()
         #: Approximate per-namespace entry counts from the index; kept
@@ -276,7 +311,7 @@ class ShardedStore:
 
     def _lock(self, name: str) -> FileLock:
         return FileLock(os.path.join(self.root, "locks", name + ".lock"),
-                        self.stats)
+                        self.stats, timeout=self.lock_timeout)
 
     @property
     def legacy_path(self) -> str:

@@ -39,3 +39,34 @@ class CalibrationError(EstimationError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class TaskTimeoutError(ReproError):
+    """A sweep sub-task exceeded its ``FailurePolicy.task_timeout`` deadline.
+
+    Raised worker-side by the watchdog (SIGALRM-based); under a
+    retrying policy the task is re-attempted, otherwise the failure
+    surfaces as a :class:`~repro.api.results.FailedRecord` or aborts
+    the run (``on_error="raise"``).
+    """
+
+
+class JobQuarantinedError(ReproError):
+    """A job was skipped because the cache's ``failures`` namespace marks
+    it as deterministically failing (poison).  Recorded as the error type
+    of the :class:`~repro.api.results.FailedRecord` a rerun produces for
+    a quarantined coordinate."""
+
+
+class WorkerCrashError(ReproError):
+    """Worker processes died repeatedly while executing one dispatch —
+    the pool gave up respawning (a single crash is survived and retried
+    transparently; see :class:`~repro.engine.pool.WorkerPool`)."""
+
+
+class StoreLockTimeout(ReproError):
+    """A shard/index file lock could not be acquired within the deadline.
+
+    Signals a wedged or extremely slow contender holding the lock —
+    surfaced as a clear error instead of blocking the sweep forever.
+    """

@@ -151,11 +151,23 @@ class TestSubcommands:
         # Workers appear as lanes distinct from the parent.
         assert len({event["tid"] for event in events}) >= 2
 
-    def test_run_spec_unknown_system_lists_options(self, tmp_path):
+    def test_run_spec_unknown_system_lists_options(self, tmp_path,
+                                                   capsys):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps({"systems": ["warpdrive"],
+                                         "networks": ["tiny"]}))
+        # Library errors map to exit code 2 with a one-line message
+        # (the options listed), not a traceback.
+        assert main(["run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "albireo" in err
+
+    def test_run_spec_error_debug_flag_reraises(self, tmp_path):
         from repro.exceptions import SpecError
 
         spec_path = tmp_path / "bad.json"
         spec_path.write_text(json.dumps({"systems": ["warpdrive"],
                                          "networks": ["tiny"]}))
         with pytest.raises(SpecError, match="albireo"):
-            main(["run", str(spec_path)])
+            main(["--debug", "run", str(spec_path)])

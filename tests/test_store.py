@@ -279,6 +279,27 @@ class TestConcurrency:
         # The write still landed once the lock cleared.
         assert store.load_shard(shard)["results"][key] == {"v": 1}
 
+    def test_lock_acquisition_timeout_is_a_clear_error(self, tmp_path):
+        from repro.engine import store as store_module
+        from repro.exceptions import StoreLockTimeout
+
+        if store_module.fcntl is None:
+            pytest.skip("platform without flock advisory locks")
+        lock_path = os.path.join(str(tmp_path), "wedged.lock")
+        # A second acquisition on a separate fd must give up at the
+        # deadline with an error naming the lock, not block forever.
+        with FileLock(lock_path):
+            started = time.perf_counter()
+            with pytest.raises(StoreLockTimeout,
+                               match="wedged.lock"):
+                with FileLock(lock_path, timeout=0.2):
+                    pass
+            waited = time.perf_counter() - started
+        assert 0.15 <= waited < 5.0
+        # The lock is usable again once the holder releases it.
+        with FileLock(lock_path, timeout=0.2):
+            pass
+
 
 # ---------------------------------------------------------------------------
 # Eviction
@@ -373,7 +394,7 @@ class TestCacheCli:
         info = json.loads(capsys.readouterr().out)
         assert info["total_entries"] == 2
         assert info["entries"] == {"results": 1, "mappings": 0,
-                                   "layers": 1}
+                                   "layers": 1, "failures": 0}
         assert info["bytes"] > 0
 
     def test_gc_with_budget(self, tmp_path, capsys):

@@ -261,3 +261,79 @@ class TestStudyIntegration:
         for warm in (first, second):
             for got, want in zip(warm, baseline):
                 assert got.metrics == want.metrics
+
+
+class TestSupervision:
+    """Worker death mid-dispatch is survived: detected, respawned,
+    re-dispatched — one SIGKILL costs one batch retry, not a hang."""
+
+    def test_sigkilled_worker_respawns_and_completes_bit_identical(
+            self, small_network):
+        """A worker SIGKILLing itself mid-batch (the OOM-killer stand-in,
+        delivered deterministically by the fault plan on attempt 0) is
+        detected by the supervised result wait; the pool respawns once
+        and the sweep still matches serial execution bit for bit."""
+        jobs = _grid_b(small_network)
+        serial = _dicts(run_jobs(jobs, workers=1))
+        cache = EvaluationCache()
+        kill = [{"match": "albireo:conv2:layer", "action": "kill",
+                 "attempt": 0}]
+        with WorkerPool(workers=2) as pool:
+            survived = _dicts(run_jobs(jobs, workers=2, cache=cache,
+                                       pool=pool, inject=kill))
+            assert survived == serial
+            assert pool.stats.respawns == 1
+            # The replacement workers were spawned fresh...
+            assert pool.stats.spawns == 2
+            # ...and the dead pids' delta markers were pruned, so the
+            # sync bookkeeping tracks only live workers.
+            alive = pool._worker_pids()
+            assert set(pool._sync.marks) <= alive
+            # The pool stays reusable after the recovery.
+            again = _dicts(run_jobs(_grid_a(small_network), workers=2,
+                                    cache=cache, pool=pool))
+            assert again == _dicts(run_jobs(_grid_a(small_network),
+                                            workers=1))
+            assert pool.stats.respawns == 1
+        assert cache.resilience.respawns == 1
+        assert _no_orphans()
+
+    def test_crash_storm_gives_up_with_worker_crash_error(
+            self, small_network):
+        """A batch that kills its worker on *every* attempt exhausts
+        ``max_respawns`` and surfaces a clear error instead of looping
+        (or hanging) forever."""
+        from repro.exceptions import WorkerCrashError
+
+        jobs = _grid_a(small_network)
+        kill_always = [{"match": "albireo:conv1:layer", "action": "kill",
+                        "attempt": -1}]
+        pool = WorkerPool(workers=2)
+        try:
+            with pytest.raises(WorkerCrashError, match="died"):
+                run_jobs(jobs, workers=2, cache=EvaluationCache(),
+                         pool=pool, inject=kill_always)
+            assert pool.stats.respawns == pool.max_respawns + 1
+            # The crashed dispatch closed the pool; a clean run after
+            # the storm respawns and succeeds.
+            clean = _dicts(run_jobs(jobs, workers=2,
+                                    cache=EvaluationCache(), pool=pool))
+            assert clean == _dicts(run_jobs(jobs, workers=1))
+        finally:
+            pool.close()
+        assert _no_orphans()
+
+    def test_abrupt_exit_is_survived_too(self, small_network):
+        """``os._exit(1)`` (atexit handlers skipped) looks identical to
+        a SIGKILL from the parent's side and recovers the same way."""
+        jobs = _grid_a(small_network)
+        serial = _dicts(run_jobs(jobs, workers=1))
+        exit_once = [{"match": "albireo:conv2:layer", "action": "exit",
+                      "attempt": 0}]
+        with WorkerPool(workers=2) as pool:
+            survived = _dicts(run_jobs(jobs, workers=2,
+                                       cache=EvaluationCache(),
+                                       pool=pool, inject=exit_once))
+        assert survived == serial
+        assert pool.stats.respawns == 1
+        assert _no_orphans()
