@@ -1,0 +1,64 @@
+"""The evaluation service, end to end: daemon, client, streaming.
+
+A :class:`~repro.service.ReproService` owns one warm worker pool and one
+shared cache for its lifetime; clients submit study specs and stream
+results back as each point completes.  This example runs the daemon
+in-process on an ephemeral port (production would be ``repro serve
+--cache DIR --workers N`` in its own process), then drives it with the
+stdlib-only :class:`~repro.service.ServiceClient`.
+
+Run with ``PYTHONPATH=src python examples/service_client.py``.
+"""
+
+import threading
+
+from repro import Study
+from repro.service import ReproService, ServiceClient, make_server
+
+# -- the daemon side (one per machine; `repro serve` in production) ----
+service = ReproService(cache=None, workers=1)   # cache="runs/cache" to persist
+httpd = make_server(service)                    # port 0 -> ephemeral
+threading.Thread(target=httpd.serve_forever, daemon=True).start()
+print(f"daemon listening on {httpd.url}")
+
+# -- the client side (any number, anywhere on the network) -------------
+client = ServiceClient(httpd.url)
+print(f"health: {client.health()['status']}")
+
+# A submission is *data* — the same spec format `repro run` takes.
+# (Fluent studies built from config/network objects have no wire form;
+# Study.from_dict/from_json ones serialize via .to_dict().)
+study = Study.from_dict({
+    "name": "service-demo",
+    "systems": ["albireo", "crossbar"],
+    "networks": ["tiny"],
+    "scenarios": ["conservative"],
+    "grid": {"global_buffer_kib": [512, 1024]},
+})
+
+# submit() returns immediately; records() then streams each completed
+# point as NDJSON over a chunked HTTP response — no polling.
+handle = client.submit(study)
+print(f"submitted {handle.id}; streaming records as they complete:")
+for record in handle.records():
+    print(f"  {record.tags['system']:10s} GB={record['global_buffer_kib']} "
+          f"KiB -> {record['energy_per_mac_pj']:.4f} pJ/MAC")
+
+# Streamed results are bit-identical to running the study locally.
+assert handle.status()["status"] == "done"
+local = study.run()
+assert client.handle(handle.id).result() == local
+print("streamed result set == local Study.run(): bit-identical")
+
+# Submitting the same study again hits the daemon's shared cache: the
+# stats endpoint shows every point served warm, zero new evaluations.
+cold = client.stats()["cache"]["results"]
+client.submit(study).result()
+warm = client.stats()["cache"]["results"]
+print(f"warm resubmit: misses {cold['misses']} -> {warm['misses']} "
+      f"(unchanged), hits +{warm['hits'] - cold['hits']}")
+assert warm["misses"] == cold["misses"]
+
+httpd.shutdown()
+service.close()
+print("daemon drained and closed")

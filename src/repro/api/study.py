@@ -78,6 +78,17 @@ from repro.workloads.network import Network
 #: scenario and grid overrides (see :meth:`Study.transform`).
 TransformFn = Callable[[Any, "StudyPoint"], Any]
 
+#: Streaming callback: ``fn(record, done, total)``, invoked once per
+#: study point the moment its result is assembled (completion order —
+#: cache hits first, then whatever finishes next), with ``done`` the
+#: number of completed points so far out of ``total``.  ``record`` is
+#: the same :class:`~repro.api.results.Record` (or
+#: :class:`~repro.api.results.FailedRecord`) the final
+#: :class:`~repro.api.results.ResultSet` will hold.  An exception
+#: raised by the callback aborts the run — the cancellation lever
+#: long-running callers (e.g. :mod:`repro.service`) rely on.
+RecordFn = Callable[[Record, int, int], None]
+
 #: Valid top-level keys of a study spec dict (``Study.from_dict``).
 SPEC_KEYS = ("name", "systems", "networks", "scenarios", "grid",
              "grid_points", "batches", "fused", "options")
@@ -406,7 +417,8 @@ class Study:
             trace: Union[bool, str, "obs.Tracer", None] = None,
             pool: Optional[WorkerPool] = None,
             failure_policy: Optional[FailurePolicy] = None,
-            inject: Any = None) -> ResultSet:
+            inject: Any = None,
+            on_record: Optional[RecordFn] = None) -> ResultSet:
         """Compile and execute through the engine; returns a
         :class:`~repro.api.results.ResultSet` in lattice order.
 
@@ -434,13 +446,22 @@ class Study:
         (see ``ResultSet.ok()`` / ``.failures``) instead of aborting
         the study.  ``inject`` threads a deterministic fault plan
         (:mod:`repro.engine.faults`) through for testing.
+
+        ``on_record`` (a :data:`RecordFn`) streams each point's record
+        out the moment it is assembled — ``fn(record, done, total)``,
+        in completion order, on every execution path — without waiting
+        for the full :class:`ResultSet`.  This is the seam the
+        evaluation service uses to stream NDJSON records and the CLI
+        uses for ``--progress`` lines.
         """
         if trace is None or trace is False:
             jobs = self.compile()
             evaluations = run_jobs(jobs, workers=workers, cache=cache,
                                    progress=progress, plan=plan, pool=pool,
                                    failure_policy=failure_policy,
-                                   inject=inject)
+                                   inject=inject,
+                                   on_record=self._stream_adapter(
+                                       jobs, on_record))
             return ResultSet(
                 self._record(job, evaluation)
                 for job, evaluation in zip(jobs, evaluations))
@@ -451,7 +472,9 @@ class Study:
             evaluations = run_jobs(jobs, workers=workers, cache=cache,
                                    progress=progress, plan=plan, pool=pool,
                                    failure_policy=failure_policy,
-                                   inject=inject)
+                                   inject=inject,
+                                   on_record=self._stream_adapter(
+                                       jobs, on_record))
         collected = tracer.trace()
         if isinstance(trace, str):
             collected.save(trace)
@@ -459,6 +482,24 @@ class Study:
             (self._record(job, evaluation)
              for job, evaluation in zip(jobs, evaluations)),
             trace=collected)
+
+    def _stream_adapter(self, jobs: Sequence[EvaluationJob],
+                        on_record: Optional[RecordFn]):
+        """The engine-level ``on_record`` callback wrapping a study-level
+        :data:`RecordFn`: turns each ``(index, job, outcome)`` completion
+        into the same :class:`Record` the final result set will hold and
+        counts completions (``None`` passes straight through, keeping
+        the un-streamed path zero-cost)."""
+        if on_record is None:
+            return None
+        total = len(jobs)
+        completed = [0]
+
+        def emit(index: int, job: EvaluationJob, outcome: Any) -> None:
+            completed[0] += 1
+            on_record(self._record(job, outcome), completed[0], total)
+
+        return emit
 
     @staticmethod
     def _record(job: EvaluationJob, evaluation: Any) -> Record:

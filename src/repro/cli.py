@@ -13,6 +13,8 @@ analyses, each with its own ``--help``::
     repro roofline     # bandwidth roofline of AlexNet on Albireo
     repro sweep        # parallel/cached configuration sweep (DSE engine)
     repro run          # execute a declarative study spec (repro.api)
+    repro serve        # long-lived evaluation daemon (HTTP or stdio)
+    repro submit       # send specs to a daemon, stream results back
     repro arch         # print a modeled system's hierarchy
     repro area         # per-component area summary
     repro cache        # inspect / gc / migrate a persistent cache dir
@@ -50,10 +52,19 @@ Fault tolerance: ``sweep``/``run`` accept ``--on-error raise|skip|retry``
 faults.json`` (a deterministic fault plan, for testing the machinery —
 see :mod:`repro.engine.faults`).
 
+Service mode: ``repro serve --cache DIR --workers N`` starts the
+long-lived daemon (one warm worker pool + one shared cache for its
+lifetime; ``--port 0`` picks an ephemeral port and prints it, ``--stdio``
+speaks the same protocol over stdin/stdout), and ``repro submit
+spec.json --server URL`` runs specs on it, streaming records as they
+complete and rendering the same report/``--json`` output as a local
+``repro run``.  See :mod:`repro.service`.
+
 Exit codes: 0 success; 2 a library error surfaced as a one-line
-``error: ...`` message (pass ``repro --debug <command>`` for the full
-traceback); 3 the run completed but some points failed under
-``--on-error skip``/``retry`` (the partial results were still written).
+``error: ...`` message (unreachable/draining daemons included — pass
+``repro --debug <command>`` for the full traceback); 3 the run
+completed but some points failed under ``--on-error skip``/``retry``
+(the partial results were still written).
 """
 
 from __future__ import annotations
@@ -325,8 +336,30 @@ def _cmd_roofline(args) -> None:
     print(network_roofline(system, alexnet()).table())
 
 
-def _progress_printer(finished: int, total: int, job) -> None:
-    print(f"[{finished}/{total}] {job.describe()}",
+def _record_label(record) -> str:
+    """A compact one-line coordinate label for a streamed record
+    (mirrors the job labels studies generate)."""
+    tags = record.tags
+    parts = [f"{tags.get('system', '?')}:{tags.get('network', '?')}"]
+    if tags.get("scenario"):
+        parts.append(str(tags["scenario"]))
+    if tags.get("fused"):
+        parts.append("fused")
+    if tags.get("batch", 1) and tags.get("batch", 1) > 1:
+        parts.append(f"N={tags['batch']}")
+    skip = {"system", "network", "scenario", "fused", "batch"}
+    parts.extend(f"{key}={value}" for key, value in tags.items()
+                 if key not in skip)
+    if record.failed:
+        parts.append(f"FAILED:{record.get('error')}")
+    return " ".join(parts)
+
+
+def _progress_printer(record, done: int, total: int) -> None:
+    """The ``--progress`` line printer, fed through the ``on_record``
+    streaming seam: one ``[done/total]`` line per completed point, in
+    completion order, on stderr."""
+    print(f"[{done}/{total}] {_record_label(record)}",
           file=sys.stderr, flush=True)
 
 
@@ -346,10 +379,10 @@ def _run_study(study, args, cache=None, pool=None):
     if cache is None:
         cache = EvaluationCache(args.cache)
     mapper_stats_before = cache.mapper_search_stats()
-    progress = (_progress_printer if getattr(args, "progress", False)
-                else None)
+    on_record = (_progress_printer if getattr(args, "progress", False)
+                 else None)
     results = study.run(workers=args.workers, cache=cache,
-                        plan=_plan(args), progress=progress, pool=pool,
+                        plan=_plan(args), on_record=on_record, pool=pool,
                         failure_policy=_failure_policy(args),
                         inject=getattr(args, "inject", None))
     return results, cache, mapper_stats_before
@@ -505,6 +538,77 @@ def _cmd_run(args) -> None:
     return 3 if failed_points else 0
 
 
+def _cmd_serve(args) -> None:
+    """Run the long-lived evaluation daemon (``repro serve``)."""
+    from repro.service.server import ReproService, serve, serve_stdio
+
+    service = ReproService(cache=args.cache, workers=args.workers,
+                           queue_limit=args.queue_limit)
+    if args.stdio:
+        return serve_stdio(service)
+    return serve(service, host=args.host, port=args.port,
+                 heartbeat=args.heartbeat)
+
+
+def _cmd_submit(args) -> None:
+    """Run study specs on a daemon (``repro submit spec.json --server
+    URL``), streaming records as they complete and rendering the same
+    report as a local ``repro run`` of the same specs."""
+    from repro.api import Study
+    from repro.api.results import ResultSet
+    from repro.exceptions import ServiceError
+    from repro.service.client import ServiceClient
+
+    if getattr(args, "remote_trace", None) and len(args.specs) > 1:
+        raise ReproError(
+            "--trace takes one output path; submit one spec per trace")
+    client = ServiceClient(args.server, timeout=args.timeout)
+    policy = _failure_policy(args)
+    lines: List[str] = []
+    records: List[dict] = []
+    failed_points = 0
+    for spec in args.specs:
+        study = Study.from_json(spec)
+        handle = client.submit(study, workers=args.workers,
+                               failure_policy=policy,
+                               trace=bool(args.remote_trace))
+        rows: List[dict] = []
+        failure = None
+        for body in handle.events():
+            kind = body.get("event")
+            if kind == "record":
+                rows.append(body["record"])
+                if args.progress:
+                    record = next(iter(
+                        ResultSet.from_records([body["record"]])))
+                    _progress_printer(record, body["done"], body["total"])
+            elif kind == "error":
+                failure = body
+            elif kind == "done" and body.get("status") != "done":
+                detail = (f": {failure['error']}: {failure['message']}"
+                          if failure else "")
+                raise ServiceError(
+                    f"job {handle.id} ended {body.get('status')}{detail}")
+        results = ResultSet.from_records(rows)
+        lines.append(
+            f"Study {study.name!r} — {len(results)} evaluations "
+            f"(server {args.server}, job {handle.id})")
+        lines.append(results.report(mark_pareto=True))
+        lines.extend(_failure_lines(results))
+        failed_points += len(results.failures)
+        records.extend(results.to_records())
+        if args.remote_trace:
+            with open(args.remote_trace, "w", encoding="utf-8") as out:
+                out.write(handle.trace())
+            print(f"wrote server-side trace to {args.remote_trace}",
+                  file=sys.stderr)
+    print("\n".join(lines), file=_table_stream(args))
+    # --json stats come from the daemon (its cache/planner/pool counters
+    # are service-lifetime cumulative, not per-submission).
+    _dump_json(args, records, stats=client.stats())
+    return 3 if failed_points else 0
+
+
 def _scenario_system(args):
     """A registered system instance under the requested scenario (for the
     arch/area commands)."""
@@ -604,6 +708,10 @@ _COMMANDS: Sequence = (
      _cmd_sweep),
     ("run", "execute a declarative study spec (JSON) via repro.api",
      ("pool", "json", "trace", "progress", "faults"), _cmd_run),
+    ("serve", "run the long-lived evaluation daemon (HTTP or stdio)",
+     (), _cmd_serve),
+    ("submit", "run study specs on a daemon, streaming results back",
+     ("json", "progress"), _cmd_submit),
     ("arch", "print a modeled system's hierarchy",
      ("system", "scenario"), _cmd_arch),
     ("area", "per-component area summary",
@@ -649,9 +757,91 @@ def _args_cache(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _args_serve(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="shared persistent cache directory for the daemon's "
+             "lifetime (every submitted study reads and extends it); "
+             "omit for in-memory",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="spawn a persistent N-process worker pool, kept warm "
+             "across submissions (default 1: in-process serial)",
+    )
+    sub.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1)",
+    )
+    sub.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="listen port; 0 (the default) picks an ephemeral port — "
+             "the bound URL is printed on stdout once listening",
+    )
+    sub.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        dest="queue_limit",
+        help="max queued studies before submits answer 503 (default 32)",
+    )
+    sub.add_argument(
+        "--heartbeat", type=float, default=10.0, metavar="SECONDS",
+        help="idle event-stream heartbeat interval (default 10)",
+    )
+    sub.add_argument(
+        "--stdio", action="store_true",
+        help="serve the protocol over stdin/stdout instead of HTTP "
+             "(one JSON op per input line, NDJSON events out)",
+    )
+
+
+def _args_submit(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "specs", metavar="spec.json", nargs="+",
+        help="study spec file(s) (same format as `repro run`), each "
+             "submitted as one daemon job in order",
+    )
+    sub.add_argument(
+        "--server", default="http://127.0.0.1:8100", metavar="URL",
+        help="daemon base URL (default http://127.0.0.1:8100; start "
+             "one with `repro serve`)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="requested execution width, clamped to the daemon's pool "
+             "(default: the daemon's own width)",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="socket timeout per request/stream read (default 600)",
+    )
+    sub.add_argument(
+        "--trace", default=None, metavar="PATH", dest="remote_trace",
+        help="capture a server-side span timeline of the job and save "
+             "it to PATH as Chrome trace JSON (single spec only)",
+    )
+    sub.add_argument(
+        "--on-error", default="raise", dest="on_error",
+        choices=("raise", "skip", "retry"),
+        help="server-side failure policy for the submitted jobs "
+             "(same semantics as `repro run`; skip/retry exit 3 when "
+             "failures remain)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max re-attempts per failing point under --on-error retry "
+             "(default 2)",
+    )
+    sub.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        dest="task_timeout",
+        help="per-task wall-clock deadline, enforced daemon-side",
+    )
+
+
 #: Commands with bespoke positionals/options beyond the shared flag
 #: groups; applied after the groups in ``_build_parser``.
-_EXTRA_ARGS = {"run": _args_run, "cache": _args_cache}
+_EXTRA_ARGS = {"run": _args_run, "cache": _args_cache,
+               "serve": _args_serve, "submit": _args_submit}
 
 
 def _build_parser() -> argparse.ArgumentParser:

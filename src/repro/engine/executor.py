@@ -73,6 +73,19 @@ from repro.model.results import (
 #: whole job is assembled.
 ProgressFn = Callable[[int, int, EvaluationJob], None]
 
+#: Per-record completion callback: ``(index, job, outcome)`` where
+#: ``outcome`` is the job's :class:`~repro.model.results.
+#: NetworkEvaluation` (or a :class:`JobFailure` under a capturing
+#: failure policy).  Invoked exactly once per job — the moment its
+#: result slot is assembled, on every execution path (cache hit, serial,
+#: planned parallel, whole-job parallel, quarantine, final failure) —
+#: in completion order, which is not necessarily input order.  This is
+#: the streaming seam: callers can forward each record while the rest
+#: of the batch is still computing.  An exception raised by the
+#: callback aborts the run (the cooperative-cancellation lever).
+OnRecordFn = Callable[
+    [int, EvaluationJob, Union["NetworkEvaluation", "JobFailure"]], None]
+
 CacheLike = Union[None, str, EvaluationCache]
 
 
@@ -318,6 +331,7 @@ def run_jobs(
     pool: Optional[WorkerPool] = None,
     failure_policy: Optional[FailurePolicy] = None,
     inject: Any = None,
+    on_record: Optional[OnRecordFn] = None,
 ) -> List[Union[NetworkEvaluation, JobFailure]]:
     """Evaluate ``jobs``; results come back in input order.
 
@@ -350,6 +364,12 @@ def run_jobs(
     a :class:`~repro.engine.faults.FaultPlan`, JSON path, or decoded
     data; ``None`` falls back to the ``REPRO_INJECT`` variable) to
     every execution path, for testing the machinery above.
+
+    ``on_record`` (an :data:`OnRecordFn`) is invoked exactly once per
+    job as its outcome slot is assembled — cache hits during lookup,
+    serial completions, parallel phase-2 assembly, whole-job worker
+    returns, quarantine pre-skips, and finalized failures alike — so
+    callers can stream results out while later jobs are still running.
     """
     cache = _as_cache(cache)
     if pool is not None:
@@ -386,6 +406,8 @@ def run_jobs(
                 else:
                     results[index] = network_evaluation_from_dict(cached)
                     done += 1
+                    if on_record is not None:
+                        on_record(index, job, results[index])
                     if progress is not None:
                         progress(done, total, job)
         run_span.set("misses", len(misses))
@@ -408,6 +430,8 @@ def run_jobs(
                              f"{poison.get('message')})"),
                     attempts=0, quarantined=True)
                 done += 1
+                if on_record is not None:
+                    on_record(index, jobs[index], results[index])
                 if progress is not None:
                     progress(done, total, jobs[index])
             misses = screened
@@ -418,7 +442,8 @@ def run_jobs(
             round_failures: Dict[int, Tuple[str, str]] = {}
             done = _execute_round(jobs, remaining, results, cache,
                                   workers, progress, plan, pool, done,
-                                  total, guard, attempt, round_failures)
+                                  total, guard, attempt, round_failures,
+                                  on_record)
             if not round_failures:
                 break
             if cache is not None:
@@ -448,6 +473,8 @@ def run_jobs(
                         error=etype, message=message,
                         attempts=attempt + 1, quarantined=quarantined)
                     done += 1
+                    if on_record is not None:
+                        on_record(index, jobs[index], results[index])
                     if progress is not None:
                         progress(done, total, jobs[index])
                 break
@@ -481,13 +508,16 @@ def _execute_round(
     guard,
     attempt: int,
     round_failures: Dict[int, Tuple[str, str]],
+    on_record: Optional[OnRecordFn] = None,
 ) -> int:
     """One (re)attempt at the given miss indices (see :func:`run_jobs`).
 
     Picks the same planner / whole-job / serial strategy the pre-policy
     executor did.  Under a capturing guard, a failing job lands in
     ``round_failures`` as ``index -> (error type, message)`` instead of
-    raising; successful jobs fill ``results`` and tick ``done``.
+    raising; successful jobs fill ``results``, tick ``done``, and fire
+    ``on_record`` (failures do not — they are not final until the retry
+    loop gives up on them).
     """
     capture = guard is not None and guard[1]
     if workers > 1 and len(misses) > 1:
@@ -561,12 +591,15 @@ def _execute_round(
                             (type(error).__name__, str(error))
                         continue
                     done += 1
+                    if on_record is not None:
+                        on_record(index, job, results[index])
                     if progress is not None:
                         progress(done, total, job)
         else:
             done = _run_whole_jobs(jobs, misses, results, cache,
                                    workers, progress, done, total,
-                                   guard, attempt, round_failures)
+                                   guard, attempt, round_failures,
+                                   on_record)
     else:
         with obs.span("run_jobs.serial", jobs=len(misses)):
             for index in misses:
@@ -580,6 +613,8 @@ def _execute_round(
                                              str(error))
                     continue
                 done += 1
+                if on_record is not None:
+                    on_record(index, jobs[index], results[index])
                 if progress is not None:
                     progress(done, total, jobs[index])
     return done
@@ -770,6 +805,7 @@ def _run_whole_jobs(
     guard=None,
     attempt: int = 0,
     round_failures: Optional[Dict[int, Tuple[str, str]]] = None,
+    on_record: Optional[OnRecordFn] = None,
 ) -> int:
     """The pre-planner parallel path: one whole job per worker message."""
     tracer = obs.current_tracer()
@@ -814,6 +850,8 @@ def _run_whole_jobs(
                         round_failures[index] = failure
                         continue
                     done += 1
+                    if on_record is not None:
+                        on_record(index, jobs[index], results[index])
                     if progress is not None:
                         progress(done, total, jobs[index])
         except BaseException:

@@ -64,6 +64,25 @@ class WorkerCrashError(ReproError):
     transparently; see :class:`~repro.engine.pool.WorkerPool`)."""
 
 
+class ServiceError(ReproError):
+    """The evaluation service rejected a request or a job failed
+    server-side.
+
+    Raised client-side (:class:`~repro.service.client.ServiceClient`)
+    when the daemon answers with a structured JSON error body — the
+    type name and one-line message are folded into this exception's
+    message.  Like every :class:`ReproError`, the CLI maps it to exit
+    code 2.
+    """
+
+
+class ServiceUnavailable(ServiceError):
+    """The evaluation service cannot take the request right now: the
+    daemon is unreachable, draining for shutdown, or its job queue is
+    full.  Retryable — unlike most :class:`ServiceError` causes, nothing
+    is wrong with the request itself."""
+
+
 class StoreLockTimeout(ReproError):
     """A shard/index file lock could not be acquired within the deadline.
 

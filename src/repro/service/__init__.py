@@ -1,0 +1,55 @@
+"""repro.service — the long-lived evaluation daemon and its client.
+
+The package turns the engine's warm state (persistent
+:class:`~repro.engine.pool.WorkerPool`, shared sharded
+:class:`~repro.engine.cache.EvaluationCache`) into something many
+callers can share: a daemon (``repro serve``) that accepts study specs
+over HTTP or stdin and streams results back as NDJSON events while the
+evaluation runs.
+
+Layout::
+
+    protocol.py   versioned JSON request/event schema (both sides)
+    queue.py      bounded FIFO + single executor thread + job lifecycle
+    server.py     ReproService core, HTTP transport, stdio transport
+    client.py     urllib ServiceClient (``repro submit`` is built on it)
+
+Quick start::
+
+    from repro.service import ReproService, make_server, ServiceClient
+
+    service = ReproService(cache="runs/cache", workers=4)
+    httpd = make_server(service)          # port 0 -> ephemeral
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+
+    client = ServiceClient(httpd.url)
+    handle = client.submit({"systems": ["albireo_base"],
+                            "networks": ["alexnet"]})
+    for record in handle.records():       # streams as they complete
+        print(record.tags, record.get("energy_total_mJ"))
+"""
+
+from repro.service.client import JobHandle, ServiceClient
+from repro.service.protocol import PROTOCOL_VERSION, SubmitRequest
+from repro.service.queue import JobQueue, ServiceJob
+from repro.service.server import (
+    ReproService,
+    ServiceHTTPServer,
+    make_server,
+    serve,
+    serve_stdio,
+)
+
+__all__ = [
+    "JobHandle",
+    "JobQueue",
+    "PROTOCOL_VERSION",
+    "ReproService",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "ServiceJob",
+    "SubmitRequest",
+    "make_server",
+    "serve",
+    "serve_stdio",
+]

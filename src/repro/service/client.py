@@ -1,0 +1,208 @@
+"""urllib client for the evaluation daemon: submit, stream, rebuild.
+
+:class:`ServiceClient` speaks :mod:`repro.service.protocol` over plain
+``urllib`` (stdlib ``http.client`` decodes the chunked NDJSON stream
+transparently), so a caller three lines deep gets the daemon's warm
+pool and shared cache::
+
+    client = ServiceClient("http://127.0.0.1:8100")
+    handle = client.submit(study)            # Study, spec dict, or
+    results = handle.result()                # SubmitRequest
+    assert results == study.run()            # bit-identical records
+
+Failure mapping mirrors the CLI contract: an unreachable / draining /
+full daemon raises :class:`~repro.exceptions.ServiceUnavailable`; any
+structured error body the server answers with (bad spec, unknown job,
+server-side failure) raises :class:`~repro.exceptions.ServiceError`
+carrying the server's own type name and one-line message.  Neither ever
+surfaces raw HTML or a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.api.results import Record, ResultSet
+from repro.api.study import Study
+from repro.engine.executor import FailurePolicy
+from repro.exceptions import ServiceError, ServiceUnavailable
+from repro.service import protocol
+from repro.service.protocol import SubmitRequest
+
+#: Submission forms :meth:`ServiceClient.submit` accepts.
+StudyLike = Union[Study, Dict[str, Any], SubmitRequest]
+
+
+class JobHandle:
+    """One submitted job, client-side: stream its events, collect its
+    records, poll its status, cancel it, fetch its trace."""
+
+    def __init__(self, client: "ServiceClient", job_id: str) -> None:
+        self.client = client
+        self.id = job_id
+
+    # -- streaming -----------------------------------------------------
+    def events(self, since: int = 0,
+               heartbeat: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield the job's protocol events (``queued`` … ``done``) as
+        the server streams them; late calls replay from ``since``.
+        The iterator ends after the terminal ``done`` event."""
+        path = f"/v1/studies/{self.id}/events?since={int(since)}"
+        if heartbeat is not None:
+            path += f"&heartbeat={heartbeat}"
+        response = self.client._request("GET", path, stream=True)
+        try:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield protocol.decode_event(line)
+        finally:
+            response.close()
+
+    def records(self) -> Iterator[Record]:
+        """Yield each completed point as a rebuilt
+        :class:`~repro.api.results.Record` / ``FailedRecord`` — the
+        streaming analogue of iterating a local ``study.run()`` result.
+
+        Raises :class:`ServiceError` if the job ends ``failed`` or
+        ``cancelled`` (records already yielded stand — the partial
+        prefix is real data).
+        """
+        failure: Optional[Dict[str, Any]] = None
+        for body in self.events():
+            kind = body.get("event")
+            if kind == "record":
+                # One-row rebuild through the same inverse the local
+                # report path uses, so streamed == local, bit for bit.
+                yield next(iter(ResultSet.from_records(
+                    [body["record"]])))
+            elif kind == "error":
+                failure = body
+            elif kind == "done" and body.get("status") != protocol.DONE:
+                status = body.get("status")
+                detail = (f": {failure['error']}: {failure['message']}"
+                          if failure else "")
+                raise ServiceError(
+                    f"job {self.id} ended {status}{detail}")
+
+    def result(self) -> ResultSet:
+        """Block until the job completes; returns the full
+        :class:`ResultSet` (equal to the local run's)."""
+        return ResultSet(self.records())
+
+    # -- point queries -------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /v1/studies/<id>`` snapshot."""
+        return self.client._request("GET", f"/v1/studies/{self.id}")
+
+    def cancel(self) -> bool:
+        """Request cancellation; False when the job already finished."""
+        try:
+            body = self.client._request(
+                "DELETE", f"/v1/studies/{self.id}")
+        except ServiceError as error:
+            if getattr(error, "status_code", None) == 409:
+                return False
+            raise
+        return bool(body.get("cancelled"))
+
+    def trace(self) -> str:
+        """The job's Chrome-trace JSON (``trace=True`` submissions,
+        after completion)."""
+        response = self.client._request(
+            "GET", f"/v1/studies/{self.id}/trace", stream=True)
+        try:
+            return response.read().decode("utf-8")
+        finally:
+            response.close()
+
+
+class ServiceClient:
+    """Thin, dependency-free client for one daemon ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- protocol ------------------------------------------------------
+    def submit(self, study: StudyLike, workers: Optional[int] = None,
+               failure_policy: Optional[FailurePolicy] = None,
+               trace: bool = False) -> JobHandle:
+        """Submit a study (a :class:`Study`, its spec dict, or a
+        prebuilt :class:`SubmitRequest`); returns immediately with a
+        :class:`JobHandle` while the daemon queues and runs it."""
+        if isinstance(study, SubmitRequest):
+            request = study
+        else:
+            spec = study.to_dict() if isinstance(study, Study) else study
+            request = SubmitRequest(spec=dict(spec), workers=workers,
+                                    failure_policy=failure_policy,
+                                    trace=trace)
+        body = self._request("POST", "/v1/studies",
+                             body=request.to_dict())
+        return JobHandle(self, body["job"])
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def studies(self) -> Any:
+        return self._request("GET", "/v1/studies")["studies"]
+
+    def handle(self, job_id: str) -> JobHandle:
+        """Re-attach to an existing job by id (e.g. across client
+        restarts — the daemon keeps completed jobs' event buffers)."""
+        return JobHandle(self, job_id)
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 stream: bool = False) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            response = urllib.request.urlopen(request,
+                                              timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error, path) from None
+        except urllib.error.URLError as error:
+            raise ServiceUnavailable(
+                f"cannot reach evaluation service at {self.base_url}: "
+                f"{error.reason}") from None
+        if stream:
+            return response
+        payload = json.loads(response.read().decode("utf-8"))
+        if isinstance(payload, dict):
+            protocol.check_protocol(payload, f"{method} {path}")
+        return payload
+
+    def _decode_error(self, error: urllib.error.HTTPError,
+                      path: str) -> ServiceError:
+        """Fold the server's structured JSON error body into the local
+        exception hierarchy (503 and server-declared ``ServiceUnavailable``
+        stay retryable)."""
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+            kind = body["error"]
+            message = body["message"]
+        except Exception:
+            kind, message = "HTTPError", f"status {error.code}"
+        text = (f"service request {path} failed ({error.code}): "
+                f"{kind}: {message}")
+        if error.code == 503 or kind == "ServiceUnavailable":
+            mapped: ServiceError = ServiceUnavailable(text)
+        else:
+            mapped = ServiceError(text)
+        mapped.status_code = error.code
+        mapped.server_error = kind
+        return mapped

@@ -353,3 +353,49 @@ class TestExperimentsStayWarningFree:
             fig5_reuse.run(network=tiny_cnn(),
                            output_reuse_values=(3,),
                            input_reuse_values=(9,))
+
+
+class TestStudyOnRecord:
+    """Study.run(on_record=...): the record-level streaming seam —
+    one call per point, with live done/total counters, on every path."""
+
+    def _study(self):
+        return (Study()
+                .systems("crossbar")
+                .networks("tiny")
+                .scenarios("conservative")
+                .grid(global_buffer_kib=(256, 512, 1024)))
+
+    def test_streams_every_record_with_counters(self):
+        seen = []
+        results = self._study().run(
+            on_record=lambda record, done, total:
+                seen.append((record, done, total)))
+        assert [done for _, done, _ in seen] == [1, 2, 3]
+        assert all(total == 3 for _, _, total in seen)
+        # The streamed records are the run's records (serial execution
+        # completes in input order).
+        assert [record for record, _, _ in seen] == list(results)
+
+    def test_streams_on_the_parallel_path(self):
+        seen = []
+        results = self._study().run(
+            workers=2,
+            on_record=lambda record, done, total:
+                seen.append(record))
+        assert sorted(record.tags["global_buffer_kib"]
+                      for record in seen) == [256, 512, 1024]
+        assert len(seen) == len(results)
+
+    def test_streams_failed_records_under_skip_policy(self):
+        from repro.engine import FailurePolicy
+
+        seen = []
+        results = self._study().run(
+            failure_policy=FailurePolicy(on_error="skip"),
+            inject=[{"match": "crossbar:*:job", "action": "raise",
+                     "attempt": -1}],
+            on_record=lambda record, done, total: seen.append(record))
+        assert len(seen) == 3
+        assert all(record.failed for record in seen)
+        assert len(results.failures) == 3

@@ -171,3 +171,107 @@ class TestSubcommands:
                                          "networks": ["tiny"]}))
         with pytest.raises(SpecError, match="albireo"):
             main(["--debug", "run", str(spec_path)])
+
+
+class TestRunMultiSpec:
+    """Multi-spec `repro run` shares one cache (one store open) and,
+    with --keep-pool, one warm worker pool across all specs."""
+
+    def _write_specs(self, tmp_path):
+        base = {"systems": ["crossbar"], "networks": ["tiny"],
+                "scenarios": ["conservative"]}
+        spec1 = dict(base, name="multi-1",
+                     grid={"global_buffer_kib": [256, 512]})
+        spec2 = dict(base, name="multi-2",
+                     grid={"global_buffer_kib": [512, 1024]})
+        paths = []
+        for spec in (spec1, spec2):
+            path = tmp_path / f"{spec['name']}.json"
+            path.write_text(json.dumps(spec))
+            paths.append(str(path))
+        return paths
+
+    def test_multi_spec_opens_the_store_exactly_once(self, capsys,
+                                                     tmp_path,
+                                                     monkeypatch):
+        from repro.engine import store as store_module
+
+        opens = []
+        original = store_module.ShardedStore.__init__
+
+        def counting(self, *args, **kwargs):
+            opens.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(store_module.ShardedStore, "__init__",
+                            counting)
+        paths = self._write_specs(tmp_path)
+        assert main(["run", *paths, "--cache",
+                     str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+        assert len(opens) == 1
+
+    def test_multi_spec_overlap_hits_the_shared_cache(self, capsys,
+                                                      tmp_path):
+        """The 512 KiB point appears in both specs; sharing one cache
+        means 4 evaluations but only 3 misses."""
+        paths = self._write_specs(tmp_path)
+        json_path = tmp_path / "out.json"
+        assert main(["run", *paths, "--cache", str(tmp_path / "cache"),
+                     "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(json_path.read_text())
+        assert len(payload["records"]) == 4
+        results = payload["stats"]["cache"]["results"]
+        assert results["misses"] == 3
+        assert results["hits"] == 1
+
+    def test_keep_pool_spawns_once_across_specs(self, capsys, tmp_path):
+        """--keep-pool: one spawn for the whole command, later specs
+        reach warm workers via delta sync, never an epoch reset."""
+        paths = self._write_specs(tmp_path)
+        json_path = tmp_path / "out.json"
+        assert main(["run", *paths, "--cache", str(tmp_path / "cache"),
+                     "--workers", "2", "--keep-pool",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pool: 1 spawns" in out
+        assert "0 epoch resets" in out
+        pool_stats = json.loads(json_path.read_text())["stats"]["pool"]
+        assert pool_stats["spawns"] == 1
+        # Later specs may need no dispatch at all (their misses assemble
+        # from warm phase-1 layer entries); what matters is that no
+        # respawn or full-snapshot resync ever happened.
+        assert pool_stats["dispatches"] >= 1
+        assert pool_stats["epoch_resets"] == 0
+
+
+class TestServeSubmitCli:
+    def test_serve_and_submit_registered(self):
+        names = {name for name, _, _, _ in _COMMANDS}
+        assert {"serve", "submit"} <= names
+
+    def test_submit_unreachable_server_exits_2(self, capsys, tmp_path):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"systems": ["crossbar"],
+                                         "networks": ["tiny"]}))
+        assert main(["submit", str(spec_path), "--server",
+                     f"http://127.0.0.1:{port}"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot reach" in err
+
+    def test_submit_trace_with_multiple_specs_rejected(self, capsys,
+                                                       tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"systems": ["crossbar"],
+                                         "networks": ["tiny"]}))
+        assert main(["submit", str(spec_path), str(spec_path),
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "one spec per trace" in capsys.readouterr().err

@@ -770,3 +770,100 @@ def _brute_force(points, objectives):
         if not dominated:
             keep.append(point)
     return keep
+
+
+class TestOnRecordSeam:
+    """run_jobs(on_record=...): exactly one call per job, at final-
+    outcome time, on every execution path (the streaming seam the
+    service and the CLI progress printer are built on)."""
+
+    def _jobs(self):
+        from repro.systems import CrossbarConfig
+
+        return [make_job(tiny_cnn(),
+                         CrossbarConfig(global_buffer_kib=kib))
+                for kib in (256, 512, 1024)]
+
+    def _collect(self, **kwargs):
+        calls = []
+        results = run_jobs(
+            self._jobs(),
+            on_record=lambda index, job, outcome:
+                calls.append((index, job.key, outcome)),
+            **kwargs)
+        return calls, results
+
+    def test_serial_fires_once_per_job_with_final_outcome(self):
+        calls, results = self._collect()
+        assert sorted(index for index, _, _ in calls) == [0, 1, 2]
+        for index, key, outcome in calls:
+            assert outcome is results[index]
+            assert key == self._jobs()[index].key
+
+    def test_cache_hits_still_fire(self, tmp_path):
+        cache = EvaluationCache(str(tmp_path))
+        first, _ = self._collect(cache=cache)
+        warm, results = self._collect(cache=cache)
+        assert len(warm) == 3  # pure-hit run streams every record
+        key = lambda call: call[0]
+        assert [outcome.total_cycles
+                for _, _, outcome in sorted(warm, key=key)] \
+            == [outcome.total_cycles
+                for _, _, outcome in sorted(first, key=key)]
+        assert all(outcome is results[index]
+                   for index, _, outcome in warm)
+
+    def test_parallel_paths_fire_once_per_job(self):
+        serial = run_jobs(self._jobs())
+        for plan in (None, False):  # planner and whole-job dispatch
+            calls, results = self._collect(workers=2, plan=plan)
+            assert sorted(index for index, _, _ in calls) == [0, 1, 2]
+            for a, b in zip(results, serial):
+                assert _evaluations_identical(a, b)
+            assert all(outcome is results[index]
+                       for index, _, outcome in calls)
+
+    def test_failures_fire_with_job_failure_outcome(self):
+        from repro.engine import FailurePolicy, JobFailure
+
+        jobs = self._jobs()
+        calls = []
+        results = run_jobs(
+            jobs, failure_policy=FailurePolicy(on_error="skip"),
+            inject=[{"match": "crossbar:*:job", "action": "raise",
+                     "attempt": -1}],
+            on_record=lambda index, job, outcome:
+                calls.append((index, outcome)))
+        assert len(calls) == len(jobs)
+        assert all(isinstance(outcome, JobFailure)
+                   for _, outcome in calls)
+        assert all(outcome is results[index] for index, outcome in calls)
+
+    def test_retry_fires_only_on_the_final_outcome(self):
+        """Under retry, intermediate failed attempts do not stream; the
+        single call per job carries the eventually-successful result."""
+        from repro.engine import FailurePolicy, JobFailure
+
+        calls = []
+        results = run_jobs(
+            self._jobs(),
+            failure_policy=FailurePolicy(on_error="retry",
+                                         max_retries=2, backoff=0.0),
+            inject=[{"match": "crossbar:*:job", "action": "raise",
+                     "attempt": 0}],  # first attempt only
+            on_record=lambda index, job, outcome:
+                calls.append((index, outcome)))
+        assert len(calls) == 3
+        assert not any(isinstance(outcome, JobFailure)
+                       for _, outcome in calls)
+        assert all(outcome is results[index] for index, outcome in calls)
+
+    def test_on_record_exception_aborts_the_run(self):
+        class StopStreaming(RuntimeError):
+            pass
+
+        def explode(index, job, outcome):
+            raise StopStreaming("caller cancelled")
+
+        with pytest.raises(StopStreaming):
+            run_jobs(self._jobs(), on_record=explode)

@@ -18,6 +18,7 @@ _CASES = [
     ("pareto_exploration.py", "Pareto"),
     ("roofline_study.py", "memory-bound"),
     ("study_api.py", "Pareto-optimal"),
+    ("service_client.py", "bit-identical"),
 ]
 
 
